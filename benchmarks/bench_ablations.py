@@ -1,0 +1,36 @@
+"""Benchmarks for the ablation studies (design choices the paper raises).
+
+* riffle cycle stride vs download capacity (Theorem 3's d >= 2u),
+* per-tick upload efficiency ("amortization", Section 2.4.3-2.4.4),
+* exact vs neighborhood-estimated rarest-first (Section 3.2.4),
+* periodic neighbor rotation at low degree (Section 3.2.4, closing).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    ablation_efficiency,
+    ablation_estimated_rarest,
+    ablation_riffle_stride,
+    ablation_rotation,
+)
+
+
+def test_ablation_riffle_stride(run_once, scale):
+    result = run_once(ablation_riffle_stride, scale=scale)
+    assert result.rows
+
+
+def test_ablation_efficiency_trace(run_once, scale):
+    result = run_once(ablation_efficiency, scale=scale)
+    assert 0 < result.rows[0]["mean eff"] <= 1.0
+
+
+def test_ablation_estimated_rarest_first(run_once, scale):
+    result = run_once(ablation_estimated_rarest, scale=scale)
+    assert len(result.rows) == 2
+
+
+def test_ablation_neighbor_rotation(run_once, scale):
+    result = run_once(ablation_rotation, scale=scale)
+    assert len(result.rows) == 2

@@ -1,0 +1,66 @@
+"""Benchmarks for the extension experiments (Section 2.3.4 / Section 4
+side claims plus churn)."""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    extension_asynchrony,
+    extension_bittorrent,
+    extension_churn,
+    extension_embedding,
+    extension_freerider,
+    extension_multiserver,
+)
+
+
+def test_ext_multiserver(run_once, scale):
+    result = run_once(extension_multiserver, scale=scale)
+    assert result.rows
+
+
+def test_ext_asynchrony(run_once, scale):
+    result = run_once(extension_asynchrony, scale=scale)
+    assert result.rows
+
+
+def test_ext_bittorrent(run_once, scale):
+    result = run_once(extension_bittorrent, scale=scale)
+    assert any(str(r["algorithm"]).startswith("BT") for r in result.rows)
+
+
+def test_ext_freerider(run_once, scale):
+    result = run_once(extension_freerider, scale=scale)
+    assert len(result.rows) == 4
+
+
+def test_ext_embedding(run_once, scale):
+    result = run_once(extension_embedding, scale=scale)
+    assert all(row["saved"] >= 0 for row in result.rows)
+
+
+def test_ext_churn(run_once, scale):
+    result = run_once(extension_churn, scale=scale)
+    assert result.rows
+
+
+def test_ext_triangular(run_once, scale):
+    from repro.experiments import extension_triangular
+
+    result = run_once(extension_triangular, scale=scale)
+    assert result.rows
+
+
+def test_ext_coding(run_once, scale):
+    from repro.experiments import extension_coding
+
+    result = run_once(extension_coding, scale=scale)
+    modes = {row["mode"] for row in result.rows}
+    assert "coding GF(2)" in modes and "coding ideal" in modes
+
+
+def test_ext_incentives(run_once, scale):
+    from repro.experiments import extension_incentives
+
+    result = run_once(extension_incentives, scale=scale)
+    mechanisms = {row["mechanism"] for row in result.rows}
+    assert "credit-limited s=1" in mechanisms

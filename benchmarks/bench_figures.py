@@ -1,0 +1,48 @@
+"""Benchmarks regenerating every data figure of the paper (Figs 3-7).
+
+Each benchmark runs the corresponding sweep once at the configured scale
+(``REPRO_SCALE``, default ``ci``) and prints the reproduced series with
+``-s``. The shape assertions live in tests/experiments; here we keep only
+cheap sanity checks so a benchmark failure means a real regression.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    completion_fit,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+)
+
+
+def test_figure3_t_vs_n(run_once, scale):
+    result = run_once(figure3, scale=scale)
+    assert result.rows
+
+
+def test_figure4_t_vs_k(run_once, scale):
+    result = run_once(figure4, scale=scale)
+    assert result.rows
+
+
+def test_completion_time_fit(run_once, scale):
+    result = run_once(completion_fit, scale=scale)
+    assert result.fit is not None
+
+
+def test_figure5_cooperative_degree_sweep(run_once, scale):
+    result = run_once(figure5, scale=scale)
+    assert result.series
+
+
+def test_figure6_barter_degree_sweep_random(run_once, scale):
+    result = run_once(figure6, scale=scale)
+    assert any(row["timeouts"] or row["mean T"] for row in result.rows)
+
+
+def test_figure7_barter_degree_sweep_rarest(run_once, scale):
+    result = run_once(figure7, scale=scale)
+    assert any(row["timeouts"] or row["mean T"] for row in result.rows)

@@ -1,0 +1,63 @@
+"""Micro-benchmarks of the library's hot components.
+
+These track the raw cost of the primitives the sweeps are built from:
+schedule construction, schedule execution, log verification, one
+randomized tick at steady state, and overlay generation. Regressions here
+multiply directly into every figure's wall-clock.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.engine import execute_schedule
+from repro.core.verify import verify_log
+from repro.overlays.random_regular import random_regular_graph
+from repro.randomized.engine import RandomizedEngine
+from repro.schedules.hypercube import hypercube_schedule
+from repro.schedules.riffle import riffle_pipeline_schedule
+
+
+def test_build_hypercube_schedule(benchmark):
+    schedule = benchmark(hypercube_schedule, 128, 64)
+    assert schedule.ticks == 64 + 7 - 1
+
+
+def test_build_riffle_schedule(benchmark):
+    schedule = benchmark(riffle_pipeline_schedule, 101, 300)
+    assert schedule.ticks >= 300
+
+
+def test_execute_hypercube_schedule(benchmark):
+    schedule = hypercube_schedule(128, 64)
+    result = benchmark(execute_schedule, schedule)
+    assert result.completed
+
+
+def test_verify_hypercube_log(benchmark):
+    result = execute_schedule(hypercube_schedule(128, 64))
+    report = benchmark(verify_log, result.log, 128, 64)
+    assert report.all_complete
+
+
+def test_randomized_run_complete_graph(benchmark):
+    def run():
+        return RandomizedEngine(128, 64, rng=1, keep_log=False).run()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.completed
+
+
+def test_randomized_run_regular_overlay(benchmark):
+    graph = random_regular_graph(128, 12, rng=0)
+
+    def run():
+        return RandomizedEngine(128, 64, overlay=graph, rng=1, keep_log=False).run()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.completed
+
+
+def test_generate_random_regular_graph(benchmark):
+    graph = benchmark(random_regular_graph, 1000, 40, random.Random(0))
+    assert graph.min_degree == 40

@@ -1,0 +1,21 @@
+"""Benchmarks for the theory-vs-measured tables (Tables A and B).
+
+Table A executes and verifies every deterministic schedule on a grid of
+(n, k); its construction *asserts* the closed forms internally, so this
+benchmark doubles as an end-to-end self-check of all Section 2-3 theory.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import price_table, schedule_table
+
+
+def test_table_a_schedules(run_once, scale):
+    result = run_once(schedule_table, scale=scale)
+    optimal = [r for r in result.rows if r["algorithm"] == "hypercube"]
+    assert all(row["T/LB"] == 1.0 for row in optimal)
+
+
+def test_table_b_price_of_barter(run_once, scale):
+    result = run_once(price_table, scale=scale)
+    assert all(row["price"] >= 0.99 for row in result.rows)

@@ -1,0 +1,37 @@
+"""Benchmark configuration.
+
+Every paper figure/table has one benchmark that executes its full
+reproduction sweep once (``benchmark.pedantic`` with a single round — the
+sweeps are internally replicated already). The parameter scale defaults
+to ``ci`` so the whole suite finishes in minutes; set ``REPRO_SCALE=lite``
+or ``REPRO_SCALE=full`` to benchmark closer to paper scale.
+
+Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to also see
+each reproduced figure's rows and ASCII plot.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return os.environ.get("REPRO_SCALE", "ci")
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark timer and print
+    its rendered result (visible with ``-s``)."""
+
+    def runner(fn, *args, **kwargs):
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        if hasattr(result, "render"):
+            print()
+            print(result.render())
+        return result
+
+    return runner

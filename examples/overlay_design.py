@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Scenario: choosing an overlay degree for a barter swarm.
+
+Section 3.2.4's engineering question: per-neighbor state is expensive
+(handshakes, have-maps), so you want the *lowest* overlay degree that
+still converges under credit-limited barter. This example sweeps the
+degree of random regular overlays under both block-selection policies and
+prints the smallest workable degree for each — reproducing, at laptop
+scale, the paper's headline that Rarest-First cuts the required degree by
+a large factor, and that a hypercube-like overlay is a safe default.
+
+Run:  python examples/overlay_design.py [--clients 95] [--blocks 96]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import RandomPolicy, RarestFirstPolicy
+from repro.analysis import summarize
+from repro.overlays import hypercube_overlay, random_regular_graph
+from repro.randomized import randomized_barter_run
+from repro.schedules import cooperative_lower_bound
+
+
+def sweep_policy(n: int, k: int, degrees: list[int], policy_cls, seed: int):
+    rows = []
+    for degree in degrees:
+        times = []
+        timeouts = 0
+        for i in range(2):
+            graph = random_regular_graph(n, degree, rng=seed + 31 * i + degree)
+            run = randomized_barter_run(
+                n,
+                k,
+                credit_limit=1,
+                overlay=graph,
+                policy=policy_cls(),
+                rng=seed + i,
+                max_ticks=30 * k,
+                keep_log=False,
+            )
+            if run.completed:
+                times.append(float(run.completion_time))
+            else:
+                timeouts += 1
+        rows.append((degree, summarize(times) if times else None, timeouts))
+    return rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clients", type=int, default=95)
+    parser.add_argument("--blocks", type=int, default=96)
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args()
+    n, k = args.clients + 1, args.blocks
+    degrees = [
+        d for d in (4, 6, 8, 12, 16, 24, 36, 48) if d < n and (n * d) % 2 == 0
+    ]
+
+    print(f"Credit-limited barter (s=1), {args.clients} clients, {k} blocks")
+    print(f"cooperative optimum: {cooperative_lower_bound(n, k)} ticks\n")
+
+    thresholds: dict[str, int | None] = {}
+    for name, policy_cls in (("Random", RandomPolicy), ("Rarest-First", RarestFirstPolicy)):
+        print(f"--- {name} block selection ---")
+        print("degree   mean completion   failed runs")
+        threshold = None
+        for degree, summary, timeouts in sweep_policy(n, k, degrees, policy_cls, args.seed):
+            shown = str(summary) if summary else "never converged"
+            print(f"{degree:6d}   {shown:>15}   {timeouts}/2")
+            if threshold is None and timeouts == 0 and summary is not None:
+                threshold = degree
+        thresholds[name] = threshold
+        print(f"smallest reliable degree: {threshold}\n")
+
+    overlay = hypercube_overlay(n)
+    run = randomized_barter_run(
+        n, k, credit_limit=1, overlay=overlay,
+        policy=RarestFirstPolicy(), rng=args.seed, max_ticks=30 * k, keep_log=False,
+    )
+    shown = (
+        f"{run.completion_time} ticks" if run.completed else "did not converge"
+    )
+    print(
+        f"hypercube-like overlay (avg degree {overlay.average_degree:.1f}), "
+        f"Rarest-First: {shown}"
+    )
+
+    random_t, rarest_t = thresholds["Random"], thresholds["Rarest-First"]
+    if random_t and rarest_t:
+        print(
+            f"\nTakeaway: Rarest-First converges at degree {rarest_t} where "
+            f"Random needs {random_t} — pick your block policy before you "
+            f"pay for a denser overlay."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Scenario: what does refusing to trust your peers cost?
+
+A swarm of selfish clients will only barter — every upload must be repaid
+(Section 3). This example measures the "price of barter" end to end:
+
+* cooperative optimum (hypercube binomial pipeline, Theorem 1),
+* strict barter via the riffle pipeline (Theorem 3), verified to satisfy
+  the strict-barter mechanism transfer by transfer,
+* credit-limited barter via the randomized algorithm with s = 1,
+* strict barter via randomized exchange matching.
+
+Run:  python examples/price_of_barter.py [--clients 40] [--blocks 39]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import (
+    BandwidthModel,
+    CreditLimitedBarter,
+    StrictBarter,
+    execute_schedule,
+    hypercube_schedule,
+    riffle_pipeline_schedule,
+    verify_log,
+)
+from repro.randomized import randomized_barter_run, randomized_exchange_run
+from repro.schedules import cooperative_lower_bound, strict_barter_lower_bound
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clients", type=int, default=40)
+    parser.add_argument("--blocks", type=int, default=39)
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args()
+    n = args.clients + 1
+    k = args.blocks
+
+    print(f"{args.clients} selfish clients, {k}-block file")
+    coop_lb = cooperative_lower_bound(n, k)
+    barter_lb = strict_barter_lower_bound(n, k, download=1)
+    print(f"cooperative lower bound:  {coop_lb} ticks")
+    print(f"strict-barter lower bound: {barter_lb} ticks\n")
+
+    rows: list[tuple[str, int | None]] = []
+
+    coop = execute_schedule(hypercube_schedule(n, k))
+    verify_log(coop.log, n, k)
+    rows.append(("cooperative optimum (hypercube)", coop.completion_time))
+
+    model = BandwidthModel.double_download()
+    riffle = execute_schedule(riffle_pipeline_schedule(n, k, model), model)
+    verify_log(riffle.log, n, k, model, StrictBarter())
+    rows.append(("strict barter, riffle pipeline (d=2u)", riffle.completion_time))
+
+    credit = randomized_barter_run(n, k, credit_limit=1, rng=args.seed)
+    verify_log(credit.log, n, k, mechanism=CreditLimitedBarter(1))
+    rows.append(("credit-limited s=1, randomized", credit.completion_time))
+
+    exchange = randomized_exchange_run(n, k, rng=args.seed)
+    if exchange.completed:
+        verify_log(exchange.log, n, k, mechanism=StrictBarter())
+    rows.append(("strict barter, randomized exchange", exchange.completion_time))
+
+    width = max(len(name) for name, _ in rows)
+    print(f"{'mechanism / algorithm'.ljust(width)}  ticks  price vs coop")
+    print("-" * (width + 24))
+    for name, ticks in rows:
+        shown = str(ticks) if ticks is not None else "did not converge"
+        price = f"{ticks / coop.completion_time:.2f}x" if ticks else "-"
+        print(f"{name.ljust(width)}  {shown:>6}  {price:>12}")
+
+    print(
+        "\nStrict barter pays a start-up cost linear in the swarm size "
+        f"(price {riffle.completion_time / coop.completion_time:.2f}x here); "
+        "a credit limit of one block recovers almost all of it."
+    )
+
+
+if __name__ == "__main__":
+    main()

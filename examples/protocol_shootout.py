@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Scenario: every distribution protocol in the library, one swarm, one race.
+
+A cross-section of fifteen years of content-distribution design, all under
+the paper's bandwidth model and on the same seeded swarm:
+
+* deterministic: pipeline, best multicast tree, binomial broadcast,
+  SplitStream-style multi-tree, the optimal binomial pipeline (hypercube);
+* randomized: the paper's algorithm (Random and Rarest-First), BitTorrent
+  tit-for-tat, GF(2) and ideal-field network coding;
+* barter-constrained: the riffle pipeline (strict barter) and the
+  credit-limited randomized algorithm.
+
+Run:  python examples/protocol_shootout.py [--clients 64] [--blocks 64]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import (
+    BandwidthModel,
+    execute_schedule,
+    hypercube_schedule,
+    pipeline_schedule,
+    randomized_barter_run,
+    randomized_cooperative_run,
+    riffle_pipeline_schedule,
+)
+from repro.coding import network_coding_run
+from repro.overlays import random_regular_graph
+from repro.randomized import RarestFirstPolicy, bittorrent_run
+from repro.schedules import (
+    binomial_tree_schedule,
+    cooperative_lower_bound,
+    multi_tree_schedule,
+    multicast_optimal_arity,
+    multicast_tree_schedule,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clients", type=int, default=64)
+    parser.add_argument("--blocks", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=5)
+    args = parser.parse_args()
+    n, k, seed = args.clients + 1, args.blocks, args.seed
+    lb = cooperative_lower_bound(n, k)
+    degree = min(24, n - 2)
+    if (n * degree) % 2:
+        degree -= 1
+    overlay = random_regular_graph(n, degree, rng=seed)
+
+    rows: list[tuple[str, object]] = []
+
+    def add(name: str, result) -> None:
+        rows.append((name, result.completion_time if result.completed else None))
+
+    add("pipeline", execute_schedule(pipeline_schedule(n, k)))
+    best_d, _ = multicast_optimal_arity(n, k)
+    add(f"multicast tree (d={best_d})", execute_schedule(multicast_tree_schedule(n, k, best_d)))
+    add("binomial broadcast", execute_schedule(binomial_tree_schedule(n, k)))
+    add("multi-tree (SplitStream-like, m=4)",
+        execute_schedule(multi_tree_schedule(n, k, min(4, n - 1))))
+    add("binomial pipeline (optimal)", execute_schedule(hypercube_schedule(n, k)))
+    add("randomized, Random policy",
+        randomized_cooperative_run(n, k, overlay=overlay, rng=seed, keep_log=False))
+    add("randomized, Rarest-First",
+        randomized_cooperative_run(n, k, overlay=overlay, policy=RarestFirstPolicy(),
+                                   rng=seed, keep_log=False))
+    add("BitTorrent tit-for-tat",
+        bittorrent_run(n, k, overlay=overlay, rng=seed, keep_log=False))
+    add("network coding GF(2)", network_coding_run(n, k, overlay=overlay, rng=seed))
+    add("network coding (ideal field)",
+        network_coding_run(n, k, overlay=overlay, rng=seed, field="ideal"))
+    model = BandwidthModel.double_download()
+    add("riffle pipeline (strict barter, d=2u)",
+        execute_schedule(riffle_pipeline_schedule(n, k, model), model))
+    add("credit-limited barter (s=1)",
+        randomized_barter_run(n, k, credit_limit=1, overlay=overlay,
+                              rng=seed, keep_log=False, max_ticks=40 * k))
+
+    width = max(len(name) for name, _ in rows)
+    print(f"{args.clients} clients, {k} blocks; theoretical optimum {lb} ticks")
+    print(f"(randomized protocols share one degree-{degree} overlay, seed {seed})\n")
+    print(f"{'protocol'.ljust(width)}  ticks  vs optimal")
+    print("-" * (width + 22))
+    finished = [(name, t) for name, t in rows if t is not None]
+    for name, ticks in sorted(finished, key=lambda r: r[1]):
+        print(f"{name.ljust(width)}  {ticks:5d}  {ticks / lb:9.2f}x")
+    for name, t in rows:
+        if t is None:
+            print(f"{name.ljust(width)}   did not converge")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: disseminate a file optimally and verify every transfer.
+
+A server must push a 24-block file to 20 clients. We build the paper's
+optimal deterministic schedule (the binomial pipeline via its hypercube
+embedding), execute it under the strict ``d = u`` bandwidth model, verify
+the transfer log independently, and compare against the randomized
+BitTorrent-style algorithm and the theoretical lower bound.
+
+Run:  python examples/quickstart.py [--nodes 21] [--blocks 24]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import (
+    execute_schedule,
+    hypercube_schedule,
+    randomized_cooperative_run,
+    verify_log,
+)
+from repro.schedules import cooperative_lower_bound
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=21, help="nodes incl. server")
+    parser.add_argument("--blocks", type=int, default=24, help="file size in blocks")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+    n, k = args.nodes, args.blocks
+
+    print(f"Swarm: 1 server + {n - 1} clients; file: {k} blocks")
+    print(f"Theorem 1 lower bound: {cooperative_lower_bound(n, k)} ticks\n")
+
+    # 1. The optimal deterministic schedule (hypercube binomial pipeline).
+    schedule = hypercube_schedule(n, k)
+    result = execute_schedule(schedule)
+    report = verify_log(result.log, n, k)
+    print(f"Hypercube binomial pipeline: {result.completion_time} ticks")
+    print(
+        f"  {report.transfers} transfers over {report.ticks} ticks, "
+        f"upload efficiency {report.upload_efficiency:.0%}, "
+        f"independently verified: OK"
+    )
+
+    # 2. The randomized algorithm (complete graph, Random block policy).
+    random_result = randomized_cooperative_run(n, k, rng=args.seed)
+    verify_log(random_result.log, n, k)
+    print(f"Randomized (BitTorrent-style): {random_result.completion_time} ticks")
+
+    # 3. Summary.
+    optimal = cooperative_lower_bound(n, k)
+    overhead = random_result.completion_time / optimal - 1
+    print(
+        f"\nThe deterministic schedule is optimal "
+        f"({result.completion_time} = lower bound); the randomized run "
+        f"landed {overhead:.0%} above it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Scenario: pushing a software patch to a fleet of mirrors.
+
+The paper's motivating example — a server with limited upload bandwidth
+must deliver a patch to every host quickly. This example compares every
+strategy from Section 2 on the same fleet: a naive pipeline, d-ary
+multicast trees (several arities), one-block-at-a-time binomial
+broadcast, the optimal binomial pipeline, and the randomized swarm — and
+prints the rollout plan a release engineer would pick.
+
+Run:  python examples/software_patch_rollout.py [--hosts 100] [--blocks 200]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import (
+    execute_schedule,
+    hypercube_schedule,
+    multicast_tree_schedule,
+    pipeline_schedule,
+    randomized_cooperative_run,
+    verify_log,
+)
+from repro.schedules import (
+    binomial_tree_schedule,
+    cooperative_lower_bound,
+    multicast_optimal_arity,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hosts", type=int, default=100, help="number of mirrors")
+    parser.add_argument("--blocks", type=int, default=200, help="patch size in blocks")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+    n = args.hosts + 1  # mirrors + origin server
+    k = args.blocks
+
+    print(f"Rolling out a {k}-block patch from 1 origin to {args.hosts} mirrors")
+    lb = cooperative_lower_bound(n, k)
+    print(f"Theoretical minimum (Theorem 1): {lb} ticks\n")
+
+    rows: list[tuple[str, int]] = []
+
+    r = execute_schedule(pipeline_schedule(n, k))
+    rows.append(("pipeline (chain of mirrors)", r.completion_time))
+
+    for d in (2, 3, 5):
+        r = execute_schedule(multicast_tree_schedule(n, k, d))
+        rows.append((f"multicast tree, arity {d}", r.completion_time))
+    best_d, _ = multicast_optimal_arity(n, k)
+    r = execute_schedule(multicast_tree_schedule(n, k, best_d))
+    rows.append((f"multicast tree, best arity ({best_d})", r.completion_time))
+
+    r = execute_schedule(binomial_tree_schedule(n, k))
+    rows.append(("binomial broadcast, block by block", r.completion_time))
+
+    r = execute_schedule(hypercube_schedule(n, k))
+    verify_log(r.log, n, k)
+    rows.append(("binomial pipeline (hypercube, optimal)", r.completion_time))
+
+    r = randomized_cooperative_run(n, k, rng=args.seed, keep_log=False)
+    rows.append(("randomized swarm (complete overlay)", r.completion_time))
+
+    width = max(len(name) for name, _ in rows)
+    print(f"{'strategy'.ljust(width)}  ticks  vs optimal")
+    print("-" * (width + 20))
+    for name, ticks in sorted(rows, key=lambda row: row[1]):
+        print(f"{name.ljust(width)}  {ticks:5d}  {ticks / lb:9.2f}x")
+
+    print(
+        "\nTakeaway: swarm-style distribution beats every tree, and the "
+        "hypercube schedule is exactly optimal — the origin's upload "
+        "pipe stops being the bottleneck once mirrors re-upload."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+`pip install -e .` needs the `wheel` package for PEP 660 editable builds;
+on fully offline machines without it, run ``python setup.py develop``
+instead. All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

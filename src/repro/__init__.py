@@ -1,0 +1,126 @@
+"""repro — reproduction of "On Cooperative Content Distribution and the
+Price of Barter" (Ganesan & Seshadri, ICDCS 2005).
+
+The library models a server disseminating a ``k``-block file to ``n - 1``
+clients under the paper's tick-synchronous bandwidth model, and provides:
+
+* :mod:`repro.core` — block sets, bandwidth model, transfer logs, barter
+  mechanisms (strict / credit-limited / triangular), schedule execution and
+  an independent log verifier;
+* :mod:`repro.overlays` — overlay-network substrate built from scratch
+  (complete, random regular, hypercube with non-power-of-two doubling,
+  d-ary and binomial trees, chains, dynamic rewiring);
+* :mod:`repro.schedules` — the deterministic algorithms and closed-form
+  bounds (pipeline, multicast, binomial pipeline and its hypercube
+  embedding, riffle pipeline, lower bounds);
+* :mod:`repro.randomized` — the paper's randomized algorithms on arbitrary
+  overlays with Random / Rarest-First block selection, cooperative and
+  credit-limited, plus strict-barter exchange matching;
+* :mod:`repro.analysis` — replicated sweeps, confidence intervals and the
+  least-squares completion-time fit;
+* :mod:`repro.experiments` — one runner per paper figure/table.
+
+Quickstart::
+
+    from repro import hypercube_schedule, execute_schedule, verify_log
+
+    schedule = hypercube_schedule(n=16, k=32)
+    result = execute_schedule(schedule)
+    assert result.completion_time == 32 + 4 - 1   # k + log2(n) - 1, optimal
+    verify_log(result.log, n=16, k=32)
+"""
+
+from .core import (
+    SERVER,
+    BandwidthModel,
+    BlockSet,
+    ConfigError,
+    Cooperative,
+    CreditLedger,
+    CreditLimitedBarter,
+    Mechanism,
+    ReproError,
+    RunResult,
+    Schedule,
+    ScheduleViolation,
+    StrictBarter,
+    SwarmState,
+    Transfer,
+    TransferLog,
+    TriangularBarter,
+    VerificationReport,
+    execute_schedule,
+    verify_log,
+)
+from .overlays import (
+    Graph,
+    binomial_tree,
+    chain,
+    complete_graph,
+    dary_tree,
+    hypercube,
+    random_regular_graph,
+)
+from .randomized import (
+    BlockPolicy,
+    RandomPolicy,
+    RarestFirstPolicy,
+    randomized_barter_run,
+    randomized_cooperative_run,
+)
+from .schedules import (
+    binomial_pipeline_schedule,
+    binomial_tree_schedule,
+    cooperative_lower_bound,
+    hypercube_schedule,
+    multicast_tree_schedule,
+    pipeline_schedule,
+    riffle_pipeline_schedule,
+    strict_barter_lower_bound,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SERVER",
+    "BandwidthModel",
+    "BlockPolicy",
+    "BlockSet",
+    "ConfigError",
+    "Cooperative",
+    "CreditLedger",
+    "CreditLimitedBarter",
+    "Graph",
+    "Mechanism",
+    "RandomPolicy",
+    "RarestFirstPolicy",
+    "ReproError",
+    "RunResult",
+    "Schedule",
+    "ScheduleViolation",
+    "StrictBarter",
+    "SwarmState",
+    "Transfer",
+    "TransferLog",
+    "TriangularBarter",
+    "VerificationReport",
+    "binomial_pipeline_schedule",
+    "binomial_tree",
+    "binomial_tree_schedule",
+    "chain",
+    "complete_graph",
+    "cooperative_lower_bound",
+    "dary_tree",
+    "execute_schedule",
+    "hypercube",
+    "hypercube_schedule",
+    "multicast_tree_schedule",
+    "pipeline_schedule",
+    "random_regular_graph",
+    "randomized_barter_run",
+    "randomized_cooperative_run",
+    "riffle_pipeline_schedule",
+    "strict_barter_lower_bound",
+    "verify_log",
+    "__version__",
+]

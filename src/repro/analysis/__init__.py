@@ -1,0 +1,31 @@
+"""Analysis utilities: replicated sweeps, statistics, regression, traces."""
+
+from .efficiency import EfficiencyTrace, efficiency_trace, window_means
+from .progress import (
+    completion_cdf,
+    median_completion,
+    per_node_progress,
+    swarm_progress,
+)
+from .regression import CompletionFit, fit_completion_model
+from .stats import Summary, mean, sample_std, summarize
+from .sweeps import SweepPoint, derive_seed, sweep
+
+__all__ = [
+    "CompletionFit",
+    "EfficiencyTrace",
+    "Summary",
+    "SweepPoint",
+    "completion_cdf",
+    "derive_seed",
+    "efficiency_trace",
+    "fit_completion_model",
+    "mean",
+    "median_completion",
+    "per_node_progress",
+    "sample_std",
+    "summarize",
+    "swarm_progress",
+    "sweep",
+    "window_means",
+]

@@ -1,0 +1,92 @@
+"""Swarm progress analysis: block spread and completion distributions.
+
+The paper plots only completion times; these helpers look inside a run:
+
+* :func:`swarm_progress` — total blocks held across the swarm after each
+  tick (the "fill curve"; a perfectly efficient cooperative run fills
+  ``n`` blocks per tick once warmed up);
+* :func:`completion_cdf` — fraction of clients finished by each tick
+  (the paper's note that *average* finish time is less sensitive than
+  the last-client completion time is this curve's median vs. tail);
+* :func:`per_node_progress` — one fill curve per node, for fairness
+  analysis (e.g. free-riders flat-lining under credit limits).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..core.errors import ConfigError
+from ..core.log import RunResult
+
+__all__ = ["swarm_progress", "completion_cdf", "per_node_progress", "median_completion"]
+
+
+def swarm_progress(result: RunResult) -> list[int]:
+    """Cumulative blocks delivered after each tick ``1 .. T``."""
+    if result.log.last_tick == 0:
+        raise ConfigError("run has no transfers to analyse")
+    per_tick = result.log.uploads_per_tick()
+    total = 0
+    out = []
+    for count in per_tick:
+        total += count
+        out.append(total)
+    return out
+
+
+def completion_cdf(result: RunResult) -> list[float]:
+    """Fraction of clients complete after each tick ``1 .. T``.
+
+    Requires a run with a full log; incomplete clients never contribute,
+    so a timed-out run's curve plateaus below 1.0.
+    """
+    ticks = result.log.last_tick
+    if ticks == 0:
+        raise ConfigError("run has no transfers to analyse")
+    clients = result.n - 1
+    finish_counts = [0] * (ticks + 1)
+    for tick in result.client_completions.values():
+        finish_counts[tick] += 1
+    done = 0
+    out = []
+    for t in range(1, ticks + 1):
+        done += finish_counts[t]
+        out.append(done / clients)
+    return out
+
+
+def median_completion(result: RunResult) -> int | None:
+    """Tick by which half the clients hold the whole file, or ``None``."""
+    cdf = completion_cdf(result)
+    for t, fraction in enumerate(cdf, start=1):
+        if fraction >= 0.5:
+            return t
+    return None
+
+
+def per_node_progress(
+    result: RunResult, nodes: Sequence[int] | None = None
+) -> dict[int, list[int]]:
+    """Blocks held by each requested node after every tick.
+
+    Defaults to all clients. O(T * |nodes|) output — pass the nodes you
+    care about for big runs.
+    """
+    ticks = result.log.last_tick
+    if ticks == 0:
+        raise ConfigError("run has no transfers to analyse")
+    targets = list(nodes) if nodes is not None else list(range(1, result.n))
+    wanted = set(targets)
+    held = {v: 0 for v in targets}
+    curves: dict[int, list[int]] = {v: [] for v in targets}
+    by_tick = result.log.by_tick()
+    masks = {v: 0 for v in targets}
+    for t in range(1, ticks + 1):
+        for transfer in by_tick.get(t, ()):
+            if transfer.dst in wanted and not masks[transfer.dst] >> transfer.block & 1:
+                masks[transfer.dst] |= 1 << transfer.block
+                held[transfer.dst] += 1
+        for v in targets:
+            curves[v].append(held[v])
+    return curves

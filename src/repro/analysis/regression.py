@@ -1,0 +1,85 @@
+"""Least-squares fit of the randomized completion time (paper Section 2.4.4).
+
+The paper hypothesises that, to first order, the randomized cooperative
+completion time is linear in ``k`` and ``log2 n``, and reports a
+least-squares estimate of the form ``T ≈ a*k + b*log2(n) + c`` over a grid
+of measurements, concluding the algorithm is only a few percent worse than
+optimal for large ``k`` (the optimal being ``k + log2(n) - 1``).
+
+:func:`fit_completion_model` reproduces that estimate with an ordinary
+least-squares solve (numpy's ``lstsq``) over any collection of
+``(n, k, T)`` observations.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import ConfigError
+
+__all__ = ["CompletionFit", "fit_completion_model"]
+
+
+@dataclass(frozen=True, slots=True)
+class CompletionFit:
+    """Coefficients of ``T ≈ a*k + b*log2(n) + c`` plus fit quality."""
+
+    a: float
+    b: float
+    c: float
+    r_squared: float
+    observations: int
+
+    def predict(self, n: int, k: int) -> float:
+        """Model prediction for a swarm of ``n`` nodes and ``k`` blocks."""
+        return self.a * k + self.b * math.log2(n) + self.c
+
+    def overhead_vs_optimal(self, n: int, k: int) -> float:
+        """Fractional excess over the Theorem 1 optimum ``k - 1 + ceil(log2 n)``."""
+        optimal = k - 1 + math.ceil(math.log2(n))
+        return self.predict(n, k) / optimal - 1.0
+
+    def __str__(self) -> str:
+        return (
+            f"T ≈ {self.a:.3f}·k + {self.b:.2f}·log2(n) + {self.c:.1f} "
+            f"(R²={self.r_squared:.4f}, {self.observations} obs)"
+        )
+
+
+def fit_completion_model(
+    observations: Sequence[tuple[int, int, float]]
+) -> CompletionFit:
+    """Ordinary least squares of ``T`` on ``(k, log2 n, 1)``.
+
+    ``observations`` is a sequence of ``(n, k, T)`` triples; at least three
+    distinct points are required (the design matrix has three columns).
+    """
+    if len(observations) < 3:
+        raise ConfigError(
+            f"need at least 3 observations to fit 3 coefficients, "
+            f"got {len(observations)}"
+        )
+    design = np.array(
+        [[k, math.log2(n), 1.0] for n, k, _ in observations], dtype=float
+    )
+    target = np.array([t for _, _, t in observations], dtype=float)
+    coeffs, _, rank, _ = np.linalg.lstsq(design, target, rcond=None)
+    if rank < 3:
+        raise ConfigError(
+            "observations are degenerate (vary both n and k to fit the model)"
+        )
+    predictions = design @ coeffs
+    residual = float(np.sum((target - predictions) ** 2))
+    total = float(np.sum((target - target.mean()) ** 2))
+    r_squared = 1.0 - residual / total if total > 0 else 1.0
+    return CompletionFit(
+        a=float(coeffs[0]),
+        b=float(coeffs[1]),
+        c=float(coeffs[2]),
+        r_squared=r_squared,
+        observations=len(observations),
+    )

@@ -1,0 +1,87 @@
+"""Replicated-run statistics: means and confidence intervals.
+
+The paper's figures plot mean completion times with 95% confidence
+intervals over multiple runs. This module provides the tiny amount of
+statistics needed, implemented directly (scipy is only a test oracle):
+sample mean, sample standard deviation, and a normal-approximation (or
+t-table, for small samples) confidence half-width.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..core.errors import ConfigError
+
+__all__ = ["Summary", "summarize", "mean", "sample_std"]
+
+# Two-sided 95% critical values of Student's t for 1..30 degrees of
+# freedom; beyond that the normal value 1.96 is an excellent approximation.
+_T95 = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on an empty sequence."""
+    if not values:
+        raise ConfigError("cannot take the mean of no values")
+    return sum(values) / len(values)
+
+
+def sample_std(values: Sequence[float]) -> float:
+    """Unbiased (n-1) sample standard deviation; 0.0 for n < 2."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    m = mean(values)
+    return math.sqrt(sum((v - m) ** 2 for v in values) / (n - 1))
+
+
+def t_critical_95(dof: int) -> float:
+    """Two-sided 95% Student-t critical value for ``dof`` degrees of freedom."""
+    if dof < 1:
+        raise ConfigError(f"degrees of freedom must be >= 1, got {dof}")
+    if dof <= len(_T95):
+        return _T95[dof - 1]
+    return 1.96
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """Mean, spread and 95% CI half-width of a set of replicated runs."""
+
+    count: int
+    mean: float
+    std: float
+    ci95: float
+
+    @property
+    def low(self) -> float:
+        """Lower edge of the 95% confidence interval."""
+        return self.mean - self.ci95
+
+    @property
+    def high(self) -> float:
+        """Upper edge of the 95% confidence interval."""
+        return self.mean + self.ci95
+
+    def __str__(self) -> str:
+        if self.count == 1:
+            return f"{self.mean:.1f}"
+        return f"{self.mean:.1f} ± {self.ci95:.1f}"
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics with a t-based 95% CI on the mean."""
+    if not values:
+        raise ConfigError("cannot summarize no values")
+    n = len(values)
+    m = mean(values)
+    s = sample_std(values)
+    half = t_critical_95(n - 1) * s / math.sqrt(n) if n > 1 else 0.0
+    return Summary(count=n, mean=m, std=s, ci95=half)

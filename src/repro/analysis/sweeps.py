@@ -1,0 +1,115 @@
+"""Parameter sweeps with replicated, seeded runs.
+
+All paper figures are sweeps: vary one parameter (swarm size, block count,
+overlay degree), run the algorithm several times per point with
+independent seeds, and plot mean completion time with confidence
+intervals. :func:`sweep` is the shared driver; each experiment module
+supplies a ``point -> RunResult`` factory.
+
+Seeding is deterministic: replicate ``i`` of point ``p`` always receives
+the same derived seed, so every figure is exactly reproducible and any
+single point can be re-run in isolation.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from ..core.errors import ConfigError
+from ..core.log import RunResult
+from .stats import Summary, summarize
+
+__all__ = ["SweepPoint", "sweep", "derive_seed"]
+
+
+def derive_seed(base_seed: int, point_label: object, replicate: int) -> int:
+    """Deterministic 63-bit seed for one replicate of one sweep point."""
+    key = f"{base_seed}|{point_label!r}|{replicate}"
+    return random.Random(key).getrandbits(63)
+
+
+@dataclass(slots=True)
+class SweepPoint:
+    """Aggregated results at one sweep coordinate.
+
+    ``completion`` summarises completed runs only; ``timeouts`` counts runs
+    that hit their tick guard (the paper's "off the charts" cases) and
+    ``mean_client_completion`` averages individual client finish times
+    (the paper notes this is less sensitive than the completion time).
+    """
+
+    label: object
+    completion: Summary | None
+    timeouts: int
+    runs: int
+    mean_client_completion: float | None = None
+    results: list[RunResult] = field(default_factory=list)
+
+    @property
+    def mean_completion(self) -> float | None:
+        """Mean completion over completed runs, or ``None`` if none finished."""
+        return self.completion.mean if self.completion else None
+
+
+def sweep(
+    points: Iterable[object],
+    run_factory: Callable[[object, int], RunResult],
+    replicates: int = 3,
+    base_seed: int = 0,
+    keep_results: bool = False,
+    progress: Callable[[object, int, RunResult], None] | None = None,
+) -> list[SweepPoint]:
+    """Run ``replicates`` seeded runs per point and aggregate.
+
+    Parameters
+    ----------
+    points:
+        Sweep coordinates, passed through as labels.
+    run_factory:
+        ``run_factory(point, seed) -> RunResult``.
+    replicates:
+        Runs per point (>= 1).
+    base_seed:
+        Root of the deterministic seed derivation.
+    keep_results:
+        Retain every :class:`RunResult` on the point (memory-heavy).
+    progress:
+        Optional callback after each run.
+    """
+    if replicates < 1:
+        raise ConfigError(f"need at least one replicate, got {replicates}")
+    out: list[SweepPoint] = []
+    for point in points:
+        times: list[float] = []
+        client_means: list[float] = []
+        timeouts = 0
+        kept: list[RunResult] = []
+        for i in range(replicates):
+            seed = derive_seed(base_seed, point, i)
+            result = run_factory(point, seed)
+            if result.completed:
+                times.append(float(result.completion_time))
+                mc = result.mean_completion
+                if mc is not None:
+                    client_means.append(mc)
+            else:
+                timeouts += 1
+            if keep_results:
+                kept.append(result)
+            if progress is not None:
+                progress(point, i, result)
+        out.append(
+            SweepPoint(
+                label=point,
+                completion=summarize(times) if times else None,
+                timeouts=timeouts,
+                runs=replicates,
+                mean_client_completion=(
+                    sum(client_means) / len(client_means) if client_means else None
+                ),
+                results=kept,
+            )
+        )
+    return out

@@ -1,0 +1,30 @@
+"""Asynchronous (continuous-time, event-driven) simulation.
+
+The paper's Section 2.3.4 sketches how its algorithms behave without a
+global tick — nodes use their links round-robin "at their own pace" —
+and its BitTorrent study (Section 4) runs on asynchronous simulation.
+This package provides that substrate:
+
+* :class:`AsyncEngine` — event-driven swarm with per-node upload and
+  download rates and tail-link transfer durations;
+* strategies: :class:`AsyncHypercube` (round-robin hypercube links),
+  :class:`AsyncRandom` / :class:`AsyncRarest` (asynchronous analogues of
+  the randomized algorithms).
+
+With homogeneous unit rates the completion times line up with the
+synchronous tick engines (asserted by the test suite); heterogeneous
+rates quantify the cost of asynchrony.
+"""
+
+from .engine import AsyncEngine, AsyncRunResult, AsyncStrategy, AsyncTransfer
+from .strategies import AsyncHypercube, AsyncRandom, AsyncRarest
+
+__all__ = [
+    "AsyncEngine",
+    "AsyncHypercube",
+    "AsyncRandom",
+    "AsyncRarest",
+    "AsyncRunResult",
+    "AsyncStrategy",
+    "AsyncTransfer",
+]

@@ -1,0 +1,287 @@
+"""Event-driven (continuous-time) swarm simulator.
+
+Section 2.3.4, "Dealing with asynchrony": in reality nodes have slightly
+differing bandwidths and no global tick; the paper suggests running the
+hypercube algorithm with each node simply using its links in round-robin
+order *at its own pace*, and notes the connection to the randomized
+algorithms. The paper's own ongoing BitTorrent study also uses
+asynchronous simulations.
+
+This engine realises that setting. Time is continuous; each node ``v``
+has an upload rate ``up[v]`` and a download rate ``down[v]`` (blocks per
+unit time). A transfer occupies the sender's uplink and one downlink slot
+at the receiver for ``1 / min(up[src], down[dst])`` time units (the
+paper's tail-link bottleneck, one connection at a time). Whenever a
+node's uplink frees, its *strategy* picks the next (receiver, block) —
+or the node idles until some transfer completes somewhere and retries.
+
+With all rates equal to 1 this reduces to the synchronous model up to
+scheduling slack, so the test suite cross-checks completion times against
+the tick engines.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from math import floor as math_floor
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import NamedTuple, Protocol
+
+from ..core.errors import ConfigError
+from ..core.model import SERVER
+
+__all__ = ["AsyncTransfer", "AsyncRunResult", "AsyncStrategy", "AsyncEngine"]
+
+
+class AsyncTransfer(NamedTuple):
+    """One completed block transfer in continuous time."""
+
+    start: float
+    end: float
+    src: int
+    dst: int
+    block: int
+
+
+class AsyncStrategy(Protocol):
+    """Decides what a node uploads next when its uplink frees."""
+
+    def next_transfer(
+        self, engine: "AsyncEngine", src: int
+    ) -> tuple[int, int] | None:
+        """Return ``(dst, block)`` or ``None`` to idle.
+
+        Must only propose receivers with a free downlink slot
+        (``engine.downlink_free(dst)``) holding ``block`` not yet present
+        (``engine.has_block(dst, block)`` is False) that ``src`` holds.
+        """
+        ...
+
+
+@dataclass(slots=True)
+class AsyncRunResult:
+    """Outcome of an asynchronous run."""
+
+    n: int
+    k: int
+    completion_time: float | None
+    client_completions: dict[int, float]
+    transfers: list[AsyncTransfer]
+    meta: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def completed(self) -> bool:
+        """Whether every client received the whole file."""
+        return self.completion_time is not None
+
+
+class AsyncEngine:
+    """Continuous-time swarm simulation; see module docstring.
+
+    Parameters
+    ----------
+    n, k:
+        Swarm size (server included) and number of blocks.
+    strategy:
+        An :class:`AsyncStrategy`; decides each node's next upload.
+    upload_rates, download_rates:
+        Per-node rates in blocks per time unit (length ``n``); default 1.0
+        everywhere. Download rate also admits ``parallel_downloads`` slots.
+    parallel_downloads:
+        Number of simultaneous incoming transfers a node accepts.
+    rng:
+        Seed or Random for strategy use and tie-breaking.
+    max_time:
+        Simulation horizon; an unfinished run returns
+        ``completion_time=None``.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        strategy: AsyncStrategy,
+        upload_rates: Sequence[float] | None = None,
+        download_rates: Sequence[float] | None = None,
+        parallel_downloads: int = 1,
+        rng: random.Random | int | None = None,
+        max_time: float | None = None,
+    ) -> None:
+        if n < 2:
+            raise ConfigError(f"need a server and at least one client, got n={n}")
+        if k < 1:
+            raise ConfigError(f"file must have at least one block, got k={k}")
+        if parallel_downloads < 1:
+            raise ConfigError("need at least one download slot")
+        self.n, self.k = n, k
+        self.strategy = strategy
+        self.up = self._rates(upload_rates, n, "upload")
+        self.down = self._rates(download_rates, n, "download")
+        self.parallel_downloads = parallel_downloads
+        self.rng = rng if isinstance(rng, random.Random) else random.Random(rng)
+        self.max_time = max_time if max_time is not None else 50.0 * (k + n)
+
+        self.masks = [0] * n
+        self.masks[SERVER] = (1 << k) - 1
+        self._full = (1 << k) - 1
+        self._incomplete = set(range(1, n))
+        self.now = 0.0
+        self.transfers: list[AsyncTransfer] = []
+        self._downlink_busy = [0] * n
+        self._uplink_busy = [False] * n
+        # Blocks currently in flight toward each node (no duplicates).
+        self._inbound: set[tuple[int, int]] = set()
+        self._events: list[tuple[float, int, AsyncTransfer]] = []
+        self._event_seq = 0
+        self._idle: set[int] = set()
+
+    @staticmethod
+    def _rates(rates: Sequence[float] | None, n: int, kind: str) -> list[float]:
+        if rates is None:
+            return [1.0] * n
+        if len(rates) != n:
+            raise ConfigError(f"need {n} {kind} rates, got {len(rates)}")
+        values = [float(r) for r in rates]
+        if any(r <= 0 for r in values):
+            raise ConfigError(f"{kind} rates must be positive")
+        return values
+
+    # -- queries for strategies ----------------------------------------------
+
+    def has_block(self, node: int, block: int) -> bool:
+        """Whether ``node`` holds (fully received) ``block``."""
+        return bool(self.masks[node] >> block & 1)
+
+    def downlink_free(self, node: int) -> bool:
+        """Whether ``node`` can accept one more incoming transfer now."""
+        return self._downlink_busy[node] < self.parallel_downloads
+
+    def incoming(self, node: int, block: int) -> bool:
+        """Whether ``block`` is already in flight toward ``node``."""
+        return (node, block) in self._inbound
+
+    def useful_mask(self, src: int, dst: int) -> int:
+        """Blocks ``src`` holds that ``dst`` neither holds nor is receiving."""
+        mask = self.masks[src] & ~self.masks[dst]
+        if mask:
+            for block in list(_iter_bits(mask)):
+                if (dst, block) in self._inbound:
+                    mask &= ~(1 << block)
+        return mask
+
+    @property
+    def incomplete_nodes(self) -> set[int]:
+        """Clients still missing blocks (live view; do not mutate)."""
+        return self._incomplete
+
+    # -- simulation loop -------------------------------------------------------
+
+    def _try_start(self, src: int) -> bool:
+        if self._uplink_busy[src] or self.masks[src] == 0:
+            return False
+        choice = self.strategy.next_transfer(self, src)
+        if choice is None:
+            return False
+        dst, block = choice
+        if not self.masks[src] >> block & 1:
+            raise ConfigError(
+                f"strategy proposed sending block {block} not held by {src}"
+            )
+        if not self.downlink_free(dst) or self.has_block(dst, block):
+            raise ConfigError("strategy proposed an infeasible transfer")
+        duration = 1.0 / min(self.up[src], self.down[dst])
+        transfer = AsyncTransfer(self.now, self.now + duration, src, dst, block)
+        self._uplink_busy[src] = True
+        self._downlink_busy[dst] += 1
+        self._inbound.add((dst, block))
+        self._event_seq += 1
+        heapq.heappush(self._events, (transfer.end, self._event_seq, transfer))
+        return True
+
+    def _next_phase_boundary(self) -> float:
+        """Earliest *strictly future* time at which any node's link phase
+        can change.
+
+        Phase-based strategies (the async hypercube) may have every node
+        idle at one instant yet have work at the next phase; rather than
+        declaring the swarm dead, time skips forward to the next boundary.
+        Floating point makes "the boundary we are standing on" hazardous —
+        a candidate that does not strictly advance the clock is pushed one
+        full period ahead.
+        """
+        best = None
+        for rate in self.up:
+            candidate = (math_floor(self.now * rate + 1e-9) + 1) / rate
+            if candidate <= self.now + 1e-12:
+                candidate += 1.0 / rate
+            if best is None or candidate < best:
+                best = candidate
+        assert best is not None
+        return best
+
+    def run(self) -> AsyncRunResult:
+        """Simulate until every client completes or ``max_time`` passes."""
+        completions: dict[int, float] = {}
+        silent_skips = 0
+        for v in range(self.n):
+            if not self._try_start(v):
+                self._idle.add(v)
+
+        while self._incomplete and self.now <= self.max_time:
+            if not self._events:
+                # Everyone idle: hop to the next phase boundary and retry;
+                # a long run of fruitless hops is a genuine deadlock. Phase
+                # boundaries are dense (roughly one per node per link
+                # period), so the budget must cover several full link
+                # cycles of the slowest node — generously, ~64 boundaries
+                # per node.
+                silent_skips += 1
+                if silent_skips > 64 * self.n + 256:
+                    break
+                self.now = self._next_phase_boundary()
+                for node in list(self._idle):
+                    if self._try_start(node):
+                        self._idle.discard(node)
+                continue
+            silent_skips = 0
+            end, _, transfer = heapq.heappop(self._events)
+            self.now = end
+            src, dst, block = transfer.src, transfer.dst, transfer.block
+            self._uplink_busy[src] = False
+            self._downlink_busy[dst] -= 1
+            self._inbound.discard((dst, block))
+            self.masks[dst] |= 1 << block
+            self.transfers.append(transfer)
+            if dst != SERVER and self.masks[dst] == self._full:
+                self._incomplete.discard(dst)
+                completions[dst] = end
+
+            # The freed sender, the receiver, and all idle nodes may now
+            # have a move.
+            self._idle.add(src)
+            self._idle.add(dst)
+            for node in list(self._idle):
+                if self._try_start(node):
+                    self._idle.discard(node)
+
+        done = not self._incomplete
+        return AsyncRunResult(
+            n=self.n,
+            k=self.k,
+            completion_time=self.now if done else None,
+            client_completions=completions,
+            transfers=self.transfers,
+            meta={
+                "strategy": type(self.strategy).__name__,
+                "heterogeneous": len(set(self.up)) > 1 or len(set(self.down)) > 1,
+            },
+        )
+
+
+def _iter_bits(mask: int):
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low

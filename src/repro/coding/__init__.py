@@ -1,0 +1,18 @@
+"""Random linear network coding over GF(2).
+
+The alternative dissemination approach the paper's related work compares
+against (network coding "for large scale content distribution"): nodes
+exchange random linear combinations of blocks instead of blocks, removing
+block selection from the protocol entirely. See :mod:`.engine` for the
+swarm and :mod:`.gf2` for the linear-algebra substrate.
+"""
+
+from .engine import NetworkCodingEngine, network_coding_run
+from .gf2 import Gf2Basis, random_vector
+
+__all__ = [
+    "Gf2Basis",
+    "NetworkCodingEngine",
+    "network_coding_run",
+    "random_vector",
+]

@@ -1,0 +1,64 @@
+"""Core substrate: blocks, bandwidth model, engines, mechanisms, verifier.
+
+This package implements the paper's data-transfer model (Section 2.1) and
+the barter mechanisms (Section 3) as reusable building blocks. Everything
+else in the library — deterministic schedules, randomized algorithms,
+experiments — is expressed on top of these primitives, and every run can be
+independently re-checked by :func:`verify_log`.
+"""
+
+from .blocks import BlockSet, full_mask
+from .engine import Schedule, execute_schedule
+from .errors import ConfigError, ReproError, ScheduleViolation
+from .ledger import CreditLedger
+from .log import RunResult, Transfer, TransferLog
+from .mechanisms import (
+    Cooperative,
+    CreditLimitedBarter,
+    Mechanism,
+    StrictBarter,
+    TriangularBarter,
+)
+from .model import SERVER, BandwidthModel
+from .serde import (
+    dump_schedule,
+    load_schedule,
+    log_from_dict,
+    log_to_dict,
+    result_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from .state import SwarmState
+from .verify import VerificationReport, verify_log
+
+__all__ = [
+    "SERVER",
+    "BandwidthModel",
+    "BlockSet",
+    "ConfigError",
+    "Cooperative",
+    "CreditLedger",
+    "CreditLimitedBarter",
+    "Mechanism",
+    "ReproError",
+    "RunResult",
+    "Schedule",
+    "ScheduleViolation",
+    "StrictBarter",
+    "SwarmState",
+    "Transfer",
+    "TransferLog",
+    "TriangularBarter",
+    "VerificationReport",
+    "dump_schedule",
+    "execute_schedule",
+    "full_mask",
+    "load_schedule",
+    "log_from_dict",
+    "log_to_dict",
+    "result_to_dict",
+    "schedule_from_dict",
+    "schedule_to_dict",
+    "verify_log",
+]

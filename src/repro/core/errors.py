@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers can
+catch one type at an API boundary. Configuration mistakes raise
+:class:`ConfigError` eagerly (at object construction), while violations of
+the data-transfer model detected during execution or verification raise
+:class:`ScheduleViolation` with enough context to locate the offending
+transfer.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid parameter combination was supplied to a constructor."""
+
+
+class ScheduleViolation(ReproError):
+    """A transfer log violates the bandwidth model or a barter mechanism.
+
+    Attributes
+    ----------
+    tick:
+        The tick at which the violation occurred (1-based), or ``None`` when
+        the violation is global (e.g. incomplete final state).
+    rule:
+        Short machine-readable identifier of the violated rule, e.g.
+        ``"causality"``, ``"upload-capacity"``, ``"credit-limit"``.
+    """
+
+    def __init__(self, message: str, *, tick: int | None = None, rule: str = "") -> None:
+        super().__init__(message)
+        self.tick = tick
+        self.rule = rule
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        base = super().__str__()
+        where = f" (tick={self.tick}, rule={self.rule})" if self.rule else ""
+        return base + where

@@ -1,0 +1,185 @@
+"""Transfer logs: the ground-truth record of what a run did.
+
+Every engine in this library — deterministic schedule executors and the
+randomized simulators alike — emits a :class:`TransferLog`: the list of
+``(tick, src, dst, block)`` transfers that actually happened. The log is
+what the independent verifier checks, what completion times are computed
+from, and what the efficiency analysis ("amortization") consumes.
+
+Keeping the log as plain tuples keeps the hot loops cheap; the richer
+accessors here build indexes lazily.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+from .errors import ConfigError
+from .model import SERVER
+
+__all__ = ["Transfer", "TransferLog", "RunResult"]
+
+
+class Transfer(NamedTuple):
+    """One block moving from ``src`` to ``dst`` during ``tick`` (1-based)."""
+
+    tick: int
+    src: int
+    dst: int
+    block: int
+
+
+class TransferLog:
+    """An append-only, tick-ordered record of transfers.
+
+    Transfers must be appended in non-decreasing tick order; engines are
+    tick-synchronous so this is natural, and it lets per-tick grouping be a
+    single pass.
+    """
+
+    __slots__ = ("_transfers", "_last_tick")
+
+    def __init__(self, transfers: Iterable[Transfer] = ()) -> None:
+        self._transfers: list[Transfer] = []
+        self._last_tick = 0
+        for t in transfers:
+            self.append(t)
+
+    def append(self, transfer: Transfer) -> None:
+        """Record one transfer; ticks must be non-decreasing and >= 1."""
+        if transfer.tick < 1:
+            raise ConfigError(f"ticks are 1-based, got {transfer.tick}")
+        if transfer.tick < self._last_tick:
+            raise ConfigError(
+                f"transfers must be appended in tick order "
+                f"({transfer.tick} after {self._last_tick})"
+            )
+        self._last_tick = transfer.tick
+        self._transfers.append(transfer)
+
+    def record(self, tick: int, src: int, dst: int, block: int) -> None:
+        """Convenience wrapper around :meth:`append`."""
+        self.append(Transfer(tick, src, dst, block))
+
+    def __len__(self) -> int:
+        return len(self._transfers)
+
+    def __iter__(self) -> Iterator[Transfer]:
+        return iter(self._transfers)
+
+    def __getitem__(self, i: int) -> Transfer:
+        return self._transfers[i]
+
+    @property
+    def last_tick(self) -> int:
+        """The tick of the final transfer (0 for an empty log)."""
+        return self._last_tick
+
+    def by_tick(self) -> dict[int, list[Transfer]]:
+        """Group transfers per tick. Only ticks with activity appear."""
+        grouped: dict[int, list[Transfer]] = defaultdict(list)
+        for t in self._transfers:
+            grouped[t.tick].append(t)
+        return dict(grouped)
+
+    def uploads_per_tick(self) -> list[int]:
+        """Number of transfers in each tick ``1 .. last_tick``.
+
+        This is the series behind the paper's "amortization" discussion:
+        the fraction of nodes uploading in each tick.
+        """
+        counts = [0] * self._last_tick
+        for t in self._transfers:
+            counts[t.tick - 1] += 1
+        return counts
+
+    def completion_ticks(self, n: int, k: int) -> dict[int, int]:
+        """Tick at which each client first holds all ``k`` blocks.
+
+        Returns a mapping from client id to completion tick; clients that
+        never complete are absent. The server (node 0) starts complete and
+        is not included.
+        """
+        held = [0] * n
+        done: dict[int, int] = {}
+        goal = (1 << k) - 1
+        for t in self._transfers:
+            if not 0 <= t.dst < n:
+                raise ConfigError(f"transfer destination {t.dst} outside 0..{n - 1}")
+            if held[t.dst] >> t.block & 1:
+                continue
+            held[t.dst] |= 1 << t.block
+            if held[t.dst] == goal and t.dst != SERVER:
+                done[t.dst] = t.tick
+        return done
+
+    def final_masks(self, n: int, k: int) -> list[int]:
+        """Block bitmask of every node after the whole log is applied.
+
+        The server starts with the complete file; clients start empty.
+        """
+        held = [0] * n
+        held[SERVER] = (1 << k) - 1
+        for t in self._transfers:
+            held[t.dst] |= 1 << t.block
+        return held
+
+
+@dataclass(slots=True)
+class RunResult:
+    """Outcome of executing an algorithm on a swarm.
+
+    Attributes
+    ----------
+    n, k:
+        Swarm size (including the server) and number of file blocks.
+    completion_time:
+        Tick at which the last client completed, or ``None`` if the run
+        ended without all clients holding the file.
+    client_completions:
+        Mapping of client id to its individual completion tick.
+    log:
+        The full transfer log of the run.
+    meta:
+        Free-form run metadata (algorithm name, seed, overlay, policy...).
+    """
+
+    n: int
+    k: int
+    completion_time: int | None
+    client_completions: dict[int, int]
+    log: TransferLog
+    meta: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def completed(self) -> bool:
+        """True when every client finished."""
+        return self.completion_time is not None
+
+    @property
+    def mean_completion(self) -> float | None:
+        """Mean individual completion tick over clients (paper's "average
+        time for nodes to finish"), or ``None`` if any client is unfinished."""
+        if len(self.client_completions) != self.n - 1:
+            return None
+        return sum(self.client_completions.values()) / (self.n - 1)
+
+    @classmethod
+    def from_log(
+        cls, n: int, k: int, log: TransferLog, meta: dict[str, object] | None = None
+    ) -> "RunResult":
+        """Derive completion statistics from a finished log."""
+        completions = log.completion_ticks(n, k)
+        finished = len(completions) == n - 1
+        return cls(
+            n=n,
+            k=k,
+            completion_time=max(completions.values()) if finished and completions else
+            (0 if finished else None),
+            client_completions=completions,
+            log=log,
+            meta=dict(meta or {}),
+        )

@@ -1,0 +1,91 @@
+"""The paper's bandwidth and data-transfer model.
+
+Section 2.1 of the paper: every node (server included) has upload bandwidth
+``u`` and download bandwidth ``d >= u``; all bottlenecks are at tail links;
+a transfer moves one *block*, and one tick is the time to upload one block,
+so ``u = 1 block/tick`` by definition of the tick.
+
+We therefore express capacities in blocks per tick:
+
+* ``upload = 1`` for clients, always (it defines the tick);
+* ``download`` is an integer number of blocks per tick, or ``None`` for
+  unbounded download capacity (the paper's "infinite download bandwidth"
+  setting);
+* ``server_upload`` generalises the "higher server bandwidths" observation
+  of Section 2.3.4 — a server with bandwidth ``m * u`` can feed ``m``
+  blocks per tick.
+
+The model object is immutable and shared by schedule executors, the
+randomized engines and the verifier, so a single source of truth decides
+what a legal tick looks like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import ConfigError
+
+__all__ = ["BandwidthModel", "SERVER"]
+
+#: Conventional node id of the server. Clients are ``1 .. n-1``.
+SERVER = 0
+
+
+@dataclass(frozen=True, slots=True)
+class BandwidthModel:
+    """Per-tick capacities, in blocks.
+
+    Parameters
+    ----------
+    download:
+        Client (and server) download capacity in blocks/tick; ``None``
+        means unbounded. The paper requires ``d >= u``, i.e. ``download >= 1``.
+    server_upload:
+        Server upload capacity in blocks/tick (the ``m`` in a server with
+        bandwidth ``m * u``). Clients always upload at most 1 block/tick.
+    """
+
+    download: int | None = 1
+    server_upload: int = 1
+
+    def __post_init__(self) -> None:
+        if self.download is not None and self.download < 1:
+            raise ConfigError(
+                f"download capacity must be >= upload (1 block/tick); got {self.download}"
+            )
+        if self.server_upload < 1:
+            raise ConfigError(f"server upload must be >= 1, got {self.server_upload}")
+
+    @property
+    def unbounded_download(self) -> bool:
+        """True when nodes can receive any number of blocks per tick."""
+        return self.download is None
+
+    def upload_capacity(self, node: int) -> int:
+        """Upload capacity of ``node`` in blocks/tick."""
+        return self.server_upload if node == SERVER else 1
+
+    def download_capacity(self, node: int) -> int | None:
+        """Download capacity of ``node`` in blocks/tick (``None`` = unbounded)."""
+        return self.download
+
+    def allows_download(self, received_this_tick: int) -> bool:
+        """Whether a node that already received ``received_this_tick`` blocks
+        this tick may accept one more."""
+        return self.download is None or received_this_tick < self.download
+
+    @classmethod
+    def symmetric(cls) -> "BandwidthModel":
+        """The strictest setting: ``d = u`` (1 block/tick both ways)."""
+        return cls(download=1)
+
+    @classmethod
+    def double_download(cls) -> "BandwidthModel":
+        """The ``d = 2u`` setting required by e.g. the pipelined riffle."""
+        return cls(download=2)
+
+    @classmethod
+    def unbounded(cls) -> "BandwidthModel":
+        """Unbounded download capacity (paper's infinite-download runs)."""
+        return cls(download=None)

@@ -1,0 +1,237 @@
+"""Independent verification of transfer logs.
+
+Every algorithm in this library produces a :class:`~repro.core.log.TransferLog`.
+This module re-executes a log from scratch against the bandwidth model and a
+mechanism, checking every rule of the paper's data-transfer model
+(Section 2.1) plus the mechanism's constraints (Section 3). It shares no
+code with the engines that *produced* the log, so a bug in an engine cannot
+hide itself.
+
+Checked rules:
+
+* **causality** — a sender must have held the block at the *start* of the
+  tick (a block received during tick ``t`` is only forwardable at ``t+1``);
+* **usefulness** — the receiver must not already hold the block (the paper's
+  transfers are always of needed blocks; redundant sends can optionally be
+  tolerated and counted instead);
+* **upload capacity** — at most ``u = 1`` block per node per tick
+  (``server_upload`` for the server);
+* **download capacity** — at most ``d`` blocks per node per tick;
+* **no self-transfers**, and optionally **overlay confinement** — transfers
+  only along edges of a given overlay network;
+* the **mechanism** per-tick constraints (strict / credit-limited /
+  triangular barter).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from .blocks import full_mask
+from .errors import ScheduleViolation
+from .log import Transfer, TransferLog
+from .mechanisms import Cooperative, Mechanism
+from .model import SERVER, BandwidthModel
+
+__all__ = ["VerificationReport", "verify_log"]
+
+
+@dataclass(slots=True)
+class VerificationReport:
+    """Statistics gathered during a successful verification pass."""
+
+    n: int
+    k: int
+    ticks: int
+    transfers: int
+    redundant_transfers: int
+    server_uploads: int
+    client_uploads: int
+    peak_downloads_per_tick: int
+    all_complete: bool
+    busy_ticks: int = 0
+    upload_efficiency: float = 0.0
+    extras: dict[str, object] = field(default_factory=dict)
+
+
+def verify_log(
+    log: TransferLog,
+    n: int,
+    k: int,
+    model: BandwidthModel | None = None,
+    mechanism: Mechanism | None = None,
+    *,
+    overlay=None,
+    require_completion: bool = True,
+    allow_redundant: bool = False,
+) -> VerificationReport:
+    """Replay ``log`` and check every model rule; see module docstring.
+
+    Parameters
+    ----------
+    overlay:
+        Optional object with a ``has_edge(a, b)`` method (any
+        :class:`repro.overlays.Graph`); when given, every transfer must run
+        along one of its edges.
+    require_completion:
+        When True (default), every client must hold all ``k`` blocks after
+        the log; partial logs can be verified with False.
+    allow_redundant:
+        When True, a transfer of a block the receiver already holds is
+        counted (``redundant_transfers``) rather than fatal.
+
+    Raises
+    ------
+    ScheduleViolation
+        On the first rule breach encountered, in tick order.
+    """
+    model = model or BandwidthModel.symmetric()
+    mechanism = mechanism or Cooperative()
+    mechanism.reset()
+
+    masks = [0] * n
+    masks[SERVER] = full_mask(k)
+
+    redundant = 0
+    server_uploads = 0
+    peak_downloads = 0
+    busy_ticks = 0
+
+    by_tick = log.by_tick()
+    for tick in sorted(by_tick):
+        transfers = by_tick[tick]
+        _check_tick(
+            tick,
+            transfers,
+            masks,
+            n=n,
+            k=k,
+            model=model,
+            overlay=overlay,
+            allow_redundant=allow_redundant,
+        )
+        mechanism.check_tick(
+            tick, [t for t in transfers if t.src != SERVER and t.dst != SERVER]
+        )
+        # Apply receipts only after the whole tick is validated (synchrony).
+        for t in transfers:
+            if masks[t.dst] >> t.block & 1:
+                redundant += 1
+            masks[t.dst] |= 1 << t.block
+            if t.src == SERVER:
+                server_uploads += 1
+        downloads = Counter(t.dst for t in transfers)
+        if downloads:
+            peak_downloads = max(peak_downloads, max(downloads.values()))
+        busy_ticks += 1
+
+    full = full_mask(k)
+    all_complete = all(masks[c] == full for c in range(1, n))
+    if require_completion and not all_complete:
+        unfinished = [c for c in range(1, n) if masks[c] != full]
+        raise ScheduleViolation(
+            f"{len(unfinished)} client(s) never completed "
+            f"(first few: {unfinished[:5]})",
+            rule="completion",
+        )
+
+    total = len(log)
+    ticks = log.last_tick
+    # Upload efficiency: achieved transfers relative to the ceiling of one
+    # upload per node per tick over the run (the paper's "fraction of nodes
+    # that upload data in each step").
+    capacity = ticks * (n - 1 + model.server_upload)
+    efficiency = total / capacity if capacity else 0.0
+
+    return VerificationReport(
+        n=n,
+        k=k,
+        ticks=ticks,
+        transfers=total,
+        redundant_transfers=redundant,
+        server_uploads=server_uploads,
+        client_uploads=total - server_uploads,
+        peak_downloads_per_tick=peak_downloads,
+        all_complete=all_complete,
+        busy_ticks=busy_ticks,
+        upload_efficiency=efficiency,
+    )
+
+
+def _check_tick(
+    tick: int,
+    transfers: list[Transfer],
+    masks: list[int],
+    *,
+    n: int,
+    k: int,
+    model: BandwidthModel,
+    overlay,
+    allow_redundant: bool,
+) -> None:
+    uploads: Counter[int] = Counter()
+    downloads: Counter[int] = Counter()
+    incoming_blocks: set[tuple[int, int]] = set()
+
+    for t in transfers:
+        if not (0 <= t.src < n and 0 <= t.dst < n):
+            raise ScheduleViolation(
+                f"transfer {t} references a node outside 0..{n - 1}",
+                tick=tick,
+                rule="node-range",
+            )
+        if t.src == t.dst:
+            raise ScheduleViolation(
+                f"node {t.src} transfers to itself", tick=tick, rule="self-transfer"
+            )
+        if not 0 <= t.block < k:
+            raise ScheduleViolation(
+                f"block {t.block} outside 0..{k - 1}", tick=tick, rule="block-range"
+            )
+        if overlay is not None and not overlay.has_edge(t.src, t.dst):
+            raise ScheduleViolation(
+                f"transfer {t.src} -> {t.dst} is not an overlay edge",
+                tick=tick,
+                rule="overlay",
+            )
+        if not masks[t.src] >> t.block & 1:
+            raise ScheduleViolation(
+                f"node {t.src} sends block {t.block} it does not hold at "
+                f"tick start",
+                tick=tick,
+                rule="causality",
+            )
+        if masks[t.dst] >> t.block & 1 and not allow_redundant:
+            raise ScheduleViolation(
+                f"node {t.dst} already holds block {t.block} sent by {t.src}",
+                tick=tick,
+                rule="usefulness",
+            )
+        if (t.dst, t.block) in incoming_blocks and not allow_redundant:
+            raise ScheduleViolation(
+                f"node {t.dst} receives block {t.block} twice in one tick",
+                tick=tick,
+                rule="usefulness",
+            )
+        incoming_blocks.add((t.dst, t.block))
+        uploads[t.src] += 1
+        downloads[t.dst] += 1
+
+    for node, count in uploads.items():
+        cap = model.upload_capacity(node)
+        if count > cap:
+            raise ScheduleViolation(
+                f"node {node} uploads {count} blocks in one tick (capacity {cap})",
+                tick=tick,
+                rule="upload-capacity",
+            )
+    if not model.unbounded_download:
+        for node, count in downloads.items():
+            if count > model.download:
+                raise ScheduleViolation(
+                    f"node {node} downloads {count} blocks in one tick "
+                    f"(capacity {model.download})",
+                    tick=tick,
+                    rule="download-capacity",
+                )

@@ -1,0 +1,77 @@
+"""Experiment runners: one per figure/table of the paper, plus ablations.
+
+Run from the command line (``repro-experiments fig3 --scale lite``) or
+programmatically::
+
+    from repro.experiments import figure3
+    result = figure3(scale="ci")
+    print(result.render())
+
+Scales: ``full`` (paper parameters), ``lite`` (reduced, minutes),
+``ci`` (tiny, seconds) — see :mod:`repro.experiments.scale`.
+"""
+
+from .ablations import (
+    ablation_efficiency,
+    ablation_estimated_rarest,
+    ablation_riffle_stride,
+    ablation_rotation,
+)
+from .ascii_plot import ascii_plot
+from .diagrams import figure1, figure2
+from .extensions import (
+    extension_asynchrony,
+    extension_coding,
+    extension_incentives,
+    extension_bittorrent,
+    extension_churn,
+    extension_embedding,
+    extension_freerider,
+    extension_triangular,
+    extension_multiserver,
+)
+from .figures import (
+    FigureResult,
+    completion_fit,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+)
+from .runner import EXPERIMENTS, main
+from .scale import SCALES, Scale, resolve_scale
+from .tables import price_table, schedule_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "FigureResult",
+    "SCALES",
+    "Scale",
+    "ablation_efficiency",
+    "ablation_estimated_rarest",
+    "ablation_riffle_stride",
+    "ablation_rotation",
+    "ascii_plot",
+    "completion_fit",
+    "extension_asynchrony",
+    "extension_bittorrent",
+    "extension_churn",
+    "extension_coding",
+    "extension_incentives",
+    "extension_embedding",
+    "extension_freerider",
+    "extension_multiserver",
+    "extension_triangular",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "main",
+    "price_table",
+    "resolve_scale",
+    "schedule_table",
+]

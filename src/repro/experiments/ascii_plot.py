@@ -1,0 +1,94 @@
+"""Tiny terminal plots for experiment output.
+
+The original figures are line plots; a benchmark harness that only prints
+numbers makes trends hard to eyeball, so each figure runner can render its
+series as an ASCII scatter. Log axes are supported because the paper uses
+them (Figures 3 and 4).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from ..core.errors import ConfigError
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        if value <= 0:
+            raise ConfigError("log-scaled axes need positive values")
+        return math.log10(value)
+    return value
+
+
+def ascii_plot(
+    series: dict[str, Sequence[tuple[float, float]]],
+    width: int = 68,
+    height: int = 18,
+    log_x: bool = False,
+    log_y: bool = False,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named point series on one character grid.
+
+    Returns a multi-line string; empty series are skipped, and a fully
+    empty input yields a short placeholder (some sweep points time out,
+    e.g. low-degree barter runs).
+    """
+    points = [
+        (name, [( _transform(x, log_x), _transform(y, log_y)) for x, y in pts])
+        for name, pts in series.items()
+        if pts
+    ]
+    if not points:
+        return "(no data points)"
+
+    xs = [x for _, pts in points for x, _ in pts]
+    ys = [y for _, pts in points for _, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, pts) in enumerate(points):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for x, y in pts:
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    def fmt(v: float, log: bool) -> str:
+        raw = 10**v if log else v
+        return f"{raw:g}"
+
+    lines = []
+    top = f"{fmt(y_hi, log_y):>10} +" + "".join(grid[0])
+    lines.append(top)
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{fmt(y_lo, log_y):>10} +" + "".join(grid[-1]))
+    lines.append(
+        " " * 12
+        + fmt(x_lo, log_x)
+        + " " * max(1, width - len(fmt(x_lo, log_x)) - len(fmt(x_hi, log_x)))
+        + fmt(x_hi, log_x)
+    )
+    axis_note = []
+    if log_x:
+        axis_note.append("log x")
+    if log_y:
+        axis_note.append("log y")
+    note = f" ({', '.join(axis_note)})" if axis_note else ""
+    lines.append(" " * 12 + f"{x_label} vs {y_label}{note}")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, (name, _) in enumerate(points)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

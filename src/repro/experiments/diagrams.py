@@ -1,0 +1,142 @@
+"""Regenerating the paper's schematic figures (Figures 1 and 2).
+
+Figures 1-2 of the paper are illustrations rather than data plots:
+
+* **Figure 1** — a binomial tree over 8 nodes, edges labeled with the
+  tick at which each transfer happens;
+* **Figure 2(a)** — the binomial pipeline's transfers during the fourth
+  tick for ``n = 8``; **2(b)** — the resulting regrouping.
+
+Rather than drawing them by hand, these runners derive both figures from
+the *actual schedules* built by the library, so the illustrations are
+guaranteed to match the implementation. Output is ASCII; the rows carry
+the underlying transfers so tests can assert the structure.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..core.engine import execute_schedule
+from ..core.errors import ConfigError
+from ..core.model import SERVER
+from ..schedules.binomial_pipeline import binomial_pipeline_schedule
+from ..schedules.simple import binomial_tree_schedule
+from .figures import FigureResult
+
+__all__ = ["figure1", "figure2"]
+
+
+def _node_name(v: int) -> str:
+    return "S" if v == SERVER else f"C{v}"
+
+
+def figure1(n: int = 8, scale: str | None = None) -> FigureResult:
+    """Figure 1: the binomial broadcast tree, edges labeled by tick.
+
+    Built from the single-block binomial tree schedule: each node's
+    parent is whoever actually sent it the block, and the label is the
+    tick of that transfer — the paper's Figure 1 exactly (for n = 8:
+    S reaches everyone in 3 ticks).
+    """
+    if n < 2:
+        raise ConfigError(f"need at least two nodes, got n={n}")
+    result = execute_schedule(binomial_tree_schedule(n, 1))
+    parent: dict[int, tuple[int, int]] = {}
+    children: dict[int, list[int]] = defaultdict(list)
+    for t in result.log:
+        parent[t.dst] = (t.src, t.tick)
+        children[t.src].append(t.dst)
+
+    lines: list[str] = []
+
+    def render(v: int, prefix: str, is_last: bool) -> None:
+        if v == SERVER:
+            lines.append("S")
+        else:
+            src, tick = parent[v]
+            connector = "└─" if is_last else "├─"
+            lines.append(f"{prefix}{connector}[tick {tick}]─ {_node_name(v)}")
+        kids = children.get(v, [])
+        for i, c in enumerate(kids):
+            extension = "" if v == SERVER else ("   " if is_last else "│  ")
+            render(c, prefix + extension, i == len(kids) - 1)
+
+    render(SERVER, "", True)
+
+    rows = [
+        {
+            "node": _node_name(t.dst),
+            "receives from": _node_name(t.src),
+            "at tick": t.tick,
+        }
+        for t in result.log
+    ]
+    return FigureResult(
+        name="Figure 1",
+        title=f"Binomial broadcast tree over n={n} (edges labeled by tick)",
+        scale="exact",
+        columns=("node", "receives from", "at tick"),
+        rows=rows,
+        series={},
+        notes=["\n".join(lines), f"all nodes hold the block after {result.completion_time} ticks"],
+    )
+
+
+def figure2(k: int = 4, scale: str | None = None) -> FigureResult:
+    """Figure 2: binomial-pipeline transfers during the fourth tick (n=8).
+
+    (a) the transfers of tick 4 — the server hands the new block to one
+    member of the oldest group while the remaining members pair up with
+    the younger groups; (b) the resulting groups, read off the actual
+    block holdings after the tick.
+    """
+    n = 8
+    if k < 4:
+        raise ConfigError("Figure 2 shows tick 4; need k >= 4")
+    result = execute_schedule(binomial_pipeline_schedule(n, k))
+    tick4 = [t for t in result.log if t.tick == 4]
+
+    rows = [
+        {
+            "from": _node_name(t.src),
+            "to": _node_name(t.dst),
+            "block": f"b{t.block + 1}",
+            "kind": "hand-off" if t.src == SERVER else "exchange",
+        }
+        for t in tick4
+    ]
+
+    # Re-derive group membership after tick 4: group = newest block held.
+    masks = [0] * n
+    masks[SERVER] = (1 << k) - 1
+    for t in result.log:
+        if t.tick <= 4:
+            masks[t.dst] |= 1 << t.block
+    groups: dict[int, list[str]] = defaultdict(list)
+    for c in range(1, n):
+        newest = masks[c].bit_length() - 1
+        groups[newest].append(_node_name(c))
+
+    arrows = [
+        f"  {_node_name(t.src)} --b{t.block + 1}--> {_node_name(t.dst)}"
+        for t in tick4
+    ]
+    regrouping = [
+        f"  G{newest + 1} (newest b{newest + 1}): {', '.join(members)}"
+        for newest, members in sorted(groups.items())
+    ]
+    return FigureResult(
+        name="Figure 2",
+        title=f"Binomial pipeline, tick 4 transfers and regrouping (n=8, k={k})",
+        scale="exact",
+        columns=("from", "to", "block", "kind"),
+        rows=rows,
+        series={},
+        notes=[
+            "(a) transfers during tick 4:",
+            *arrows,
+            "(b) groups after tick 4:",
+            *regrouping,
+        ],
+    )

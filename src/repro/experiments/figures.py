@@ -1,0 +1,417 @@
+"""Figure runners: one per data figure of the paper (Figures 3-7).
+
+Each function runs the corresponding sweep at a chosen scale and returns a
+:class:`FigureResult` holding the raw rows (machine-readable), the plot
+series, and notes recording what the paper reports for the same figure.
+``FigureResult.render()`` produces the human-readable table + ASCII plot
+the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.regression import CompletionFit, fit_completion_model
+from ..analysis.sweeps import derive_seed, sweep
+from ..overlays.hypercube import hypercube_overlay
+from ..overlays.random_regular import random_regular_graph
+from ..randomized.barter import randomized_barter_run
+from ..randomized.cooperative import randomized_cooperative_run
+from ..randomized.policies import RandomPolicy, RarestFirstPolicy
+from ..schedules.bounds import cooperative_lower_bound
+from .ascii_plot import ascii_plot
+from .scale import Scale, resolve_scale
+
+__all__ = [
+    "FigureResult",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "completion_fit",
+]
+
+
+@dataclass(slots=True)
+class FigureResult:
+    """One reproduced figure: rows, plot series, and paper context."""
+
+    name: str
+    title: str
+    scale: str
+    columns: tuple[str, ...]
+    rows: list[dict[str, object]]
+    series: dict[str, list[tuple[float, float]]]
+    notes: list[str] = field(default_factory=list)
+    log_x: bool = False
+    log_y: bool = False
+    x_label: str = "x"
+    y_label: str = "T (ticks)"
+    fit: CompletionFit | None = None
+
+    def render(self, plot: bool = True) -> str:
+        """Human-readable table (and optional ASCII plot) of the figure."""
+        lines = [f"== {self.name}: {self.title} [scale={self.scale}] =="]
+        widths = [max(len(c), 10) for c in self.columns]
+        header = "  ".join(c.rjust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            cells = []
+            for c, w in zip(self.columns, widths):
+                v = row.get(c, "")
+                if isinstance(v, float):
+                    v = f"{v:.1f}"
+                cells.append(str(v).rjust(w))
+            lines.append("  ".join(cells))
+        if self.fit is not None:
+            lines.append(f"fit: {self.fit}")
+        if plot and self.series:
+            lines.append(
+                ascii_plot(
+                    self.series,
+                    log_x=self.log_x,
+                    log_y=self.log_y,
+                    x_label=self.x_label,
+                    y_label=self.y_label,
+                )
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def figure3(scale: str | Scale | None = None, base_seed: int = 3) -> FigureResult:
+    """Figure 3: randomized cooperative completion time vs swarm size.
+
+    Complete-graph overlay, Random block selection, fixed ``k``; the paper
+    observes ``T`` growing roughly linearly in ``log2 n`` while staying
+    within a few percent of ``k`` (e.g. ~1040-1120 ticks for k = 1000
+    across n = 10 .. 10,000).
+    """
+    s = resolve_scale(scale)
+    k = s.fig3_k
+
+    def factory(n: object, seed: int):
+        return randomized_cooperative_run(int(n), k, rng=seed, keep_log=False)  # type: ignore[arg-type]
+
+    points = sweep(s.fig3_ns, factory, replicates=s.replicates, base_seed=base_seed)
+    rows = []
+    curve = []
+    for p in points:
+        n = int(p.label)  # type: ignore[arg-type]
+        optimal = cooperative_lower_bound(n, k)
+        mean_t = p.mean_completion
+        rows.append(
+            {
+                "n": n,
+                "mean T": mean_t,
+                "ci95": p.completion.ci95 if p.completion else None,
+                "optimal": optimal,
+                "T/opt": (mean_t / optimal) if mean_t else None,
+                "timeouts": p.timeouts,
+            }
+        )
+        if mean_t is not None:
+            curve.append((float(n), mean_t))
+    return FigureResult(
+        name="Figure 3",
+        title=f"Randomized cooperative: T vs n (k={k}, complete graph, Random)",
+        scale=s.name,
+        columns=("n", "mean T", "ci95", "optimal", "T/opt", "timeouts"),
+        rows=rows,
+        series={"random policy": curve},
+        log_x=True,
+        x_label="n (nodes)",
+        notes=[
+            "paper: T grows ~linearly in log2(n); k=1000 stays within "
+            "~1040-1120 ticks from n=10 to n=10,000",
+        ],
+    )
+
+
+def figure4(scale: str | Scale | None = None, base_seed: int = 4) -> FigureResult:
+    """Figure 4: randomized cooperative completion time vs file size.
+
+    Fixed ``n``, sweep ``k`` on a log-log scale; the paper observes ``T``
+    linear in ``k``.
+    """
+    s = resolve_scale(scale)
+    n = s.fig4_n
+
+    def factory(k: object, seed: int):
+        return randomized_cooperative_run(n, int(k), rng=seed, keep_log=False)  # type: ignore[arg-type]
+
+    points = sweep(s.fig4_ks, factory, replicates=s.replicates, base_seed=base_seed)
+    rows = []
+    curve = []
+    for p in points:
+        k = int(p.label)  # type: ignore[arg-type]
+        optimal = cooperative_lower_bound(n, k)
+        mean_t = p.mean_completion
+        rows.append(
+            {
+                "k": k,
+                "mean T": mean_t,
+                "ci95": p.completion.ci95 if p.completion else None,
+                "optimal": optimal,
+                "T/opt": (mean_t / optimal) if mean_t else None,
+                "T/k": (mean_t / k) if mean_t else None,
+            }
+        )
+        if mean_t is not None:
+            curve.append((float(k), mean_t))
+    return FigureResult(
+        name="Figure 4",
+        title=f"Randomized cooperative: T vs k (n={n}, complete graph, Random)",
+        scale=s.name,
+        columns=("k", "mean T", "ci95", "optimal", "T/opt", "T/k"),
+        rows=rows,
+        series={"random policy": curve},
+        log_x=True,
+        log_y=True,
+        x_label="k (blocks)",
+        notes=["paper: T increases linearly with k (straight line on log-log)"],
+    )
+
+
+def completion_fit(
+    scale: str | Scale | None = None, base_seed: int = 14
+) -> FigureResult:
+    """The paper's least-squares estimate ``T ≈ a*k + b*log2(n) + c``.
+
+    The paper reports a coefficient on ``k`` barely above 1 — i.e. the
+    randomized algorithm is only a few percent worse than the optimal
+    ``k + log2(n) - 1`` for large ``k`` — contradicting the 5/6-efficiency
+    intuition of Section 2.4.3.
+    """
+    s = resolve_scale(scale)
+    observations: list[tuple[int, int, float]] = []
+    rows = []
+    for n in s.fit_ns:
+        for k in s.fit_ks:
+            times = []
+            for i in range(s.replicates):
+                seed = derive_seed(base_seed, (n, k), i)
+                r = randomized_cooperative_run(n, k, rng=seed, keep_log=False)
+                if r.completed:
+                    times.append(float(r.completion_time))
+                    observations.append((n, k, float(r.completion_time)))
+            mean_t = sum(times) / len(times) if times else None
+            rows.append(
+                {
+                    "n": n,
+                    "k": k,
+                    "mean T": mean_t,
+                    "optimal": cooperative_lower_bound(n, k),
+                }
+            )
+    fit = fit_completion_model(observations)
+    big_n, big_k = max(s.fit_ns), max(s.fit_ks)
+    return FigureResult(
+        name="Fit",
+        title="Least-squares completion model T ≈ a*k + b*log2(n) + c",
+        scale=s.name,
+        columns=("n", "k", "mean T", "optimal"),
+        rows=rows,
+        series={},
+        fit=fit,
+        notes=[
+            f"overhead vs optimal at (n={big_n}, k={big_k}): "
+            f"{fit.overhead_vs_optimal(big_n, big_k) * 100:.1f}%",
+            "paper: the estimated coefficient on k is ~1.0x, i.e. only a "
+            "few percent above optimal for large k",
+        ],
+    )
+
+
+def figure5(scale: str | Scale | None = None, base_seed: int = 5) -> FigureResult:
+    """Figure 5: effect of overlay degree (cooperative, Random policy).
+
+    Random regular overlays of varying degree at fixed ``n`` and two
+    values of ``k``; the paper sees completion drop steeply with degree
+    and converge to the complete-graph value by degree ≈ 25 at n = 1000 —
+    i.e. O(log n) degree suffices — with a hypercube-like overlay
+    (average degree ~10) matching the complete graph outright.
+    """
+    s = resolve_scale(scale)
+    n = s.fig5_n
+    rows: list[dict[str, object]] = []
+    series: dict[str, list[tuple[float, float]]] = {}
+
+    for k in s.fig5_ks:
+        curve: list[tuple[float, float]] = []
+        for degree in s.fig5_degrees:
+            times = []
+            timeouts = 0
+            for i in range(s.replicates):
+                seed = derive_seed(base_seed, (k, degree), i)
+                graph = random_regular_graph(n, degree, rng=seed)
+                r = randomized_cooperative_run(
+                    n, k, overlay=graph, rng=seed + 1, keep_log=False
+                )
+                if r.completed:
+                    times.append(float(r.completion_time))
+                else:
+                    timeouts += 1
+            mean_t = sum(times) / len(times) if times else None
+            rows.append(
+                {
+                    "k": k,
+                    "degree": degree,
+                    "mean T": mean_t,
+                    "timeouts": timeouts,
+                }
+            )
+            if mean_t is not None:
+                curve.append((float(degree), mean_t))
+        series[f"k={k} regular"] = curve
+
+        # Reference points: complete graph and the hypercube-like overlay.
+        for label, overlay in (
+            ("complete", None),
+            ("hypercube", hypercube_overlay(n)),
+        ):
+            times = []
+            for i in range(s.replicates):
+                seed = derive_seed(base_seed, (k, label), i)
+                r = randomized_cooperative_run(
+                    n, k, overlay=overlay, rng=seed, keep_log=False
+                )
+                if r.completed:
+                    times.append(float(r.completion_time))
+            mean_t = sum(times) / len(times) if times else None
+            degree_label = (
+                n - 1 if label == "complete" else round(hypercube_overlay(n).average_degree)
+            )
+            rows.append(
+                {"k": k, "degree": f"{label}({degree_label})", "mean T": mean_t, "timeouts": 0}
+            )
+    return FigureResult(
+        name="Figure 5",
+        title=f"Cooperative T vs overlay degree (n={n}, random regular graphs)",
+        scale=s.name,
+        columns=("k", "degree", "mean T", "timeouts"),
+        rows=rows,
+        series=series,
+        x_label="overlay degree",
+        notes=[
+            "paper: steep drop, near-complete-graph performance once degree "
+            "is around 25 at n=1000 (O(log n)); hypercube-like overlay "
+            "(avg degree ~10) matches the complete graph",
+        ],
+    )
+
+
+def _barter_degree_sweep(
+    s: Scale,
+    policy_factory,
+    policy_name: str,
+    base_seed: int,
+) -> tuple[list[dict[str, object]], dict[str, list[tuple[float, float]]]]:
+    """Shared sweep for Figures 6 and 7: credit-limited barter vs degree."""
+    n, k = s.fig67_n, s.fig67_k
+    rows: list[dict[str, object]] = []
+    series: dict[str, list[tuple[float, float]]] = {}
+
+    for curve_name, credit_of_degree in (
+        ("s=1", lambda d: 1),
+        (
+            f"s*d={s.fig67_sd_product}",
+            lambda d: max(1, round(s.fig67_sd_product / d)),
+        ),
+    ):
+        curve: list[tuple[float, float]] = []
+        for degree in s.fig67_degrees:
+            credit = credit_of_degree(degree)
+            times = []
+            timeouts = 0
+            for i in range(s.replicates):
+                seed = derive_seed(base_seed, (curve_name, degree), i)
+                graph = random_regular_graph(n, degree, rng=seed)
+                r = randomized_barter_run(
+                    n,
+                    k,
+                    credit_limit=credit,
+                    overlay=graph,
+                    policy=policy_factory(),
+                    rng=seed + 1,
+                    max_ticks=s.fig67_max_ticks,
+                    keep_log=False,
+                )
+                if r.completed:
+                    times.append(float(r.completion_time))
+                else:
+                    timeouts += 1
+            mean_t = sum(times) / len(times) if times else None
+            rows.append(
+                {
+                    "curve": curve_name,
+                    "degree": degree,
+                    "s": credit,
+                    "mean T": mean_t,
+                    "timeouts": timeouts,
+                }
+            )
+            if mean_t is not None:
+                curve.append((float(degree), mean_t))
+        series[curve_name] = curve
+    return rows, series
+
+
+def figure6(scale: str | Scale | None = None, base_seed: int = 6) -> FigureResult:
+    """Figure 6: credit-limited barter vs overlay degree, Random policy.
+
+    Two curves: fixed credit ``s = 1`` and fixed product ``s*d``. The
+    paper observes a dramatic threshold (near degree 80 at n = k = 1000
+    for ``s = 1``): below it completion blows up, above it the run is
+    nearly cooperative-optimal — and raising ``s`` at low degree is
+    "nowhere near as powerful as increasing the graph degree itself".
+    """
+    s = resolve_scale(scale)
+    rows, series = _barter_degree_sweep(s, RandomPolicy, "random", base_seed)
+    return FigureResult(
+        name="Figure 6",
+        title=(
+            f"Credit-limited barter: T vs degree "
+            f"(n={s.fig67_n}, k={s.fig67_k}, Random policy)"
+        ),
+        scale=s.name,
+        columns=("curve", "degree", "s", "mean T", "timeouts"),
+        rows=rows,
+        series=series,
+        x_label="overlay degree",
+        notes=[
+            "paper: sharp transition around degree 80 (n=k=1000); "
+            "performance is set by degree, not by total credit s*d",
+            "timeouts mark the paper's 'off the charts' points",
+        ],
+    )
+
+
+def figure7(scale: str | Scale | None = None, base_seed: int = 7) -> FigureResult:
+    """Figure 7: as Figure 6 but with Rarest-First block selection.
+
+    The paper finds the degree threshold drops about fourfold (to ~20 at
+    n = k = 1000), showing the block-selection policy is critical under
+    barter.
+    """
+    s = resolve_scale(scale)
+    rows, series = _barter_degree_sweep(s, RarestFirstPolicy, "rarest-first", base_seed)
+    return FigureResult(
+        name="Figure 7",
+        title=(
+            f"Credit-limited barter: T vs degree "
+            f"(n={s.fig67_n}, k={s.fig67_k}, Rarest-First policy)"
+        ),
+        scale=s.name,
+        columns=("curve", "degree", "s", "mean T", "timeouts"),
+        rows=rows,
+        series=series,
+        x_label="overlay degree",
+        notes=[
+            "paper: threshold ~4x lower than with Random selection "
+            "(around degree 20 at n=k=1000)",
+        ],
+    )

@@ -1,0 +1,144 @@
+"""Command-line runner for every reproduced figure, table and ablation.
+
+Usage (installed as ``repro-experiments``, or ``python -m
+repro.experiments``)::
+
+    repro-experiments fig3 --scale lite
+    repro-experiments all --scale ci --json results.json
+    repro-experiments table
+
+Each experiment prints its table (and ASCII plot) and can dump
+machine-readable rows as JSON for downstream processing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from collections.abc import Callable, Sequence
+
+from .ablations import (
+    ablation_efficiency,
+    ablation_estimated_rarest,
+    ablation_riffle_stride,
+    ablation_rotation,
+)
+from .diagrams import figure1, figure2
+from .extensions import (
+    extension_asynchrony,
+    extension_coding,
+    extension_incentives,
+    extension_bittorrent,
+    extension_churn,
+    extension_embedding,
+    extension_triangular,
+    extension_freerider,
+    extension_multiserver,
+)
+from .figures import FigureResult, completion_fit, figure3, figure4, figure5, figure6, figure7
+from .scale import SCALES
+from .tables import price_table, schedule_table
+
+__all__ = ["main", "EXPERIMENTS"]
+
+EXPERIMENTS: dict[str, Callable[..., FigureResult]] = {
+    "fig1": figure1,
+    "fig2": figure2,
+    "fig3": figure3,
+    "fig4": figure4,
+    "fig5": figure5,
+    "fig6": figure6,
+    "fig7": figure7,
+    "fit": completion_fit,
+    "table": schedule_table,
+    "price": price_table,
+    "ablation-stride": ablation_riffle_stride,
+    "ablation-efficiency": ablation_efficiency,
+    "ablation-estimated-rarest": ablation_estimated_rarest,
+    "ablation-rotation": ablation_rotation,
+    "ext-multiserver": extension_multiserver,
+    "ext-asynchrony": extension_asynchrony,
+    "ext-bittorrent": extension_bittorrent,
+    "ext-freerider": extension_freerider,
+    "ext-embedding": extension_embedding,
+    "ext-churn": extension_churn,
+    "ext-triangular": extension_triangular,
+    "ext-coding": extension_coding,
+    "ext-incentives": extension_incentives,
+}
+
+
+def _to_jsonable(result: FigureResult) -> dict[str, object]:
+    return {
+        "name": result.name,
+        "title": result.title,
+        "scale": result.scale,
+        "columns": list(result.columns),
+        "rows": result.rows,
+        "notes": result.notes,
+        "fit": (
+            {
+                "a": result.fit.a,
+                "b": result.fit.b,
+                "c": result.fit.c,
+                "r_squared": result.fit.r_squared,
+            }
+            if result.fit
+            else None
+        ),
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the figures and tables of 'On Cooperative Content "
+            "Distribution and the Price of Barter' (ICDCS 2005)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all"],
+        help="which figure/table/ablation to run",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=None,
+        help="parameter scale (default: REPRO_SCALE env var, else 'lite')",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write machine-readable rows to this JSON file",
+    )
+    parser.add_argument(
+        "--no-plot", action="store_true", help="suppress ASCII plots"
+    )
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    outputs: list[dict[str, object]] = []
+    for name in names:
+        started = time.monotonic()
+        result = EXPERIMENTS[name](scale=args.scale)
+        elapsed = time.monotonic() - started
+        print(result.render(plot=not args.no_plot))
+        print(f"[{name} finished in {elapsed:.1f}s]")
+        print()
+        outputs.append(_to_jsonable(result))
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(outputs, handle, indent=2, default=str)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""Experiment scales: paper-faithful or reduced parameter grids.
+
+Paper-scale sweeps (n up to 10,000 and n = k = 1000 degree sweeps, several
+replicates each) take multi-hour wall-clock in pure Python. Every
+experiment therefore runs at one of three scales:
+
+* ``full`` — the paper's parameters;
+* ``lite`` — the paper's shape at ~1/4 linear scale (minutes);
+* ``ci`` — small swarms for tests and benchmarks (seconds).
+
+The scale is chosen per call or via the ``REPRO_SCALE`` environment
+variable. The paper's qualitative claims (linearity in ``k``, logarithmic
+growth in ``n``, sharp degree thresholds, Rarest-First's multiple-fold
+threshold reduction) hold at every scale; absolute thresholds shift with
+``n`` and ``k``, which EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..core.errors import ConfigError
+
+__all__ = ["Scale", "resolve_scale", "SCALES"]
+
+
+@dataclass(frozen=True, slots=True)
+class Scale:
+    """One experiment scale: grids for every figure."""
+
+    name: str
+    replicates: int
+    # Figure 3: T vs n at fixed k, complete graph.
+    fig3_k: int
+    fig3_ns: tuple[int, ...]
+    # Figure 4: T vs k at fixed n, complete graph.
+    fig4_n: int
+    fig4_ks: tuple[int, ...]
+    # Least-squares fit grid.
+    fit_ns: tuple[int, ...]
+    fit_ks: tuple[int, ...]
+    # Figure 5: degree sweep, cooperative, random regular overlays.
+    fig5_n: int
+    fig5_ks: tuple[int, ...]
+    fig5_degrees: tuple[int, ...]
+    # Figures 6-7: degree sweep, credit-limited barter.
+    fig67_n: int
+    fig67_k: int
+    fig67_degrees: tuple[int, ...]
+    fig67_sd_product: int  # the paper's "s*d = 100" curve
+    fig67_max_ticks: int
+    # Schedule table grid.
+    table_ns: tuple[int, ...]
+    table_ks: tuple[int, ...]
+
+
+SCALES: dict[str, Scale] = {
+    "full": Scale(
+        name="full",
+        replicates=5,
+        fig3_k=1000,
+        fig3_ns=(10, 30, 100, 300, 1000, 3000, 10000),
+        fig4_n=1000,
+        fig4_ks=(10, 30, 100, 300, 1000, 3000, 10000),
+        fit_ns=(64, 128, 256, 512, 1024),
+        fit_ks=(250, 500, 1000, 2000),
+        fig5_n=1000,
+        fig5_ks=(1000, 2000),
+        fig5_degrees=(4, 6, 8, 10, 15, 20, 25, 30, 40, 60, 80, 100),
+        fig67_n=1000,
+        fig67_k=1000,
+        fig67_degrees=(20, 40, 60, 70, 80, 90, 100, 120, 140),
+        fig67_sd_product=100,
+        fig67_max_ticks=20000,
+        table_ns=(16, 32, 100, 256, 1000),
+        table_ks=(1, 16, 100, 1000),
+    ),
+    "lite": Scale(
+        name="lite",
+        replicates=3,
+        fig3_k=250,
+        fig3_ns=(10, 30, 100, 300, 1000, 2500),
+        fig4_n=250,
+        fig4_ks=(10, 30, 100, 300, 1000),
+        fit_ns=(32, 64, 128, 256),
+        fit_ks=(64, 128, 256, 512),
+        fig5_n=250,
+        fig5_ks=(250, 500),
+        fig5_degrees=(4, 6, 8, 10, 14, 18, 24, 32, 48),
+        fig67_n=250,
+        fig67_k=250,
+        fig67_degrees=(8, 12, 16, 20, 24, 32, 40, 56, 80),
+        fig67_sd_product=25,
+        fig67_max_ticks=8000,
+        table_ns=(16, 32, 100, 256),
+        table_ks=(1, 16, 100),
+    ),
+    "ci": Scale(
+        name="ci",
+        replicates=2,
+        fig3_k=48,
+        fig3_ns=(8, 24, 64, 160),
+        fig4_n=64,
+        fig4_ks=(8, 16, 48, 128),
+        fit_ns=(16, 32, 64),
+        fit_ks=(16, 32, 64),
+        fig5_n=192,
+        fig5_ks=(96, 192),
+        fig5_degrees=(3, 4, 6, 8, 12, 16, 24),
+        fig67_n=96,
+        fig67_k=96,
+        fig67_degrees=(4, 6, 8, 12, 16, 24, 36),
+        fig67_sd_product=10,
+        fig67_max_ticks=4000,
+        table_ns=(8, 16, 33, 64),
+        table_ks=(1, 8, 33),
+    ),
+}
+
+
+def resolve_scale(scale: str | Scale | None = None) -> Scale:
+    """Resolve a scale by name, instance, or the ``REPRO_SCALE`` env var.
+
+    Defaults to ``lite`` when nothing is specified.
+    """
+    if isinstance(scale, Scale):
+        return scale
+    name = scale or os.environ.get("REPRO_SCALE", "lite")
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown scale {name!r}; choose from {sorted(SCALES)}"
+        ) from None

@@ -1,0 +1,10 @@
+"""Incentive analysis (the paper's informal Sections 3.1.1/3.2.1/4, measured).
+
+One strategic client throttles its upload; everyone else complies. The
+payoff curves quantify which mechanisms make full uploading a best
+response. See :mod:`.analysis` and the ``ext-incentives`` experiment.
+"""
+
+from .analysis import ThrottleOutcome, is_incentive_aligned, throttle_response
+
+__all__ = ["ThrottleOutcome", "is_incentive_aligned", "throttle_response"]

@@ -1,0 +1,39 @@
+"""Overlay networks: the graph substrate the algorithms communicate over.
+
+All generators are implemented from scratch (see DESIGN.md). Node 0 is the
+server by library convention.
+"""
+
+from .dynamic import DynamicOverlay, rotating_regular_overlay
+from .embedding import PhysicalNetwork, embedding_cost, optimize_embedding
+from .graph import CompleteGraph, ExplicitGraph, Graph
+from .hypercube import HypercubeLayout, hypercube, hypercube_overlay
+from .paths import chain, ring
+from .random_regular import random_regular_graph
+from .trees import RootedTree, binomial_tree, dary_tree
+
+__all__ = [
+    "CompleteGraph",
+    "DynamicOverlay",
+    "ExplicitGraph",
+    "Graph",
+    "HypercubeLayout",
+    "PhysicalNetwork",
+    "RootedTree",
+    "binomial_tree",
+    "chain",
+    "complete_graph",
+    "dary_tree",
+    "embedding_cost",
+    "hypercube",
+    "hypercube_overlay",
+    "optimize_embedding",
+    "random_regular_graph",
+    "ring",
+    "rotating_regular_overlay",
+]
+
+
+def complete_graph(n: int) -> CompleteGraph:
+    """The complete graph K_n (implicit representation)."""
+    return CompleteGraph(n)

@@ -1,0 +1,202 @@
+"""Optimizing the hypercube for the physical network (Section 2.3.4).
+
+"In a situation where the available bandwidth between different pairs of
+nodes may be different, depending on their location in the physical
+network, we could 'optimize' the hypercube structure using embedding
+techniques [12]" — i.e. choose *which* physical node gets which hypercube
+ID so the overlay's links land on well-connected pairs.
+
+This module provides:
+
+* :class:`PhysicalNetwork` — a symmetric pairwise cost model (e.g. RTT or
+  inverse bandwidth), with generators for synthetic topologies (random
+  2-D Euclidean placement, and a clustered "datacenters" layout);
+* :func:`embedding_cost` — total cost of a
+  :class:`~repro.overlays.hypercube.HypercubeLayout` under a network;
+* :func:`optimize_embedding` — randomized local search (ID swaps between
+  clients, first-improvement hill climbing with restarts) minimising the
+  embedding cost, in the spirit of the Apocrypha techniques the paper
+  cites.
+
+The optimizer permutes only *clients*: the server keeps vertex 0.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Sequence
+
+from ..core.errors import ConfigError
+from .hypercube import HypercubeLayout
+
+__all__ = [
+    "PhysicalNetwork",
+    "embedding_cost",
+    "optimize_embedding",
+]
+
+
+class PhysicalNetwork:
+    """Symmetric pairwise link costs between ``n`` physical nodes."""
+
+    __slots__ = ("n", "_coords")
+
+    def __init__(self, coords: Sequence[tuple[float, float]]) -> None:
+        if len(coords) < 2:
+            raise ConfigError("need at least two nodes")
+        self.n = len(coords)
+        self._coords = [tuple(map(float, c)) for c in coords]
+
+    def cost(self, a: int, b: int) -> float:
+        """Link cost between nodes ``a`` and ``b`` (Euclidean distance)."""
+        (xa, ya), (xb, yb) = self._coords[a], self._coords[b]
+        return math.hypot(xa - xb, ya - yb)
+
+    @classmethod
+    def random_euclidean(
+        cls, n: int, rng: random.Random | int | None = None
+    ) -> "PhysicalNetwork":
+        """Nodes placed uniformly in the unit square."""
+        r = rng if isinstance(rng, random.Random) else random.Random(rng)
+        return cls([(r.random(), r.random()) for _ in range(n)])
+
+    @classmethod
+    def clustered(
+        cls,
+        n: int,
+        clusters: int = 4,
+        spread: float = 0.05,
+        rng: random.Random | int | None = None,
+    ) -> "PhysicalNetwork":
+        """Nodes grouped around ``clusters`` sites — the datacenter case
+        where embedding optimization pays off most."""
+        if clusters < 1:
+            raise ConfigError(f"need at least one cluster, got {clusters}")
+        r = rng if isinstance(rng, random.Random) else random.Random(rng)
+        centers = [(r.random(), r.random()) for _ in range(clusters)]
+        coords = []
+        for i in range(n):
+            cx, cy = centers[i % clusters]
+            coords.append((cx + r.gauss(0, spread), cy + r.gauss(0, spread)))
+        return cls(coords)
+
+
+def embedding_cost(layout: HypercubeLayout, network: PhysicalNetwork) -> float:
+    """Total physical cost of all overlay links of ``layout``."""
+    if network.n != layout.n:
+        raise ConfigError(
+            f"network has {network.n} nodes but layout has {layout.n}"
+        )
+    graph = layout.to_graph()
+    return sum(network.cost(a, b) for a, b in graph.edges())
+
+
+def optimize_embedding(
+    network: PhysicalNetwork,
+    rng: random.Random | int | None = None,
+    *,
+    sweeps: int = 40,
+    restarts: int = 2,
+) -> tuple[HypercubeLayout, float]:
+    """Search for a low-cost hypercube ID assignment.
+
+    Randomized first-improvement hill climbing over client swaps: pick two
+    clients, swap their hypercube vertices, keep the swap if the overlay
+    cost drops. ``sweeps`` controls attempted swaps per client per
+    restart. Returns the best ``(layout, cost)`` found; the baseline
+    (identity assignment) is always a candidate, so the result is never
+    worse than not optimizing.
+    """
+    rng = rng if isinstance(rng, random.Random) else random.Random(rng)
+    n = network.n
+    base = HypercubeLayout.assign(n)
+    best_perm = list(range(1, n))
+    best_cost = embedding_cost(base, network)
+
+    for restart in range(restarts):
+        perm = list(range(1, n))
+        if restart:
+            rng.shuffle(perm)
+        layout = _relabel(base, perm)
+        cost = embedding_cost(layout, network)
+        attempts = sweeps * max(1, n - 1)
+        for _ in range(attempts):
+            i, j = rng.randrange(n - 1), rng.randrange(n - 1)
+            if i == j:
+                continue
+            delta = _swap_delta(base, network, perm, i, j)
+            if delta < -1e-12:
+                perm[i], perm[j] = perm[j], perm[i]
+                cost += delta
+        if cost < best_cost:
+            best_cost = cost
+            best_perm = perm
+    return _relabel(base, best_perm), best_cost
+
+
+def _relabel(base: HypercubeLayout, perm: Sequence[int]) -> HypercubeLayout:
+    """Layout where slot ``i`` of the base assignment holds ``perm[i]``.
+
+    ``perm`` lists the physical client placed at each client slot of the
+    canonical assignment (slot order = clients 1..n-1 of the base).
+    """
+    mapping = {0: 0}
+    for slot, client in enumerate(perm, start=1):
+        mapping[slot] = client
+    vertex_of = [0] * base.n
+    occupants = [tuple(mapping[node] for node in occ) for occ in base.occupants]
+    for vertex, occ in enumerate(occupants):
+        for node in occ:
+            vertex_of[node] = vertex
+    return HypercubeLayout(
+        n=base.n,
+        h=base.h,
+        vertex_of=tuple(vertex_of),
+        occupants=tuple(occupants),
+    )
+
+
+def _swap_delta(
+    base: HypercubeLayout,
+    network: PhysicalNetwork,
+    perm: list[int],
+    i: int,
+    j: int,
+) -> float:
+    """Exact cost change of swapping the clients at slots ``i`` and ``j``.
+
+    Computed from the incident overlay edges only (O(h) per evaluation)
+    rather than re-summing the whole graph.
+    """
+    graph = _slot_graph(base)
+    a, b = perm[i], perm[j]
+
+    def incident_cost(slot: int, occupant: int, other_slot: int, other_occ: int) -> float:
+        total = 0.0
+        for neighbor_slot in graph[slot]:
+            if neighbor_slot == other_slot:
+                partner = other_occ
+            else:
+                partner = 0 if neighbor_slot == 0 else perm[neighbor_slot - 1]
+            total += network.cost(occupant, partner)
+        return total
+
+    before = incident_cost(i + 1, a, j + 1, b) + incident_cost(j + 1, b, i + 1, a)
+    after = incident_cost(i + 1, b, j + 1, a) + incident_cost(j + 1, a, i + 1, b)
+    return after - before
+
+
+_SLOT_GRAPH_CACHE: dict[int, list[tuple[int, ...]]] = {}
+
+
+def _slot_graph(base: HypercubeLayout) -> list[tuple[int, ...]]:
+    """Adjacency of the canonical layout's *slots* (cached per n)."""
+    cached = _SLOT_GRAPH_CACHE.get(base.n)
+    if cached is None:
+        graph = base.to_graph()
+        cached = [tuple(graph.neighbors(v)) for v in range(base.n)]
+        if len(_SLOT_GRAPH_CACHE) > 16:
+            _SLOT_GRAPH_CACHE.clear()
+        _SLOT_GRAPH_CACHE[base.n] = cached
+    return cached

@@ -1,0 +1,144 @@
+"""Hypercube overlays, including the paper's non-power-of-two doubling.
+
+Section 2.3.2: the binomial pipeline runs on a hypercube — node IDs are
+``h``-bit strings, the server holds the all-zero ID, and two nodes link iff
+their IDs differ in exactly one bit. Section 2.3.3 generalises to any
+number of nodes by letting ``h = floor(log2 n)`` and assigning each
+non-zero ID to one *or two* clients (every ID covered, none tripled); a
+doubled ID's two clients act as one logical vertex and are also linked to
+each other.
+
+This module provides the ID assignment (:class:`HypercubeLayout`) used by
+the deterministic schedule, and plain :class:`ExplicitGraph` views of both
+the exact hypercube and the doubled "hypercube-like" overlay that the
+paper's Figure 5 runs the randomized algorithm on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ConfigError
+from .graph import ExplicitGraph
+
+__all__ = ["HypercubeLayout", "hypercube", "hypercube_overlay"]
+
+
+def hypercube(h: int) -> ExplicitGraph:
+    """The exact ``h``-dimensional hypercube on ``2^h`` nodes."""
+    if h < 0:
+        raise ConfigError(f"hypercube dimension must be >= 0, got {h}")
+    n = 1 << h
+    edges = [(v, v ^ (1 << bit)) for v in range(n) for bit in range(h) if v < v ^ (1 << bit)]
+    return ExplicitGraph(n, edges)
+
+
+@dataclass(frozen=True, slots=True)
+class HypercubeLayout:
+    """Assignment of ``n`` physical nodes onto a ``2^h``-vertex hypercube.
+
+    Attributes
+    ----------
+    n:
+        Number of physical nodes (server included).
+    h:
+        Hypercube dimension, ``floor(log2 n)``.
+    vertex_of:
+        ``vertex_of[node]`` is the hypercube vertex (ID) of each node;
+        the server (node 0) always has vertex 0.
+    occupants:
+        ``occupants[vertex]`` is the list of 1 or 2 physical nodes at that
+        vertex; vertex 0 holds exactly the server.
+    """
+
+    n: int
+    h: int
+    vertex_of: tuple[int, ...]
+    occupants: tuple[tuple[int, ...], ...]
+
+    @classmethod
+    def assign(cls, n: int) -> "HypercubeLayout":
+        """Deterministically lay out ``n`` nodes (Section 2.3.3 rules).
+
+        Feasible for every ``n >= 2``: with ``h = floor(log2 n)`` there are
+        ``2^h - 1`` non-zero IDs for the ``n - 1`` clients, and
+        ``2^h - 1 <= n - 1 <= 2 * (2^h - 1)`` always holds.
+        """
+        if n < 2:
+            raise ConfigError(f"need a server and at least one client, got n={n}")
+        h = n.bit_length() - 1  # floor(log2 n)
+        vertices = 1 << h
+        clients = n - 1
+        doubles = clients - (vertices - 1)
+
+        vertex_of = [0] * n
+        occupants: list[list[int]] = [[] for _ in range(vertices)]
+        occupants[0].append(0)
+
+        node = 1
+        for vertex in range(1, vertices):
+            vertex_of[node] = vertex
+            occupants[vertex].append(node)
+            node += 1
+        # Double up the first `doubles` non-zero vertices.
+        for vertex in range(1, doubles + 1):
+            vertex_of[node] = vertex
+            occupants[vertex].append(node)
+            node += 1
+        assert node == n
+
+        return cls(
+            n=n,
+            h=h,
+            vertex_of=tuple(vertex_of),
+            occupants=tuple(tuple(o) for o in occupants),
+        )
+
+    @property
+    def doubled_vertices(self) -> tuple[int, ...]:
+        """Vertices occupied by two physical nodes."""
+        return tuple(v for v, occ in enumerate(self.occupants) if len(occ) == 2)
+
+    def twin(self, node: int) -> int | None:
+        """The other occupant of ``node``'s vertex, or ``None``."""
+        occ = self.occupants[self.vertex_of[node]]
+        if len(occ) == 1:
+            return None
+        return occ[0] if occ[1] == node else occ[1]
+
+    def to_graph(self) -> ExplicitGraph:
+        """Physical overlay: the "hypercube-like" graph of the paper.
+
+        Each occupant links to the *index-aligned* occupant of every
+        adjacent vertex (second occupants fall back to the first where the
+        neighbor is single), plus an edge between twins — per-node degree
+        stays near ``h``, matching the paper's "average degree 10 for
+        n = 1000" remark, and the graph reduces to the exact hypercube
+        when ``n = 2^h``.
+        """
+        edges: list[tuple[int, int]] = []
+        for vertex, occ in enumerate(self.occupants):
+            if len(occ) == 2:
+                edges.append((occ[0], occ[1]))
+            for bit in range(self.h):
+                other = vertex ^ (1 << bit)
+                if other < vertex:
+                    continue
+                other_occ = self.occupants[other]
+                for i, a in enumerate(occ):
+                    edges.append((a, other_occ[min(i, len(other_occ) - 1)]))
+                # A doubled neighbor's second occupant must not be isolated
+                # on this dimension when our vertex is single.
+                if len(occ) < len(other_occ):
+                    edges.append((occ[-1], other_occ[-1]))
+        return ExplicitGraph(self.n, edges)
+
+
+def hypercube_overlay(n: int) -> ExplicitGraph:
+    """The "hypercube-like" overlay for arbitrary ``n`` (paper, Figure 5).
+
+    For ``n = 1000`` this has average degree about 10, matching the paper's
+    remark that the randomized algorithm on this overlay performs like the
+    complete graph while keeping the degree near ``log2 n``.
+    """
+    return HypercubeLayout.assign(n).to_graph()

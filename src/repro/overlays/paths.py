@@ -1,0 +1,28 @@
+"""Path and ring overlays.
+
+The chain (path graph) is the overlay of the paper's pipeline strategy
+(Section 2.2.1): the server at one end, each client forwarding to the
+next. The ring variant closes the loop and is used by robustness tests.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ConfigError
+from .graph import ExplicitGraph
+
+__all__ = ["chain", "ring"]
+
+
+def chain(n: int) -> ExplicitGraph:
+    """Path graph ``0 - 1 - ... - n-1`` (the pipeline overlay)."""
+    if n < 1:
+        raise ConfigError(f"chain needs at least one node, got n={n}")
+    return ExplicitGraph(n, [(v, v + 1) for v in range(n - 1)])
+
+
+def ring(n: int) -> ExplicitGraph:
+    """Cycle graph over ``n >= 3`` nodes."""
+    if n < 3:
+        raise ConfigError(f"ring needs at least three nodes, got n={n}")
+    edges = [(v, v + 1) for v in range(n - 1)] + [(n - 1, 0)]
+    return ExplicitGraph(n, edges)

@@ -1,0 +1,118 @@
+"""Tree overlays: d-ary multicast trees and binomial trees.
+
+Section 2.2.2 analyses a complete d-ary multicast tree rooted at the
+server; Section 2.2.3 the binomial tree (the paper's Figure 1). Both are
+provided here as rooted trees (parent/children structure), with a plain
+graph view for the engines.
+
+Binomial-tree numbering uses the classic bit trick: the parent of node
+``v`` is ``v`` with its lowest set bit cleared, so node 0 is the root and
+the depth of ``v`` is its popcount. This numbering coincides with the order
+in which the binomial-pipeline opening (Section 2.3.1) seeds the swarm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ConfigError
+from .graph import ExplicitGraph
+
+__all__ = ["RootedTree", "dary_tree", "binomial_tree"]
+
+
+@dataclass(frozen=True, slots=True)
+class RootedTree:
+    """A rooted tree over nodes ``0 .. n-1`` with root 0 (the server)."""
+
+    n: int
+    parent: tuple[int, ...]  # parent[0] == 0 by convention
+    children: tuple[tuple[int, ...], ...]
+
+    @classmethod
+    def from_parents(cls, parent: list[int]) -> "RootedTree":
+        n = len(parent)
+        if n < 1 or parent[0] != 0:
+            raise ConfigError("root (node 0) must be its own parent")
+        kids: list[list[int]] = [[] for _ in range(n)]
+        for v in range(1, n):
+            p = parent[v]
+            if not 0 <= p < n:
+                raise ConfigError(f"parent {p} of node {v} outside 0..{n - 1}")
+            if p == v:
+                raise ConfigError(f"non-root node {v} is its own parent")
+            kids[p].append(v)
+        tree = cls(
+            n=n,
+            parent=tuple(parent),
+            children=tuple(tuple(c) for c in kids),
+        )
+        if len(list(tree.iter_bfs())) != n:
+            raise ConfigError("parent array contains a cycle")
+        return tree
+
+    def iter_bfs(self):
+        """Nodes in breadth-first order from the root.
+
+        Each non-root node has exactly one parent, so the component
+        reachable from the root is always a tree; nodes on a parent cycle
+        are simply never reached (and ``from_parents`` rejects such arrays
+        by comparing the traversal size with ``n``).
+        """
+        queue = [0]
+        while queue:
+            nxt: list[int] = []
+            for v in queue:
+                yield v
+                nxt.extend(self.children[v])
+            queue = nxt
+
+    def depth_of(self, v: int) -> int:
+        """Edge distance from the root to ``v``."""
+        d = 0
+        while v != 0:
+            v = self.parent[v]
+            d += 1
+        return d
+
+    @property
+    def depth(self) -> int:
+        """Depth of the deepest node."""
+        return max(self.depth_of(v) for v in range(self.n))
+
+    def to_graph(self) -> ExplicitGraph:
+        """Undirected graph view (parent-child edges)."""
+        return ExplicitGraph(
+            self.n, [(self.parent[v], v) for v in range(1, self.n)]
+        )
+
+
+def dary_tree(n: int, d: int) -> RootedTree:
+    """Complete ``d``-ary tree over ``n`` nodes in BFS (level) order.
+
+    Node ``v``'s children are ``d*v + 1 .. d*v + d`` (those below ``n``),
+    which fills each level before starting the next — the shape the paper's
+    multicast analysis assumes.
+    """
+    if n < 1:
+        raise ConfigError(f"tree needs at least one node, got n={n}")
+    if d < 1:
+        raise ConfigError(f"tree arity must be >= 1, got d={d}")
+    parent = [0] * n
+    for v in range(1, n):
+        parent[v] = (v - 1) // d
+    return RootedTree.from_parents(parent)
+
+
+def binomial_tree(h: int) -> RootedTree:
+    """The binomial tree B_h over ``2^h`` nodes (paper Figure 1).
+
+    ``parent(v) = v & (v - 1)`` (clear lowest set bit); node 0 is the
+    server. The subtree hanging off the root's ``i``-th child (node
+    ``2^i``) is B_i.
+    """
+    if h < 0:
+        raise ConfigError(f"binomial tree order must be >= 0, got {h}")
+    n = 1 << h
+    parent = [v & (v - 1) for v in range(n)]
+    return RootedTree.from_parents(parent)

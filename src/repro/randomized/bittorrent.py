@@ -1,0 +1,223 @@
+"""A BitTorrent-style tit-for-tat engine (paper Section 4, ongoing work).
+
+The paper's related-work discussion reports that, in its ongoing
+simulations, "even with perfect tuning of protocol parameters, the
+completion time with BitTorrent is more than 30% worse than the optimal
+time", and that BitTorrent's fixed unchoke slots give selfish clients
+little incentive to conform. This module implements a faithful-but-minimal
+BitTorrent within the same tick model so both claims can be measured:
+
+* every client maintains ``unchoke_slots`` reciprocation slots, re-chosen
+  every ``rechoke_period`` ticks by blocks received from each neighbor in
+  the last window (tit-for-tat), plus ``optimistic_slots`` random
+  optimistic unchokes;
+* each tick a client uploads one block (Rarest-First by default) to a
+  random *interested* peer among those it currently unchokes;
+* the seed (server) has no reciprocation to rank, so it unchokes random
+  interested neighbors each window;
+* ``selfish`` clients never upload; they ride optimistic unchokes only —
+  the loophole the paper calls out.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+
+from ..core.errors import ConfigError
+from ..core.log import RunResult, TransferLog
+from ..core.model import SERVER, BandwidthModel
+from ..core.state import SwarmState
+from ..overlays.graph import CompleteGraph, Graph
+from .engine import default_max_ticks
+from .policies import BlockPolicy, RarestFirstPolicy
+
+__all__ = ["BitTorrentEngine", "bittorrent_run"]
+
+
+class BitTorrentEngine:
+    """Tick-synchronous BitTorrent-like swarm; see module docstring."""
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        overlay: Graph | None = None,
+        unchoke_slots: int = 4,
+        optimistic_slots: int = 1,
+        rechoke_period: int = 10,
+        policy: BlockPolicy | None = None,
+        model: BandwidthModel | None = None,
+        rng: random.Random | int | None = None,
+        max_ticks: int | None = None,
+        keep_log: bool = True,
+        selfish: frozenset[int] | set[int] = frozenset(),
+        per_node_unchoke: dict[int, int] | None = None,
+    ) -> None:
+        if unchoke_slots < 1:
+            raise ConfigError(f"need at least one unchoke slot, got {unchoke_slots}")
+        if optimistic_slots < 0:
+            raise ConfigError(f"optimistic slots must be >= 0, got {optimistic_slots}")
+        if rechoke_period < 1:
+            raise ConfigError(f"rechoke period must be >= 1, got {rechoke_period}")
+        self.state = SwarmState(n, k)
+        self.n, self.k = n, k
+        self.graph = overlay if overlay is not None else CompleteGraph(n)
+        if self.graph.n != n:
+            raise ConfigError(f"overlay has {self.graph.n} nodes, swarm has {n}")
+        self.unchoke_slots = unchoke_slots
+        self.optimistic_slots = optimistic_slots
+        self.rechoke_period = rechoke_period
+        self.policy = policy or RarestFirstPolicy()
+        self.model = model or BandwidthModel.symmetric()
+        self.rng = rng if isinstance(rng, random.Random) else random.Random(rng)
+        self.max_ticks = max_ticks or default_max_ticks(n, k)
+        self.keep_log = keep_log
+        self.selfish = frozenset(selfish)
+        if SERVER in self.selfish:
+            raise ConfigError("the seed cannot be selfish")
+        # A strategic client may run fewer (or more) reciprocation slots
+        # than the protocol default; everyone else keeps `unchoke_slots`.
+        self.per_node_unchoke = dict(per_node_unchoke or {})
+        for node, slots in self.per_node_unchoke.items():
+            if not 0 <= node < n:
+                raise ConfigError(f"unchoke override for unknown node {node}")
+            if slots < 0:
+                raise ConfigError(f"unchoke slots must be >= 0, got {slots}")
+        self.log = TransferLog()
+        self.tick = 0
+        self.uploads_per_tick: list[int] = []
+        # received_window[v][u]: blocks v got from u in the current window.
+        self._received_window: dict[int, dict[int, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        self._unchoked: dict[int, tuple[int, ...]] = {}
+        self._full = (1 << k) - 1
+
+    # -- choking -------------------------------------------------------------
+
+    def _rechoke(self) -> None:
+        """Recompute every node's unchoke set from last window's receipts."""
+        rng = self.rng
+        masks = self.state.masks
+        for node in range(self.n):
+            if node != SERVER and not masks[node]:
+                self._unchoked[node] = ()
+                continue
+            neighbors = [v for v in self.graph.neighbors(node) if v != node]
+            if not neighbors:
+                self._unchoked[node] = ()
+                continue
+            slots = self.per_node_unchoke.get(node, self.unchoke_slots)
+            if node == SERVER:
+                chosen = self._sample(neighbors, slots + self.optimistic_slots)
+            else:
+                window = self._received_window[node]
+                ranked = sorted(
+                    (v for v in neighbors if window.get(v, 0) > 0),
+                    key=lambda v: (-window[v], rng.random()),
+                )
+                chosen = list(ranked[:slots])
+                others = [v for v in neighbors if v not in chosen]
+                chosen.extend(self._sample(others, self.optimistic_slots))
+            self._unchoked[node] = tuple(chosen)
+        self._received_window.clear()
+
+    def _sample(self, pool: list[int], count: int) -> list[int]:
+        if count <= 0 or not pool:
+            return []
+        if len(pool) <= count:
+            return list(pool)
+        return self.rng.sample(pool, count)
+
+    # -- ticks ---------------------------------------------------------------
+
+    def _run_tick(self) -> int:
+        self.tick += 1
+        if (self.tick - 1) % self.rechoke_period == 0:
+            self._rechoke()
+
+        state = self.state
+        snapshot = state.begin_tick()
+        masks = state.masks
+        rng = self.rng
+        cap = self.model.download
+        dl_left = [cap] * self.n if cap is not None else None
+
+        uploaders = [
+            v
+            for v in range(self.n)
+            if snapshot[v] and v not in self.selfish
+        ]
+        rng.shuffle(uploaders)
+        transfers = 0
+        for src in uploaders:
+            rounds = self.model.server_upload if src == SERVER else 1
+            have = snapshot[src]
+            for _ in range(rounds):
+                candidates = [
+                    v
+                    for v in self._unchoked.get(src, ())
+                    if (dl_left is None or dl_left[v] > 0) and have & ~masks[v]
+                ]
+                if not candidates:
+                    break
+                dst = candidates[rng.randrange(len(candidates))]
+                useful = have & ~masks[dst]
+                block = self.policy.choose(useful, self, src, dst)
+                state.receive(dst, block)
+                if dl_left is not None:
+                    dl_left[dst] -= 1
+                self._received_window[dst][src] += 1
+                if self.keep_log:
+                    self.log.record(self.tick, src, dst, block)
+                transfers += 1
+        self.uploads_per_tick.append(transfers)
+        return transfers
+
+    def run(self) -> RunResult:
+        """Run to completion or ``max_ticks``; stalls cannot be proven
+        permanent here (rechoking re-randomizes), so no deadlock abort —
+        but an all-windows-silent swarm exits early anyway."""
+        silent_windows = 0
+        state = self.state
+        while not state.all_complete and self.tick < self.max_ticks:
+            made = self._run_tick()
+            if made == 0 and self.tick % self.rechoke_period == 0:
+                silent_windows += 1
+                if silent_windows >= 20:
+                    break
+            elif made:
+                silent_windows = 0
+
+        completions = (
+            self.log.completion_ticks(self.n, self.k) if self.keep_log else {}
+        )
+        return RunResult(
+            n=self.n,
+            k=self.k,
+            completion_time=self.tick if state.all_complete else None,
+            client_completions=completions,
+            log=self.log,
+            meta={
+                "algorithm": "bittorrent",
+                "policy": self.policy.name,
+                "unchoke_slots": self.unchoke_slots,
+                "optimistic_slots": self.optimistic_slots,
+                "rechoke_period": self.rechoke_period,
+                "uploads_per_tick": self.uploads_per_tick,
+                "final_holdings": [m.bit_count() for m in state.masks],
+                "selfish": sorted(self.selfish),
+            },
+        )
+
+
+def bittorrent_run(
+    n: int,
+    k: int,
+    overlay: Graph | None = None,
+    rng: random.Random | int | None = None,
+    **kwargs,
+) -> RunResult:
+    """One BitTorrent-style run; see :class:`BitTorrentEngine`."""
+    return BitTorrentEngine(n, k, overlay=overlay, rng=rng, **kwargs).run()

@@ -1,0 +1,195 @@
+"""Churn: clients arriving and departing mid-dissemination.
+
+The paper studies a static swarm, noting that other systems (SplitStream,
+network coding) are "specifically tailored toward goals like robustness
+and ability to handle rapid peer arrivals/departures", and that BitTorrent
+models study "the evolution of the system upload bandwidth as nodes join
+and leave". This module adds that dimension to the randomized engine:
+
+* a **departing** client leaves at the start of its departure tick; its
+  copies vanish from the swarm (holder counts drop — a late departure can
+  even make a block rare again) and it stops counting toward completion;
+* an **arriving** client is absent until its arrival tick, then joins
+  empty and must collect the whole file.
+
+Completion means: every client present at the end holds the file. The
+deadlock abort only fires once no arrivals are pending (a fresh arrival
+can revive a stalled barter swarm — which the churn ablation shows).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.errors import ConfigError
+from ..core.log import RunResult
+from ..core.mechanisms import Mechanism
+from ..core.model import SERVER, BandwidthModel
+from ..overlays.dynamic import DynamicOverlay
+from ..overlays.graph import Graph
+from .engine import RandomizedEngine
+from .policies import BlockPolicy
+
+__all__ = ["ChurnEngine", "churn_run"]
+
+
+class ChurnEngine(RandomizedEngine):
+    """Randomized engine with scheduled client arrivals and departures.
+
+    Parameters beyond :class:`RandomizedEngine`:
+
+    arrivals:
+        Mapping ``client -> tick`` (1-based) at which it joins; clients
+        not listed are present from the start.
+    departures:
+        Mapping ``client -> tick`` at which it leaves (start of tick).
+        A client may both arrive and depart; it must arrive first.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        overlay: Graph | DynamicOverlay | None = None,
+        policy: BlockPolicy | None = None,
+        mechanism: Mechanism | None = None,
+        model: BandwidthModel | None = None,
+        rng: random.Random | int | None = None,
+        max_ticks: int | None = None,
+        keep_log: bool = True,
+        arrivals: dict[int, int] | None = None,
+        departures: dict[int, int] | None = None,
+    ) -> None:
+        super().__init__(
+            n,
+            k,
+            overlay=overlay,
+            policy=policy,
+            mechanism=mechanism,
+            model=model,
+            rng=rng,
+            max_ticks=max_ticks,
+            keep_log=keep_log,
+        )
+        self.arrivals = dict(arrivals or {})
+        self.departures = dict(departures or {})
+        for label, table in (("arrival", self.arrivals), ("departure", self.departures)):
+            for node, tick in table.items():
+                if node == SERVER:
+                    raise ConfigError("the server neither arrives nor departs")
+                if not 1 <= node < n:
+                    raise ConfigError(f"{label} for unknown client {node}")
+                if tick < 1:
+                    raise ConfigError(f"{label} ticks are 1-based, got {tick}")
+        for node, tick in self.departures.items():
+            if node in self.arrivals and self.arrivals[node] >= tick:
+                raise ConfigError(
+                    f"client {node} would depart (tick {tick}) before or at "
+                    f"its arrival (tick {self.arrivals[node]})"
+                )
+        # Late arrivals start absent.
+        for node in self.arrivals:
+            self._absent.add(node)
+            self.state.retire(node)
+            self._pool_remove(node)
+        self._by_tick_arrivals: dict[int, list[int]] = {}
+        for node, tick in self.arrivals.items():
+            self._by_tick_arrivals.setdefault(tick, []).append(node)
+        self._by_tick_departures: dict[int, list[int]] = {}
+        for node, tick in self.departures.items():
+            self._by_tick_departures.setdefault(tick, []).append(node)
+        self._pending_arrivals = len(self.arrivals)
+        self.departed: set[int] = set()
+
+    # -- churn processing ------------------------------------------------------
+
+    def _apply_churn(self, tick: int) -> None:
+        for node in self._by_tick_arrivals.get(tick, ()):
+            if node in self.departed:  # pragma: no cover - validated earlier
+                continue
+            self._absent.discard(node)
+            self.state.enroll(node)
+            self._pool.append(node)
+            self._pool_pos[node] = len(self._pool) - 1
+            self._pending_arrivals -= 1
+        for node in self._by_tick_departures.get(tick, ()):
+            if node in self._absent:
+                continue
+            self._absent.add(node)
+            self.departed.add(node)
+            self.state.retire(node)
+            self._pool_remove(node)
+
+    def _run_tick(self) -> int:
+        self._apply_churn(self.tick + 1)
+        return super()._run_tick()
+
+    # -- run loop ----------------------------------------------------------------
+
+    def run(self, progress=None) -> RunResult:
+        state = self.state
+        deadlocked = False
+        while self.tick < self.max_ticks and (
+            not state.all_complete or self._pending_arrivals
+        ):
+            made = self._run_tick()
+            if progress is not None:
+                progress(self.tick, made)
+            if (
+                made == 0
+                and self._dynamic is None
+                and not self._pending_arrivals
+                and not self._upcoming_departures()
+            ):
+                deadlocked = True
+                break
+
+        completions: dict[int, int] = {}
+        if self.keep_log:
+            completions = {
+                c: t
+                for c, t in self.log.completion_ticks(self.n, self.k).items()
+                if c not in self.departed and c not in self._absent
+            }
+        completed = state.all_complete and not self._pending_arrivals
+        meta: dict[str, object] = {
+            "algorithm": "randomized-churn",
+            "policy": self.policy.name,
+            "mechanism": self.mechanism.name,
+            "arrivals": dict(self.arrivals),
+            "departures": dict(self.departures),
+            "departed": sorted(self.departed),
+            "uploads_per_tick": self.uploads_per_tick,
+            "deadlocked": deadlocked,
+            "final_holdings": [m.bit_count() for m in state.masks],
+        }
+        return RunResult(
+            n=self.n,
+            k=self.k,
+            completion_time=self.tick if completed else None,
+            client_completions=completions,
+            log=self.log,
+            meta=meta,
+        )
+
+    def _upcoming_departures(self) -> bool:
+        """Whether any departure is still scheduled after the current tick.
+
+        A departure can unblock nothing (it only removes capacity), but it
+        can change the completion *goal* — a swarm stalled solely on a
+        client that is about to leave is not deadlocked.
+        """
+        return any(t > self.tick for t in self.departures.values())
+
+
+def churn_run(
+    n: int,
+    k: int,
+    arrivals: dict[int, int] | None = None,
+    departures: dict[int, int] | None = None,
+    **kwargs,
+) -> RunResult:
+    """One randomized run under churn; see :class:`ChurnEngine`."""
+    return ChurnEngine(
+        n, k, arrivals=arrivals, departures=departures, **kwargs
+    ).run()

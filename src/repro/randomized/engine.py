@@ -1,0 +1,362 @@
+"""The synchronous randomized simulation engine (Sections 2.4 and 3.2.3).
+
+Per tick, every node holding data tries to upload one block:
+
+1. pick a uniformly random *eligible* neighbor — one that is interested
+   (lacks a block the uploader holds), still has download capacity this
+   tick, and (under a barter mechanism) is reachable within the credit
+   limit;
+2. send it one useful block chosen by the block-selection policy.
+
+The paper resolves simultaneous-choice collisions with a handshake
+protocol; a synchronous simulation models that by processing uploaders in
+random order against live download-capacity counters and live receiver
+holdings (so no duplicate deliveries happen), while *senders* read their
+own holdings from the start-of-tick snapshot (a block received this tick
+cannot be forwarded until the next).
+
+Eligible-neighbor sampling stays exactly uniform: up to a bounded number
+of rejection samples over the neighbor list (uniform conditioned on
+acceptance), then a full scan choosing uniformly among the eligible. On a
+complete graph the candidate pool is the set of still-incomplete nodes,
+maintained incrementally so big swarms (the paper's n = 10,000 run) stay
+fast.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from ..core.errors import ConfigError
+from ..core.log import RunResult, TransferLog
+from ..core.mechanisms import Cooperative, CreditLimitedBarter, Mechanism
+from ..core.model import SERVER, BandwidthModel
+from ..core.state import SwarmState
+from ..overlays.dynamic import DynamicOverlay
+from ..overlays.graph import CompleteGraph, Graph
+from .policies import BlockPolicy, RandomPolicy
+
+__all__ = ["RandomizedEngine", "default_max_ticks"]
+
+_REJECTION_TRIES = 12
+
+
+def default_max_ticks(n: int, k: int) -> int:
+    """Generous run guard: far above any completion the paper observes
+    (worst cases there are ~6k ticks at n = k = 1000), yet finite so a
+    non-converging configuration returns instead of spinning."""
+    return 40 * k + 10 * n + 1000
+
+
+class RandomizedEngine:
+    """One randomized run over a (possibly dynamic) overlay.
+
+    Parameters
+    ----------
+    n, k:
+        Swarm size (server included) and number of blocks.
+    overlay:
+        A :class:`~repro.overlays.graph.Graph`, a
+        :class:`~repro.overlays.dynamic.DynamicOverlay`, or ``None`` for
+        the complete graph.
+    policy:
+        Block-selection policy; defaults to Random.
+    mechanism:
+        ``Cooperative()`` (default) or ``CreditLimitedBarter(s)``.
+        Strict barter needs paired exchanges and has its own engine
+        (:mod:`repro.randomized.exchange`).
+    model:
+        Bandwidth model; defaults to ``d = u`` (one download per tick).
+    rng:
+        A :class:`random.Random`, a seed, or ``None``.
+    max_ticks:
+        Abort threshold; a run that exceeds it returns an incomplete
+        :class:`~repro.core.log.RunResult` (``completion_time is None``).
+    keep_log:
+        Record every transfer (needed for verification and efficiency
+        traces); switch off to save memory on huge sweeps — per-tick
+        upload counts are kept either way.
+    selfish:
+        Client ids that *never upload* (free-riders). Under the
+        cooperative mechanism they lose nothing; under credit-limited
+        barter they exhaust their ``s``-per-neighbor credit and starve —
+        the incentive loophole of Section 3.2.1. The run's
+        ``meta["final_holdings"]`` records how far each node got.
+    throttle:
+        Mapping ``client -> p`` where a throttled client *skips* each
+        tick's upload independently with probability ``p`` (0 = fully
+        compliant, 1 = free-rider). The strategic knob for incentive
+        analysis (:mod:`repro.incentives`).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        overlay: Graph | DynamicOverlay | None = None,
+        policy: BlockPolicy | None = None,
+        mechanism: Mechanism | None = None,
+        model: BandwidthModel | None = None,
+        rng: random.Random | int | None = None,
+        max_ticks: int | None = None,
+        keep_log: bool = True,
+        selfish: frozenset[int] | set[int] = frozenset(),
+        throttle: dict[int, float] | None = None,
+    ) -> None:
+        self.state = SwarmState(n, k)
+        self.n, self.k = n, k
+        self.policy = policy or RandomPolicy()
+        self.mechanism = mechanism or Cooperative()
+        self.mechanism.reset()
+        self.model = model or BandwidthModel.symmetric()
+        self.rng = rng if isinstance(rng, random.Random) else random.Random(rng)
+        self.max_ticks = max_ticks or default_max_ticks(n, k)
+        self.keep_log = keep_log
+        self.log = TransferLog()
+        self.uploads_per_tick: list[int] = []
+        self.tick = 0
+
+        self._dynamic = overlay if isinstance(overlay, DynamicOverlay) else None
+        if self._dynamic is not None:
+            self.graph: Graph = self._dynamic.at_tick(1)
+        else:
+            self.graph = overlay if overlay is not None else CompleteGraph(n)
+        if self.graph.n != n:
+            raise ConfigError(
+                f"overlay has {self.graph.n} nodes but the swarm has {n}"
+            )
+
+        self.selfish = frozenset(selfish)
+        if SERVER in self.selfish:
+            raise ConfigError("the server cannot be selfish (it is the source)")
+        if not self.selfish <= set(range(1, n)):
+            raise ConfigError(f"selfish ids must be clients 1..{n - 1}")
+        for node, p in (throttle or {}).items():
+            if node == SERVER or not 1 <= node < n:
+                raise ConfigError(f"throttle for invalid client {node}")
+            if not 0.0 <= p <= 1.0:
+                raise ConfigError(f"throttle probability must be in [0, 1], got {p}")
+        # Zero entries are dropped so an all-zero throttle is bit-for-bit
+        # identical to no throttle (no RNG draws are spent on it).
+        self.throttle = {node: p for node, p in (throttle or {}).items() if p > 0}
+        self._gated = not isinstance(self.mechanism, Cooperative)
+        self._credit = (
+            self.mechanism if isinstance(self.mechanism, CreditLimitedBarter) else None
+        )
+        # Incomplete-node pool with O(1) sampling and removal, used as the
+        # candidate set on complete graphs.
+        self._pool: list[int] = list(range(1, n))
+        self._pool_pos: dict[int, int] = {v: i for i, v in enumerate(self._pool)}
+        self._full = (1 << k) - 1
+        self._common = 0  # refreshed at every tick start
+        self._avail: list[int] = []
+        self._avail_pos: dict[int, int] = {}
+        # Nodes currently out of the swarm (churn engines populate this);
+        # they are invalid destinations on explicit overlays.
+        self._absent: set[int] = set()
+
+    # -- candidate pool ------------------------------------------------------
+
+    def _pool_remove(self, v: int) -> None:
+        pos = self._pool_pos.pop(v, None)
+        if pos is None:
+            return
+        last = self._pool.pop()
+        if last != v:
+            self._pool[pos] = last
+            self._pool_pos[last] = pos
+
+    def _avail_remove(self, v: int) -> None:
+        pos = self._avail_pos.pop(v, None)
+        if pos is None:
+            return
+        last = self._avail.pop()
+        if last != v:
+            self._avail[pos] = last
+            self._avail_pos[last] = pos
+
+    # -- one tick --------------------------------------------------------------
+
+    def _run_tick(self) -> int:
+        """Advance one tick; returns the number of transfers made."""
+        self.tick += 1
+        if self._dynamic is not None:
+            self.graph = self._dynamic.at_tick(self.tick)
+
+        state = self.state
+        snapshot = state.begin_tick()
+        masks = state.masks
+        rng = self.rng
+        download_cap = self.model.download
+        dl_left = [download_cap] * self.n if download_cap is not None else None
+        complete_graph = isinstance(self.graph, CompleteGraph)
+        # Per-tick receiver pool for complete graphs: incomplete nodes with
+        # download capacity left. Shrinks as capacity is spent, so late
+        # uploaders don't re-sample saturated receivers.
+        if complete_graph:
+            self._avail = list(self._pool)
+            self._avail_pos = {v: i for i, v in enumerate(self._avail)}
+
+        selfish = self.selfish
+        throttle = self.throttle
+        uploaders = [
+            v
+            for v in range(1, self.n)
+            if snapshot[v]
+            and v not in selfish
+            and (not throttle or (p := throttle.get(v)) is None or rng.random() >= p)
+        ]
+        uploaders.append(SERVER)
+        rng.shuffle(uploaders)
+
+        # Blocks held by *every* incomplete client at tick start: an
+        # uploader whose content is a subset of this can interest nobody
+        # and is skipped outright (a large saving near the endgame).
+        common = -1
+        for v in self._pool:
+            common &= snapshot[v]
+            if common == 0:
+                break
+        self._common = common
+
+        transfers = 0
+        # Credit balances are judged at tick start (transfers within a tick
+        # are simultaneous); ledger updates are buffered and flushed below.
+        credit_sends: list[tuple[int, int]] = []
+        for src in uploaders:
+            rounds = self.model.server_upload if src == SERVER else 1
+            for _ in range(rounds):
+                dst = self._pick_destination(
+                    src, snapshot, masks, dl_left, complete_graph
+                )
+                if dst is None:
+                    break
+                useful = snapshot[src] & ~masks[dst]
+                block = self.policy.choose(useful, self, src, dst)
+                state.receive(dst, block)
+                if state.masks[dst] == self._full:
+                    self._pool_remove(dst)
+                    if complete_graph:
+                        self._avail_remove(dst)
+                if dl_left is not None:
+                    dl_left[dst] -= 1
+                    if complete_graph and dl_left[dst] <= 0:
+                        self._avail_remove(dst)
+                if self._credit is not None:
+                    credit_sends.append((src, dst))
+                if self.keep_log:
+                    self.log.record(self.tick, src, dst, block)
+                transfers += 1
+        if self._credit is not None:
+            for src, dst in credit_sends:
+                self._credit.note_send(src, dst)
+        self.uploads_per_tick.append(transfers)
+        return transfers
+
+    def _pick_destination(
+        self,
+        src: int,
+        snapshot: list[int],
+        masks: list[int],
+        dl_left: list[int] | None,
+        complete_graph: bool,
+    ) -> int | None:
+        """Uniformly random eligible destination for ``src``, or ``None``.
+
+        Bounded rejection sampling over the candidate pool (uniform over
+        the eligible subset, conditioned on acceptance), then a full scan
+        choosing uniformly outright — the combination is exactly uniform.
+        The eligibility predicate is inlined twice for speed: this is the
+        hottest loop of the whole library.
+        """
+        have = snapshot[src]
+        gated = self._gated
+        allows = self.mechanism.allows
+        rng = self.rng
+
+        if complete_graph:
+            candidates_pool = self._avail
+            # Nobody can be interested if every incomplete client already
+            # held all of src's content at tick start.
+            if have & ~self._common == 0:
+                return None
+        else:
+            candidates_pool = self.graph.neighbors(src)
+        size = len(candidates_pool)
+        if size == 0:
+            return None
+        absent = self._absent
+
+        for _ in range(min(_REJECTION_TRIES, size)):
+            v = candidates_pool[rng.randrange(size)]
+            if (
+                v != src
+                and (dl_left is None or dl_left[v] > 0)
+                and have & ~masks[v]
+                and (not absent or v not in absent)
+                and (not gated or allows(src, v))
+            ):
+                return v
+        candidates = [
+            v
+            for v in candidates_pool
+            if v != src
+            and (dl_left is None or dl_left[v] > 0)
+            and have & ~masks[v]
+            and (not absent or v not in absent)
+            and (not gated or allows(src, v))
+        ]
+        if not candidates:
+            return None
+        return candidates[rng.randrange(len(candidates))]
+
+    # -- whole run ---------------------------------------------------------------
+
+    def run(self, progress: Callable[[int, int], None] | None = None) -> RunResult:
+        """Run until every client completes or ``max_ticks`` elapse.
+
+        ``progress`` (optional) is called as ``progress(tick, transfers)``
+        after each tick.
+        """
+        state = self.state
+        deadlocked = False
+        while not state.all_complete and self.tick < self.max_ticks:
+            made = self._run_tick()
+            if progress is not None:
+                progress(self.tick, made)
+            if made == 0 and self._dynamic is None and not self.throttle:
+                # The destination search is exhaustive (bounded rejection
+                # sampling *plus* a full fallback scan), so a tick with zero
+                # transfers proves no legal transfer exists; with a static
+                # overlay the state can never change again. Permanent
+                # deadlock — the paper's "off the charts" barter runs.
+                # (Random throttling makes a silent tick non-conclusive, so
+                # throttled runs rely on max_ticks instead.)
+                deadlocked = True
+                break
+
+        completions: dict[int, int] = {}
+        if self.keep_log:
+            completions = self.log.completion_ticks(self.n, self.k)
+        meta: dict[str, object] = {
+            "algorithm": "randomized",
+            "policy": self.policy.name,
+            "mechanism": self.mechanism.name,
+            "overlay": type(self.graph).__name__,
+            "max_ticks": self.max_ticks,
+            "uploads_per_tick": self.uploads_per_tick,
+            "deadlocked": deadlocked,
+            "final_holdings": [m.bit_count() for m in state.masks],
+        }
+        if self.selfish:
+            meta["selfish"] = sorted(self.selfish)
+        completed = state.all_complete
+        return RunResult(
+            n=self.n,
+            k=self.k,
+            completion_time=self.tick if completed else None,
+            client_completions=completions,
+            log=self.log,
+            meta=meta,
+        )

@@ -1,0 +1,135 @@
+"""Randomized strict-barter exchange matching (library extension).
+
+The paper analyses strict barter only through the deterministic riffle
+pipeline; this module adds the natural randomized counterpart, so the
+price of barter can also be measured for unstructured swarms: each tick a
+random matching of *mutually interested* adjacent client pairs is formed,
+and every matched pair swaps one block in each direction simultaneously —
+each tick satisfies :class:`~repro.core.mechanisms.StrictBarter` exactly.
+The server seeds one interested client per tick for free (the paper's one
+exception to barter).
+
+This directly exposes the start-up bottleneck of Theorem 2: only clients
+already holding data can be matched, so the swarm warms up linearly.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.log import RunResult, TransferLog
+from ..core.model import SERVER, BandwidthModel
+from ..core.state import SwarmState
+from ..overlays.graph import CompleteGraph, Graph
+from .engine import default_max_ticks
+from .policies import BlockPolicy, RandomPolicy
+
+__all__ = ["randomized_exchange_run"]
+
+
+class _ExchangeEngine:
+    """Minimal engine view passed to block policies (state / rng / tick)."""
+
+    def __init__(self, state: SwarmState, graph: Graph, rng: random.Random) -> None:
+        self.state = state
+        self.graph = graph
+        self.rng = rng
+        self.tick = 0
+
+
+def randomized_exchange_run(
+    n: int,
+    k: int,
+    overlay: Graph | None = None,
+    policy: BlockPolicy | None = None,
+    model: BandwidthModel | None = None,
+    rng: random.Random | int | None = None,
+    max_ticks: int | None = None,
+) -> RunResult:
+    """Run randomized strict-barter exchange until completion or timeout.
+
+    Per tick: the server sends one block to a random interested client;
+    clients are scanned in random order, each unmatched client picking a
+    random unmatched neighbor with which a mutually useful swap exists,
+    and the pair exchanges blocks chosen by ``policy`` in both directions.
+
+    Note that a strict-barter swarm can deadlock short of completion (two
+    clients missing only each other's... nothing: no client has anything
+    the other lacks, pairwise), in which case the run times out and
+    ``completion_time is None``.
+    """
+    model = model or BandwidthModel.symmetric()
+    rng = rng if isinstance(rng, random.Random) else random.Random(rng)
+    graph = overlay if overlay is not None else CompleteGraph(n)
+    policy = policy or RandomPolicy()
+    state = SwarmState(n, k)
+    view = _ExchangeEngine(state, graph, rng)
+    log = TransferLog()
+    limit = max_ticks or default_max_ticks(n, k)
+
+    while not state.all_complete and view.tick < limit:
+        view.tick += 1
+        tick = view.tick
+        snapshot = state.begin_tick()
+        matched: set[int] = set()
+
+        # Server seeding: one free block per tick to a random client that
+        # is interested in the server's content (i.e. incomplete).
+        candidates = [
+            v
+            for v in graph.neighbors(SERVER)
+            if v != SERVER and snapshot[SERVER] & ~state.masks[v]
+        ]
+        seeded = None
+        if candidates:
+            seeded = candidates[rng.randrange(len(candidates))]
+            block = policy.choose(
+                snapshot[SERVER] & ~state.masks[seeded], view, SERVER, seeded
+            )
+            state.receive(seeded, block)
+            log.record(tick, SERVER, seeded, block)
+
+        # Pairwise matching of mutually interested clients. A node the
+        # server seeded this tick may only also barter if it has a second
+        # unit of download capacity.
+        seed_can_barter = model.unbounded_download or model.download >= 2
+        order = [v for v in range(1, n) if snapshot[v]]
+        rng.shuffle(order)
+        for a in order:
+            if a in matched or (a == seeded and not seed_can_barter):
+                continue
+            partners = [
+                b
+                for b in graph.neighbors(a)
+                if b != SERVER
+                and b not in matched
+                and (b != seeded or seed_can_barter)
+                and snapshot[a] & ~state.masks[b]
+                and snapshot[b] & ~state.masks[a]
+            ]
+            if not partners:
+                continue
+            b = partners[rng.randrange(len(partners))]
+            block_ab = policy.choose(snapshot[a] & ~state.masks[b], view, a, b)
+            block_ba = policy.choose(snapshot[b] & ~state.masks[a], view, b, a)
+            state.receive(b, block_ab)
+            state.receive(a, block_ba)
+            log.record(tick, a, b, block_ab)
+            log.record(tick, b, a, block_ba)
+            matched.add(a)
+            matched.add(b)
+
+    completions = log.completion_ticks(n, k)
+    return RunResult(
+        n=n,
+        k=k,
+        completion_time=view.tick if state.all_complete else None,
+        client_completions=completions,
+        log=log,
+        meta={
+            "algorithm": "randomized-exchange",
+            "policy": policy.name,
+            "mechanism": "strict-barter",
+            "max_ticks": limit,
+        },
+    )

@@ -1,0 +1,98 @@
+"""Block-selection policies (paper Sections 2.4.2 and 3.2.4).
+
+When an uploader has chosen a downloader, the *block-selection policy*
+picks which of the useful blocks (held by the uploader, lacked by the
+downloader) to send:
+
+* :class:`RandomPolicy` — uniform over the useful blocks ("Random");
+* :class:`RarestFirstPolicy` — the useful block with the fewest holders
+  swarm-wide, ties broken at random ("Rarest-First" with the paper's
+  "perfect statistics about block frequencies");
+* :class:`EstimatedRarestFirstPolicy` — Rarest-First where frequencies are
+  estimated from the uploader's neighborhood only (the paper's "simple
+  schemes for estimating frequencies based on the content of nodes'
+  neighbors", reported to behave almost identically).
+
+Policies receive the running engine, so custom policies can consult any
+swarm state they like.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.blocks import bit_indices, random_set_bit, rarest_set_bit
+
+__all__ = [
+    "BlockPolicy",
+    "RandomPolicy",
+    "RarestFirstPolicy",
+    "EstimatedRarestFirstPolicy",
+]
+
+
+class BlockPolicy:
+    """Strategy interface: pick one block out of a non-empty useful set."""
+
+    #: Name used in run metadata and experiment output.
+    name = "policy"
+
+    def choose(self, useful: int, engine, src: int, dst: int) -> int:
+        """Return a block index from the set bits of ``useful``.
+
+        ``engine`` is the running
+        :class:`~repro.randomized.engine.RandomizedEngine`, exposing
+        ``state`` (holdings and global frequencies), ``rng``, ``graph``
+        and ``tick``.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class RandomPolicy(BlockPolicy):
+    """Uniformly random useful block (the paper's default)."""
+
+    name = "random"
+
+    def choose(self, useful: int, engine, src: int, dst: int) -> int:
+        return random_set_bit(useful, engine.rng)
+
+
+class RarestFirstPolicy(BlockPolicy):
+    """Least-replicated useful block, by exact swarm-wide frequency."""
+
+    name = "rarest-first"
+
+    def choose(self, useful: int, engine, src: int, dst: int) -> int:
+        return rarest_set_bit(useful, engine.state.freq, engine.rng)
+
+
+class EstimatedRarestFirstPolicy(BlockPolicy):
+    """Rarest-First using frequencies observed in the uploader's
+    neighborhood (plus the uploader itself) instead of global statistics.
+
+    Estimates are cached per (uploader, tick), since an uploader makes at
+    most a handful of choices per tick. O(degree * k) per estimate — use
+    at moderate swarm sizes.
+    """
+
+    name = "estimated-rarest-first"
+
+    def __init__(self) -> None:
+        self._cache_key: tuple[int, int] | None = None
+        self._cache_freq: np.ndarray | None = None
+
+    def choose(self, useful: int, engine, src: int, dst: int) -> int:
+        key = (src, engine.tick)
+        if key != self._cache_key:
+            freq = np.zeros(engine.state.k, dtype=np.int64)
+            masks = engine.state.masks
+            freq[bit_indices(masks[src])] += 1
+            for neighbor in engine.graph.neighbors(src):
+                freq[bit_indices(masks[neighbor])] += 1
+            self._cache_key = key
+            self._cache_freq = freq
+        assert self._cache_freq is not None
+        return rarest_set_bit(useful, self._cache_freq, engine.rng)

@@ -1,0 +1,250 @@
+"""Randomized triangular barter (the paper's closing future-work item).
+
+Section 3.3: "we intend to investigate randomized algorithms for
+triangular barter, and their potential use in low-degree overlay networks
+in future work." This module is that investigation.
+
+Per tick, nodes are matched into simultaneous *useful cycles*:
+
+* 2-cycles — plain exchanges ``a <-> b`` (strict barter's only move);
+* 3-cycles — ``a -> b -> c -> a`` where each hop transfers a block the
+  receiver lacks, even though no *pair* has mutual interest;
+* one-way *credit gifts* within a pairwise limit ``s`` (the paper's
+  "combination of triangular barter with a credit limit", which it calls
+  "rather intriguing") — without them no barter variant can deliver a
+  first block beyond the server's own neighbors on a sparse overlay.
+
+Cycles cancel exactly, so each tick satisfies
+:class:`~repro.core.mechanisms.TriangularBarter` with credit limit ``s``
+by construction. The server seeds one block per tick for free, as
+everywhere in the paper.
+
+The point of triangles: on a low-degree overlay, pairwise mutual interest
+gets scarce (the Figure 6 wall); a triangle only needs *one-way* interest
+along each edge of a short cycle, which is far more common — so
+triangular matching needs less credit slack than pure exchange at equal
+degree. The ``ext-triangular`` experiment quantifies it.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.ledger import CreditLedger
+from ..core.log import RunResult, TransferLog
+from ..core.model import SERVER, BandwidthModel
+from ..core.state import SwarmState
+from ..overlays.graph import CompleteGraph, Graph
+from .engine import default_max_ticks
+from .policies import BlockPolicy, RandomPolicy
+
+__all__ = ["randomized_triangular_run"]
+
+_PARTNER_TRIES = 8
+
+
+class _View:
+    """Engine view handed to block policies."""
+
+    def __init__(self, state: SwarmState, graph: Graph, rng: random.Random) -> None:
+        self.state = state
+        self.graph = graph
+        self.rng = rng
+        self.tick = 0
+
+
+def randomized_triangular_run(
+    n: int,
+    k: int,
+    overlay: Graph | None = None,
+    policy: BlockPolicy | None = None,
+    model: BandwidthModel | None = None,
+    rng: random.Random | int | None = None,
+    max_ticks: int | None = None,
+    allow_triangles: bool = True,
+    credit_limit: int = 1,
+) -> RunResult:
+    """Run randomized cyclic barter until completion or timeout.
+
+    ``credit_limit`` bounds one-way gifts per ordered pair (judged at
+    tick start, as everywhere); ``allow_triangles=False`` restricts the
+    matching to 2-cycles — i.e. credit-limited pairwise exchange — so the
+    marginal value of triangles is a one-flag ablation.
+    """
+    model = model or BandwidthModel.symmetric()
+    rng = rng if isinstance(rng, random.Random) else random.Random(rng)
+    graph = overlay if overlay is not None else CompleteGraph(n)
+    policy = policy or RandomPolicy()
+    state = SwarmState(n, k)
+    view = _View(state, graph, rng)
+    log = TransferLog()
+    ledger = CreditLedger()
+    limit = max_ticks or default_max_ticks(n, k)
+    seed_can_barter = model.unbounded_download or (model.download or 1) >= 2
+
+    def useful(a: int, b: int) -> int:
+        return snapshot[a] & ~state.masks[b]
+
+    stalled = 0
+    while not state.all_complete and view.tick < limit:
+        view.tick += 1
+        tick = view.tick
+        snapshot = state.begin_tick()
+        busy: set[int] = set()
+        transfers_this_tick = 0
+
+        # Server seeding (free, one block per tick).
+        candidates = [
+            v
+            for v in graph.neighbors(SERVER)
+            if snapshot[SERVER] & ~state.masks[v]
+        ]
+        seeded = None
+        if candidates:
+            seeded = candidates[rng.randrange(len(candidates))]
+            block = policy.choose(useful(SERVER, seeded), view, SERVER, seeded)
+            state.receive(seeded, block)
+            log.record(tick, SERVER, seeded, block)
+            transfers_this_tick += 1
+            if not seed_can_barter:
+                busy.add(seeded)
+
+        order = [v for v in range(1, n) if snapshot[v]]
+        rng.shuffle(order)
+        gifts: list[tuple[int, int]] = []
+        for a in order:
+            if a in busy:
+                continue
+            cycle = _find_cycle(
+                a, graph, snapshot, state, busy, rng, allow_triangles
+            )
+            if cycle is None:
+                gift = _find_gift(
+                    a, graph, snapshot, state, busy, ledger, credit_limit, rng
+                )
+                if gift is None:
+                    continue
+                cycle = [gift]
+                gifts.append(gift)
+            for src, dst in cycle:
+                block = policy.choose(useful(src, dst), view, src, dst)
+                state.receive(dst, block)
+                log.record(tick, src, dst, block)
+                transfers_this_tick += 1
+            busy.update(node for hop in cycle for node in hop)
+        # Cycles cancel; only one-way gifts consume credit (flushed at
+        # tick end — balances are judged at tick start).
+        for src, dst in gifts:
+            ledger.record_send(src, dst)
+
+        if transfers_this_tick == 0:
+            stalled += 1
+            if stalled >= 8:  # matching is randomized; give it several shots
+                break
+        else:
+            stalled = 0
+
+    completions = log.completion_ticks(n, k)
+    return RunResult(
+        n=n,
+        k=k,
+        completion_time=view.tick if state.all_complete else None,
+        client_completions=completions,
+        log=log,
+        meta={
+            "algorithm": "randomized-triangular",
+            "policy": policy.name,
+            "mechanism": "triangular-barter",
+            "allow_triangles": allow_triangles,
+            "max_ticks": limit,
+        },
+    )
+
+
+def _find_cycle(
+    a: int,
+    graph: Graph,
+    snapshot: list[int],
+    state: SwarmState,
+    busy: set[int],
+    rng: random.Random,
+    allow_triangles: bool,
+) -> list[tuple[int, int]] | None:
+    """A useful 2- or 3-cycle through ``a`` among free clients, or None.
+
+    Sampled: a bounded number of random neighbors are probed for an
+    exchange; failing that, random (b, c) probes for a triangle
+    ``a -> b -> c -> a``. Every node in the returned cycle is currently
+    unmatched and every hop is useful at this instant.
+    """
+    masks = state.masks
+
+    def eligible(v: int) -> bool:
+        return v != SERVER and v != a and v not in busy
+
+    neighbors = [v for v in graph.neighbors(a) if eligible(v)]
+    if not neighbors:
+        return None
+
+    # 2-cycles first: mutual interest.
+    for _ in range(min(_PARTNER_TRIES, len(neighbors))):
+        b = neighbors[rng.randrange(len(neighbors))]
+        if snapshot[a] & ~masks[b] and snapshot[b] & ~masks[a]:
+            return [(a, b), (b, a)]
+
+    if not allow_triangles:
+        # Exhaustive fallback for the pure-exchange baseline.
+        for b in neighbors:
+            if snapshot[a] & ~masks[b] and snapshot[b] & ~masks[a]:
+                return [(a, b), (b, a)]
+        return None
+
+    # Triangles: a -> b -> c -> a with one-way interest per hop.
+    for _ in range(_PARTNER_TRIES):
+        b = neighbors[rng.randrange(len(neighbors))]
+        if not snapshot[a] & ~masks[b] or not snapshot[b]:
+            continue
+        b_neighbors = [
+            c
+            for c in graph.neighbors(b)
+            if eligible(c) and c != b and graph.has_edge(c, a)
+        ]
+        if not b_neighbors:
+            continue
+        for _ in range(min(_PARTNER_TRIES, len(b_neighbors))):
+            c = b_neighbors[rng.randrange(len(b_neighbors))]
+            if snapshot[b] & ~masks[c] and snapshot[c] & ~masks[a]:
+                return [(a, b), (b, c), (c, a)]
+    return None
+
+
+def _find_gift(
+    a: int,
+    graph: Graph,
+    snapshot: list[int],
+    state: SwarmState,
+    busy: set[int],
+    ledger: CreditLedger,
+    credit_limit: int,
+    rng: random.Random,
+) -> tuple[int, int] | None:
+    """A one-way within-credit transfer from ``a``, or ``None``.
+
+    This is the credit line of "triangular barter with a credit limit":
+    a node whose upload would otherwise idle gives a block to a random
+    interested neighbor it has not over-extended — the only way a sparse
+    overlay's far nodes ever receive their first block.
+    """
+    masks = state.masks
+    candidates = [
+        v
+        for v in graph.neighbors(a)
+        if v != SERVER
+        and v != a
+        and v not in busy
+        and snapshot[a] & ~masks[v]
+        and ledger.within_limit(a, v, credit_limit)
+    ]
+    if not candidates:
+        return None
+    return a, candidates[rng.randrange(len(candidates))]

@@ -1,0 +1,56 @@
+"""Deterministic content-distribution schedules and closed-form bounds.
+
+Each builder returns an explicit :class:`~repro.core.Schedule`; run it with
+:func:`~repro.core.execute_schedule` and check it with
+:func:`~repro.core.verify_log`. The closed forms in :mod:`.bounds` predict
+every builder's makespan (asserted by the test suite).
+"""
+
+from .binomial_pipeline import binomial_pipeline_schedule
+from .bounds import (
+    binomial_pipeline_time,
+    binomial_tree_time,
+    ceil_log2,
+    cooperative_lower_bound,
+    credit_limited_lower_bound,
+    multicast_optimal_arity,
+    multicast_tree_time,
+    pipeline_time,
+    price_of_barter,
+    strict_barter_lower_bound,
+)
+from .hypercube import hypercube_dimension_order, hypercube_schedule
+from .multiserver import multi_server_schedule, multi_server_time
+from .multitree import multi_tree_schedule, multi_tree_time_estimate
+from .riffle import riffle_pipeline_schedule
+from .simple import (
+    binomial_tree_schedule,
+    multicast_tree_schedule,
+    pipeline_schedule,
+    tree_pipeline_schedule,
+)
+
+__all__ = [
+    "binomial_pipeline_schedule",
+    "binomial_pipeline_time",
+    "binomial_tree_schedule",
+    "binomial_tree_time",
+    "ceil_log2",
+    "cooperative_lower_bound",
+    "credit_limited_lower_bound",
+    "hypercube_dimension_order",
+    "hypercube_schedule",
+    "multi_server_schedule",
+    "multi_server_time",
+    "multi_tree_schedule",
+    "multi_tree_time_estimate",
+    "multicast_optimal_arity",
+    "multicast_tree_schedule",
+    "multicast_tree_time",
+    "pipeline_schedule",
+    "pipeline_time",
+    "price_of_barter",
+    "riffle_pipeline_schedule",
+    "strict_barter_lower_bound",
+    "tree_pipeline_schedule",
+]

@@ -1,0 +1,127 @@
+"""The Binomial Pipeline (Section 2.3): optimal cooperative distribution.
+
+This module implements the paper's *group-based* description for
+``n = 2^h`` nodes — opening, middlegame, endgame — exactly as Section 2.3.1
+presents it. The equivalent hypercube-embedded formulation (which also
+covers arbitrary ``n``) lives in :mod:`repro.schedules.hypercube`; having
+both lets the test suite cross-validate the two constructions.
+
+Structure of the algorithm (``h = log2 n``):
+
+* **Opening** (ticks ``1 .. h``): the server sends block ``b_t`` to a
+  data-less client each tick, and every client holding a block forwards it
+  to a data-less client — a binomial-tree seeding that leaves the clients
+  partitioned into groups ``G_1 .. G_h`` of sizes ``2^{h-1} .. 1``, group
+  ``G_i`` holding exactly block ``b_i``.
+* **Middlegame** (tick ``t``): the server hands ``b_t`` to one member of
+  the oldest group, which becomes the new singleton group ``G_t``; every
+  other member of the oldest group exchanges its block pairwise with a
+  unique member of the younger groups (the counts match exactly), after
+  which everyone holds the oldest block and each younger group has doubled.
+* **Endgame**: past block ``k`` the server keeps sending ``b_k``
+  (``b_j := b_k`` for ``j > k``); the same pairing rules run until tick
+  ``k + h - 1``, when every client is complete.
+
+The completion time ``k + h - 1`` meets Theorem 1's lower bound.
+"""
+
+from __future__ import annotations
+
+from ..core.engine import Schedule
+from ..core.errors import ConfigError
+from ..core.model import SERVER
+
+__all__ = ["binomial_pipeline_schedule"]
+
+
+def binomial_pipeline_schedule(n: int, k: int) -> Schedule:
+    """Build the group-based binomial pipeline for ``n = 2^h`` nodes.
+
+    Raises :class:`ConfigError` unless ``n`` is a power of two with
+    ``n >= 2``; use :func:`repro.schedules.hypercube_schedule` for
+    arbitrary ``n``.
+    """
+    if n < 2 or n & (n - 1):
+        raise ConfigError(
+            f"the group-based binomial pipeline needs n = 2^h >= 2, got n={n}; "
+            f"use hypercube_schedule for arbitrary n"
+        )
+    if k < 1:
+        raise ConfigError(f"file must have at least one block, got k={k}")
+
+    h = n.bit_length() - 1
+    schedule = Schedule(n, k, meta={"algorithm": "binomial-pipeline", "h": h})
+
+    def block_at(t: int) -> int:
+        """0-based block the server injects at tick ``t`` (b_t, capped at b_k)."""
+        return min(t, k) - 1
+
+    # Groups keyed by creation tick; groups[j] lists the clients whose
+    # newest block is the one injected at tick j. Order inside each list is
+    # deterministic (insertion order), making the whole schedule deterministic.
+    groups: dict[int, list[int]] = {}
+
+    if n == 2:
+        # Degenerate hypercube: the server streams blocks to the only client.
+        for t in range(1, k + 1):
+            schedule.add(t, SERVER, 1, t - 1)
+        return schedule
+
+    # ---- Opening: ticks 1 .. h ------------------------------------------
+    # The server seeds one data-less client per tick; every seeded client
+    # forwards its block to another data-less client each subsequent tick.
+    # Clients are consumed in id order, so the pattern is reproducible.
+    next_empty = 1
+    for t in range(1, h + 1):
+        senders: list[tuple[int, int]] = [(SERVER, block_at(t))]
+        for j, members in groups.items():
+            senders.extend((m, block_at(j)) for m in members)
+        for sender, block in senders:
+            target = next_empty
+            next_empty += 1
+            schedule.add(t, sender, target, block)
+            if sender == SERVER:
+                groups.setdefault(t, []).append(target)
+            else:
+                # The receiver joins its sender's group (same newest block).
+                for j, members in groups.items():
+                    if sender in members:
+                        members.append(target)
+                        break
+    if next_empty != n:  # pragma: no cover - arithmetic guarantee
+        raise ConfigError("opening failed to seed every client")
+
+    # ---- Middlegame and endgame: ticks h+1 .. k+h-1 ----------------------
+    for t in range(h + 1, k + h):
+        oldest_key = min(groups)
+        oldest = groups.pop(oldest_key)
+        oldest_block = block_at(oldest_key)
+
+        # The server hands the tick's block to one member of the oldest
+        # group, which becomes the new singleton group G_t.
+        promoted = oldest.pop(0)
+        schedule.add(t, SERVER, promoted, block_at(t))
+        new_groups: dict[int, list[int]] = {t: [promoted]}
+
+        # Pair each remaining oldest-group member with a unique member of
+        # the younger groups; counts match exactly (2^{h-1} - 1 on each
+        # side). Exchange blocks both ways; the oldest-group member then
+        # migrates to its partner's group.
+        partners = [
+            (j, member) for j in sorted(groups) for member in groups[j]
+        ]
+        if len(partners) != len(oldest):  # pragma: no cover - invariant
+            raise ConfigError(
+                f"group sizes out of balance at tick {t}: "
+                f"{len(oldest)} vs {len(partners)}"
+            )
+        movers_into: dict[int, list[int]] = {}
+        for mover, (j, partner) in zip(oldest, partners):
+            schedule.add(t, mover, partner, oldest_block)
+            schedule.add(t, partner, mover, block_at(j))
+            movers_into.setdefault(j, []).append(mover)
+        for j in groups:
+            new_groups[j] = groups[j] + movers_into.get(j, [])
+        groups = new_groups
+
+    return schedule

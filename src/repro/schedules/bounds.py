@@ -1,0 +1,195 @@
+"""Closed-form completion times and lower bounds (paper Sections 2-3).
+
+The OCR of the paper mangles every formula; these are re-derived from the
+intact proofs (see DESIGN.md section 2) and asserted against the actual
+schedules by the test suite:
+
+* pipeline: ``k + n - 2``;
+* d-ary multicast tree: ``d * (k + depth - 1)``;
+* binomial tree, one block at a time: ``k * ceil(log2 n)``;
+* cooperative lower bound (Theorem 1): ``k - 1 + ceil(log2 n)``;
+* binomial pipeline / hypercube: meets the cooperative lower bound;
+* strict-barter lower bound (Theorem 2): ``k + n - 2`` when ``d = u``, and
+  an exact counting bound for larger download capacities;
+* credit-limited lower bound: equals the cooperative bound (Section 3.2.2).
+
+All functions take ``n`` = number of nodes *including* the server, matching
+the paper's convention.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.errors import ConfigError
+
+__all__ = [
+    "ceil_log2",
+    "pipeline_time",
+    "multicast_tree_time",
+    "binomial_tree_time",
+    "cooperative_lower_bound",
+    "binomial_pipeline_time",
+    "strict_barter_lower_bound",
+    "credit_limited_lower_bound",
+    "price_of_barter",
+]
+
+
+def _check_nk(n: int, k: int) -> None:
+    if n < 2:
+        raise ConfigError(f"need a server and at least one client, got n={n}")
+    if k < 1:
+        raise ConfigError(f"file must have at least one block, got k={k}")
+
+
+def ceil_log2(n: int) -> int:
+    """``ceil(log2 n)`` for ``n >= 1``, computed exactly on integers."""
+    if n < 1:
+        raise ConfigError(f"log2 argument must be >= 1, got {n}")
+    return (n - 1).bit_length()
+
+
+def pipeline_time(n: int, k: int) -> int:
+    """Completion time of the pipeline strategy (Section 2.2.1)."""
+    _check_nk(n, k)
+    return k + n - 2
+
+
+def multicast_tree_time(n: int, k: int, d: int) -> int:
+    """Completion time of the complete d-ary multicast tree (Section 2.2.2).
+
+    Every node relays each block to its (up to) ``d`` children one per
+    tick, so a full-degree node adds ``d`` ticks per level; with ``depth``
+    the depth of the BFS-shaped d-ary tree on ``n`` nodes, the last block
+    reaches the deepest node at ``d * (k + depth - 1)``.
+
+    Matches :func:`repro.schedules.multicast_tree_schedule` exactly when
+    the tree's deepest path consists of full-degree internal nodes (always
+    true for ``n >= d + 1``; for tiny trees the greedy schedule can finish
+    earlier and the tests assert ``<=``).
+    """
+    _check_nk(n, k)
+    if d < 1:
+        raise ConfigError(f"tree arity must be >= 1, got d={d}")
+    depth = _dary_depth(n, d)
+    return d * (k + depth - 1)
+
+
+def _dary_depth(n: int, d: int) -> int:
+    """Depth of the BFS-filled d-ary tree on ``n`` nodes."""
+    if d == 1:
+        return n - 1
+    depth = 0
+    filled = 1
+    level = 1
+    while filled < n:
+        level *= d
+        filled += level
+        depth += 1
+    return depth
+
+
+def binomial_tree_time(n: int, k: int) -> int:
+    """One-block-at-a-time binomial broadcast (Section 2.2.3):
+    ``k * ceil(log2 n)``."""
+    _check_nk(n, k)
+    return k * ceil_log2(n)
+
+
+def cooperative_lower_bound(n: int, k: int) -> int:
+    """Theorem 1: every algorithm needs ``k - 1 + ceil(log2 n)`` ticks.
+
+    After the first ``k - 1`` ticks some block is still held only by the
+    server; the holder count of a block can at most double per tick, so
+    that block needs ``ceil(log2 n)`` further ticks to reach everyone.
+    """
+    _check_nk(n, k)
+    return k - 1 + ceil_log2(n)
+
+
+def binomial_pipeline_time(n: int, k: int) -> int:
+    """Completion time of the binomial pipeline (Section 2.3).
+
+    ``k + h - 1`` for ``n = 2^h``; for general ``n`` the doubled-vertex
+    hypercube needs one extra repair tick, giving ``k + floor(log2 n)``
+    — which equals the Theorem 1 lower bound, i.e. the algorithm is
+    optimal for every ``n``.
+    """
+    _check_nk(n, k)
+    h = n.bit_length() - 1
+    if n == 1 << h:
+        return k + h - 1
+    return k + h
+
+
+def strict_barter_lower_bound(n: int, k: int, download: int | None = 1) -> int:
+    """Theorem 2: lower bound under strict barter.
+
+    With ``d = u`` (``download == 1``): a client's first block must come
+    from the server, so some client holds at most one block after
+    ``n - 1`` ticks and then needs ``k - 1`` more at one block/tick —
+    ``T >= k + n - 2``.
+
+    With larger download capacity the binding constraint is upload
+    counting: at tick ``t`` at most ``min(t - 1, n - 1)`` clients hold any
+    data, client uploads happen in barter *pairs* (so an even number), and
+    the server adds one more; the total must reach ``k * (n - 1)``.
+    The counting bound is also valid for ``d = u`` and the maximum of the
+    applicable bounds (including Theorem 1's) is returned.
+    """
+    _check_nk(n, k)
+    bounds = [cooperative_lower_bound(n, k), _barter_counting_bound(n, k)]
+    if download is not None and download < 2:
+        bounds.append(k + n - 2)
+    return max(bounds)
+
+
+def _barter_counting_bound(n: int, k: int) -> int:
+    needed = k * (n - 1)
+    delivered = 0
+    t = 0
+    while delivered < needed:
+        t += 1
+        capable = min(t - 1, n - 1)
+        delivered += 1 + 2 * (capable // 2)
+    return t
+
+
+def credit_limited_lower_bound(n: int, k: int) -> int:
+    """Section 3.2.2: no better bound than the cooperative one is known,
+    and for ``n = 2^h`` with credit limit 1 it is tight."""
+    return cooperative_lower_bound(n, k)
+
+
+def price_of_barter(n: int, k: int) -> float:
+    """Ratio of the strict-barter optimum to the cooperative optimum.
+
+    Uses the strict-barter lower bound at ``d = u`` (met by the riffle
+    pipeline for ``k`` a multiple of ``n - 1``) over Theorem 1's
+    cooperative bound (met by the binomial pipeline): the paper's
+    headline "price of barter" — linear in ``n`` instead of logarithmic.
+    """
+    return strict_barter_lower_bound(n, k, download=1) / cooperative_lower_bound(n, k)
+
+
+def multicast_optimal_arity(n: int, k: int, max_d: int | None = None) -> tuple[int, int]:
+    """Best tree arity for the d-ary multicast strategy.
+
+    Returns ``(d, time)`` minimising :func:`multicast_tree_time`; a small
+    helper for the examples (the trade-off the paper's Section 2.2.2
+    formula captures: deeper trees pipeline better, wider trees fan out
+    faster).
+    """
+    _check_nk(n, k)
+    best: tuple[int, int] | None = None
+    limit = max_d if max_d is not None else max(2, math.ceil(math.sqrt(n)) + 2)
+    for d in range(1, limit + 1):
+        t = multicast_tree_time(n, k, d)
+        if best is None or t < best[1]:
+            best = (d, t)
+    assert best is not None
+    return best
+
+
+__all__.append("multicast_optimal_arity")

@@ -1,0 +1,213 @@
+"""Hypercube embedding of the binomial pipeline (Sections 2.3.2-2.3.3).
+
+For ``n = 2^h`` the binomial pipeline reduces to three local rules on a
+hypercube overlay (every node talks only to its ``h`` neighbors):
+
+* at tick ``t`` all transfers cross dimension ``(t - 1) mod h`` (most
+  significant bit first, matching the paper's indexing);
+* the server transmits block ``b_t`` (``b_k`` once past the end of file);
+* every other node transmits the highest-index block it holds.
+
+For arbitrary ``n`` (Section 2.3.3) each hypercube vertex hosts one or two
+physical clients (:class:`~repro.overlays.hypercube.HypercubeLayout`); a
+doubled vertex acts as one logical node whose twins are kept within one
+block of each other, and one final repair tick lets twins swap their last
+missing blocks. Completion is ``k + h - 1`` for powers of two and
+``k + h`` (with ``h = floor(log2 n)``) otherwise — optimal for every
+``n`` by Theorem 1.
+
+One of the paper's intra-pair rules is OCR-garbled; see DESIGN.md for the
+(capacity-respecting) variant implemented here: a twin that did not spend
+its upload externally forwards one start-of-tick block its sibling lacks,
+and a node never exceeds one upload plus one download per tick — so the
+whole construction runs at ``d = u``, the strictest bandwidth setting.
+"""
+
+from __future__ import annotations
+
+from ..core.engine import Schedule
+from ..core.errors import ConfigError, ScheduleViolation
+from ..core.model import SERVER
+from ..overlays.hypercube import HypercubeLayout
+
+__all__ = ["hypercube_schedule", "hypercube_dimension_order"]
+
+
+def hypercube_dimension_order(h: int, ticks: int) -> list[int]:
+    """Bit flipped at each tick ``1 .. ticks``: round-robin, MSB first."""
+    return [h - 1 - ((t - 1) % h) for t in range(1, ticks + 1)]
+
+
+def hypercube_schedule(n: int, k: int) -> Schedule:
+    """Build the hypercube-embedded binomial pipeline for any ``n >= 2``.
+
+    The returned schedule is optimal: its makespan equals
+    :func:`repro.schedules.bounds.binomial_pipeline_time`, which meets the
+    Theorem 1 lower bound for every ``n``. It respects upload *and*
+    download capacities of one block per tick.
+    """
+    if n < 2:
+        raise ConfigError(f"need a server and at least one client, got n={n}")
+    if k < 1:
+        raise ConfigError(f"file must have at least one block, got k={k}")
+    return _Builder(n, k).build()
+
+
+class _Builder:
+    """Tick-by-tick constructor; tracks holdings and per-tick capacities."""
+
+    def __init__(self, n: int, k: int) -> None:
+        self.n = n
+        self.k = k
+        self.layout = HypercubeLayout.assign(n)
+        self.h = self.layout.h
+        self.schedule = Schedule(
+            n,
+            k,
+            meta={
+                "algorithm": "hypercube",
+                "h": self.h,
+                "doubled": len(self.layout.doubled_vertices),
+            },
+        )
+        self.masks = [0] * n
+        self.masks[SERVER] = (1 << k) - 1
+        self.snapshot: list[int] = []
+        self.uploaded: set[int] = set()
+        self.downloaded: set[int] = set()
+        self.tick = 0
+
+    # -- per-tick bookkeeping ----------------------------------------------
+
+    def _start_tick(self, tick: int) -> None:
+        self.tick = tick
+        self.snapshot = list(self.masks)
+        self.uploaded = set()
+        self.downloaded = set()
+
+    def _transfer(self, src: int, dst: int, block: int) -> None:
+        self.schedule.add(self.tick, src, dst, block)
+        self.masks[dst] |= 1 << block
+        self.uploaded.add(src)
+        self.downloaded.add(dst)
+
+    # -- vertex-level rules --------------------------------------------------
+
+    def _outgoing(self, vertex: int) -> tuple[int, int] | None:
+        """(transmitter, block) the vertex offers this tick, or ``None``.
+
+        The server vertex offers ``b_min(t, k)``; any other vertex offers
+        the highest-index block held by either occupant at tick start,
+        transmitted by the first occupant that holds it (the paper's
+        "if C_i has it, C_i transmits" rule).
+        """
+        occupants = self.layout.occupants[vertex]
+        if occupants[0] == SERVER:
+            return SERVER, min(self.tick, self.k) - 1
+        union = 0
+        for node in occupants:
+            union |= self.snapshot[node]
+        if union == 0:
+            return None
+        block = union.bit_length() - 1
+        for node in occupants:
+            if self.snapshot[node] >> block & 1:
+                return node, block
+        raise AssertionError("union bit must be held by an occupant")
+
+    def _receiver(self, vertex: int, transmitter: int | None, block: int) -> int | None:
+        """Occupant of ``vertex`` that should accept ``block``, or ``None``.
+
+        Prefers the occupant not transmitting externally this tick; an
+        occupant that already holds the block or already downloaded this
+        tick is skipped.
+        """
+        occupants = self.layout.occupants[vertex]
+        ordered = [node for node in occupants if node != transmitter]
+        ordered += [node for node in occupants if node == transmitter]
+        for node in ordered:
+            if node in self.downloaded:
+                continue
+            if not self.masks[node] >> block & 1:
+                return node
+        return None
+
+    def _exchange_across(self, vertex: int, partner: int) -> None:
+        """The dimension exchange between two adjacent vertices."""
+        offer_v = self._outgoing(vertex)
+        offer_p = self._outgoing(partner)
+        tx_v = offer_v[0] if offer_v else None
+        tx_p = offer_p[0] if offer_p else None
+
+        for offer, dest_vertex, dest_tx in (
+            (offer_v, partner, tx_p),
+            (offer_p, vertex, tx_v),
+        ):
+            if not offer:
+                continue
+            sender, block = offer
+            receiver = self._receiver(dest_vertex, dest_tx, block)
+            if receiver is not None:
+                self._transfer(sender, receiver, block)
+
+    def _intra_catchup(self, vertex: int) -> None:
+        """Forward one start-of-tick block between twins.
+
+        Keeps twins within one block of each other. Only a twin with its
+        upload still free may donate, and only to a sibling with its
+        download still free.
+        """
+        a, b = self.layout.occupants[vertex]
+        for src, dst in ((a, b), (b, a)):
+            if src in self.uploaded or dst in self.downloaded:
+                continue
+            useful = self.snapshot[src] & ~self.masks[dst]
+            if useful:
+                block = useful.bit_length() - 1
+                self._transfer(src, dst, block)
+                return  # one intra transfer per vertex per tick
+
+    # -- main loop -----------------------------------------------------------
+
+    def build(self) -> Schedule:
+        for t in range(1, self.k + self.h):
+            self._start_tick(t)
+            bit = self.h - 1 - ((t - 1) % self.h)
+            for vertex in range(1 << self.h):
+                partner = vertex ^ (1 << bit)
+                if vertex < partner:
+                    self._exchange_across(vertex, partner)
+            for vertex in self.layout.doubled_vertices:
+                self._intra_catchup(vertex)
+
+        self._repair_tick()
+        full = (1 << self.k) - 1
+        incomplete = [c for c in range(1, self.n) if self.masks[c] != full]
+        if incomplete:
+            raise ScheduleViolation(
+                f"hypercube construction left {len(incomplete)} client(s) "
+                f"incomplete (first few: {incomplete[:5]})",
+                rule="completion",
+            )
+        return self.schedule
+
+    def _repair_tick(self) -> None:
+        """Twins swap their (at most one each) missing blocks (Sec. 2.3.3)."""
+        self._start_tick(self.k + self.h)
+        repaired = False
+        for vertex in self.layout.doubled_vertices:
+            a, b = self.layout.occupants[vertex]
+            for src, dst in ((a, b), (b, a)):
+                lacking = self.snapshot[src] & ~self.snapshot[dst]
+                if not lacking:
+                    continue
+                if lacking & (lacking - 1):
+                    raise ScheduleViolation(
+                        f"twin invariant broken: node {dst} misses "
+                        f"{lacking.bit_count()} blocks held by its twin",
+                        tick=self.tick,
+                        rule="twin-invariant",
+                    )
+                self._transfer(src, dst, lacking.bit_length() - 1)
+                repaired = True
+        self.schedule.meta["repair_tick_used"] = repaired

@@ -1,0 +1,70 @@
+"""Higher server bandwidths (paper Section 2.3.4).
+
+If the server can upload ``m`` blocks per tick (bandwidth ``m * u``), the
+paper's "natural strategy" is optimal: split the clients into ``m``
+near-equal groups and run one binomial pipeline per group, the server
+acting as a virtual server for each. The groups never exchange data, so
+the schedules merge tick-for-tick; the server's per-tick upload count is
+exactly ``m`` during the opening/middlegame (one hand-off per group).
+
+Completion is governed by the largest group:
+``T = k - 1 + ceil(log2(g + 1))`` with ``g = ceil((n - 1) / m)`` clients
+in the largest group — reproducing the intuition that extra server
+bandwidth buys a smaller *logarithmic* term only (the ``k`` term is each
+client's own download floor).
+"""
+
+from __future__ import annotations
+
+from ..core.engine import Schedule
+from ..core.errors import ConfigError
+from ..core.model import SERVER
+from .bounds import cooperative_lower_bound
+from .hypercube import hypercube_schedule
+
+__all__ = ["multi_server_schedule", "multi_server_time"]
+
+
+def multi_server_time(n: int, k: int, m: int) -> int:
+    """Completion time of the grouped strategy with server bandwidth ``m*u``."""
+    if m < 1:
+        raise ConfigError(f"server bandwidth multiplier must be >= 1, got {m}")
+    if n < 2:
+        raise ConfigError(f"need a server and at least one client, got n={n}")
+    clients = n - 1
+    groups = min(m, clients)
+    largest = -(-clients // groups)  # ceil division
+    return cooperative_lower_bound(largest + 1, k)
+
+
+def multi_server_schedule(n: int, k: int, m: int) -> Schedule:
+    """Build the grouped binomial-pipeline schedule for server bandwidth
+    ``m * u``.
+
+    The returned schedule must be executed with
+    ``BandwidthModel(server_upload=m)``; clients stay at one upload and
+    one download per tick.
+    """
+    if m < 1:
+        raise ConfigError(f"server bandwidth multiplier must be >= 1, got {m}")
+    if n < 2:
+        raise ConfigError(f"need a server and at least one client, got n={n}")
+    if k < 1:
+        raise ConfigError(f"file must have at least one block, got k={k}")
+
+    clients = list(range(1, n))
+    groups = min(m, len(clients))
+    schedule = Schedule(
+        n, k, meta={"algorithm": "multi-server", "server_upload": m, "groups": groups}
+    )
+    # Deal clients round-robin so group sizes differ by at most one.
+    buckets: list[list[int]] = [[] for _ in range(groups)]
+    for i, client in enumerate(clients):
+        buckets[i % groups].append(client)
+
+    for bucket in buckets:
+        sub = hypercube_schedule(len(bucket) + 1, k)
+        mapping = [SERVER] + bucket
+        for t in sub:
+            schedule.add(t.tick, mapping[t.src], mapping[t.dst], t.block)
+    return schedule

@@ -1,0 +1,131 @@
+"""SplitStream-style striped multi-tree distribution (related work [7]).
+
+The paper's related work: "SplitStream uses a clever arrangement of
+parallel multicast trees to ensure that all nodes upload data at full
+capacity ... if bandwidths are homogeneous, SplitStream is near-optimal
+with a completion time of roughly ``k + m * log n``, where ``m`` is the
+number of multicast trees". This module reconstructs that baseline inside
+the tick model so the claim can be measured against the binomial pipeline.
+
+Construction (``m`` stripes over ``n - 1`` clients):
+
+* clients are dealt round-robin into ``m`` groups; stripe ``i``'s
+  *interior* nodes are exactly group ``i`` — every client is interior in
+  one tree and a leaf in all others (SplitStream's defining property);
+* within stripe ``i`` the interior nodes form an ``m``-ary tree; the
+  remaining clients hang off interior nodes' spare child slots (each
+  interior node has exactly ``m`` children in total when ``m`` divides
+  ``n - 1``);
+* block ``j`` belongs to stripe ``j mod m``; the server feeds stripe
+  roots round-robin, one block per tick.
+
+Because an interior node relays each of its stripe's blocks to ``m``
+children, and its stripe carries every ``m``-th block, its upload budget
+is exactly saturated — full capacity, the SplitStream goal. Transfers are
+laid out greedily (earliest tick respecting the sender's upload budget,
+the receiver's download budget, and block arrival), so the schedule is
+valid at ``d = u``.
+"""
+
+from __future__ import annotations
+
+from ..core.engine import Schedule
+from ..core.errors import ConfigError
+from ..core.model import SERVER
+from .bounds import ceil_log2
+
+__all__ = ["multi_tree_schedule", "multi_tree_time_estimate"]
+
+
+def multi_tree_time_estimate(n: int, k: int, m: int) -> int:
+    """The related-work estimate ``k + m * ceil(log2 n)`` (an upper-bound
+    flavour; the measured schedule typically lands under it)."""
+    if m < 1:
+        raise ConfigError(f"need at least one tree, got m={m}")
+    return k + m * ceil_log2(n)
+
+
+def _build_stripe_parents(clients: list[int], groups: list[list[int]], i: int, m: int) -> dict[int, int]:
+    """Parent map of stripe ``i``: interior = groups[i], m-ary; others leaves."""
+    interior = groups[i]
+    parent: dict[int, int] = {}
+    # Interior m-ary tree: interior[c]'s parent is interior[(c - 1) // m].
+    for idx in range(1, len(interior)):
+        parent[interior[idx]] = interior[(idx - 1) // m]
+    # Count spare child slots per interior node (m slots each).
+    used = [0] * len(interior)
+    for idx in range(1, len(interior)):
+        used[(idx - 1) // m] += 1
+    slots: list[int] = []
+    for idx, node in enumerate(interior):
+        slots.extend([node] * (m - used[idx]))
+    leaves = [c for c in clients if c not in set(interior)]
+    if len(leaves) > len(slots):
+        # Spill: give extra leaves to the deepest interior nodes round-robin
+        # (only when m does not divide n - 1 evenly).
+        extra = len(leaves) - len(slots)
+        for j in range(extra):
+            slots.append(interior[len(interior) - 1 - (j % len(interior))])
+    for leaf, host in zip(leaves, slots):
+        parent[leaf] = host
+    return parent
+
+
+def multi_tree_schedule(n: int, k: int, m: int) -> Schedule:
+    """Build the striped ``m``-tree schedule for ``n`` nodes, ``k`` blocks.
+
+    Requires ``m <= n - 1`` (each stripe needs at least one interior
+    client). The returned schedule runs at ``d = u``.
+    """
+    if n < 2:
+        raise ConfigError(f"need a server and at least one client, got n={n}")
+    if k < 1:
+        raise ConfigError(f"file must have at least one block, got k={k}")
+    if m < 1 or m > n - 1:
+        raise ConfigError(f"need 1 <= m <= n - 1 trees, got m={m} for n={n}")
+
+    clients = list(range(1, n))
+    groups: list[list[int]] = [[] for _ in range(m)]
+    for idx, c in enumerate(clients):
+        groups[idx % m].append(c)
+    parents = [
+        _build_stripe_parents(clients, groups, i, m) for i in range(m)
+    ]
+    children: list[dict[int, list[int]]] = []
+    for i in range(m):
+        kids: dict[int, list[int]] = {}
+        for child, par in parents[i].items():
+            kids.setdefault(par, []).append(child)
+        children.append(kids)
+
+    schedule = Schedule(n, k, meta={"algorithm": "multi-tree", "m": m})
+    busy_up: list[set[int]] = [set() for _ in range(n)]
+    busy_down: list[set[int]] = [set() for _ in range(n)]
+
+    def earliest(sender: int, receiver: int, not_before: int) -> int:
+        t = not_before
+        while t in busy_up[sender] or t in busy_down[receiver]:
+            t += 1
+        return t
+
+    # Server feeds stripe roots round-robin, one block per tick; each
+    # (stripe, block) then cascades BFS down its tree greedily.
+    for j in range(k):
+        stripe = j % m
+        root = groups[stripe][0]
+        tick = earliest(SERVER, root, j + 1)
+        busy_up[SERVER].add(tick)
+        busy_down[root].add(tick)
+        schedule.add(tick, SERVER, root, j)
+        arrival = {root: tick}
+        queue = [root]
+        while queue:
+            node = queue.pop(0)
+            for child in children[stripe].get(node, ()):
+                t = earliest(node, child, arrival[node] + 1)
+                busy_up[node].add(t)
+                busy_down[child].add(t)
+                schedule.add(t, node, child, j)
+                arrival[child] = t
+                queue.append(child)
+    return schedule

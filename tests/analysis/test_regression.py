@@ -1,0 +1,64 @@
+"""Tests for the completion-time least-squares fit."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.regression import fit_completion_model
+from repro.core.errors import ConfigError
+
+
+def synth(n: int, k: int) -> float:
+    """A synthetic ground-truth model with known coefficients."""
+    return 1.05 * k + 5.5 * math.log2(n) + 2.5
+
+
+class TestFitCompletionModel:
+    def test_recovers_exact_coefficients(self):
+        obs = [(n, k, synth(n, k)) for n in (16, 64, 256) for k in (10, 100, 500)]
+        fit = fit_completion_model(obs)
+        assert fit.a == pytest.approx(1.05, abs=1e-9)
+        assert fit.b == pytest.approx(5.5, abs=1e-9)
+        assert fit.c == pytest.approx(2.5, abs=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        obs = [(n, k, synth(n, k)) for n in (16, 64, 256) for k in (10, 100, 500)]
+        fit = fit_completion_model(obs)
+        assert fit.predict(128, 200) == pytest.approx(synth(128, 200), rel=1e-9)
+
+    def test_overhead_vs_optimal(self):
+        obs = [(n, k, synth(n, k)) for n in (16, 64, 256) for k in (10, 100, 500)]
+        fit = fit_completion_model(obs)
+        # For large k the 1.05 slope dominates: overhead ≈ 5%.
+        assert fit.overhead_vs_optimal(256, 10000) == pytest.approx(0.05, abs=0.02)
+
+    def test_noise_tolerated(self):
+        import random
+
+        rng = random.Random(0)
+        obs = [
+            (n, k, synth(n, k) + rng.uniform(-2, 2))
+            for n in (16, 32, 64, 128, 256)
+            for k in (10, 50, 100, 500)
+        ]
+        fit = fit_completion_model(obs)
+        assert fit.a == pytest.approx(1.05, abs=0.02)
+        assert fit.r_squared > 0.999
+
+    def test_too_few_observations(self):
+        with pytest.raises(ConfigError):
+            fit_completion_model([(16, 10, 20.0), (32, 10, 21.0)])
+
+    def test_degenerate_design_rejected(self):
+        # k never varies: columns are collinear with the intercept? Not
+        # quite — but n fixed AND k fixed is truly degenerate.
+        with pytest.raises(ConfigError):
+            fit_completion_model([(16, 10, 20.0)] * 5)
+
+    def test_str_rendering(self):
+        obs = [(n, k, synth(n, k)) for n in (16, 64, 256) for k in (10, 100, 500)]
+        text = str(fit_completion_model(obs))
+        assert "T ≈" in text and "R²" in text

@@ -1,0 +1,70 @@
+"""Tests for summary statistics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.stats import Summary, mean, sample_std, summarize, t_critical_95
+from repro.core.errors import ConfigError
+
+
+class TestBasics:
+    def test_mean(self):
+        assert mean([2, 4, 9]) == pytest.approx(5.0)
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            mean([])
+
+    def test_sample_std_known_value(self):
+        assert sample_std([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(2.138, abs=1e-3)
+
+    def test_sample_std_singleton_zero(self):
+        assert sample_std([3]) == 0.0
+
+    def test_t_critical_values(self):
+        assert t_critical_95(1) == pytest.approx(12.706)
+        assert t_critical_95(30) == pytest.approx(2.042)
+        assert t_critical_95(1000) == pytest.approx(1.96)
+        with pytest.raises(ConfigError):
+            t_critical_95(0)
+
+
+class TestSummarize:
+    def test_single_value(self):
+        s = summarize([5.0])
+        assert s.mean == 5.0 and s.ci95 == 0.0 and s.count == 1
+        assert str(s) == "5.0"
+
+    def test_interval_contains_mean(self):
+        s = summarize([10, 12, 14, 16])
+        assert s.low < s.mean < s.high
+        assert "±" in str(s)
+
+    def test_matches_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        values = [3.0, 7.0, 7.5, 9.0, 11.0]
+        s = summarize(values)
+        low, high = scipy_stats.t.interval(
+            0.95, len(values) - 1, loc=s.mean, scale=s.std / len(values) ** 0.5
+        )
+        assert s.low == pytest.approx(low, abs=1e-2)
+        assert s.high == pytest.approx(high, abs=1e-2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            summarize([])
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=30))
+    def test_interval_ordering_property(self, values):
+        s = summarize(values)
+        assert s.low <= s.mean <= s.high
+        assert s.ci95 >= 0
+
+    def test_summary_is_frozen(self):
+        s = summarize([1.0, 2.0])
+        with pytest.raises(AttributeError):
+            s.mean = 3  # type: ignore[misc]
+        assert isinstance(s, Summary)

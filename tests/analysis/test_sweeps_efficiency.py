@@ -1,0 +1,123 @@
+"""Tests for sweep orchestration and efficiency traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.efficiency import efficiency_trace, window_means
+from repro.analysis.sweeps import derive_seed, sweep
+from repro.core.errors import ConfigError
+from repro.core.log import RunResult, TransferLog
+from repro.randomized.cooperative import randomized_cooperative_run
+
+
+def fake_result(n: int, k: int, completion: int | None) -> RunResult:
+    return RunResult(
+        n=n,
+        k=k,
+        completion_time=completion,
+        client_completions={c: completion for c in range(1, n)} if completion else {},
+        log=TransferLog(),
+    )
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 0) == derive_seed(1, "a", 0)
+
+    def test_sensitive_to_all_inputs(self):
+        base = derive_seed(1, "a", 0)
+        assert derive_seed(2, "a", 0) != base
+        assert derive_seed(1, "b", 0) != base
+        assert derive_seed(1, "a", 1) != base
+
+
+class TestSweep:
+    def test_aggregates_means(self):
+        results = {0: 10, 1: 12}
+
+        def factory(point, seed):
+            return fake_result(4, 2, results[point] + seed % 1)
+
+        points = sweep([0, 1], factory, replicates=3, base_seed=0)
+        assert [p.mean_completion for p in points] == [10, 12]
+        assert all(p.timeouts == 0 for p in points)
+
+    def test_counts_timeouts(self):
+        def factory(point, seed):
+            return fake_result(4, 2, None)
+
+        (p,) = sweep(["x"], factory, replicates=4)
+        assert p.timeouts == 4
+        assert p.completion is None
+        assert p.mean_completion is None
+
+    def test_mixed_results(self):
+        flags = iter([10, None, 14])
+
+        def factory(point, seed):
+            return fake_result(4, 2, next(flags))
+
+        (p,) = sweep(["x"], factory, replicates=3)
+        assert p.timeouts == 1
+        assert p.completion.mean == 12
+
+    def test_keep_results(self):
+        def factory(point, seed):
+            return fake_result(4, 2, 5)
+
+        (p,) = sweep(["x"], factory, replicates=2, keep_results=True)
+        assert len(p.results) == 2
+
+    def test_progress_callback(self):
+        seen = []
+
+        def factory(point, seed):
+            return fake_result(4, 2, 5)
+
+        sweep([1, 2], factory, replicates=2, progress=lambda p, i, r: seen.append((p, i)))
+        assert seen == [(1, 0), (1, 1), (2, 0), (2, 1)]
+
+    def test_rejects_zero_replicates(self):
+        with pytest.raises(ConfigError):
+            sweep([1], lambda p, s: fake_result(2, 1, 1), replicates=0)
+
+    def test_real_run_factory(self):
+        points = sweep(
+            [8, 16],
+            lambda n, seed: randomized_cooperative_run(n, 4, rng=seed, keep_log=False),
+            replicates=2,
+        )
+        assert all(p.mean_completion is not None for p in points)
+
+
+class TestEfficiencyTrace:
+    def test_trace_from_real_run(self):
+        r = randomized_cooperative_run(16, 8, rng=0)
+        trace = efficiency_trace(r)
+        assert trace.ticks == r.completion_time
+        assert 0 < trace.mean <= 1.0
+        assert all(0 <= f <= 1.0 for f in trace.per_tick)
+
+    def test_high_mean_efficiency_matches_paper(self):
+        # The "amortization" observation: overall efficiency is high
+        # enough that completion lands within a few tens of percent of
+        # optimal, well above the 5/6-pessimism for the bulk of the run.
+        r = randomized_cooperative_run(64, 64, rng=1)
+        trace = efficiency_trace(r)
+        assert trace.mean > 0.55
+
+    def test_trace_from_meta_counts(self):
+        r = randomized_cooperative_run(16, 8, rng=2, keep_log=False)
+        trace = efficiency_trace(r)
+        assert trace.ticks == r.completion_time
+
+    def test_empty_run_rejected(self):
+        with pytest.raises(ConfigError):
+            efficiency_trace(fake_result(4, 2, None))
+
+    def test_window_means(self):
+        assert window_means([1, 1, 3, 3], 2) == [1, 3]
+        assert window_means([1, 2, 3], 2) == [1.5, 3]
+        with pytest.raises(ConfigError):
+            window_means([1], 0)

@@ -1,0 +1,144 @@
+"""Tests for the continuous-time event-driven engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asynchronous import AsyncEngine, AsyncHypercube, AsyncRandom
+from repro.core.errors import ConfigError
+
+
+class TestEngineValidation:
+    def test_rejects_degenerate_swarm(self):
+        with pytest.raises(ConfigError):
+            AsyncEngine(1, 4, AsyncRandom())
+        with pytest.raises(ConfigError):
+            AsyncEngine(4, 0, AsyncRandom())
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ConfigError):
+            AsyncEngine(4, 2, AsyncRandom(), upload_rates=[1.0, 1.0])
+        with pytest.raises(ConfigError):
+            AsyncEngine(4, 2, AsyncRandom(), upload_rates=[1, 1, 0, 1])
+        with pytest.raises(ConfigError):
+            AsyncEngine(4, 2, AsyncRandom(), parallel_downloads=0)
+
+    def test_rejects_infeasible_strategy_proposal(self):
+        class Bad:
+            def next_transfer(self, engine, src):
+                return (1, 0) if src == 0 else None
+
+        engine = AsyncEngine(3, 2, Bad())
+        engine.masks[1] = 0b1  # client 1 already holds block 0
+        with pytest.raises(ConfigError):
+            engine.run()
+
+
+class TestEngineSemantics:
+    def test_transfer_durations_tail_link(self):
+        r = AsyncEngine(
+            3, 1, AsyncRandom(), upload_rates=[2.0, 1.0, 1.0],
+            download_rates=[1.0, 4.0, 0.5], rng=0,
+        ).run()
+        assert r.completed
+        for t in r.transfers:
+            expected = 1.0 / min([2.0, 1.0, 1.0][t.src], [1.0, 4.0, 0.5][t.dst])
+            assert t.end - t.start == pytest.approx(expected)
+
+    def test_causality_block_held_before_forwarding(self):
+        r = AsyncEngine(16, 8, AsyncRandom(), rng=1).run()
+        held_since: dict[tuple[int, int], float] = {}
+        for t in sorted(r.transfers, key=lambda x: x.start):
+            if t.src != 0:
+                assert held_since[(t.src, t.block)] <= t.start + 1e-9
+            held_since.setdefault((t.dst, t.block), t.end)
+
+    def test_no_duplicate_deliveries(self):
+        r = AsyncEngine(16, 8, AsyncRandom(), rng=2).run()
+        seen = set()
+        for t in r.transfers:
+            key = (t.dst, t.block)
+            assert key not in seen
+            seen.add(key)
+
+    def test_uplink_exclusive(self):
+        r = AsyncEngine(12, 6, AsyncRandom(), rng=3).run()
+        by_src: dict[int, list] = {}
+        for t in r.transfers:
+            by_src.setdefault(t.src, []).append(t)
+        for transfers in by_src.values():
+            transfers.sort(key=lambda x: x.start)
+            for a, b in zip(transfers, transfers[1:]):
+                assert b.start >= a.end - 1e-9
+
+    def test_downlink_slots_respected(self):
+        r = AsyncEngine(12, 6, AsyncRandom(), parallel_downloads=2, rng=4).run()
+        events: dict[int, list[tuple[float, int]]] = {}
+        for t in r.transfers:
+            events.setdefault(t.dst, []).append((t.start, 1))
+            events.setdefault(t.dst, []).append((t.end, -1))
+        for node_events in events.values():
+            load = 0
+            for _, delta in sorted(node_events, key=lambda e: (e[0], e[1])):
+                load += delta
+                assert load <= 2
+
+    def test_client_completions_recorded(self):
+        r = AsyncEngine(8, 4, AsyncRandom(), rng=5).run()
+        assert r.completed
+        assert set(r.client_completions) == set(range(1, 8))
+        assert max(r.client_completions.values()) == r.completion_time
+
+    def test_timeout_returns_incomplete(self):
+        r = AsyncEngine(16, 32, AsyncRandom(), rng=6, max_time=2.0).run()
+        assert not r.completed
+        assert r.completion_time is None
+
+
+class TestHomogeneousEquivalence:
+    @pytest.mark.parametrize("n,k", [(8, 4), (16, 16), (32, 10), (64, 64)])
+    def test_hypercube_matches_sync_optimum_powers_of_two(self, n, k):
+        from repro.schedules.bounds import cooperative_lower_bound
+
+        r = AsyncEngine(n, k, AsyncHypercube(n), rng=0).run()
+        assert r.completed
+        assert r.completion_time == pytest.approx(cooperative_lower_bound(n, k))
+
+    @pytest.mark.parametrize("n,k", [(11, 8), (23, 12), (100, 20)])
+    def test_hypercube_near_optimal_general_n(self, n, k):
+        from repro.schedules.bounds import cooperative_lower_bound
+
+        r = AsyncEngine(n, k, AsyncHypercube(n), rng=0).run()
+        assert r.completed
+        assert r.completion_time <= 1.45 * cooperative_lower_bound(n, k)
+
+    def test_random_near_optimal(self):
+        from repro.schedules.bounds import cooperative_lower_bound
+
+        n, k = 33, 32
+        r = AsyncEngine(n, k, AsyncRandom(), rng=1).run()
+        assert r.completed
+        assert r.completion_time <= 1.6 * cooperative_lower_bound(n, k)
+
+
+class TestHeterogeneity:
+    def test_mild_heterogeneity_degrades_gracefully(self):
+        import random as random_module
+
+        from repro.schedules.bounds import cooperative_lower_bound
+
+        n, k = 32, 32
+        rng = random_module.Random(9)
+        rates = [1.0] + [rng.uniform(0.9, 1.1) for _ in range(n - 1)]
+        r = AsyncEngine(
+            n, k, AsyncRandom(), upload_rates=rates, download_rates=rates, rng=2
+        ).run()
+        assert r.completed
+        # Slowest node's rate bounds the floor; allow a generous envelope.
+        assert r.completion_time <= 2.2 * cooperative_lower_bound(n, k)
+
+    def test_meta_flags_heterogeneity(self):
+        r = AsyncEngine(4, 2, AsyncRandom(), upload_rates=[1, 2, 1, 1], rng=0).run()
+        assert r.meta["heterogeneous"]
+        r2 = AsyncEngine(4, 2, AsyncRandom(), rng=0).run()
+        assert not r2.meta["heterogeneous"]

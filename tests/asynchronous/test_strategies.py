@@ -1,0 +1,69 @@
+"""Tests for the asynchronous strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asynchronous import AsyncEngine, AsyncHypercube, AsyncRandom, AsyncRarest
+from repro.overlays.paths import chain
+from repro.overlays.random_regular import random_regular_graph
+
+
+class TestAsyncHypercube:
+    def test_server_introduces_blocks_in_order(self):
+        n, k = 16, 8
+        r = AsyncEngine(n, k, AsyncHypercube(n), rng=0).run()
+        server_blocks = [t.block for t in sorted(r.transfers, key=lambda x: x.start) if t.src == 0]
+        # The server's sends are the block sequence 0,1,2,... capped at k-1.
+        for i, b in enumerate(server_blocks):
+            assert b == min(i, k - 1)
+
+    def test_links_are_dimension_ordered(self):
+        strategy = AsyncHypercube(16)
+        # Node 1 (vertex 1): MSB-first partners are 9, 5, 3, 0.
+        assert strategy._links[1] == (9, 5, 3, 0)
+
+    def test_doubled_nodes_have_twins(self):
+        strategy = AsyncHypercube(6)
+        twins = [t for t in strategy._twin if t is not None]
+        assert len(twins) == 4  # two doubled vertices
+
+    def test_full_runs_all_n(self):
+        for n in (3, 5, 9, 17):
+            r = AsyncEngine(n, 6, AsyncHypercube(n), rng=1).run()
+            assert r.completed, n
+
+
+class TestAsyncRandomAndRarest:
+    def test_random_on_explicit_overlay(self):
+        n, k = 24, 12
+        g = random_regular_graph(n, 6, rng=0)
+        r = AsyncEngine(n, k, AsyncRandom(g), rng=1).run()
+        assert r.completed
+        for t in r.transfers:
+            assert g.has_edge(t.src, t.dst)
+
+    def test_random_on_chain(self):
+        n, k = 10, 5
+        g = chain(n)
+        r = AsyncEngine(n, k, AsyncRandom(g), rng=2).run()
+        assert r.completed
+        # On a chain, completion is at least k + n - 2 time units.
+        assert r.completion_time >= k + n - 2 - 1e-9
+
+    def test_rarest_completes_and_tracks_frequencies(self):
+        n, k = 24, 12
+        strategy = AsyncRarest()
+        r = AsyncEngine(n, k, strategy, rng=3).run()
+        assert r.completed
+        assert strategy._freq is not None
+        # The tracker lags the very last transfers (no decision follows
+        # them) but never overcounts, and covers most of the swarm.
+        assert all(1 <= int(f) <= n for f in strategy._freq)
+        assert int(strategy._freq.sum()) >= (n - 2) * k
+
+    def test_rarest_not_slower_than_random_much(self):
+        n, k = 33, 32
+        t_rand = AsyncEngine(n, k, AsyncRandom(), rng=4).run().completion_time
+        t_rare = AsyncEngine(n, k, AsyncRarest(), rng=4).run().completion_time
+        assert t_rare <= 1.3 * t_rand

@@ -1,0 +1,79 @@
+"""Tests for the network-coding swarm engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coding import NetworkCodingEngine, network_coding_run
+from repro.core.errors import ConfigError
+from repro.overlays.paths import chain
+from repro.overlays.random_regular import random_regular_graph
+from repro.schedules.bounds import cooperative_lower_bound
+
+
+class TestNetworkCodingRun:
+    def test_completes_on_complete_graph(self):
+        r = network_coding_run(24, 12, rng=0)
+        assert r.completed
+        assert r.completion_time >= cooperative_lower_bound(24, 12)
+
+    def test_everyone_decodes(self):
+        engine = NetworkCodingEngine(16, 8, rng=1)
+        result = engine.run()
+        assert result.completed
+        assert all(b.is_full() for b in engine.bases)
+        assert result.meta["final_holdings"] == [8] * 16
+
+    def test_deterministic_given_seed(self):
+        r1 = network_coding_run(16, 8, rng=3)
+        r2 = network_coding_run(16, 8, rng=3)
+        assert list(r1.log) == list(r2.log)
+
+    def test_redundancy_bounded(self):
+        # Over GF(2) a random combination is non-innovative with
+        # probability <= 1/2; measured overhead stays well below that.
+        r = network_coding_run(48, 48, rng=4)
+        total = len(r.log)
+        assert r.meta["redundant_combinations"] < 0.4 * total
+
+    def test_works_on_sparse_overlay(self):
+        g = random_regular_graph(32, 4, rng=0)
+        r = network_coding_run(32, 16, overlay=g, rng=5)
+        assert r.completed
+
+    def test_works_on_chain(self):
+        g = chain(10)
+        r = network_coding_run(10, 5, overlay=g, rng=6)
+        assert r.completed
+        # Chain floor: server emits k (coded) blocks plus traversal.
+        assert r.completion_time >= 5 + 10 - 2
+
+    def test_capacity_respected(self):
+        # With d = 1, no node receives more than one combination per tick.
+        from collections import Counter
+
+        r = network_coding_run(16, 8, rng=7)
+        for tick, transfers in r.log.by_tick().items():
+            downloads = Counter(t.dst for t in transfers)
+            assert max(downloads.values()) <= 1
+            uploads = Counter(t.src for t in transfers)
+            assert max(uploads.values()) <= 1
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ConfigError):
+            NetworkCodingEngine(1, 4)
+        with pytest.raises(ConfigError):
+            NetworkCodingEngine(4, 0)
+        with pytest.raises(ConfigError):
+            NetworkCodingEngine(8, 4, overlay=chain(9))
+
+    def test_comparable_to_block_based(self):
+        from repro.randomized import randomized_cooperative_run
+
+        n, k = 48, 24
+        t_code = network_coding_run(n, k, rng=8).completion_time
+        t_block = randomized_cooperative_run(
+            n, k, rng=8, keep_log=False
+        ).completion_time
+        # Neither should dominate wildly in the cooperative tick model.
+        assert 0.5 * t_block <= t_code <= 2.0 * t_block

@@ -1,0 +1,31 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.engine import Schedule
+from repro.core.log import Transfer, TransferLog
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG for tests that need one."""
+    return random.Random(0xC0FFEE)
+
+
+def log_from(entries: list[tuple[int, int, int, int]]) -> TransferLog:
+    """Build a TransferLog from (tick, src, dst, block) tuples."""
+    return TransferLog(Transfer(*e) for e in sorted(entries))
+
+
+def schedule_from(
+    n: int, k: int, entries: list[tuple[int, int, int, int]]
+) -> Schedule:
+    """Build a Schedule from (tick, src, dst, block) tuples."""
+    s = Schedule(n, k)
+    for tick, src, dst, block in entries:
+        s.add(tick, src, dst, block)
+    return s

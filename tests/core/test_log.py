@@ -1,0 +1,92 @@
+"""Tests for transfer logs and run results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.core.log import RunResult, Transfer, TransferLog
+
+from ..conftest import log_from
+
+
+class TestTransferLog:
+    def test_append_and_iterate(self):
+        log = TransferLog()
+        log.record(1, 0, 1, 0)
+        log.record(2, 1, 2, 0)
+        assert len(log) == 2
+        assert log[0] == Transfer(1, 0, 1, 0)
+        assert [t.tick for t in log] == [1, 2]
+
+    def test_rejects_tick_zero(self):
+        log = TransferLog()
+        with pytest.raises(ConfigError):
+            log.record(0, 0, 1, 0)
+
+    def test_rejects_out_of_order(self):
+        log = TransferLog()
+        log.record(3, 0, 1, 0)
+        with pytest.raises(ConfigError):
+            log.record(2, 0, 1, 1)
+
+    def test_same_tick_allowed(self):
+        log = TransferLog()
+        log.record(1, 0, 1, 0)
+        log.record(1, 0, 2, 0)
+        assert log.last_tick == 1
+
+    def test_by_tick_groups(self):
+        log = log_from([(1, 0, 1, 0), (1, 0, 2, 0), (3, 1, 2, 0)])
+        grouped = log.by_tick()
+        assert set(grouped) == {1, 3}
+        assert len(grouped[1]) == 2
+
+    def test_uploads_per_tick_includes_idle(self):
+        log = log_from([(1, 0, 1, 0), (3, 1, 2, 0)])
+        assert log.uploads_per_tick() == [1, 0, 1]
+
+    def test_completion_ticks(self):
+        # n=3, k=2: client 1 completes at tick 3, client 2 at tick 4.
+        log = log_from(
+            [(1, 0, 1, 0), (2, 0, 2, 1), (3, 2, 1, 1), (3, 1, 2, 0)]
+        )
+        done = log.completion_ticks(3, 2)
+        assert done == {1: 3, 2: 3}
+
+    def test_completion_ignores_redundant(self):
+        log = log_from([(1, 0, 1, 0), (2, 0, 1, 0)])
+        assert log.completion_ticks(2, 1) == {1: 1}
+
+    def test_completion_rejects_bad_destination(self):
+        log = log_from([(1, 0, 9, 0)])
+        with pytest.raises(ConfigError):
+            log.completion_ticks(3, 1)
+
+    def test_final_masks(self):
+        log = log_from([(1, 0, 1, 0), (2, 1, 2, 0)])
+        masks = log.final_masks(3, 2)
+        assert masks[0] == 0b11  # server complete from the start
+        assert masks[1] == 0b01
+        assert masks[2] == 0b01
+
+
+class TestRunResult:
+    def test_from_log_complete(self):
+        log = log_from([(1, 0, 1, 0), (2, 0, 2, 0)])
+        r = RunResult.from_log(3, 1, log)
+        assert r.completed
+        assert r.completion_time == 2
+        assert r.client_completions == {1: 1, 2: 2}
+        assert r.mean_completion == 1.5
+
+    def test_from_log_incomplete(self):
+        log = log_from([(1, 0, 1, 0)])
+        r = RunResult.from_log(3, 1, log)
+        assert not r.completed
+        assert r.completion_time is None
+        assert r.mean_completion is None
+
+    def test_meta_preserved(self):
+        r = RunResult.from_log(2, 1, log_from([(1, 0, 1, 0)]), {"algorithm": "x"})
+        assert r.meta["algorithm"] == "x"

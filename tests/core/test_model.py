@@ -1,0 +1,55 @@
+"""Tests for the bandwidth model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.core.model import SERVER, BandwidthModel
+
+
+class TestBandwidthModel:
+    def test_defaults_symmetric(self):
+        m = BandwidthModel()
+        assert m.download == 1
+        assert m.server_upload == 1
+        assert not m.unbounded_download
+
+    def test_symmetric_constructor(self):
+        assert BandwidthModel.symmetric().download == 1
+
+    def test_double_download(self):
+        assert BandwidthModel.double_download().download == 2
+
+    def test_unbounded(self):
+        m = BandwidthModel.unbounded()
+        assert m.unbounded_download
+        assert m.download_capacity(3) is None
+
+    def test_rejects_download_below_upload(self):
+        with pytest.raises(ConfigError):
+            BandwidthModel(download=0)
+
+    def test_rejects_bad_server_upload(self):
+        with pytest.raises(ConfigError):
+            BandwidthModel(server_upload=0)
+
+    def test_upload_capacity_server_vs_client(self):
+        m = BandwidthModel(server_upload=4)
+        assert m.upload_capacity(SERVER) == 4
+        assert m.upload_capacity(1) == 1
+
+    def test_allows_download_bounded(self):
+        m = BandwidthModel(download=2)
+        assert m.allows_download(0)
+        assert m.allows_download(1)
+        assert not m.allows_download(2)
+
+    def test_allows_download_unbounded(self):
+        m = BandwidthModel.unbounded()
+        assert m.allows_download(10**6)
+
+    def test_frozen(self):
+        m = BandwidthModel()
+        with pytest.raises(AttributeError):
+            m.download = 5  # type: ignore[misc]

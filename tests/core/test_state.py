@@ -1,0 +1,72 @@
+"""Tests for SwarmState."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.core.model import SERVER
+from repro.core.state import SwarmState
+
+
+class TestSwarmState:
+    def test_initial_state(self):
+        s = SwarmState(4, 3)
+        assert s.is_complete(SERVER)
+        assert all(not s.has(c, b) for c in range(1, 4) for b in range(3))
+        assert s.incomplete_nodes == {1, 2, 3}
+        assert list(s.freq) == [1, 1, 1]
+
+    def test_rejects_tiny_swarm_or_file(self):
+        with pytest.raises(ConfigError):
+            SwarmState(1, 3)
+        with pytest.raises(ConfigError):
+            SwarmState(3, 0)
+
+    def test_receive_updates_everything(self):
+        s = SwarmState(3, 2)
+        assert s.receive(1, 0)
+        assert s.has(1, 0)
+        assert s.freq[0] == 2
+        assert 1 in s.incomplete_nodes
+        assert s.receive(1, 1)
+        assert s.is_complete(1)
+        assert 1 not in s.incomplete_nodes
+
+    def test_redundant_receive_returns_false(self):
+        s = SwarmState(3, 2)
+        s.receive(1, 0)
+        assert not s.receive(1, 0)
+        assert s.freq[0] == 2  # unchanged
+
+    def test_all_complete(self):
+        s = SwarmState(3, 1)
+        assert not s.all_complete
+        s.receive(1, 0)
+        s.receive(2, 0)
+        assert s.all_complete
+
+    def test_snapshot_isolated_from_mutation(self):
+        s = SwarmState(3, 2)
+        snap = s.begin_tick()
+        s.receive(1, 0)
+        assert snap[1] == 0  # snapshot is from tick start
+        assert s.masks[1] == 1
+
+    def test_holdings_and_totals(self):
+        s = SwarmState(3, 4)
+        s.receive(1, 2)
+        assert s.holdings_count(1) == 1
+        assert s.holdings_count(SERVER) == 4
+        assert s.total_blocks_held() == 5
+
+    def test_seed(self):
+        s = SwarmState(3, 4)
+        s.seed(2, 0b1010)
+        assert s.has(2, 1) and s.has(2, 3)
+        assert s.freq[1] == 2
+
+    def test_seed_validates_mask(self):
+        s = SwarmState(3, 2)
+        with pytest.raises(ConfigError):
+            s.seed(1, 0b100)

@@ -1,0 +1,152 @@
+"""Tests for the independent log verifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ScheduleViolation
+from repro.core.mechanisms import CreditLimitedBarter, StrictBarter
+from repro.core.model import BandwidthModel
+from repro.core.verify import verify_log
+from repro.overlays.paths import chain
+
+from ..conftest import log_from
+
+
+class TestVerifyBasics:
+    def test_valid_log_passes(self):
+        log = log_from(
+            [(1, 0, 1, 0), (2, 0, 2, 1), (2, 1, 3, 0), (3, 0, 1, 1), (3, 2, 3, 1), (4, 1, 2, 0)]
+        )
+        report = verify_log(log, 4, 2)
+        assert report.all_complete
+        assert report.transfers == 6
+        assert report.ticks == 4
+
+    def test_efficiency_computed(self):
+        log = log_from([(1, 0, 1, 0), (2, 0, 2, 0), (2, 1, 3, 0)])
+        report = verify_log(log, 4, 1)
+        # 3 transfers over 2 ticks * 4 units of upload capacity.
+        assert report.upload_efficiency == pytest.approx(3 / 8)
+
+    def test_incomplete_raises_by_default(self):
+        log = log_from([(1, 0, 1, 0)])
+        with pytest.raises(ScheduleViolation) as e:
+            verify_log(log, 3, 1)
+        assert e.value.rule == "completion"
+
+    def test_incomplete_allowed_when_disabled(self):
+        log = log_from([(1, 0, 1, 0)])
+        report = verify_log(log, 3, 1, require_completion=False)
+        assert not report.all_complete
+
+
+class TestVerifyRuleChecks:
+    def test_causality(self):
+        log = log_from([(1, 1, 2, 0)])
+        with pytest.raises(ScheduleViolation) as e:
+            verify_log(log, 3, 1, require_completion=False)
+        assert e.value.rule == "causality"
+
+    def test_same_tick_forwarding_rejected(self):
+        log = log_from([(1, 0, 1, 0), (1, 1, 2, 0)])
+        with pytest.raises(ScheduleViolation) as e:
+            verify_log(log, 3, 1, require_completion=False)
+        assert e.value.rule == "causality"
+
+    def test_usefulness(self):
+        log = log_from([(1, 0, 1, 0), (2, 0, 1, 0)])
+        with pytest.raises(ScheduleViolation) as e:
+            verify_log(log, 2, 1, require_completion=False)
+        assert e.value.rule == "usefulness"
+
+    def test_duplicate_delivery_same_tick(self):
+        log = log_from([(1, 0, 1, 0), (2, 0, 2, 0), (3, 0, 3, 0), (4, 1, 4, 0), (4, 2, 4, 0)])
+        with pytest.raises(ScheduleViolation) as e:
+            verify_log(log, 5, 1, require_completion=False)
+        assert e.value.rule == "usefulness"
+
+    def test_redundant_tolerated_when_allowed(self):
+        log = log_from([(1, 0, 1, 0), (2, 0, 1, 0)])
+        report = verify_log(log, 2, 1, allow_redundant=True)
+        assert report.redundant_transfers == 1
+
+    def test_upload_capacity(self):
+        log = log_from([(1, 0, 1, 0), (1, 0, 2, 0)])
+        with pytest.raises(ScheduleViolation) as e:
+            verify_log(log, 3, 1, require_completion=False)
+        assert e.value.rule == "upload-capacity"
+
+    def test_server_upload_capacity(self):
+        log = log_from([(1, 0, 1, 0), (1, 0, 2, 0)])
+        report = verify_log(
+            log, 3, 1, BandwidthModel(server_upload=2)
+        )
+        assert report.server_uploads == 2
+
+    def test_download_capacity(self):
+        log = log_from([(1, 0, 1, 0), (2, 0, 1, 1)])
+        verify_log(log, 2, 2)  # one per tick: fine
+        bad = log_from([(1, 0, 1, 0), (2, 0, 2, 1), (2, 0, 2, 0)])
+        with pytest.raises(ScheduleViolation) as e:
+            verify_log(
+                bad, 3, 2, BandwidthModel(server_upload=2), require_completion=False
+            )
+        assert e.value.rule == "download-capacity"
+
+    def test_self_transfer(self):
+        log = log_from([(1, 1, 1, 0)])
+        with pytest.raises(ScheduleViolation) as e:
+            verify_log(log, 2, 1, require_completion=False)
+        assert e.value.rule == "self-transfer"
+
+    def test_node_range(self):
+        log = log_from([(1, 0, 7, 0)])
+        with pytest.raises(ScheduleViolation) as e:
+            verify_log(log, 3, 1, require_completion=False)
+        assert e.value.rule == "node-range"
+
+    def test_block_range(self):
+        log = log_from([(1, 0, 1, 5)])
+        with pytest.raises(ScheduleViolation) as e:
+            verify_log(log, 2, 2, require_completion=False)
+        assert e.value.rule == "block-range"
+
+    def test_overlay_confinement(self):
+        log = log_from([(1, 0, 2, 0)])  # 0-2 is not a chain edge
+        with pytest.raises(ScheduleViolation) as e:
+            verify_log(log, 3, 1, overlay=chain(3), require_completion=False)
+        assert e.value.rule == "overlay"
+        ok = log_from([(1, 0, 1, 0), (2, 1, 2, 0)])
+        verify_log(ok, 3, 1, overlay=chain(3))
+
+
+class TestVerifyMechanisms:
+    def test_strict_barter_pass_and_fail(self):
+        # Seed both clients, then have them exchange.
+        good = log_from([(1, 0, 1, 0), (2, 0, 2, 1), (3, 1, 2, 0), (3, 2, 1, 1)])
+        report = verify_log(good, 3, 2, mechanism=StrictBarter())
+        assert report.all_complete
+        bad = log_from([(1, 0, 1, 0), (2, 0, 2, 1), (3, 1, 2, 0), (4, 2, 1, 1)])
+        with pytest.raises(ScheduleViolation) as e:
+            verify_log(bad, 3, 2, mechanism=StrictBarter())
+        assert e.value.rule == "strict-barter"
+
+    def test_server_transfers_exempt_from_barter(self):
+        log = log_from([(1, 0, 1, 0), (2, 0, 2, 0)])
+        verify_log(log, 3, 1, mechanism=StrictBarter())
+
+    def test_credit_limit_checked(self):
+        log = log_from([(1, 0, 1, 0), (2, 0, 1, 1), (2, 1, 2, 0), (3, 1, 2, 1)])
+        verify_log(log, 3, 2, BandwidthModel.double_download(), CreditLimitedBarter(2))
+        with pytest.raises(ScheduleViolation):
+            verify_log(
+                log, 3, 2, BandwidthModel.double_download(), CreditLimitedBarter(1)
+            )
+
+    def test_mechanism_reset_between_calls(self):
+        log = log_from([(1, 0, 1, 0), (2, 1, 2, 0), (3, 0, 2, 1), (4, 2, 1, 1)])
+        mech = CreditLimitedBarter(1)
+        verify_log(log, 3, 2, BandwidthModel.double_download(), mech)
+        # Re-verifying with the same mechanism instance must not accumulate.
+        verify_log(log, 3, 2, BandwidthModel.double_download(), mech)

@@ -1,0 +1,65 @@
+"""Tests for the regenerated schematic figures (Figures 1-2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.experiments.diagrams import figure1, figure2
+
+
+class TestFigure1:
+    def test_structure_matches_paper(self):
+        result = figure1(n=8)
+        # 7 clients each receive the single block exactly once.
+        assert len(result.rows) == 7
+        by_tick = {}
+        for row in result.rows:
+            by_tick.setdefault(row["at tick"], []).append(row)
+        # Doubling: 1 transfer at tick 1, 2 at tick 2, 4 at tick 3.
+        assert [len(by_tick[t]) for t in (1, 2, 3)] == [1, 2, 4]
+
+    def test_tree_rendering_present(self):
+        result = figure1(n=8)
+        art = result.notes[0]
+        assert art.startswith("S")
+        assert "[tick 1]" in art and "[tick 3]" in art
+        assert art.count("C") == 7
+
+    def test_other_sizes(self):
+        result = figure1(n=5)
+        assert len(result.rows) == 4
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ConfigError):
+            figure1(n=1)
+
+
+class TestFigure2:
+    def test_tick4_shape_matches_paper(self):
+        result = figure2(k=4)
+        kinds = [row["kind"] for row in result.rows]
+        assert kinds.count("hand-off") == 1
+        assert kinds.count("exchange") == 6  # three exchanging pairs
+
+    def test_regrouping_matches_paper(self):
+        # Paper Figure 2(b): after tick 4, groups of sizes 4 / 2 / 1 hold
+        # b2 / b3 / b4 as their newest blocks (and everyone holds b1).
+        result = figure2(k=4)
+        groups = [n for n in result.notes if n.strip().startswith("G")]
+        sizes = sorted(len(g.split(":")[1].split(",")) for g in groups)
+        assert sizes == [1, 2, 4]
+
+    def test_exchanges_are_symmetric(self):
+        result = figure2(k=6)
+        pairs = {
+            (row["from"], row["to"])
+            for row in result.rows
+            if row["kind"] == "exchange"
+        }
+        for a, b in pairs:
+            assert (b, a) in pairs
+
+    def test_rejects_small_k(self):
+        with pytest.raises(ConfigError):
+            figure2(k=3)

@@ -1,0 +1,45 @@
+"""Tests for the CLI runner."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_experiment_registry_complete(self):
+        expected = {
+            "fig1", "fig2",
+            "fig3", "fig4", "fig5", "fig6", "fig7", "fit", "table", "price",
+            "ablation-stride", "ablation-efficiency",
+            "ablation-estimated-rarest", "ablation-rotation",
+            "ext-multiserver", "ext-asynchrony", "ext-bittorrent",
+            "ext-freerider", "ext-embedding", "ext-churn", "ext-triangular", "ext-coding", "ext-incentives",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    @pytest.mark.slow
+    def test_run_price_table(self, capsys):
+        assert main(["price", "--scale", "ci", "--no-plot"]) == 0
+        out = capsys.readouterr().out
+        assert "Price of barter" in out
+        assert "finished in" in out
+
+    @pytest.mark.slow
+    def test_json_output(self, tmp_path, capsys):
+        path = tmp_path / "out.json"
+        assert main(["table", "--scale", "ci", "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data[0]["name"] == "Table A"
+        assert data[0]["rows"]
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure99"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["price", "--scale", "gigantic"])

@@ -1,0 +1,68 @@
+"""Tests for scale resolution and ASCII plotting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.experiments.ascii_plot import ascii_plot
+from repro.experiments.scale import SCALES, resolve_scale
+
+
+class TestScale:
+    def test_known_names(self):
+        assert set(SCALES) == {"full", "lite", "ci"}
+
+    def test_resolve_by_name(self):
+        assert resolve_scale("ci").name == "ci"
+
+    def test_resolve_instance_passthrough(self):
+        s = SCALES["lite"]
+        assert resolve_scale(s) is s
+
+    def test_resolve_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert resolve_scale(None).name == "lite"
+        monkeypatch.setenv("REPRO_SCALE", "ci")
+        assert resolve_scale(None).name == "ci"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            resolve_scale("huge")
+
+    def test_full_matches_paper_parameters(self):
+        full = SCALES["full"]
+        assert full.fig3_k == 1000
+        assert 10000 in full.fig3_ns
+        assert full.fig67_n == full.fig67_k == 1000
+        assert full.fig67_sd_product == 100
+
+    def test_scales_are_ordered_by_size(self):
+        assert SCALES["ci"].fig3_k < SCALES["lite"].fig3_k < SCALES["full"].fig3_k
+
+
+class TestAsciiPlot:
+    def test_renders_points_and_legend(self):
+        out = ascii_plot({"a": [(1, 1), (2, 2)], "b": [(1.5, 1.5)]})
+        assert "o a" in out and "x b" in out
+        assert "o" in out.splitlines()[0] + out.splitlines()[-3]
+
+    def test_empty_series(self):
+        assert ascii_plot({}) == "(no data points)"
+        assert ascii_plot({"a": []}) == "(no data points)"
+
+    def test_log_axes(self):
+        out = ascii_plot({"a": [(10, 1), (1000, 2)]}, log_x=True)
+        assert "log x" in out
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            ascii_plot({"a": [(0, 1)]}, log_x=True)
+
+    def test_flat_series_ok(self):
+        out = ascii_plot({"a": [(1, 5), (2, 5), (3, 5)]})
+        assert "(no data points)" not in out
+
+    def test_labels_present(self):
+        out = ascii_plot({"a": [(1, 2)]}, x_label="degree", y_label="T")
+        assert "degree vs T" in out

@@ -1,0 +1,104 @@
+"""Tests for the incentive (throttle best-response) analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.core.mechanisms import CreditLimitedBarter
+from repro.incentives import ThrottleOutcome, is_incentive_aligned, throttle_response
+from repro.overlays.random_regular import random_regular_graph
+
+N, K = 48, 48
+
+
+def overlay(seed: int):
+    return random_regular_graph(N, 16, rng=seed)
+
+
+@pytest.fixture(scope="module")
+def credit_curve():
+    return throttle_response(
+        N,
+        K,
+        lambda: CreditLimitedBarter(1),
+        throttles=(0.0, 0.5, 1.0),
+        overlay_factory=overlay,
+        replicates=2,
+        max_ticks=2500,
+    )
+
+
+class TestThrottleResponse:
+    def test_compliant_client_finishes_under_credit(self, credit_curve):
+        assert credit_curve[0].mean_completion is not None
+        assert credit_curve[0].mean_blocks == K
+
+    def test_throttling_starves_under_credit(self, credit_curve):
+        # Section 3.1.1: limiting upload rate decays download rate — at
+        # s = 1, a half-throttled client cannot keep up and never decodes.
+        assert credit_curve[-1].mean_completion is None
+        assert credit_curve[-1].mean_blocks < K
+        assert is_incentive_aligned(credit_curve)
+
+    def test_blocks_decrease_with_throttle_under_credit(self, credit_curve):
+        blocks = [o.mean_blocks for o in credit_curve]
+        assert blocks == sorted(blocks, reverse=True)
+
+    def test_cooperative_is_flat(self):
+        curve = throttle_response(
+            N,
+            K,
+            None,
+            throttles=(0.0, 1.0),
+            overlay_factory=overlay,
+            replicates=2,
+            max_ticks=2500,
+        )
+        # A full free-rider still finishes, barely later: no deterrent.
+        assert curve[-1].mean_completion is not None
+        assert curve[-1].mean_blocks == K
+
+    def test_bittorrent_free_rider_completes(self):
+        curve = throttle_response(
+            N,
+            K,
+            None,
+            throttles=(0.0, 1.0),
+            overlay_factory=overlay,
+            engine="bittorrent",
+            replicates=2,
+            max_ticks=4000,
+        )
+        assert curve[-1].mean_blocks == K  # Section 4's critique
+        assert curve[-1].mean_completion is not None
+        # ... though later than the compliant baseline.
+        assert curve[-1].mean_completion >= curve[0].mean_completion
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigError):
+            throttle_response(8, 4, None, throttles=(1.5,), replicates=1)
+        with pytest.raises(ConfigError):
+            throttle_response(8, 4, None, engine="gnutella")
+
+
+class TestAlignmentPredicate:
+    def make(self, values):
+        return [
+            ThrottleOutcome(
+                throttle=i / 10, mean_completion=v, mean_blocks=0, swarm_completion=None
+            )
+            for i, v in enumerate(values)
+        ]
+
+    def test_monotone_is_aligned(self):
+        assert is_incentive_aligned(self.make([10, 12, 15, None]))
+
+    def test_regression_is_not(self):
+        assert not is_incentive_aligned(self.make([10, 20, 12]))
+
+    def test_tolerance_forgives_noise(self):
+        assert is_incentive_aligned(self.make([100, 99, 103]))
+
+    def test_starvation_is_worst(self):
+        assert is_incentive_aligned(self.make([10, None, None]))

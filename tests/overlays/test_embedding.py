@@ -1,0 +1,96 @@
+"""Tests for the physical-network embedding optimizer."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.overlays.embedding import (
+    PhysicalNetwork,
+    embedding_cost,
+    optimize_embedding,
+)
+from repro.overlays.hypercube import HypercubeLayout
+
+
+class TestPhysicalNetwork:
+    def test_euclidean_costs(self):
+        net = PhysicalNetwork([(0, 0), (3, 4)])
+        assert net.cost(0, 1) == pytest.approx(5.0)
+        assert net.cost(1, 0) == pytest.approx(5.0)
+        assert net.cost(0, 0) == 0.0
+
+    def test_random_euclidean_in_unit_square(self):
+        net = PhysicalNetwork.random_euclidean(30, rng=0)
+        assert net.n == 30
+        for a, b in itertools.combinations(range(30), 2):
+            assert net.cost(a, b) <= 2**0.5 + 1e-9
+
+    def test_single_tight_cluster_is_cheap(self):
+        uniform = PhysicalNetwork.random_euclidean(60, rng=1)
+        tight = PhysicalNetwork.clustered(60, clusters=1, spread=0.01, rng=1)
+        base = HypercubeLayout.assign(60)
+        assert embedding_cost(base, tight) < 0.2 * embedding_cost(base, uniform)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ConfigError):
+            PhysicalNetwork([(0, 0)])
+        with pytest.raises(ConfigError):
+            PhysicalNetwork.clustered(10, clusters=0)
+
+
+class TestEmbeddingCost:
+    def test_cost_is_edge_sum(self):
+        net = PhysicalNetwork([(0, 0), (1, 0), (0, 1), (1, 1)])
+        layout = HypercubeLayout.assign(4)
+        graph = layout.to_graph()
+        expected = sum(net.cost(a, b) for a, b in graph.edges())
+        assert embedding_cost(layout, net) == pytest.approx(expected)
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            embedding_cost(
+                HypercubeLayout.assign(8), PhysicalNetwork.random_euclidean(9)
+            )
+
+
+class TestOptimizeEmbedding:
+    @pytest.mark.parametrize("n", [8, 13, 33])
+    def test_never_worse_than_identity(self, n):
+        net = PhysicalNetwork.random_euclidean(n, rng=2)
+        base_cost = embedding_cost(HypercubeLayout.assign(n), net)
+        _, optimized = optimize_embedding(net, rng=3)
+        assert optimized <= base_cost + 1e-9
+
+    def test_reported_cost_matches_layout(self):
+        net = PhysicalNetwork.random_euclidean(24, rng=4)
+        layout, cost = optimize_embedding(net, rng=5)
+        assert embedding_cost(layout, net) == pytest.approx(cost)
+
+    def test_layout_remains_valid_permutation(self):
+        n = 21
+        net = PhysicalNetwork.random_euclidean(n, rng=6)
+        layout, _ = optimize_embedding(net, rng=7)
+        occupants = sorted(
+            node for occ in layout.occupants for node in occ
+        )
+        assert occupants == list(range(n))
+        assert layout.occupants[0] == (0,)  # server fixed at vertex 0
+        for vertex, occ in enumerate(layout.occupants):
+            for node in occ:
+                assert layout.vertex_of[node] == vertex
+
+    def test_meaningful_improvement_on_uniform_placement(self):
+        net = PhysicalNetwork.random_euclidean(64, rng=8)
+        base_cost = embedding_cost(HypercubeLayout.assign(64), net)
+        _, optimized = optimize_embedding(net, rng=9)
+        assert optimized < 0.85 * base_cost
+
+    def test_deterministic_given_seed(self):
+        net = PhysicalNetwork.random_euclidean(20, rng=10)
+        l1, c1 = optimize_embedding(net, rng=11)
+        l2, c2 = optimize_embedding(net, rng=11)
+        assert c1 == c2
+        assert l1.vertex_of == l2.vertex_of

@@ -1,0 +1,91 @@
+"""Tests for hypercube overlays and the non-power-of-two layout."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigError
+from repro.overlays.hypercube import HypercubeLayout, hypercube, hypercube_overlay
+
+
+class TestHypercubeGraph:
+    def test_dimensions(self):
+        g = hypercube(3)
+        assert g.n == 8
+        assert all(g.degree(v) == 3 for v in range(8))
+        assert g.edge_count == 12
+
+    def test_edges_differ_one_bit(self):
+        g = hypercube(4)
+        for a, b in g.edges():
+            assert bin(a ^ b).count("1") == 1
+
+    def test_degenerate(self):
+        assert hypercube(0).n == 1
+        with pytest.raises(ConfigError):
+            hypercube(-1)
+
+    def test_diameter_is_h(self):
+        assert hypercube(4).diameter() == 4
+
+
+class TestHypercubeLayout:
+    def test_power_of_two_no_doubling(self):
+        layout = HypercubeLayout.assign(16)
+        assert layout.h == 4
+        assert layout.doubled_vertices == ()
+        assert layout.occupants[0] == (0,)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ConfigError):
+            HypercubeLayout.assign(1)
+
+    @given(st.integers(min_value=2, max_value=600))
+    def test_assignment_rules(self, n):
+        layout = HypercubeLayout.assign(n)
+        h = layout.h
+        assert 1 << h <= n < 1 << (h + 1)
+        # Server alone on vertex 0.
+        assert layout.occupants[0] == (0,)
+        assert layout.vertex_of[0] == 0
+        # Every non-zero vertex hosts one or two clients; all clients placed.
+        placed = 0
+        for vertex in range(1, 1 << h):
+            occ = layout.occupants[vertex]
+            assert 1 <= len(occ) <= 2
+            placed += len(occ)
+            for node in occ:
+                assert layout.vertex_of[node] == vertex
+        assert placed == n - 1
+
+    def test_twins(self):
+        layout = HypercubeLayout.assign(6)  # h=2: 5 clients on 3 vertices
+        doubled = layout.doubled_vertices
+        assert len(doubled) == 2
+        a, b = layout.occupants[doubled[0]]
+        assert layout.twin(a) == b and layout.twin(b) == a
+        single_vertex = next(
+            v for v in range(1, 4) if len(layout.occupants[v]) == 1
+        )
+        assert layout.twin(layout.occupants[single_vertex][0]) is None
+
+    def test_to_graph_power_of_two(self):
+        g = HypercubeLayout.assign(8).to_graph()
+        reference = hypercube(3)
+        assert sorted(g.edges()) == sorted(reference.edges())
+
+    def test_to_graph_doubled_connectivity(self):
+        g = hypercube_overlay(11)
+        assert g.is_connected()
+        assert g.n == 11
+
+    def test_average_degree_near_log_n(self):
+        g = hypercube_overlay(1000)
+        # The paper quotes average degree ~10 for n = 1000.
+        assert 9 <= g.average_degree <= 12
+
+    @given(st.integers(min_value=3, max_value=200))
+    def test_overlay_connected_for_all_n(self, n):
+        assert hypercube_overlay(n).is_connected()

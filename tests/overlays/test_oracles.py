@@ -1,0 +1,57 @@
+"""Overlay structure vs networkx oracles (where available)."""
+
+from __future__ import annotations
+
+import pytest
+
+networkx = pytest.importorskip("networkx")
+
+from repro.overlays.graph import ExplicitGraph
+from repro.overlays.hypercube import hypercube
+from repro.overlays.paths import chain, ring
+from repro.overlays.random_regular import random_regular_graph
+
+
+def to_networkx(graph: ExplicitGraph):
+    g = networkx.Graph()
+    g.add_nodes_from(range(graph.n))
+    g.add_edges_from(graph.edges())
+    return g
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: chain(17),
+            lambda: ring(12),
+            lambda: hypercube(4),
+            lambda: random_regular_graph(40, 6, rng=0),
+        ],
+        ids=["chain", "ring", "hypercube", "regular"],
+    )
+    def test_connectivity_and_diameter(self, factory):
+        ours = factory()
+        theirs = to_networkx(ours)
+        assert ours.is_connected() == networkx.is_connected(theirs)
+        if ours.is_connected():
+            assert ours.diameter() == networkx.diameter(theirs)
+
+    def test_bfs_distances_match(self):
+        ours = random_regular_graph(60, 4, rng=1)
+        theirs = to_networkx(ours)
+        lengths = networkx.single_source_shortest_path_length(theirs, 0)
+        got = ours.bfs_distances(0)
+        for v in range(60):
+            assert got[v] == lengths[v]
+
+    def test_hypercube_is_isomorphic_to_networkx_hypercube(self):
+        ours = to_networkx(hypercube(4))
+        reference = networkx.hypercube_graph(4)
+        assert networkx.is_isomorphic(ours, reference)
+
+    def test_degree_histograms(self):
+        ours = random_regular_graph(30, 8, rng=2)
+        theirs = to_networkx(ours)
+        assert ours.degree_histogram() == {8: 30}
+        assert sorted(d for _, d in theirs.degree()) == [8] * 30

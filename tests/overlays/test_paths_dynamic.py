@@ -1,0 +1,80 @@
+"""Tests for path/ring overlays and dynamic rotation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.overlays.dynamic import DynamicOverlay, rotating_regular_overlay
+from repro.overlays.graph import ExplicitGraph
+from repro.overlays.paths import chain, ring
+
+
+class TestChainAndRing:
+    def test_chain_shape(self):
+        g = chain(4)
+        assert sorted(g.edges()) == [(0, 1), (1, 2), (2, 3)]
+        assert g.degree(0) == 1 and g.degree(1) == 2
+
+    def test_chain_single_node(self):
+        assert chain(1).edge_count == 0
+
+    def test_chain_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            chain(0)
+
+    def test_ring_shape(self):
+        g = ring(5)
+        assert g.edge_count == 5
+        assert all(g.degree(v) == 2 for v in range(5))
+        assert g.has_edge(4, 0)
+
+    def test_ring_rejects_small(self):
+        with pytest.raises(ConfigError):
+            ring(2)
+
+
+class TestDynamicOverlay:
+    def test_epoch_boundaries(self):
+        built = []
+
+        def factory(epoch: int) -> ExplicitGraph:
+            built.append(epoch)
+            return chain(3)
+
+        d = DynamicOverlay(factory, period=5)
+        d.at_tick(1)
+        d.at_tick(5)
+        d.at_tick(6)
+        d.at_tick(10)
+        d.at_tick(11)
+        assert built == [0, 1, 2]
+
+    def test_caches_within_epoch(self):
+        d = DynamicOverlay(lambda e: chain(3), period=3)
+        assert d.at_tick(1) is d.at_tick(3)
+        assert d.at_tick(1) is not d.at_tick(4)
+
+    def test_rejects_bad_period_and_tick(self):
+        with pytest.raises(ConfigError):
+            DynamicOverlay(lambda e: chain(2), period=0)
+        d = DynamicOverlay(lambda e: chain(2), period=1)
+        with pytest.raises(ConfigError):
+            d.at_tick(0)
+
+    def test_n_property(self):
+        d = DynamicOverlay(lambda e: chain(7), period=2)
+        assert d.n == 7
+
+    def test_rotating_regular_deterministic(self):
+        d1 = rotating_regular_overlay(20, 4, period=3, rng=9)
+        d2 = rotating_regular_overlay(20, 4, period=3, rng=9)
+        assert sorted(d1.at_tick(1).edges()) == sorted(d2.at_tick(1).edges())
+        assert sorted(d1.at_tick(4).edges()) == sorted(d2.at_tick(4).edges())
+
+    def test_rotating_changes_between_epochs(self):
+        d = rotating_regular_overlay(20, 4, period=2, rng=5)
+        e1 = sorted(d.at_tick(1).edges())
+        e2 = sorted(d.at_tick(3).edges())
+        assert e1 != e2
+        assert all(d.at_tick(3).degree(v) == 4 for v in range(20))

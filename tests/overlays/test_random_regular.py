@@ -1,0 +1,81 @@
+"""Tests for the random regular graph generator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.overlays.random_regular import random_regular_graph
+
+
+class TestRandomRegularGraph:
+    def test_exact_degree(self):
+        g = random_regular_graph(30, 4, rng=0)
+        assert all(g.degree(v) == 4 for v in range(30))
+
+    def test_simple_graph(self):
+        g = random_regular_graph(24, 6, rng=1)
+        for a, b in g.edges():
+            assert a != b
+        assert g.edge_count == 24 * 6 // 2
+
+    def test_connected_by_default(self):
+        for seed in range(5):
+            assert random_regular_graph(40, 3, rng=seed).is_connected()
+
+    def test_degree_zero(self):
+        g = random_regular_graph(6, 0, rng=0, require_connected=False)
+        assert g.edge_count == 0
+
+    def test_high_degree(self):
+        g = random_regular_graph(20, 15, rng=2)
+        assert all(g.degree(v) == 15 for v in range(20))
+
+    def test_near_complete(self):
+        g = random_regular_graph(10, 9, rng=3)
+        assert g.edge_count == 45  # must be K_10
+
+    def test_rejects_odd_product(self):
+        with pytest.raises(ConfigError):
+            random_regular_graph(5, 3)
+
+    def test_rejects_degree_ge_n(self):
+        with pytest.raises(ConfigError):
+            random_regular_graph(5, 5)
+
+    def test_deterministic_with_seed(self):
+        g1 = random_regular_graph(30, 4, rng=42)
+        g2 = random_regular_graph(30, 4, rng=42)
+        assert sorted(g1.edges()) == sorted(g2.edges())
+
+    def test_different_seeds_differ(self):
+        g1 = random_regular_graph(30, 4, rng=1)
+        g2 = random_regular_graph(30, 4, rng=2)
+        assert sorted(g1.edges()) != sorted(g2.edges())
+
+    def test_accepts_random_instance(self):
+        g = random_regular_graph(20, 4, rng=random.Random(7))
+        assert all(g.degree(v) == 4 for v in range(20))
+
+    def test_edge_distribution_roughly_uniform(self):
+        # Every unordered pair should appear with similar frequency over
+        # many draws (a weak uniformity check on the generator).
+        n, d, draws = 10, 4, 200
+        counts: dict[tuple[int, int], int] = {}
+        for seed in range(draws):
+            g = random_regular_graph(n, d, rng=seed, require_connected=False)
+            for e in g.edges():
+                counts[e] = counts.get(e, 0) + 1
+        expected = draws * d / (n - 1)  # each node has d of n-1 possible ends
+        for pair_count in counts.values():
+            assert 0.4 * expected < pair_count < 1.8 * expected
+
+    def test_matches_networkx_degree_sequence(self):
+        networkx = pytest.importorskip("networkx")
+        ours = random_regular_graph(50, 6, rng=0)
+        theirs = networkx.random_regular_graph(6, 50, seed=0)
+        assert sorted(d for _, d in theirs.degree()) == [
+            ours.degree(v) for v in range(50)
+        ]

@@ -1,0 +1,118 @@
+"""Tests for rooted trees (d-ary and binomial)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigError
+from repro.overlays.trees import RootedTree, binomial_tree, dary_tree
+
+
+class TestRootedTree:
+    def test_from_parents(self):
+        t = RootedTree.from_parents([0, 0, 0, 1])
+        assert t.children[0] == (1, 2)
+        assert t.children[1] == (3,)
+        assert t.parent[3] == 1
+
+    def test_rejects_bad_root(self):
+        with pytest.raises(ConfigError):
+            RootedTree.from_parents([1, 0])
+
+    def test_rejects_self_parent(self):
+        with pytest.raises(ConfigError):
+            RootedTree.from_parents([0, 1])
+
+    def test_rejects_cycle(self):
+        with pytest.raises(ConfigError):
+            RootedTree.from_parents([0, 2, 1])
+
+    def test_rejects_out_of_range_parent(self):
+        with pytest.raises(ConfigError):
+            RootedTree.from_parents([0, 9])
+
+    def test_bfs_order(self):
+        t = RootedTree.from_parents([0, 0, 0, 1, 1, 2])
+        assert list(t.iter_bfs()) == [0, 1, 2, 3, 4, 5]
+
+    def test_depths(self):
+        t = RootedTree.from_parents([0, 0, 1, 2])
+        assert t.depth_of(0) == 0
+        assert t.depth_of(3) == 3
+        assert t.depth == 3
+
+    def test_to_graph(self):
+        g = RootedTree.from_parents([0, 0, 1]).to_graph()
+        assert sorted(g.edges()) == [(0, 1), (1, 2)]
+
+
+class TestDaryTree:
+    def test_binary_shape(self):
+        t = dary_tree(7, 2)
+        assert t.children[0] == (1, 2)
+        assert t.children[1] == (3, 4)
+        assert t.children[2] == (5, 6)
+        assert t.depth == 2
+
+    def test_chain_when_d1(self):
+        t = dary_tree(4, 1)
+        assert t.depth == 3
+        assert t.children[0] == (1,)
+
+    def test_partial_last_level(self):
+        t = dary_tree(5, 3)
+        assert t.children[0] == (1, 2, 3)
+        assert t.children[1] == (4,)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigError):
+            dary_tree(0, 2)
+        with pytest.raises(ConfigError):
+            dary_tree(5, 0)
+
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_every_node_within_arity(self, n, d):
+        t = dary_tree(n, d)
+        assert all(len(c) <= d for c in t.children)
+        assert len(list(t.iter_bfs())) == n
+
+
+class TestBinomialTree:
+    def test_counts(self):
+        t = binomial_tree(3)
+        assert t.n == 8
+        assert t.children[0] == (1, 2, 4)
+
+    def test_parent_is_lowest_bit_cleared(self):
+        t = binomial_tree(4)
+        for v in range(1, 16):
+            assert t.parent[v] == (v & (v - 1))
+
+    def test_depth_is_popcount(self):
+        t = binomial_tree(4)
+        assert t.depth_of(0b1011) == 3
+        assert t.depth == 4
+
+    def test_order_zero(self):
+        t = binomial_tree(0)
+        assert t.n == 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            binomial_tree(-1)
+
+    def test_subtree_sizes(self):
+        # Root's i-th child (node 2^i) heads a subtree of size 2^i.
+        t = binomial_tree(4)
+        sizes = {c: 0 for c in t.children[0]}
+        for v in range(1, 16):
+            top = v
+            while t.parent[top] != 0:
+                top = t.parent[top]
+            sizes[top] += 1
+        assert sizes == {1: 1, 2: 2, 4: 4, 8: 8}

@@ -1,0 +1,122 @@
+"""Tests for churn (arrivals and departures) in the randomized engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.core.mechanisms import CreditLimitedBarter
+from repro.core.verify import verify_log
+from repro.overlays.random_regular import random_regular_graph
+from repro.randomized.churn import ChurnEngine, churn_run
+from repro.randomized.cooperative import randomized_cooperative_run
+
+
+class TestChurnValidation:
+    def test_rejects_server_churn(self):
+        with pytest.raises(ConfigError):
+            ChurnEngine(8, 4, arrivals={0: 3})
+        with pytest.raises(ConfigError):
+            ChurnEngine(8, 4, departures={0: 3})
+
+    def test_rejects_unknown_client(self):
+        with pytest.raises(ConfigError):
+            ChurnEngine(8, 4, arrivals={9: 3})
+
+    def test_rejects_bad_ticks(self):
+        with pytest.raises(ConfigError):
+            ChurnEngine(8, 4, arrivals={1: 0})
+
+    def test_rejects_depart_before_arrival(self):
+        with pytest.raises(ConfigError):
+            ChurnEngine(8, 4, arrivals={1: 5}, departures={1: 5})
+
+
+class TestArrivals:
+    def test_late_arrival_completes(self):
+        r = churn_run(16, 8, arrivals={3: 20}, rng=0)
+        assert r.completed
+        assert r.client_completions[3] > 20
+
+    def test_no_transfers_to_absent_nodes(self):
+        r = churn_run(16, 8, arrivals={3: 20}, rng=1)
+        for t in r.log:
+            assert t.dst != 3 or t.tick >= 20
+
+    def test_flash_crowd_all_late(self):
+        arrivals = {c: 5 + c for c in range(2, 12)}
+        r = churn_run(16, 8, arrivals=arrivals, rng=2)
+        assert r.completed
+        verify_log(r.log, 16, 8)
+
+    def test_arrival_on_explicit_overlay(self):
+        g = random_regular_graph(24, 6, rng=0)
+        r = churn_run(24, 8, arrivals={5: 15}, overlay=g, rng=3)
+        assert r.completed
+        for t in r.log:
+            assert t.dst != 5 or t.tick >= 15
+
+
+class TestDepartures:
+    def test_departed_node_not_required_for_completion(self):
+        r = churn_run(16, 16, departures={4: 3}, rng=4)
+        assert r.completed
+        assert 4 not in r.client_completions
+        assert r.meta["final_holdings"][4] == 0
+
+    def test_no_transfers_involving_departed(self):
+        r = churn_run(16, 16, departures={4: 3}, rng=5)
+        for t in r.log:
+            if t.tick >= 3:
+                assert 4 not in (t.src, t.dst)
+
+    def test_departure_removes_copies_from_frequency(self):
+        engine = ChurnEngine(8, 4, departures={2: 10}, rng=6)
+        result = engine.run()
+        assert result.completed
+        # Final frequencies count only survivors (+ the server).
+        for b in range(4):
+            holders = sum(
+                1 for v in range(8) if engine.state.masks[v] >> b & 1
+            )
+            assert engine.state.freq[b] == holders
+
+    def test_mass_departure_still_completes(self):
+        departures = {c: 6 for c in range(8, 16)}
+        r = churn_run(16, 12, departures=departures, rng=7)
+        assert r.completed
+        assert len(r.client_completions) == 7  # clients 1..7
+
+
+class TestChurnInteractions:
+    def test_arrive_then_depart(self):
+        r = churn_run(12, 6, arrivals={2: 4}, departures={2: 8}, rng=8)
+        assert r.completed
+        assert 2 not in r.client_completions
+
+    def test_completion_waits_for_pending_arrivals(self):
+        # Swarm of 3 clients where one arrives long after the others done.
+        r = churn_run(4, 2, arrivals={3: 50}, rng=9)
+        assert r.completed
+        assert r.completion_time > 50
+
+    def test_churn_under_credit_limit(self):
+        g = random_regular_graph(32, 16, rng=1)
+        r = churn_run(
+            32,
+            16,
+            departures={5: 10, 6: 12},
+            overlay=g,
+            mechanism=CreditLimitedBarter(1),
+            rng=10,
+            max_ticks=2000,
+        )
+        # Either completes or aborts cleanly — never spins to max_ticks
+        # on a provable deadlock.
+        assert r.completed or r.meta["deadlocked"]
+
+    def test_no_churn_matches_plain_engine(self):
+        plain = randomized_cooperative_run(16, 8, rng=11)
+        churned = churn_run(16, 8, rng=11)
+        assert plain.completion_time == churned.completion_time
+        assert list(plain.log) == list(churned.log)

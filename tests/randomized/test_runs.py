@@ -1,0 +1,197 @@
+"""Tests for the cooperative / barter / exchange entry points."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mechanisms import CreditLimitedBarter, StrictBarter
+from repro.core.model import BandwidthModel
+from repro.core.verify import verify_log
+from repro.overlays.dynamic import rotating_regular_overlay
+from repro.overlays.hypercube import hypercube_overlay
+from repro.overlays.random_regular import random_regular_graph
+from repro.randomized import (
+    RarestFirstPolicy,
+    randomized_barter_run,
+    randomized_cooperative_run,
+    randomized_exchange_run,
+)
+from repro.schedules.bounds import cooperative_lower_bound, strict_barter_lower_bound
+
+
+class TestCooperativeRun:
+    def test_near_optimal_on_complete_graph(self):
+        n, k = 64, 32
+        times = [
+            randomized_cooperative_run(n, k, rng=s, keep_log=False).completion_time
+            for s in range(3)
+        ]
+        opt = cooperative_lower_bound(n, k)
+        assert all(t >= opt for t in times)
+        assert sum(times) / len(times) <= 1.8 * opt  # paper: within ~15-20%
+
+    def test_respects_lower_bound(self):
+        r = randomized_cooperative_run(32, 16, rng=0)
+        assert r.completion_time >= cooperative_lower_bound(32, 16)
+
+    def test_hypercube_overlay_comparable_to_complete(self):
+        # Paper Figure 5: hypercube-like overlay matches the complete graph.
+        n, k = 128, 64
+        t_complete = [
+            randomized_cooperative_run(n, k, rng=s, keep_log=False).completion_time
+            for s in range(3)
+        ]
+        overlay = hypercube_overlay(n)
+        t_hyper = [
+            randomized_cooperative_run(
+                n, k, overlay=overlay, rng=s, keep_log=False
+            ).completion_time
+            for s in range(3)
+        ]
+        assert sum(t_hyper) <= 1.35 * sum(t_complete)
+
+    def test_low_degree_hurts(self):
+        # Paper Figure 5: very low degree slows completion markedly. The
+        # ring (degree 2) is the extreme case: block spread is bounded by
+        # geographic distance, costing ~n/2 extra ticks.
+        from repro.overlays.paths import ring
+
+        n, k = 96, 96
+        t_low = randomized_cooperative_run(
+            n, k, overlay=ring(n), rng=2, keep_log=False
+        ).completion_time
+        t_full = randomized_cooperative_run(n, k, rng=2, keep_log=False).completion_time
+        assert t_low > 1.3 * t_full
+
+    def test_rarest_first_also_near_optimal(self):
+        # Paper: block policy makes no significant difference cooperatively.
+        n, k = 64, 32
+        t = randomized_cooperative_run(
+            n, k, policy=RarestFirstPolicy(), rng=5, keep_log=False
+        ).completion_time
+        assert t <= 1.8 * cooperative_lower_bound(n, k)
+
+    def test_download_bandwidth_insensitive(self):
+        # Paper: no significant difference from d = u to unbounded.
+        n, k = 64, 32
+        t_sym = randomized_cooperative_run(n, k, rng=6, keep_log=False).completion_time
+        t_inf = randomized_cooperative_run(
+            n, k, model=BandwidthModel.unbounded(), rng=6, keep_log=False
+        ).completion_time
+        assert abs(t_sym - t_inf) <= 0.35 * max(t_sym, t_inf)
+
+    @given(st.integers(min_value=2, max_value=24), st.integers(min_value=1, max_value=12))
+    @settings(max_examples=20, deadline=None)
+    def test_property_always_completes_and_verifies(self, n, k):
+        r = randomized_cooperative_run(n, k, rng=n * 1000 + k)
+        assert r.completed
+        verify_log(r.log, n, k)
+
+
+class TestBarterRun:
+    def test_complete_graph_converges(self):
+        r = randomized_barter_run(48, 24, credit_limit=1, rng=0)
+        assert r.completed
+        verify_log(r.log, 48, 24, mechanism=CreditLimitedBarter(1))
+
+    def test_higher_credit_never_hurts_much(self):
+        n, k = 48, 24
+        t1 = randomized_barter_run(n, k, credit_limit=1, rng=1).completion_time
+        t4 = randomized_barter_run(n, k, credit_limit=4, rng=1).completion_time
+        assert t4 <= 1.5 * t1
+
+    def test_low_degree_small_credit_fails(self):
+        # Paper Figure 6: low degree with s=1 never converges.
+        n, k = 96, 96
+        g = random_regular_graph(n, 6, rng=2)
+        r = randomized_barter_run(
+            n, k, credit_limit=1, overlay=g, rng=3, max_ticks=3000
+        )
+        assert not r.completed
+
+    def test_high_degree_small_credit_succeeds(self):
+        n, k = 96, 96
+        g = random_regular_graph(n, 48, rng=4)
+        r = randomized_barter_run(
+            n, k, credit_limit=1, overlay=g, rng=5, max_ticks=3000, keep_log=False
+        )
+        assert r.completed
+
+    def test_rarest_first_lowers_required_degree(self):
+        # Paper Figure 7: rarest-first converges at degrees where random fails.
+        n, k = 96, 96
+        degree = 16
+        completions = {"random": 0, "rarest": 0}
+        for s in range(2):
+            g = random_regular_graph(n, degree, rng=100 + s)
+            r_rand = randomized_barter_run(
+                n, k, credit_limit=1, overlay=g, rng=s, max_ticks=2500, keep_log=False
+            )
+            r_rare = randomized_barter_run(
+                n,
+                k,
+                credit_limit=1,
+                overlay=g,
+                policy=RarestFirstPolicy(),
+                rng=s,
+                max_ticks=2500,
+                keep_log=False,
+            )
+            completions["random"] += int(r_rand.completed)
+            completions["rarest"] += int(r_rare.completed)
+        assert completions["rarest"] > completions["random"]
+
+    def test_verifier_confirms_credit_limit(self):
+        r = randomized_barter_run(24, 12, credit_limit=2, rng=6)
+        verify_log(r.log, 24, 12, mechanism=CreditLimitedBarter(2))
+
+    def test_rotation_helps_low_degree(self):
+        # Paper Section 3.2.4 closing remark.
+        n, k = 64, 64
+        degree = 6
+        static = random_regular_graph(n, degree, rng=7)
+        r_static = randomized_barter_run(
+            n, k, credit_limit=1, overlay=static, rng=8, max_ticks=2500, keep_log=False
+        )
+        rotating = rotating_regular_overlay(n, degree, period=8, rng=7)
+        r_rot = randomized_barter_run(
+            n, k, credit_limit=1, overlay=rotating, rng=8, max_ticks=2500, keep_log=False
+        )
+        assert r_rot.completed
+        assert (not r_static.completed) or (
+            r_rot.completion_time <= r_static.completion_time * 1.2
+        )
+
+
+class TestExchangeRun:
+    def test_completes_on_complete_graph(self):
+        r = randomized_exchange_run(24, 12, rng=0)
+        assert r.completed
+        verify_log(
+            r.log, 24, 12, BandwidthModel.symmetric(), StrictBarter()
+        )
+
+    def test_start_up_cost_linear_in_n(self):
+        # Strict barter pays the Theorem 2 start-up price.
+        n, k = 40, 4
+        r = randomized_exchange_run(n, k, rng=1)
+        assert r.completed
+        assert r.completion_time >= strict_barter_lower_bound(n, k, 1) * 0.9
+
+    def test_double_download_lets_seeded_node_barter(self):
+        r = randomized_exchange_run(
+            24, 12, model=BandwidthModel.double_download(), rng=2
+        )
+        assert r.completed
+        verify_log(
+            r.log, 24, 12, BandwidthModel.double_download(), StrictBarter()
+        )
+
+    def test_single_block_file_served_by_server_alone(self):
+        n = 10
+        r = randomized_exchange_run(n, 1, rng=3)
+        assert r.completed
+        assert all(t.src == 0 for t in r.log)
+        assert r.completion_time == n - 1

@@ -1,0 +1,87 @@
+"""Tests for the upload-throttle knob of the randomized engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.core.mechanisms import CreditLimitedBarter
+from repro.overlays.random_regular import random_regular_graph
+from repro.randomized.engine import RandomizedEngine
+
+
+class TestThrottleValidation:
+    def test_rejects_server(self):
+        with pytest.raises(ConfigError):
+            RandomizedEngine(8, 4, throttle={0: 0.5})
+
+    def test_rejects_unknown_client(self):
+        with pytest.raises(ConfigError):
+            RandomizedEngine(8, 4, throttle={9: 0.5})
+
+    def test_rejects_out_of_range_probability(self):
+        with pytest.raises(ConfigError):
+            RandomizedEngine(8, 4, throttle={1: 1.5})
+        with pytest.raises(ConfigError):
+            RandomizedEngine(8, 4, throttle={1: -0.1})
+
+
+class TestThrottleBehavior:
+    def test_zero_throttle_matches_plain_run(self):
+        plain = RandomizedEngine(16, 8, rng=1).run()
+        zero = RandomizedEngine(16, 8, rng=1, throttle={1: 0.0}).run()
+        assert list(plain.log) == list(zero.log)
+
+    def test_full_throttle_never_uploads(self):
+        r = RandomizedEngine(16, 8, rng=2, throttle={3: 1.0}).run()
+        assert r.completed  # cooperative: others carry it
+        assert all(t.src != 3 for t in r.log)
+
+    def test_partial_throttle_reduces_uploads(self):
+        def uploads_of(node: int, throttle) -> int:
+            r = RandomizedEngine(24, 24, rng=3, throttle=throttle).run()
+            return sum(1 for t in r.log if t.src == node)
+
+        full = uploads_of(2, None)
+        half = uploads_of(2, {2: 0.5})
+        assert 0 < half < full
+
+    def test_throttled_run_is_deterministic(self):
+        r1 = RandomizedEngine(12, 6, rng=4, throttle={1: 0.5}).run()
+        r2 = RandomizedEngine(12, 6, rng=4, throttle={1: 0.5}).run()
+        assert list(r1.log) == list(r2.log)
+
+    def test_throttled_barter_run_cannot_falsely_deadlock(self):
+        # A throttled swarm must not use the zero-transfer shortcut (a
+        # silent tick may be throttle noise); it either completes or runs
+        # to its tick budget honestly.
+        g = random_regular_graph(24, 8, rng=5)
+        r = RandomizedEngine(
+            24,
+            12,
+            overlay=g,
+            mechanism=CreditLimitedBarter(2),
+            rng=6,
+            throttle={1: 0.9},
+            max_ticks=800,
+        ).run()
+        assert not r.meta["deadlocked"]
+
+    def test_throttle_hurts_self_under_credit_limit(self):
+        g = random_regular_graph(48, 24, rng=7)
+        base = RandomizedEngine(
+            48, 32, overlay=g, mechanism=CreditLimitedBarter(1), rng=8, max_ticks=3000
+        ).run()
+        throttled = RandomizedEngine(
+            48,
+            32,
+            overlay=g,
+            mechanism=CreditLimitedBarter(1),
+            rng=8,
+            throttle={1: 0.75},
+            max_ticks=3000,
+        ).run()
+        base_finish = base.client_completions.get(1)
+        slow_finish = throttled.client_completions.get(1)
+        assert base_finish is not None
+        assert slow_finish is None or slow_finish >= base_finish

@@ -1,0 +1,98 @@
+"""Tests for randomized triangular barter (the paper's future-work item)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mechanisms import StrictBarter, TriangularBarter
+from repro.core.verify import verify_log
+from repro.overlays.random_regular import random_regular_graph
+from repro.randomized.triangular import randomized_triangular_run
+
+
+class TestTriangularRun:
+    def test_completes_on_complete_graph(self):
+        r = randomized_triangular_run(24, 12, rng=0)
+        assert r.completed
+        verify_log(r.log, 24, 12, mechanism=TriangularBarter(1))
+
+    def test_ticks_satisfy_triangular_mechanism(self):
+        r = randomized_triangular_run(32, 16, rng=1)
+        assert r.completed
+        # Stronger: every tick individually settles at credit limit 1.
+        verify_log(r.log, 32, 16, mechanism=TriangularBarter(1))
+
+    def test_exchange_only_mode_obeys_two_cycle_credit(self):
+        # With triangles off, ticks contain only exchanges and one-way
+        # credit gifts: the max_cycle=2 triangular mechanism at s=1.
+        r = randomized_triangular_run(24, 12, rng=2, allow_triangles=False)
+        verify_log(
+            r.log,
+            24,
+            12,
+            mechanism=TriangularBarter(1, max_cycle=2),
+            require_completion=r.completed,
+        )
+
+    def test_triangles_actually_used(self):
+        # On a moderate-degree overlay some ticks must contain 3-cycles
+        # (odd number of client transfers in a tick implies a triangle,
+        # since exchanges contribute pairs).
+        g = random_regular_graph(48, 10, rng=3)
+        r = randomized_triangular_run(48, 24, overlay=g, rng=4)
+        saw_triangle = False
+        for tick, transfers in r.log.by_tick().items():
+            client_transfers = [t for t in transfers if t.src != 0]
+            if len(client_transfers) % 2 == 1:
+                saw_triangle = True
+                break
+        assert saw_triangle
+
+    def test_deterministic_with_seed(self):
+        r1 = randomized_triangular_run(16, 8, rng=7)
+        r2 = randomized_triangular_run(16, 8, rng=7)
+        assert list(r1.log) == list(r2.log)
+
+    def test_meta(self):
+        r = randomized_triangular_run(12, 6, rng=8)
+        assert r.meta["algorithm"] == "randomized-triangular"
+        assert r.meta["allow_triangles"] is True
+
+
+class TestLowDegreeBehavior:
+    def test_high_degree_converges_all_modes(self):
+        n, k = 96, 96
+        g = random_regular_graph(n, 48, rng=0)
+        tri = randomized_triangular_run(n, k, overlay=g, rng=1, max_ticks=3000)
+        exch = randomized_triangular_run(
+            n, k, overlay=g, rng=1, max_ticks=3000, allow_triangles=False
+        )
+        assert tri.completed and exch.completed
+
+    def test_triangles_never_hurt_much(self):
+        # Measured finding (EXPERIMENTS.md): triangles neither rescue
+        # sparse overlays (credit exhaustion binds first) nor hurt when
+        # the swarm is viable.
+        n, k = 96, 96
+        g = random_regular_graph(n, 48, rng=2)
+        t_tri = randomized_triangular_run(
+            n, k, overlay=g, rng=3, max_ticks=3000
+        ).completion_time
+        t_exch = randomized_triangular_run(
+            n, k, overlay=g, rng=3, max_ticks=3000, allow_triangles=False
+        ).completion_time
+        assert t_tri is not None and t_exch is not None
+        assert t_tri <= 1.25 * t_exch
+
+    def test_credit_gifts_bootstrap_beyond_server_neighborhood(self):
+        # Without gifts, only the server's direct neighbors could ever
+        # hold data under cyclic barter; with the credit line, blocks
+        # reach (at least partially) the rest of a sparse overlay.
+        n, k = 64, 32
+        g = random_regular_graph(n, 4, rng=4)
+        r = randomized_triangular_run(n, k, overlay=g, rng=5, max_ticks=1500)
+        holders = {
+            v for v in range(1, n) if r.log.final_masks(n, k)[v]
+        }
+        server_neighbors = set(g.neighbors(0))
+        assert holders - server_neighbors, "gifts never propagated data"

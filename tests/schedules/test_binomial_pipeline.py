@@ -1,0 +1,109 @@
+"""Tests for the group-based binomial pipeline (Section 2.3.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import execute_schedule
+from repro.core.errors import ConfigError
+from repro.core.model import SERVER, BandwidthModel
+from repro.core.verify import verify_log
+from repro.schedules.binomial_pipeline import binomial_pipeline_schedule
+from repro.schedules.bounds import binomial_pipeline_time, cooperative_lower_bound
+
+
+class TestBinomialPipeline:
+    @pytest.mark.parametrize(
+        "n,k",
+        [(2, 1), (2, 9), (4, 1), (4, 2), (4, 3), (8, 1), (8, 2), (8, 3), (8, 8),
+         (16, 1), (16, 4), (16, 30), (32, 5), (64, 64), (128, 3)],
+    )
+    def test_optimal_completion(self, n, k):
+        r = execute_schedule(binomial_pipeline_schedule(n, k))
+        assert r.completion_time == binomial_pipeline_time(n, k)
+        assert r.completion_time == cooperative_lower_bound(n, k)
+
+    @pytest.mark.parametrize("n,k", [(8, 5), (16, 3), (32, 12)])
+    def test_verifies_at_symmetric_bandwidth(self, n, k):
+        # The optimal schedule never needs d > u.
+        r = execute_schedule(
+            binomial_pipeline_schedule(n, k), BandwidthModel.symmetric()
+        )
+        verify_log(r.log, n, k, BandwidthModel.symmetric())
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigError):
+            binomial_pipeline_schedule(6, 3)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ConfigError):
+            binomial_pipeline_schedule(1, 3)
+        with pytest.raises(ConfigError):
+            binomial_pipeline_schedule(8, 0)
+
+    def test_no_wasted_transfers(self):
+        # Exactly k*(n-1) useful transfers: the executor raises on any
+        # redundant planned transfer, and the count confirms no slack.
+        n, k = 16, 7
+        s = binomial_pipeline_schedule(n, k)
+        assert len(s) == k * (n - 1)
+
+    def test_opening_is_binomial_doubling(self):
+        # During the first h ticks, holders double every tick.
+        r = execute_schedule(binomial_pipeline_schedule(16, 8))
+        by_tick = r.log.by_tick()
+        have_data = 1  # server
+        for t in range(1, 5):
+            assert len(by_tick[t]) == have_data
+            have_data *= 2
+
+    def test_server_sends_blocks_in_order(self):
+        n, k = 8, 5
+        s = binomial_pipeline_schedule(n, k)
+        server_sends = [t for t in s if t.src == SERVER]
+        for tick, transfer in enumerate(server_sends, start=1):
+            assert transfer.tick == tick
+            assert transfer.block == min(tick, k) - 1
+
+    def test_all_clients_finish_simultaneously_for_large_k(self):
+        # Paper Section 2.3.4: for k >= h all nodes finish at the same tick.
+        n, k = 16, 10
+        r = execute_schedule(binomial_pipeline_schedule(n, k))
+        finish_ticks = set(r.client_completions.values())
+        assert len(finish_ticks) == 1
+
+    def test_full_upload_utilisation_in_middlegame(self):
+        # Between the opening and the end, n - 1 useful transfers happen
+        # every tick: the server hand-off plus 2 * (2^{h-1} - 1) exchange
+        # halves — every node except the freshly promoted one uploads.
+        n, k = 16, 12
+        r = execute_schedule(binomial_pipeline_schedule(n, k))
+        per_tick = r.log.uploads_per_tick()
+        h = 4
+        for t in range(h, k + h - 1):  # ticks h+1 .. k+h-1 (0-indexed list)
+            assert per_tick[t] == n - 1
+
+    def test_obeys_credit_limit_one_with_netting(self):
+        # Section 3.2.2 tightness: for n = 2^h the optimal algorithm obeys
+        # credit-limited barter with s = 1 (credit granted at upload end,
+        # so simultaneous exchanges net out).
+        from repro.core.mechanisms import CreditLimitedBarter
+
+        for n, k in [(8, 5), (16, 10), (32, 7)]:
+            r = execute_schedule(binomial_pipeline_schedule(n, k))
+            verify_log(
+                r.log, n, k, mechanism=CreditLimitedBarter(1, intra_tick_netting=True)
+            )
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_optimal_and_valid(self, h, k):
+        n = 1 << h
+        r = execute_schedule(binomial_pipeline_schedule(n, k))
+        assert r.completion_time == cooperative_lower_bound(n, k)
+        verify_log(r.log, n, k)

@@ -1,0 +1,72 @@
+"""Cross-validation between the two optimal constructions.
+
+The paper proves the group-based binomial pipeline (Section 2.3.1) and
+the hypercube embedding (Section 2.3.2) are the same algorithm up to
+relabeling. The constructions in this library are implemented
+independently; these tests check the structural invariants that must
+therefore coincide — a strong end-to-end consistency check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import execute_schedule
+from repro.core.model import SERVER
+from repro.schedules.binomial_pipeline import binomial_pipeline_schedule
+from repro.schedules.hypercube import hypercube_schedule
+
+CASES = [(8, 3), (8, 8), (16, 5), (32, 12), (64, 4)]
+
+
+def _holder_profile(schedule, n: int, k: int) -> list[list[int]]:
+    """Sorted per-block holder counts after every tick."""
+    masks = [0] * n
+    masks[SERVER] = (1 << k) - 1
+    profile = []
+    result = execute_schedule(schedule)
+    for tick in range(1, result.completion_time + 1):
+        for t in result.log.by_tick().get(tick, []):
+            masks[t.dst] |= 1 << t.block
+        counts = sorted(
+            sum(1 for m in masks if m >> b & 1) for b in range(k)
+        )
+        profile.append(counts)
+    return profile
+
+
+class TestGroupVsHypercube:
+    @pytest.mark.parametrize("n,k", CASES)
+    def test_same_completion_time(self, n, k):
+        t1 = execute_schedule(binomial_pipeline_schedule(n, k)).completion_time
+        t2 = execute_schedule(hypercube_schedule(n, k)).completion_time
+        assert t1 == t2
+
+    @pytest.mark.parametrize("n,k", CASES)
+    def test_same_transfer_count_per_tick(self, n, k):
+        r1 = execute_schedule(binomial_pipeline_schedule(n, k))
+        r2 = execute_schedule(hypercube_schedule(n, k))
+        assert r1.log.uploads_per_tick() == r2.log.uploads_per_tick()
+
+    @pytest.mark.parametrize("n,k", [(8, 4), (16, 6)])
+    def test_same_holder_count_profile(self, n, k):
+        """The multiset of per-block replication counts evolves
+        identically tick by tick — the group-size invariant."""
+        p1 = _holder_profile(binomial_pipeline_schedule(n, k), n, k)
+        p2 = _holder_profile(hypercube_schedule(n, k), n, k)
+        assert p1 == p2
+
+    @pytest.mark.parametrize("n,k", CASES)
+    def test_same_server_block_sequence(self, n, k):
+        def server_blocks(schedule):
+            return [t.block for t in schedule if t.src == SERVER]
+
+        assert server_blocks(binomial_pipeline_schedule(n, k)) == server_blocks(
+            hypercube_schedule(n, k)
+        )
+
+    @pytest.mark.parametrize("n,k", [(16, 8), (32, 5)])
+    def test_both_move_exactly_k_times_clients(self, n, k):
+        s1 = binomial_pipeline_schedule(n, k)
+        s2 = hypercube_schedule(n, k)
+        assert len(s1) == len(s2) == k * (n - 1)

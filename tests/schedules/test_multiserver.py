@@ -1,0 +1,84 @@
+"""Tests for the higher-server-bandwidth schedule (Section 2.3.4)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import execute_schedule
+from repro.core.errors import ConfigError, ScheduleViolation
+from repro.core.model import BandwidthModel
+from repro.core.verify import verify_log
+from repro.schedules.bounds import cooperative_lower_bound
+from repro.schedules.multiserver import multi_server_schedule, multi_server_time
+
+
+class TestMultiServerTime:
+    def test_m1_equals_single_server(self):
+        assert multi_server_time(33, 20, 1) == cooperative_lower_bound(33, 20)
+
+    def test_log_term_shrinks(self):
+        n, k = 129, 50
+        times = [multi_server_time(n, k, m) for m in (1, 2, 4, 8)]
+        assert times == sorted(times, reverse=True)
+        # The k term is a floor: no multiplier can beat k ticks by much.
+        assert times[-1] >= k
+
+    def test_more_servers_than_clients_saturates(self):
+        assert multi_server_time(5, 7, 100) == multi_server_time(5, 7, 4)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigError):
+            multi_server_time(10, 5, 0)
+        with pytest.raises(ConfigError):
+            multi_server_schedule(1, 5, 2)
+        with pytest.raises(ConfigError):
+            multi_server_schedule(8, 0, 2)
+
+
+class TestMultiServerSchedule:
+    @pytest.mark.parametrize("n,k,m", [(9, 6, 2), (33, 10, 4), (20, 5, 3), (64, 33, 8)])
+    def test_matches_prediction_and_verifies(self, n, k, m):
+        schedule = multi_server_schedule(n, k, m)
+        model = BandwidthModel(server_upload=m)
+        result = execute_schedule(schedule, model)
+        assert result.completion_time == multi_server_time(n, k, m)
+        verify_log(result.log, n, k, model)
+
+    def test_needs_raised_server_capacity(self):
+        schedule = multi_server_schedule(17, 6, 4)
+        with pytest.raises(ScheduleViolation):
+            execute_schedule(schedule, BandwidthModel.symmetric())
+
+    def test_groups_never_exchange(self):
+        n, k, m = 21, 6, 2
+        schedule = multi_server_schedule(n, k, m)
+        groups = [set(range(1, n, m)), set(range(2, n, m))]
+
+        def group_of(v: int) -> int:
+            return 0 if v in groups[0] else 1
+
+        for t in schedule:
+            if t.src != 0:
+                assert group_of(t.src) == group_of(t.dst)
+
+    def test_m1_is_plain_hypercube(self):
+        from repro.schedules.hypercube import hypercube_schedule
+
+        a = multi_server_schedule(17, 5, 1)
+        b = hypercube_schedule(17, 5)
+        assert sorted(a) == sorted(b)
+
+    @given(
+        st.integers(min_value=2, max_value=60),
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_completes_optimally(self, n, k, m):
+        schedule = multi_server_schedule(n, k, m)
+        model = BandwidthModel(server_upload=m)
+        result = execute_schedule(schedule, model)
+        assert result.completion_time == multi_server_time(n, k, m)
+        verify_log(result.log, n, k, model)

@@ -1,0 +1,87 @@
+"""Tests for the SplitStream-style multi-tree schedule."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import execute_schedule
+from repro.core.errors import ConfigError
+from repro.core.model import BandwidthModel
+from repro.core.verify import verify_log
+from repro.schedules.bounds import cooperative_lower_bound, pipeline_time
+from repro.schedules.multitree import multi_tree_schedule, multi_tree_time_estimate
+
+
+class TestMultiTreeSchedule:
+    @pytest.mark.parametrize("n,k,m", [(9, 8, 2), (33, 20, 4), (50, 30, 3), (17, 5, 8)])
+    def test_completes_and_verifies_at_symmetric_bandwidth(self, n, k, m):
+        schedule = multi_tree_schedule(n, k, m)
+        result = execute_schedule(schedule, BandwidthModel.symmetric())
+        assert result.completed
+        verify_log(result.log, n, k, BandwidthModel.symmetric())
+
+    def test_single_tree_degenerates_to_pipeline_time(self):
+        n, k = 33, 64
+        result = execute_schedule(multi_tree_schedule(n, k, 1))
+        assert result.completion_time == pipeline_time(n, k)
+
+    def test_tracks_related_work_estimate(self):
+        # "roughly k + m log n": measured within a modest factor of the
+        # estimate for k >> m log n.
+        n, k, m = 65, 256, 4
+        result = execute_schedule(multi_tree_schedule(n, k, m))
+        estimate = multi_tree_time_estimate(n, k, m)
+        assert result.completion_time <= 1.25 * estimate
+
+    def test_worse_than_binomial_pipeline(self):
+        # The paper's point: even a well-built multi-tree loses to the
+        # binomial pipeline in the homogeneous static setting.
+        from repro.schedules.hypercube import hypercube_schedule
+
+        n, k = 65, 64
+        t_tree = execute_schedule(multi_tree_schedule(n, k, 4)).completion_time
+        t_opt = execute_schedule(hypercube_schedule(n, k)).completion_time
+        assert t_tree > t_opt
+
+    def test_every_client_interior_in_at_most_one_stripe(self):
+        # SplitStream's defining property, read off the actual transfers:
+        # a client relays (uploads) blocks of at most one stripe.
+        n, k, m = 25, 24, 3
+        schedule = multi_tree_schedule(n, k, m)
+        stripes_relayed: dict[int, set[int]] = {}
+        for t in schedule:
+            if t.src != 0:
+                stripes_relayed.setdefault(t.src, set()).add(t.block % m)
+        for node, stripes in stripes_relayed.items():
+            assert len(stripes) == 1, f"client {node} relays stripes {stripes}"
+
+    def test_server_sends_one_block_per_tick(self):
+        schedule = multi_tree_schedule(20, 12, 2)
+        server_ticks = [t.tick for t in schedule if t.src == 0]
+        assert len(server_ticks) == len(set(server_ticks)) == 12
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigError):
+            multi_tree_schedule(5, 4, 0)
+        with pytest.raises(ConfigError):
+            multi_tree_schedule(5, 4, 5)
+        with pytest.raises(ConfigError):
+            multi_tree_schedule(1, 4, 1)
+        with pytest.raises(ConfigError):
+            multi_tree_time_estimate(8, 4, 0)
+
+    @given(
+        st.integers(min_value=3, max_value=50),
+        st.integers(min_value=1, max_value=30),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_valid_for_all_params(self, n, k, m):
+        m = min(m, n - 1)
+        schedule = multi_tree_schedule(n, k, m)
+        result = execute_schedule(schedule, BandwidthModel.symmetric())
+        assert result.completed
+        verify_log(result.log, n, k, BandwidthModel.symmetric())
+        assert result.completion_time >= cooperative_lower_bound(n, k)

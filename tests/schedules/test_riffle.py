@@ -1,0 +1,138 @@
+"""Tests for the riffle pipeline (Section 3.1.3, strict barter)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import execute_schedule
+from repro.core.errors import ConfigError, ScheduleViolation
+from repro.core.mechanisms import CreditLimitedBarter, StrictBarter
+from repro.core.model import BandwidthModel
+from repro.core.verify import verify_log
+from repro.schedules.bounds import strict_barter_lower_bound
+from repro.schedules.riffle import riffle_pipeline_schedule
+
+D1 = BandwidthModel.symmetric()
+D2 = BandwidthModel.double_download()
+
+
+class TestRiffleBaseCase:
+    @pytest.mark.parametrize("n", [3, 4, 5, 8, 17, 40])
+    def test_k_equals_clients_meets_theorem3(self, n):
+        k = n - 1
+        r = execute_schedule(riffle_pipeline_schedule(n, k, D2), D2)
+        assert r.completion_time == k + n - 2  # = 2N - 3, Theorem 3
+        assert r.completion_time == strict_barter_lower_bound(n, k, 1)
+
+    def test_strict_barter_satisfied(self):
+        n, k = 9, 8
+        r = execute_schedule(riffle_pipeline_schedule(n, k, D2), D2)
+        verify_log(r.log, n, k, D2, StrictBarter())
+
+    def test_credit_limit_one_satisfied(self):
+        # Section 3.2.2: the riffle also satisfies credit-limited barter s=1.
+        n, k = 9, 8
+        r = execute_schedule(riffle_pipeline_schedule(n, k, D2), D2)
+        verify_log(r.log, n, k, D2, CreditLimitedBarter(1))
+
+    def test_each_pair_exchanges_exactly_once(self):
+        n = 7
+        r = execute_schedule(riffle_pipeline_schedule(n, n - 1, D2), D2)
+        pair_counts: dict[tuple[int, int], int] = {}
+        for t in r.log:
+            if t.src != 0 and t.dst != 0:
+                key = (min(t.src, t.dst), max(t.src, t.dst))
+                pair_counts[key] = pair_counts.get(key, 0) + 1
+        # Every client pair trades exactly twice (once each direction).
+        assert all(c == 2 for c in pair_counts.values())
+        assert len(pair_counts) == (n - 1) * (n - 2) // 2
+
+    def test_single_client(self):
+        r = execute_schedule(riffle_pipeline_schedule(2, 5, D1), D1)
+        assert r.completion_time == 5
+
+
+class TestRiffleMultipleCycles:
+    @pytest.mark.parametrize("c", [2, 3, 5])
+    def test_exact_multiples_meet_bound_at_d2(self, c):
+        n = 9
+        k = c * (n - 1)
+        r = execute_schedule(riffle_pipeline_schedule(n, k, D2), D2)
+        assert r.completion_time == k + n - 2
+
+    def test_d1_costs_one_tick_per_extra_cycle(self):
+        n, c = 9, 4
+        k = c * (n - 1)
+        r = execute_schedule(riffle_pipeline_schedule(n, k, D1), D1)
+        assert r.completion_time == k + n - 2 + (c - 1)
+
+    def test_d1_verifies_under_symmetric_model(self):
+        n, k = 7, 18
+        r = execute_schedule(riffle_pipeline_schedule(n, k, D1), D1)
+        verify_log(r.log, n, k, D1, StrictBarter())
+
+    def test_stride_override_too_small_rejected(self):
+        n = 9
+        k = 3 * (n - 1)
+        with pytest.raises(ScheduleViolation):
+            schedule = riffle_pipeline_schedule(n, k, D2, stride=n - 2)
+            execute_schedule(schedule, D2)
+
+    def test_stride_recorded_in_meta(self):
+        s = riffle_pipeline_schedule(9, 8, D2)
+        assert s.meta["stride"] == 8
+        s = riffle_pipeline_schedule(9, 8, D1)
+        assert s.meta["stride"] == 9
+
+
+class TestRiffleGeneralK:
+    @pytest.mark.parametrize(
+        "n,k",
+        [(9, 3), (9, 11), (9, 20), (9, 100), (17, 5), (17, 37), (5, 1), (5, 2), (12, 50)],
+    )
+    @pytest.mark.parametrize("model", [D1, D2], ids=["d=u", "d=2u"])
+    def test_completes_and_obeys_strict_barter(self, n, k, model):
+        r = execute_schedule(riffle_pipeline_schedule(n, k, model), model)
+        assert r.completed
+        verify_log(r.log, n, k, model, StrictBarter())
+        assert r.completion_time >= strict_barter_lower_bound(
+            n, k, model.download
+        )
+
+    def test_k_one_serves_everyone_directly(self):
+        # One block: no useful barter exists; the server serves all clients.
+        n = 8
+        r = execute_schedule(riffle_pipeline_schedule(n, 1, D2), D2)
+        assert r.completion_time == n - 1
+        assert all(t.src == 0 for t in r.log)
+
+    def test_remainder_overhead_is_bounded(self):
+        # Overhead over the d=u lower bound stays modest for awkward k.
+        for n, k in [(9, 11), (17, 40), (33, 70)]:
+            r = execute_schedule(riffle_pipeline_schedule(n, k, D2), D2)
+            lb = strict_barter_lower_bound(n, k, 1)
+            assert r.completion_time <= lb + n + k // (n - 1) + 2
+
+    @given(
+        st.integers(min_value=2, max_value=34),
+        st.integers(min_value=1, max_value=80),
+        st.sampled_from([1, 2]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_valid_strict_barter_all_nk(self, n, k, d):
+        model = BandwidthModel(download=d)
+        r = execute_schedule(riffle_pipeline_schedule(n, k, model), model)
+        assert r.completed
+        verify_log(r.log, n, k, model, StrictBarter())
+
+
+class TestRiffleValidation:
+    def test_rejects_degenerate(self):
+        with pytest.raises(ConfigError):
+            riffle_pipeline_schedule(1, 1)
+        with pytest.raises(ConfigError):
+            riffle_pipeline_schedule(5, 0)
+        with pytest.raises(ConfigError):
+            riffle_pipeline_schedule(5, 4, stride=0)

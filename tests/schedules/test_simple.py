@@ -1,0 +1,113 @@
+"""Tests for pipeline, multicast tree, and binomial tree schedules."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import execute_schedule
+from repro.core.verify import verify_log
+from repro.overlays.trees import RootedTree
+from repro.schedules.bounds import (
+    binomial_tree_time,
+    multicast_tree_time,
+    pipeline_time,
+)
+from repro.schedules.simple import (
+    binomial_tree_schedule,
+    multicast_tree_schedule,
+    pipeline_schedule,
+    tree_pipeline_schedule,
+)
+
+
+class TestPipelineSchedule:
+    @pytest.mark.parametrize("n,k", [(2, 1), (2, 7), (5, 1), (5, 4), (20, 13)])
+    def test_matches_closed_form_and_verifies(self, n, k):
+        r = execute_schedule(pipeline_schedule(n, k))
+        assert r.completion_time == pipeline_time(n, k)
+        verify_log(r.log, n, k)
+
+    def test_first_client_finishes_first(self):
+        r = execute_schedule(pipeline_schedule(5, 3))
+        completions = r.client_completions
+        assert completions[1] < completions[2] < completions[3] < completions[4]
+
+    def test_transfer_count_is_minimal(self):
+        # Every useful dissemination moves exactly k*(n-1) blocks.
+        s = pipeline_schedule(6, 4)
+        assert len(s) == 4 * 5
+
+    @given(
+        st.integers(min_value=2, max_value=40),
+        st.integers(min_value=1, max_value=40),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_completion(self, n, k):
+        r = execute_schedule(pipeline_schedule(n, k))
+        assert r.completion_time == k + n - 2
+
+
+class TestMulticastSchedule:
+    @pytest.mark.parametrize(
+        "n,k,d", [(7, 1, 2), (7, 5, 2), (13, 3, 3), (5, 2, 4), (31, 4, 2)]
+    )
+    def test_within_closed_form_and_verifies(self, n, k, d):
+        r = execute_schedule(multicast_tree_schedule(n, k, d))
+        assert r.completed
+        assert r.completion_time <= multicast_tree_time(n, k, d)
+        verify_log(r.log, n, k)
+
+    def test_full_tree_matches_closed_form_exactly(self):
+        # Complete binary tree (n = 2^L - 1 nodes): formula is tight.
+        for n, k in [(7, 3), (15, 2), (31, 1)]:
+            r = execute_schedule(multicast_tree_schedule(n, k, 2))
+            assert r.completion_time == multicast_tree_time(n, k, 2)
+
+    def test_transfers_follow_tree_edges(self):
+        from repro.overlays.trees import dary_tree
+
+        n, k, d = 13, 2, 3
+        r = execute_schedule(multicast_tree_schedule(n, k, d))
+        verify_log(r.log, n, k, overlay=dary_tree(n, d).to_graph())
+
+    def test_custom_tree_pipeline(self):
+        # A lopsided hand-built tree still verifies and completes.
+        tree = RootedTree.from_parents([0, 0, 1, 1, 0, 4])
+        r = execute_schedule(tree_pipeline_schedule(tree, 3))
+        assert r.completed
+        verify_log(r.log, 6, 3)
+
+
+class TestBinomialTreeSchedule:
+    @pytest.mark.parametrize("n,k", [(2, 1), (8, 1), (8, 4), (9, 2), (33, 3)])
+    def test_matches_closed_form_and_verifies(self, n, k):
+        r = execute_schedule(binomial_tree_schedule(n, k))
+        assert r.completion_time == binomial_tree_time(n, k)
+        verify_log(r.log, n, k)
+
+    def test_single_block_power_of_two_is_optimal(self):
+        # The paper: for k = 1 the binomial tree achieves the lower bound.
+        from repro.schedules.bounds import cooperative_lower_bound
+
+        for n in (2, 4, 8, 16, 64):
+            r = execute_schedule(binomial_tree_schedule(n, 1))
+            assert r.completion_time == cooperative_lower_bound(n, 1)
+
+    def test_holder_count_doubles_each_tick(self):
+        r = execute_schedule(binomial_tree_schedule(16, 1))
+        holders = {0}
+        for tick, transfers in sorted(r.log.by_tick().items()):
+            assert len(transfers) == len(holders)
+            holders.update(t.dst for t in transfers)
+
+    @given(
+        st.integers(min_value=2, max_value=33),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_completion(self, n, k):
+        r = execute_schedule(binomial_tree_schedule(n, k))
+        assert r.completion_time == binomial_tree_time(n, k)
+        verify_log(r.log, n, k)

@@ -1,0 +1,83 @@
+"""Documentation consistency: the docs must match the code they describe."""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestDocsExist:
+    @pytest.mark.parametrize(
+        "name",
+        ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/THEORY.md", "docs/API.md"],
+    )
+    def test_present_and_substantial(self, name):
+        path = ROOT / name
+        assert path.exists(), name
+        assert len(path.read_text()) > 2000, f"{name} looks like a stub"
+
+
+class TestExperimentIdsInDocs:
+    def test_experiments_md_ids_are_real(self):
+        from repro.experiments.runner import EXPERIMENTS
+
+        text = (ROOT / "EXPERIMENTS.md").read_text()
+        referenced = set(re.findall(r"`(?:repro-experiments )?((?:fig|ext|ablation)[\w-]*)`", text))
+        referenced |= set(re.findall(r"`([\w-]+)`", text)) & set(EXPERIMENTS)
+        unknown = {
+            r for r in referenced if r.startswith(("fig", "ext-", "ablation-"))
+        } - set(EXPERIMENTS)
+        assert not unknown, f"EXPERIMENTS.md references unknown ids: {unknown}"
+
+    def test_design_md_names_real_modules(self):
+        import importlib
+
+        text = (ROOT / "DESIGN.md").read_text()
+        for module in re.findall(r"`(repro\.[a-z_.]+)`", text):
+            importlib.import_module(module)
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_code_runs(self):
+        text = (ROOT / "README.md").read_text()
+        blocks = re.findall(r"```python\n(.*?)```", text, flags=re.S)
+        assert blocks, "README has no python example"
+        namespace: dict[str, object] = {}
+        exec(compile(blocks[0], "<README quickstart>", "exec"), namespace)
+
+    def test_readme_mentions_all_examples(self):
+        text = (ROOT / "README.md").read_text()
+        for example in (ROOT / "examples").glob("*.py"):
+            assert example.name in text, f"README does not mention {example.name}"
+
+
+class TestApiDocImports:
+    def test_api_md_python_blocks_import(self):
+        """Every import statement shown in docs/API.md must actually work."""
+        text = (ROOT / "docs" / "API.md").read_text()
+        blocks = re.findall(r"```python\n(.*?)```", text, flags=re.S)
+        assert blocks
+        for block in blocks:
+            imports = "\n".join(
+                line
+                for line in block.splitlines()
+                if line.startswith(("from ", "import "))
+                or line.startswith(("    ", ")"))  # continuation lines
+            )
+            exec(compile(imports, "<API.md>", "exec"), {})
+
+
+class TestModuleDocstrings:
+    def test_every_module_documented(self):
+        src = ROOT / "src" / "repro"
+        undocumented = []
+        for path in src.rglob("*.py"):
+            text = path.read_text()
+            stripped = text.lstrip()
+            if not stripped.startswith(('"""', "'''", '#!')):
+                undocumented.append(str(path.relative_to(src)))
+        assert not undocumented, f"modules without docstrings: {undocumented}"

@@ -1,0 +1,28 @@
+"""Run the doctests embedded in public docstrings.
+
+A handful of modules carry executable examples in their docstrings (the
+quickstart-style snippets users copy first); this keeps them honest.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.core.blocks
+import repro.randomized.barter
+import repro.randomized.cooperative
+
+MODULES = [
+    repro.core.blocks,
+    repro.randomized.cooperative,
+    repro.randomized.barter,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{module.__name__}: {result.failed} doctest failures"
+    assert result.attempted > 0, f"{module.__name__} has no doctests to run"

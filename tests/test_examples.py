@@ -1,0 +1,71 @@
+"""Every example script must run end to end and tell a coherent story."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+pytestmark = pytest.mark.slow
+
+
+def run_example(name: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "--nodes", "17", "--blocks", "12")
+        assert "independently verified: OK" in out
+        assert "lower bound" in out
+
+    def test_quickstart_is_optimal(self):
+        out = run_example("quickstart.py", "--nodes", "9", "--blocks", "6")
+        assert "pipeline: 9 ticks" in out  # 6 - 1 + ceil(log2 9) = 9
+
+    def test_software_patch_rollout(self):
+        out = run_example(
+            "software_patch_rollout.py", "--hosts", "30", "--blocks", "40"
+        )
+        assert "1.00x" in out  # the optimal schedule hits the bound
+        assert "binomial pipeline" in out
+
+    def test_price_of_barter(self):
+        out = run_example(
+            "price_of_barter.py", "--clients", "16", "--blocks", "16", "--seed", "2"
+        )
+        assert "cooperative optimum" in out
+        assert "riffle pipeline" in out
+        assert "price" in out
+
+    def test_overlay_design(self):
+        out = run_example(
+            "overlay_design.py", "--clients", "47", "--blocks", "48"
+        )
+        assert "smallest reliable degree" in out
+        assert "Rarest-First" in out
+
+    def test_flash_crowd(self):
+        out = run_example("flash_crowd.py", "--clients", "30", "--blocks", "24")
+        assert "static swarm" in out
+        assert "flash crowd" in out
+        assert "survivors completed" in out
+
+    def test_protocol_shootout(self):
+        out = run_example(
+            "protocol_shootout.py", "--clients", "32", "--blocks", "32"
+        )
+        assert "1.00x" in out  # the optimal schedule heads the table
+        assert "BitTorrent" in out
+        assert "network coding" in out

@@ -1,0 +1,75 @@
+"""Larger-scale stress tests (slow-marked).
+
+The unit suites run at small n/k for speed; these push the main engines
+to sizes where index bookkeeping, pool maintenance and the optimized hot
+paths actually matter, and re-verify everything end-to-end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import execute_schedule
+from repro.core.mechanisms import CreditLimitedBarter, StrictBarter
+from repro.core.model import BandwidthModel
+from repro.core.verify import verify_log
+from repro.randomized import randomized_barter_run, randomized_cooperative_run
+from repro.schedules import (
+    cooperative_lower_bound,
+    hypercube_schedule,
+    riffle_pipeline_schedule,
+)
+
+pytestmark = pytest.mark.slow
+
+
+class TestLargeSchedules:
+    def test_hypercube_at_one_thousand_nodes(self):
+        n, k = 1000, 50
+        result = execute_schedule(hypercube_schedule(n, k))
+        assert result.completion_time == cooperative_lower_bound(n, k)
+        report = verify_log(result.log, n, k)
+        assert report.transfers == k * (n - 1)
+
+    def test_hypercube_large_file(self):
+        n, k = 64, 2000
+        result = execute_schedule(hypercube_schedule(n, k))
+        assert result.completion_time == cooperative_lower_bound(n, k)
+
+    def test_riffle_at_scale(self):
+        n = 201
+        k = 2 * (n - 1)
+        model = BandwidthModel.double_download()
+        result = execute_schedule(riffle_pipeline_schedule(n, k, model), model)
+        assert result.completion_time == k + n - 2
+        verify_log(result.log, n, k, model, StrictBarter())
+
+
+class TestLargeRandomizedRuns:
+    def test_complete_graph_five_hundred(self):
+        n, k = 500, 300
+        r = randomized_cooperative_run(n, k, rng=0, keep_log=False)
+        assert r.completed
+        opt = cooperative_lower_bound(n, k)
+        assert r.completion_time <= 1.35 * opt
+
+    def test_verified_run_at_moderate_scale(self):
+        n, k = 200, 100
+        r = randomized_cooperative_run(n, k, rng=1)
+        report = verify_log(r.log, n, k)
+        assert report.all_complete
+        assert report.transfers == k * (n - 1)
+
+    def test_barter_verified_at_moderate_scale(self):
+        n, k = 150, 80
+        r = randomized_barter_run(n, k, credit_limit=1, rng=2)
+        assert r.completed
+        verify_log(r.log, n, k, mechanism=CreditLimitedBarter(1))
+
+    def test_paper_scale_smoke(self):
+        # One point of the paper's own grid, single replicate: the shape
+        # result T ≈ k within a few percent at n = k moderate.
+        n, k = 1000, 300
+        r = randomized_cooperative_run(n, k, rng=3, keep_log=False)
+        assert r.completed
+        assert r.completion_time <= 1.25 * cooperative_lower_bound(n, k)
