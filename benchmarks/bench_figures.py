@@ -4,6 +4,10 @@ Each benchmark runs the corresponding sweep once at the configured scale
 (``REPRO_SCALE``, default ``ci``) and prints the reproduced series with
 ``-s``. The shape assertions live in tests/experiments; here we keep only
 cheap sanity checks so a benchmark failure means a real regression.
+
+Execution goes through the campaign subsystem (see conftest): set
+``REPRO_JOBS=N`` for process-parallel sweeps and ``REPRO_CACHE_DIR`` to
+reuse results across invocations.
 """
 
 from __future__ import annotations

@@ -6,6 +6,13 @@ sweeps are internally replicated already). The parameter scale defaults
 to ``ci`` so the whole suite finishes in minutes; set ``REPRO_SCALE=lite``
 or ``REPRO_SCALE=full`` to benchmark closer to paper scale.
 
+Benchmarks execute through the same campaign subsystem as the CLI: set
+``REPRO_JOBS=N`` to fan sweeps out over ``N`` worker processes and
+``REPRO_CACHE_DIR=DIR`` to reuse a content-addressed result cache across
+invocations (useful to benchmark the non-simulation overhead, or to
+resume an interrupted ``full``-scale pass). Results are identical at any
+job count — see :mod:`repro.campaign`.
+
 Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to also see
 each reproduced figure's rows and ASCII plot.
 """
@@ -16,10 +23,28 @@ import os
 
 import pytest
 
+from repro.campaign import (
+    ParallelExecutor,
+    ResultCache,
+    SerialExecutor,
+    configured,
+)
+
 
 @pytest.fixture(scope="session")
 def scale() -> str:
     return os.environ.get("REPRO_SCALE", "ci")
+
+
+@pytest.fixture(autouse=True)
+def campaign_execution():
+    """Install the REPRO_JOBS / REPRO_CACHE_DIR campaign configuration."""
+    jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    cache_dir = os.environ.get("REPRO_CACHE_DIR")
+    executor = ParallelExecutor(jobs=jobs) if jobs > 1 else SerialExecutor()
+    cache = ResultCache(cache_dir) if cache_dir else None
+    with configured(executor=executor, cache=cache):
+        yield
 
 
 @pytest.fixture

@@ -18,6 +18,9 @@ clients under the paper's tick-synchronous bandwidth model, and provides:
   credit-limited, plus strict-barter exchange matching;
 * :mod:`repro.analysis` — replicated sweeps, confidence intervals and the
   least-squares completion-time fit;
+* :mod:`repro.campaign` — the execution subsystem behind every sweep:
+  serial and process-parallel executors, a content-addressed result
+  cache with resumable campaigns, and progress telemetry;
 * :mod:`repro.experiments` — one runner per paper figure/table.
 
 Quickstart::
@@ -30,6 +33,14 @@ Quickstart::
     verify_log(result.log, n=16, k=32)
 """
 
+from .campaign import (
+    Campaign,
+    CampaignError,
+    ParallelExecutor,
+    ResultCache,
+    SerialExecutor,
+    configured,
+)
 from .core import (
     SERVER,
     BandwidthModel,
@@ -86,18 +97,23 @@ __all__ = [
     "BandwidthModel",
     "BlockPolicy",
     "BlockSet",
+    "Campaign",
+    "CampaignError",
     "ConfigError",
     "Cooperative",
     "CreditLedger",
     "CreditLimitedBarter",
     "Graph",
     "Mechanism",
+    "ParallelExecutor",
     "RandomPolicy",
     "RarestFirstPolicy",
     "ReproError",
+    "ResultCache",
     "RunResult",
     "Schedule",
     "ScheduleViolation",
+    "SerialExecutor",
     "StrictBarter",
     "SwarmState",
     "Transfer",
@@ -109,6 +125,7 @@ __all__ = [
     "binomial_tree_schedule",
     "chain",
     "complete_graph",
+    "configured",
     "cooperative_lower_bound",
     "dary_tree",
     "execute_schedule",

@@ -9,25 +9,33 @@ supplies a ``point -> RunResult`` factory.
 Seeding is deterministic: replicate ``i`` of point ``p`` always receives
 the same derived seed, so every figure is exactly reproducible and any
 single point can be re-run in isolation.
+
+Execution is delegated to :mod:`repro.campaign`: each sweep expands into
+a :class:`~repro.campaign.model.Campaign` of ``(experiment, point,
+replicate, seed)`` jobs and runs through an executor — the serial default
+is bit-identical to the historical inline loop, while
+:class:`~repro.campaign.executors.ParallelExecutor` fans the same jobs
+out over worker processes. Pass ``executor=``/``cache=`` explicitly or
+install them ambiently with :func:`repro.campaign.configured` (which is
+what ``repro-experiments --jobs N --cache-dir DIR`` does). Aggregates are
+identical either way because seeds are derived up front and results are
+ordered by job, not by completion.
 """
 
 from __future__ import annotations
 
-import random
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 
+from ..campaign.cache import ResultCache
+from ..campaign.context import current_config
+from ..campaign.executors import Executor, SerialExecutor
+from ..campaign.model import Campaign, CampaignError, TaskOutcome, derive_seed
 from ..core.errors import ConfigError
 from ..core.log import RunResult
 from .stats import Summary, summarize
 
 __all__ = ["SweepPoint", "sweep", "derive_seed"]
-
-
-def derive_seed(base_seed: int, point_label: object, replicate: int) -> int:
-    """Deterministic 63-bit seed for one replicate of one sweep point."""
-    key = f"{base_seed}|{point_label!r}|{replicate}"
-    return random.Random(key).getrandbits(63)
 
 
 @dataclass(slots=True)
@@ -53,6 +61,14 @@ class SweepPoint:
         return self.completion.mean if self.completion else None
 
 
+def _experiment_name(run_factory: object, experiment: str | None) -> str:
+    """A stable campaign/cache name for a sweep's task family."""
+    if experiment:
+        return experiment
+    name = getattr(run_factory, "__qualname__", None)
+    return name or type(run_factory).__name__
+
+
 def sweep(
     points: Iterable[object],
     run_factory: Callable[[object, int], RunResult],
@@ -60,6 +76,10 @@ def sweep(
     base_seed: int = 0,
     keep_results: bool = False,
     progress: Callable[[object, int, RunResult], None] | None = None,
+    *,
+    executor: Executor | None = None,
+    cache: ResultCache | None = None,
+    experiment: str | None = None,
 ) -> list[SweepPoint]:
     """Run ``replicates`` seeded runs per point and aggregate.
 
@@ -68,27 +88,71 @@ def sweep(
     points:
         Sweep coordinates, passed through as labels.
     run_factory:
-        ``run_factory(point, seed) -> RunResult``.
+        ``run_factory(point, seed) -> RunResult``. Must be picklable (a
+        module-level function/class instance) to run under a parallel
+        executor.
     replicates:
         Runs per point (>= 1).
     base_seed:
         Root of the deterministic seed derivation.
     keep_results:
         Retain every :class:`RunResult` on the point (memory-heavy).
+        Results served from a cache carry an empty transfer log.
     progress:
-        Optional callback after each run.
+        Optional callback ``(point, replicate, result)`` after each run.
+        Under a parallel executor the invocation order follows task
+        completion, not submission.
+    executor:
+        Campaign executor; defaults to the ambient one installed via
+        :func:`repro.campaign.configured`, else :class:`SerialExecutor`.
+    cache:
+        Result cache; defaults to the ambient one, else no caching.
+    experiment:
+        Campaign name used in cache keys; defaults to the factory's
+        ``__qualname__``. Set it whenever the factory name is ambiguous.
     """
     if replicates < 1:
         raise ConfigError(f"need at least one replicate, got {replicates}")
+    points = list(points)
+    config = current_config()
+    if executor is None:
+        executor = config.executor or SerialExecutor()
+    if cache is None:
+        cache = config.cache
+
+    campaign = Campaign.from_sweep(
+        _experiment_name(run_factory, experiment),
+        points,
+        run_factory,
+        replicates,
+        base_seed,
+    )
+
+    def on_task(stats, outcome: TaskOutcome) -> None:
+        if config.progress is not None:
+            config.progress(stats, outcome)
+        if progress is not None and outcome.result is not None:
+            progress(outcome.job.point, outcome.job.replicate, outcome.result)
+
+    outcomes = executor.run(campaign, cache=cache, progress=on_task)
+    failures = [o for o in outcomes if not o.ok]
+    if failures:
+        first = failures[0]
+        raise CampaignError(
+            f"{len(failures)}/{len(outcomes)} tasks failed in campaign "
+            f"{campaign.name!r}; first: point={first.job.point!r} "
+            f"replicate={first.job.replicate}: {first.error}"
+        )
+
     out: list[SweepPoint] = []
-    for point in points:
+    for p_index, point in enumerate(points):
         times: list[float] = []
         client_means: list[float] = []
         timeouts = 0
         kept: list[RunResult] = []
         for i in range(replicates):
-            seed = derive_seed(base_seed, point, i)
-            result = run_factory(point, seed)
+            result = outcomes[p_index * replicates + i].result
+            assert result is not None  # failures raised above
             if result.completed:
                 times.append(float(result.completion_time))
                 mc = result.mean_completion
@@ -98,8 +162,6 @@ def sweep(
                 timeouts += 1
             if keep_results:
                 kept.append(result)
-            if progress is not None:
-                progress(point, i, result)
         out.append(
             SweepPoint(
                 label=point,

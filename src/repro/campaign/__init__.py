@@ -1,0 +1,54 @@
+"""repro.campaign — parallel experiment campaigns with result caching.
+
+The execution subsystem behind every sweep, figure and benchmark:
+
+* :mod:`repro.campaign.model` — :class:`Job` / :class:`Campaign`
+  describe ``(experiment, point, replicate, seed)`` tasks under the
+  library-wide :func:`derive_seed` discipline;
+* :mod:`repro.campaign.executors` — :class:`SerialExecutor`
+  (bit-identical to the historical inline loop) and
+  :class:`ParallelExecutor` (process pool with per-task timeouts,
+  crash retries, and deterministic result ordering);
+* :mod:`repro.campaign.cache` — content-addressed on-disk
+  :class:`ResultCache` keyed by experiment/point/seed/code-version, so
+  warm re-runs execute zero tasks and interrupted runs resume;
+* :mod:`repro.campaign.telemetry` — :class:`CampaignStats` progress
+  counters (tasks/sec, ETA) delivered through a callback hook;
+* :mod:`repro.campaign.context` — ambient :func:`configured` executor /
+  cache that :func:`repro.analysis.sweeps.sweep` picks up.
+
+Quickstart::
+
+    from repro.campaign import ParallelExecutor, ResultCache, configured
+    from repro.experiments import figure3
+
+    with configured(ParallelExecutor(jobs=8), ResultCache("cache/")):
+        result = figure3(scale="lite")     # sweeps fan out over 8 workers
+        result = figure3(scale="lite")     # warm cache: 0 tasks executed
+"""
+
+from .cache import CODE_VERSION, ResultCache, cache_key, default_salt
+from .context import CampaignConfig, configured, current_config
+from .executors import Executor, ParallelExecutor, SerialExecutor
+from .model import Campaign, CampaignError, Job, TaskOutcome, derive_seed
+from .telemetry import CampaignStats, ConsoleProgress
+
+__all__ = [
+    "CODE_VERSION",
+    "Campaign",
+    "CampaignConfig",
+    "CampaignError",
+    "CampaignStats",
+    "ConsoleProgress",
+    "Executor",
+    "Job",
+    "ParallelExecutor",
+    "ResultCache",
+    "SerialExecutor",
+    "TaskOutcome",
+    "cache_key",
+    "configured",
+    "current_config",
+    "default_salt",
+    "derive_seed",
+]

@@ -1,0 +1,171 @@
+"""Content-addressed, on-disk cache of campaign task results.
+
+Every completed task is stored as one JSON line keyed by a stable hash of
+``(experiment name, point params, seed, code-version salt)``. Because the
+key captures every input that determines a run's outcome, re-running a
+campaign against a warm cache is a pure lookup — completed tasks are
+skipped and an interrupted campaign resumes where it stopped.
+
+Invalidation is by salt: :data:`CODE_VERSION` is baked into every key, so
+bumping it (done whenever simulation semantics change) orphans old
+entries; the ``REPRO_CACHE_SALT`` environment variable or a per-cache
+``salt`` argument layers extra, user-controlled invalidation on top.
+
+The store is a single append-only ``results.jsonl`` (one writer — the
+executor's coordinating process — so no locking is needed). Loading
+tolerates a truncated final line, which is exactly what an interrupted
+run leaves behind.
+
+Cached :class:`~repro.core.log.RunResult` objects carry completion
+statistics and metadata but an **empty transfer log** — logs are the one
+thing deliberately not persisted (they dwarf everything else and no sweep
+aggregate needs them).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from ..core.log import RunResult, TransferLog
+from .model import Job
+
+__all__ = ["CODE_VERSION", "ResultCache", "cache_key", "default_salt"]
+
+# Bump whenever simulation semantics change in a way that invalidates old
+# results (new engine behavior, changed RunResult fields, ...).
+CODE_VERSION = "1"
+
+
+def default_salt() -> str:
+    """Library-wide cache salt: code version plus optional env override."""
+    extra = os.environ.get("REPRO_CACHE_SALT", "")
+    return f"v{CODE_VERSION}|{extra}" if extra else f"v{CODE_VERSION}"
+
+
+def cache_key(
+    experiment: str,
+    point: object,
+    seed: int,
+    *,
+    replicate: int = 0,
+    salt: str = "",
+) -> str:
+    """Stable content hash identifying one task's inputs.
+
+    Point params are keyed by ``repr``, which is stable across processes
+    for the plain values used as sweep labels (ints, floats, strings,
+    tuples thereof).
+    """
+    payload = json.dumps(
+        {
+            "experiment": experiment,
+            "point": repr(point),
+            "replicate": replicate,
+            "seed": seed,
+            "salt": salt or default_salt(),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _jsonable(value: object) -> object:
+    """Round-trip a value through JSON, stringifying what doesn't fit."""
+    return json.loads(json.dumps(value, default=repr))
+
+
+class ResultCache:
+    """JSONL-backed result store, loaded fully into memory on open."""
+
+    def __init__(self, root: str | Path, *, salt: str = "") -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.path = self.root / "results.jsonl"
+        self.salt = salt or default_salt()
+        self._index: dict[str, dict[str, object]] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # Truncated tail of an interrupted run; everything
+                    # before it is intact.
+                    continue
+                if isinstance(record, dict) and "key" in record:
+                    self._index[record["key"]] = record
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def key_for(self, job: Job, salt: str = "") -> str:
+        """Cache key of one job under this cache's salt."""
+        return cache_key(
+            job.experiment,
+            job.point,
+            job.seed,
+            replicate=job.replicate,
+            salt=salt or self.salt,
+        )
+
+    def get(self, job: Job, salt: str = "") -> RunResult | None:
+        """Cached result for ``job``, or ``None`` on a miss."""
+        record = self._index.get(self.key_for(job, salt))
+        if record is None:
+            return None
+        return self._decode_result(record["result"])
+
+    def put(self, job: Job, result: RunResult, salt: str = "") -> None:
+        """Persist one result; flushed immediately so interrupts lose at
+        most the task in flight."""
+        key = self.key_for(job, salt)
+        record = {
+            "key": key,
+            "experiment": job.experiment,
+            "point": repr(job.point),
+            "replicate": job.replicate,
+            "seed": job.seed,
+            "result": self._encode_result(result),
+        }
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+        self._index[key] = record
+
+    @staticmethod
+    def _encode_result(result: RunResult) -> dict[str, object]:
+        return {
+            "n": result.n,
+            "k": result.k,
+            "completion_time": result.completion_time,
+            "client_completions": {
+                str(c): t for c, t in result.client_completions.items()
+            },
+            "meta": _jsonable(result.meta),
+        }
+
+    @staticmethod
+    def _decode_result(payload: dict[str, object]) -> RunResult:
+        completions = {
+            int(c): int(t)
+            for c, t in payload.get("client_completions", {}).items()  # type: ignore[union-attr]
+        }
+        completion_time = payload.get("completion_time")
+        return RunResult(
+            n=int(payload["n"]),  # type: ignore[arg-type]
+            k=int(payload["k"]),  # type: ignore[arg-type]
+            completion_time=int(completion_time) if completion_time is not None else None,
+            client_completions=completions,
+            log=TransferLog(),
+            meta=dict(payload.get("meta") or {}),  # type: ignore[arg-type]
+        )

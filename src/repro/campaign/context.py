@@ -1,0 +1,71 @@
+"""Ambient campaign configuration.
+
+Experiment code calls :func:`repro.analysis.sweeps.sweep` from many
+layers (figure runners, ablations, extensions, benchmarks). Rather than
+threading an executor argument through every one of those signatures, the
+CLI and the benchmark harness install an executor/cache pair here with
+:func:`configured`; ``sweep`` consults :func:`current_config` whenever no
+explicit executor or cache is passed.
+
+The configuration lives in a :class:`contextvars.ContextVar`, so nested
+``configured`` blocks shadow outer ones and concurrent contexts (threads,
+async tasks) do not interfere.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .cache import ResultCache
+    from .executors import Executor
+    from .telemetry import ProgressCallback
+
+__all__ = ["CampaignConfig", "configured", "current_config"]
+
+
+@dataclass(frozen=True, slots=True)
+class CampaignConfig:
+    """The executor, cache and progress hook sweeps should default to."""
+
+    executor: "Executor | None" = None
+    cache: "ResultCache | None" = None
+    progress: "ProgressCallback | None" = None
+
+
+_ACTIVE: ContextVar[CampaignConfig] = ContextVar(
+    "repro_campaign_config", default=CampaignConfig()
+)
+
+
+def current_config() -> CampaignConfig:
+    """The campaign configuration active in this context."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def configured(
+    executor: "Executor | None" = None,
+    cache: "ResultCache | None" = None,
+    progress: "ProgressCallback | None" = None,
+):
+    """Install an ambient executor/cache/progress hook for the block.
+
+    Fields left ``None`` inherit from the enclosing configuration, so a
+    caller can, e.g., add a cache without replacing the executor.
+    """
+    outer = _ACTIVE.get()
+    token = _ACTIVE.set(
+        CampaignConfig(
+            executor=executor if executor is not None else outer.executor,
+            cache=cache if cache is not None else outer.cache,
+            progress=progress if progress is not None else outer.progress,
+        )
+    )
+    try:
+        yield
+    finally:
+        _ACTIVE.reset(token)

@@ -1,0 +1,284 @@
+"""Campaign executors: serial (bit-identical to a plain loop) and parallel.
+
+Both executors share the same contract: given a campaign they return one
+:class:`~repro.campaign.model.TaskOutcome` per job, **in job order**,
+consulting an optional :class:`~repro.campaign.cache.ResultCache` first
+and persisting fresh results to it as they complete (so an interrupted
+run resumes from the last flushed task).
+
+:class:`SerialExecutor` runs jobs inline in submission order and lets
+exceptions propagate — exactly what the historical ``sweep`` loop did, so
+it is the drop-in default.
+
+:class:`ParallelExecutor` fans jobs out over a
+:class:`concurrent.futures.ProcessPoolExecutor`. Three failure modes are
+handled without losing the campaign:
+
+* an exception inside a task is captured in the worker and returned as a
+  failed outcome (it never poisons the pool);
+* a per-task wall-clock ``timeout`` is enforced *inside* the worker via
+  ``SIGALRM``, so a wedged simulation turns into a failed outcome instead
+  of a hung pool;
+* a hard worker crash (segfault, ``os._exit``) breaks the pool — the
+  executor rebuilds it and resubmits the unfinished tasks, up to
+  ``retries`` extra attempts per task.
+
+Determinism: seeds are derived before submission and results are slotted
+by job index, so the outcome list — and any aggregate computed from it —
+is identical whatever order workers finish in.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from abc import ABC, abstractmethod
+from collections.abc import Iterable
+from concurrent.futures import ProcessPoolExecutor as _PoolExecutor
+from concurrent.futures import as_completed
+from concurrent.futures.process import BrokenProcessPool
+
+from ..core.errors import ConfigError
+from ..core.log import RunResult
+from .cache import ResultCache
+from .model import Campaign, Job, TaskOutcome, as_campaign
+from .telemetry import CampaignStats, ProgressCallback
+
+__all__ = ["Executor", "ParallelExecutor", "SerialExecutor"]
+
+
+class Executor(ABC):
+    """Shared driver: cache pre-pass, then subclass-specific execution.
+
+    After :meth:`run` returns, ``last_stats`` holds the final
+    :class:`CampaignStats` of that run — the CLI and tests read it to
+    report how many tasks executed versus hit the cache.
+    """
+
+    def __init__(self) -> None:
+        self.last_stats: CampaignStats | None = None
+
+    def run(
+        self,
+        campaign: Campaign | Iterable[Job],
+        *,
+        cache: ResultCache | None = None,
+        progress: ProgressCallback | None = None,
+    ) -> list[TaskOutcome]:
+        """Execute every job, returning outcomes in job order."""
+        campaign = as_campaign(campaign)
+        jobs = campaign.jobs
+        stats = CampaignStats(total=len(jobs))
+        self.last_stats = stats
+        outcomes: list[TaskOutcome | None] = [None] * len(jobs)
+        pending: list[int] = []
+        for i, job in enumerate(jobs):
+            cached = cache.get(job, campaign.salt) if cache is not None else None
+            if cached is not None:
+                outcome = TaskOutcome(job=job, result=cached, source="cache")
+                outcomes[i] = outcome
+                stats.cached += 1
+                if progress is not None:
+                    progress(stats, outcome)
+            else:
+                pending.append(i)
+        self._execute(campaign, pending, outcomes, stats, cache, progress)
+        return [o for o in outcomes if o is not None]
+
+    @abstractmethod
+    def _execute(
+        self,
+        campaign: Campaign,
+        pending: list[int],
+        outcomes: list[TaskOutcome | None],
+        stats: CampaignStats,
+        cache: ResultCache | None,
+        progress: ProgressCallback | None,
+    ) -> None:
+        """Fill ``outcomes[i]`` for every ``i`` in ``pending``."""
+
+    @staticmethod
+    def _complete(
+        campaign: Campaign,
+        index: int,
+        outcome: TaskOutcome,
+        outcomes: list[TaskOutcome | None],
+        stats: CampaignStats,
+        cache: ResultCache | None,
+        progress: ProgressCallback | None,
+    ) -> None:
+        outcomes[index] = outcome
+        if outcome.ok:
+            stats.executed += 1
+            if cache is not None:
+                cache.put(outcome.job, outcome.result, campaign.salt)
+        else:
+            stats.failed += 1
+        if progress is not None:
+            progress(stats, outcome)
+
+
+class SerialExecutor(Executor):
+    """Run jobs inline, one after another, in submission order.
+
+    Task exceptions propagate to the caller unchanged (matching the
+    historical behavior of :func:`repro.analysis.sweeps.sweep`); results
+    produced before an exception are still flushed to the cache, so a
+    failed campaign resumes past them.
+    """
+
+    def _execute(self, campaign, pending, outcomes, stats, cache, progress):
+        for i in pending:
+            job = campaign.jobs[i]
+            result = job.fn(job.point, job.seed)
+            self._complete(
+                campaign, i, TaskOutcome(job=job, result=result),
+                outcomes, stats, cache, progress,
+            )
+
+
+class _TaskTimeout(Exception):
+    """Raised inside a worker when a task exceeds its wall-clock budget."""
+
+
+def _execute_task(
+    fn, point: object, seed: int, timeout: float | None
+) -> tuple[str, RunResult | str]:
+    """Worker entry point: run one task, never let an exception escape.
+
+    Returning ``("error", message)`` instead of raising keeps the process
+    pool healthy; only a hard crash (signal, ``os._exit``) breaks it.
+    The timeout uses ``SIGALRM`` and therefore only applies on platforms
+    with Unix signals; elsewhere it is silently skipped.
+    """
+    import signal
+
+    use_alarm = timeout is not None and hasattr(signal, "setitimer")
+    if use_alarm:
+        def _on_alarm(signum, frame):
+            raise _TaskTimeout(f"task exceeded {timeout:.1f}s timeout")
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return ("ok", fn(point, seed))
+    except _TaskTimeout as exc:
+        return ("error", f"TimeoutError: {exc}")
+    except BaseException as exc:  # noqa: BLE001 - reported, not swallowed
+        return ("error", f"{type(exc).__name__}: {exc}")
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+
+
+class ParallelExecutor(Executor):
+    """Fan a campaign out over a pool of worker processes.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count (default: ``os.cpu_count()``).
+    timeout:
+        Optional per-task wall-clock limit in seconds, enforced inside
+        the worker; an expired task becomes a failed outcome.
+    retries:
+        Extra attempts granted to a task whose worker *crashed* (broken
+        pool). Ordinary task exceptions are deterministic and are not
+        retried.
+    mp_context:
+        Optional :mod:`multiprocessing` start-method name (``"fork"``,
+        ``"spawn"``, ``"forkserver"``); default is the platform default.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        *,
+        timeout: float | None = None,
+        retries: int = 1,
+        mp_context: str | None = None,
+    ) -> None:
+        super().__init__()
+        if jobs is not None and jobs < 1:
+            raise ConfigError(f"need at least one worker, got {jobs}")
+        if retries < 0:
+            raise ConfigError(f"retries must be >= 0, got {retries}")
+        self.jobs = jobs or os.cpu_count() or 1
+        self.timeout = timeout
+        self.retries = retries
+        self.mp_context = mp_context
+
+    def _pool(self, width: int) -> _PoolExecutor:
+        context = (
+            multiprocessing.get_context(self.mp_context)
+            if self.mp_context
+            else None
+        )
+        return _PoolExecutor(max_workers=width, mp_context=context)
+
+    def _execute(self, campaign, pending, outcomes, stats, cache, progress):
+        jobs = campaign.jobs
+        attempts = dict.fromkeys(pending, 0)
+        remaining = list(pending)
+        while remaining:
+            crashed = False
+            pool = self._pool(min(self.jobs, len(remaining)))
+            try:
+                futures = {}
+                try:
+                    for i in remaining:
+                        job = jobs[i]
+                        attempts[i] += 1
+                        futures[
+                            pool.submit(
+                                _execute_task, job.fn, job.point, job.seed, self.timeout
+                            )
+                        ] = i
+                    for future in as_completed(futures):
+                        i = futures[future]
+                        status, payload = future.result()
+                        job = jobs[i]
+                        if status == "ok":
+                            outcome = TaskOutcome(
+                                job=job, result=payload, attempts=attempts[i]
+                            )
+                        else:
+                            outcome = TaskOutcome(
+                                job=job,
+                                result=None,
+                                error=str(payload),
+                                attempts=attempts[i],
+                            )
+                        self._complete(
+                            campaign, i, outcome, outcomes, stats, cache, progress
+                        )
+                except BrokenProcessPool:
+                    crashed = True
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
+            remaining = [i for i in remaining if outcomes[i] is None]
+            if not crashed or not remaining:
+                break
+            # A worker died mid-task. Tasks out of attempts become
+            # failures; the rest go back into a fresh pool.
+            for i in list(remaining):
+                if attempts[i] > self.retries:
+                    job = jobs[i]
+                    self._complete(
+                        campaign,
+                        i,
+                        TaskOutcome(
+                            job=job,
+                            result=None,
+                            error=(
+                                "worker process crashed "
+                                f"(attempt {attempts[i]}/{self.retries + 1})"
+                            ),
+                            attempts=attempts[i],
+                        ),
+                        outcomes, stats, cache, progress,
+                    )
+                    remaining.remove(i)
+                else:
+                    stats.retried += 1

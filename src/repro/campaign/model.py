@@ -1,0 +1,141 @@
+"""Campaign model: the unit of work behind every sweep and benchmark.
+
+A :class:`Job` is one simulation task — ``(experiment, point, replicate,
+seed)`` plus the callable that runs it. A :class:`Campaign` is an ordered
+list of jobs; executors (:mod:`repro.campaign.executors`) run campaigns
+and return one :class:`TaskOutcome` per job **in job order**, regardless
+of completion order, so downstream aggregation is deterministic.
+
+Seeds follow the library-wide discipline of :func:`derive_seed`: replicate
+``i`` of point ``p`` under base seed ``b`` always receives the same
+63-bit seed, in any process, on any platform. That stability is what
+makes content-addressed result caching (:mod:`repro.campaign.cache`)
+sound: the seed, the point and the experiment name fully identify a
+task's inputs.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+
+from ..core.errors import ConfigError, ReproError
+from ..core.log import RunResult
+
+__all__ = [
+    "Campaign",
+    "CampaignError",
+    "Job",
+    "TaskOutcome",
+    "derive_seed",
+]
+
+
+def derive_seed(base_seed: int, point_label: object, replicate: int) -> int:
+    """Deterministic 63-bit seed for one replicate of one sweep point.
+
+    The derivation seeds :class:`random.Random` with a string key, which
+    CPython hashes with SHA-512 — independent of ``PYTHONHASHSEED`` and of
+    the process, so worker processes and resumed runs derive identical
+    seeds.
+    """
+    key = f"{base_seed}|{point_label!r}|{replicate}"
+    return random.Random(key).getrandbits(63)
+
+
+class CampaignError(ReproError):
+    """One or more campaign tasks failed to produce a result."""
+
+
+@dataclass(frozen=True, slots=True)
+class Job:
+    """One simulation task of a campaign.
+
+    ``fn(point, seed) -> RunResult`` must be picklable (a module-level
+    function or an instance of a module-level class) to run under
+    :class:`~repro.campaign.executors.ParallelExecutor`; closures only
+    work with the serial executor.
+    """
+
+    experiment: str
+    point: object
+    replicate: int
+    seed: int
+    fn: Callable[[object, int], RunResult]
+
+
+@dataclass(slots=True)
+class TaskOutcome:
+    """Result of one job: a :class:`RunResult`, or an error description.
+
+    ``source`` is ``"executed"`` for freshly run tasks and ``"cache"``
+    for results served from a :class:`~repro.campaign.cache.ResultCache`.
+    ``attempts`` counts executions including retries after worker crashes.
+    """
+
+    job: Job
+    result: RunResult | None
+    error: str | None = None
+    source: str = "executed"
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        """True when the job produced a result."""
+        return self.result is not None
+
+
+@dataclass(slots=True)
+class Campaign:
+    """An ordered set of jobs sharing one experiment context.
+
+    ``salt`` is folded into every cache key (on top of the library-wide
+    code-version salt); pass a new value to force re-execution of an
+    otherwise-identical campaign.
+    """
+
+    name: str
+    jobs: list[Job] = field(default_factory=list)
+    salt: str = ""
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self):
+        return iter(self.jobs)
+
+    @classmethod
+    def from_sweep(
+        cls,
+        experiment: str,
+        points: Sequence[object],
+        run_factory: Callable[[object, int], RunResult],
+        replicates: int,
+        base_seed: int,
+        salt: str = "",
+    ) -> "Campaign":
+        """Expand a sweep grid into jobs, point-major then replicate."""
+        if replicates < 1:
+            raise ConfigError(f"need at least one replicate, got {replicates}")
+        jobs = [
+            Job(
+                experiment=experiment,
+                point=point,
+                replicate=i,
+                seed=derive_seed(base_seed, point, i),
+                fn=run_factory,
+            )
+            for point in points
+            for i in range(replicates)
+        ]
+        return cls(name=experiment, jobs=jobs, salt=salt)
+
+
+def as_campaign(campaign: "Campaign | Iterable[Job]") -> "Campaign":
+    """Coerce a bare job iterable into an anonymous campaign."""
+    if isinstance(campaign, Campaign):
+        return campaign
+    jobs = list(campaign)
+    name = jobs[0].experiment if jobs else "campaign"
+    return Campaign(name=name, jobs=jobs)

@@ -1,0 +1,99 @@
+"""Structured progress telemetry for campaign execution.
+
+Executors maintain one :class:`CampaignStats` per run and invoke a
+``progress(stats, outcome)`` callback after every finished task — cached,
+executed or failed. The stats object carries enough to render throughput
+and an ETA; :class:`ConsoleProgress` is the stock renderer the CLI uses
+(one ``\\r``-rewritten line on a terminal stream).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import IO, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .model import TaskOutcome
+
+__all__ = ["CampaignStats", "ConsoleProgress", "ProgressCallback"]
+
+
+@dataclass(slots=True)
+class CampaignStats:
+    """Counters for one campaign run.
+
+    ``executed`` counts tasks that actually ran, ``cached`` tasks served
+    from the result cache, ``failed`` tasks that exhausted their retries
+    (or raised), and ``retried`` resubmissions after worker crashes.
+    """
+
+    total: int = 0
+    executed: int = 0
+    cached: int = 0
+    failed: int = 0
+    retried: int = 0
+    started_at: float = field(default_factory=time.monotonic)
+
+    @property
+    def done(self) -> int:
+        """Tasks with a final outcome (success, cache hit or failure)."""
+        return self.executed + self.cached + self.failed
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the campaign started."""
+        return time.monotonic() - self.started_at
+
+    @property
+    def tasks_per_sec(self) -> float:
+        """Executed-task throughput (cache hits are free and excluded)."""
+        elapsed = self.elapsed
+        return self.executed / elapsed if elapsed > 0 else 0.0
+
+    @property
+    def eta_seconds(self) -> float | None:
+        """Projected seconds to finish the remaining tasks, if estimable."""
+        remaining = self.total - self.done
+        if remaining <= 0:
+            return 0.0
+        rate = self.tasks_per_sec
+        return remaining / rate if rate > 0 else None
+
+    def summary(self) -> str:
+        """One-line accounting, e.g. ``8 executed, 4 cached, 0 failed``."""
+        return (
+            f"{self.executed} executed, {self.cached} cached, "
+            f"{self.failed} failed"
+        )
+
+
+ProgressCallback = Callable[[CampaignStats, "TaskOutcome"], None]
+
+
+class ConsoleProgress:
+    """Render campaign progress as a single rewritten console line."""
+
+    def __init__(self, stream: IO[str]) -> None:
+        self.stream = stream
+        self._dirty = False
+
+    def __call__(self, stats: CampaignStats, outcome: "TaskOutcome") -> None:
+        eta = stats.eta_seconds
+        eta_text = f"{eta:.0f}s" if eta is not None else "?"
+        line = (
+            f"[campaign] {stats.done}/{stats.total} done"
+            f" ({stats.cached} cached, {stats.failed} failed)"
+            f" {stats.tasks_per_sec:.1f} tasks/s eta {eta_text}"
+        )
+        self.stream.write("\r" + line.ljust(72))
+        self.stream.flush()
+        self._dirty = True
+
+    def close(self) -> None:
+        """Terminate the progress line so later output starts clean."""
+        if self._dirty:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._dirty = False

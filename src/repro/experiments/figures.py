@@ -5,6 +5,14 @@ Each function runs the corresponding sweep at a chosen scale and returns a
 series, and notes recording what the paper reports for the same figure.
 ``FigureResult.render()`` produces the human-readable table + ASCII plot
 the benchmark harness prints.
+
+Every sweep goes through :func:`repro.analysis.sweeps.sweep` with a
+module-level, picklable run factory, so installing a
+:class:`~repro.campaign.executors.ParallelExecutor` (e.g. via
+``repro-experiments --jobs N``) parallelises every figure without
+changing a single aggregate: seeds are derived from the same
+``(base_seed, point, replicate)`` labels the historical inline loops
+used.
 """
 
 from __future__ import annotations
@@ -12,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..analysis.regression import CompletionFit, fit_completion_model
-from ..analysis.sweeps import derive_seed, sweep
+from ..analysis.sweeps import SweepPoint, sweep
 from ..overlays.hypercube import hypercube_overlay
 from ..overlays.random_regular import random_regular_graph
 from ..randomized.barter import randomized_barter_run
@@ -82,6 +90,106 @@ class FigureResult:
         return "\n".join(lines)
 
 
+# --- Picklable run factories -------------------------------------------
+#
+# Parallel executors ship the factory to worker processes, so each one is
+# an instance of a module-level dataclass rather than a closure. The
+# ``point`` each receives is exactly the label the pre-campaign code fed
+# to ``derive_seed``, keeping every figure's seeds (and therefore values)
+# bit-identical across serial, parallel and historical execution.
+
+
+@dataclass(frozen=True)
+class _CooperativeVsN:
+    """Figure 3 factory: point = n, fixed block count ``k``."""
+
+    k: int
+
+    def __call__(self, n: object, seed: int):
+        return randomized_cooperative_run(int(n), self.k, rng=seed, keep_log=False)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class _CooperativeVsK:
+    """Figure 4 factory: point = k, fixed swarm size ``n``."""
+
+    n: int
+
+    def __call__(self, k: object, seed: int):
+        return randomized_cooperative_run(self.n, int(k), rng=seed, keep_log=False)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class _CooperativeGrid:
+    """Fit factory: point = (n, k) over the least-squares grid."""
+
+    def __call__(self, point: object, seed: int):
+        n, k = point  # type: ignore[misc]
+        return randomized_cooperative_run(n, k, rng=seed, keep_log=False)
+
+
+@dataclass(frozen=True)
+class _CooperativeDegree:
+    """Figure 5 factory: point = (k, degree) on a random regular overlay.
+
+    The overlay is built from the derived seed and the run from
+    ``seed + 1`` — the exact split the pre-campaign loop used.
+    """
+
+    n: int
+
+    def __call__(self, point: object, seed: int):
+        k, degree = point  # type: ignore[misc]
+        graph = random_regular_graph(self.n, degree, rng=seed)
+        return randomized_cooperative_run(
+            self.n, k, overlay=graph, rng=seed + 1, keep_log=False
+        )
+
+
+@dataclass(frozen=True)
+class _CooperativeReference:
+    """Figure 5 reference factory: point = (k, "complete" | "hypercube")."""
+
+    n: int
+
+    def __call__(self, point: object, seed: int):
+        k, label = point  # type: ignore[misc]
+        overlay = None if label == "complete" else hypercube_overlay(self.n)
+        return randomized_cooperative_run(
+            self.n, k, overlay=overlay, rng=seed, keep_log=False
+        )
+
+
+@dataclass(frozen=True)
+class _BarterDegree:
+    """Figures 6-7 factory: point = (curve name, degree), credit-limited.
+
+    The credit limit is reconstructed from the curve name: ``"s=1"``
+    pins it at one, the ``s*d`` curve holds the product constant.
+    """
+
+    n: int
+    k: int
+    sd_product: int
+    max_ticks: int
+    policy: type
+
+    def __call__(self, point: object, seed: int):
+        curve_name, degree = point  # type: ignore[misc]
+        credit = 1 if curve_name == "s=1" else max(1, round(self.sd_product / degree))
+        graph = random_regular_graph(self.n, degree, rng=seed)
+        return randomized_barter_run(
+            self.n,
+            self.k,
+            credit_limit=credit,
+            overlay=graph,
+            policy=self.policy(),
+            rng=seed + 1,
+            max_ticks=self.max_ticks,
+            keep_log=False,
+        )
+
+
 def figure3(scale: str | Scale | None = None, base_seed: int = 3) -> FigureResult:
     """Figure 3: randomized cooperative completion time vs swarm size.
 
@@ -93,10 +201,13 @@ def figure3(scale: str | Scale | None = None, base_seed: int = 3) -> FigureResul
     s = resolve_scale(scale)
     k = s.fig3_k
 
-    def factory(n: object, seed: int):
-        return randomized_cooperative_run(int(n), k, rng=seed, keep_log=False)  # type: ignore[arg-type]
-
-    points = sweep(s.fig3_ns, factory, replicates=s.replicates, base_seed=base_seed)
+    points = sweep(
+        s.fig3_ns,
+        _CooperativeVsN(k),
+        replicates=s.replicates,
+        base_seed=base_seed,
+        experiment="fig3",
+    )
     rows = []
     curve = []
     for p in points:
@@ -140,10 +251,13 @@ def figure4(scale: str | Scale | None = None, base_seed: int = 4) -> FigureResul
     s = resolve_scale(scale)
     n = s.fig4_n
 
-    def factory(k: object, seed: int):
-        return randomized_cooperative_run(n, int(k), rng=seed, keep_log=False)  # type: ignore[arg-type]
-
-    points = sweep(s.fig4_ks, factory, replicates=s.replicates, base_seed=base_seed)
+    points = sweep(
+        s.fig4_ks,
+        _CooperativeVsK(n),
+        replicates=s.replicates,
+        base_seed=base_seed,
+        experiment="fig4",
+    )
     rows = []
     curve = []
     for p in points:
@@ -187,26 +301,32 @@ def completion_fit(
     intuition of Section 2.4.3.
     """
     s = resolve_scale(scale)
+    grid = [(n, k) for n in s.fit_ns for k in s.fit_ks]
+    points = sweep(
+        grid,
+        _CooperativeGrid(),
+        replicates=s.replicates,
+        base_seed=base_seed,
+        keep_results=True,
+        experiment="fit",
+    )
     observations: list[tuple[int, int, float]] = []
     rows = []
-    for n in s.fit_ns:
-        for k in s.fit_ks:
-            times = []
-            for i in range(s.replicates):
-                seed = derive_seed(base_seed, (n, k), i)
-                r = randomized_cooperative_run(n, k, rng=seed, keep_log=False)
-                if r.completed:
-                    times.append(float(r.completion_time))
-                    observations.append((n, k, float(r.completion_time)))
-            mean_t = sum(times) / len(times) if times else None
-            rows.append(
-                {
-                    "n": n,
-                    "k": k,
-                    "mean T": mean_t,
-                    "optimal": cooperative_lower_bound(n, k),
-                }
-            )
+    for p in points:
+        n, k = p.label  # type: ignore[misc]
+        times = [
+            float(r.completion_time) for r in p.results if r.completed
+        ]
+        observations.extend((n, k, t) for t in times)
+        mean_t = sum(times) / len(times) if times else None
+        rows.append(
+            {
+                "n": n,
+                "k": k,
+                "mean T": mean_t,
+                "optimal": cooperative_lower_bound(n, k),
+            }
+        )
     fit = fit_completion_model(observations)
     big_n, big_k = max(s.fit_ns), max(s.fit_ks)
     return FigureResult(
@@ -240,28 +360,36 @@ def figure5(scale: str | Scale | None = None, base_seed: int = 5) -> FigureResul
     rows: list[dict[str, object]] = []
     series: dict[str, list[tuple[float, float]]] = {}
 
+    regular = _by_label(
+        sweep(
+            [(k, degree) for k in s.fig5_ks for degree in s.fig5_degrees],
+            _CooperativeDegree(n),
+            replicates=s.replicates,
+            base_seed=base_seed,
+            experiment="fig5",
+        )
+    )
+    references = _by_label(
+        sweep(
+            [(k, label) for k in s.fig5_ks for label in ("complete", "hypercube")],
+            _CooperativeReference(n),
+            replicates=s.replicates,
+            base_seed=base_seed,
+            experiment="fig5-ref",
+        )
+    )
+
     for k in s.fig5_ks:
         curve: list[tuple[float, float]] = []
         for degree in s.fig5_degrees:
-            times = []
-            timeouts = 0
-            for i in range(s.replicates):
-                seed = derive_seed(base_seed, (k, degree), i)
-                graph = random_regular_graph(n, degree, rng=seed)
-                r = randomized_cooperative_run(
-                    n, k, overlay=graph, rng=seed + 1, keep_log=False
-                )
-                if r.completed:
-                    times.append(float(r.completion_time))
-                else:
-                    timeouts += 1
-            mean_t = sum(times) / len(times) if times else None
+            p = regular[(k, degree)]
+            mean_t = p.mean_completion
             rows.append(
                 {
                     "k": k,
                     "degree": degree,
                     "mean T": mean_t,
-                    "timeouts": timeouts,
+                    "timeouts": p.timeouts,
                 }
             )
             if mean_t is not None:
@@ -269,19 +397,8 @@ def figure5(scale: str | Scale | None = None, base_seed: int = 5) -> FigureResul
         series[f"k={k} regular"] = curve
 
         # Reference points: complete graph and the hypercube-like overlay.
-        for label, overlay in (
-            ("complete", None),
-            ("hypercube", hypercube_overlay(n)),
-        ):
-            times = []
-            for i in range(s.replicates):
-                seed = derive_seed(base_seed, (k, label), i)
-                r = randomized_cooperative_run(
-                    n, k, overlay=overlay, rng=seed, keep_log=False
-                )
-                if r.completed:
-                    times.append(float(r.completion_time))
-            mean_t = sum(times) / len(times) if times else None
+        for label in ("complete", "hypercube"):
+            mean_t = references[(k, label)].mean_completion
             degree_label = (
                 n - 1 if label == "complete" else round(hypercube_overlay(n).average_degree)
             )
@@ -304,6 +421,11 @@ def figure5(scale: str | Scale | None = None, base_seed: int = 5) -> FigureResul
     )
 
 
+def _by_label(points: list[SweepPoint]) -> dict[object, SweepPoint]:
+    """Index sweep points by their labels for ordered row assembly."""
+    return {p.label: p for p in points}
+
+
 def _barter_degree_sweep(
     s: Scale,
     policy_factory,
@@ -315,43 +437,39 @@ def _barter_degree_sweep(
     rows: list[dict[str, object]] = []
     series: dict[str, list[tuple[float, float]]] = {}
 
-    for curve_name, credit_of_degree in (
-        ("s=1", lambda d: 1),
-        (
-            f"s*d={s.fig67_sd_product}",
-            lambda d: max(1, round(s.fig67_sd_product / d)),
-        ),
-    ):
+    curve_names = ("s=1", f"s*d={s.fig67_sd_product}")
+    factory = _BarterDegree(
+        n=n,
+        k=k,
+        sd_product=s.fig67_sd_product,
+        max_ticks=s.fig67_max_ticks,
+        policy=policy_factory,
+    )
+    swept = _by_label(
+        sweep(
+            [(name, degree) for name in curve_names for degree in s.fig67_degrees],
+            factory,
+            replicates=s.replicates,
+            base_seed=base_seed,
+            experiment=f"fig67-{policy_name}",
+        )
+    )
+
+    for curve_name in curve_names:
         curve: list[tuple[float, float]] = []
         for degree in s.fig67_degrees:
-            credit = credit_of_degree(degree)
-            times = []
-            timeouts = 0
-            for i in range(s.replicates):
-                seed = derive_seed(base_seed, (curve_name, degree), i)
-                graph = random_regular_graph(n, degree, rng=seed)
-                r = randomized_barter_run(
-                    n,
-                    k,
-                    credit_limit=credit,
-                    overlay=graph,
-                    policy=policy_factory(),
-                    rng=seed + 1,
-                    max_ticks=s.fig67_max_ticks,
-                    keep_log=False,
-                )
-                if r.completed:
-                    times.append(float(r.completion_time))
-                else:
-                    timeouts += 1
-            mean_t = sum(times) / len(times) if times else None
+            credit = 1 if curve_name == "s=1" else max(
+                1, round(s.fig67_sd_product / degree)
+            )
+            p = swept[(curve_name, degree)]
+            mean_t = p.mean_completion
             rows.append(
                 {
                     "curve": curve_name,
                     "degree": degree,
                     "s": credit,
                     "mean T": mean_t,
-                    "timeouts": timeouts,
+                    "timeouts": p.timeouts,
                 }
             )
             if mean_t is not None:

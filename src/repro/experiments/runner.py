@@ -5,20 +5,36 @@ repro.experiments``)::
 
     repro-experiments fig3 --scale lite
     repro-experiments all --scale ci --json results.json
+    repro-experiments all --scale lite --jobs 8 --cache-dir cache/
     repro-experiments table
 
 Each experiment prints its table (and ASCII plot) and can dump
 machine-readable rows as JSON for downstream processing.
+
+Campaign execution: ``--jobs N`` fans every sweep out over ``N`` worker
+processes; ``--cache-dir DIR`` stores per-task results content-addressed
+so a repeated or interrupted invocation skips completed tasks;
+``--resume`` is the convenience form that enables the cache at its
+default location. Results are identical at any ``--jobs`` because every
+task's seed is derived up front (see :mod:`repro.campaign`).
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
 import sys
 import time
 from collections.abc import Callable, Sequence
 
+from ..campaign import (
+    ConsoleProgress,
+    ParallelExecutor,
+    ResultCache,
+    SerialExecutor,
+    configured,
+)
 from .ablations import (
     ablation_efficiency,
     ablation_estimated_rarest,
@@ -41,7 +57,7 @@ from .figures import FigureResult, completion_fit, figure3, figure4, figure5, fi
 from .scale import SCALES
 from .tables import price_table, schedule_table
 
-__all__ = ["main", "EXPERIMENTS"]
+__all__ = ["main", "EXPERIMENTS", "DEFAULT_CACHE_DIR"]
 
 EXPERIMENTS: dict[str, Callable[..., FigureResult]] = {
     "fig1": figure1,
@@ -69,6 +85,8 @@ EXPERIMENTS: dict[str, Callable[..., FigureResult]] = {
     "ext-incentives": extension_incentives,
 }
 
+DEFAULT_CACHE_DIR = ".repro-campaign-cache"
+
 
 def _to_jsonable(result: FigureResult) -> dict[str, object]:
     return {
@@ -89,6 +107,59 @@ def _to_jsonable(result: FigureResult) -> dict[str, object]:
             else None
         ),
     }
+
+
+class _CampaignTally:
+    """Accumulate task outcomes across every sweep of one experiment.
+
+    A single experiment may run several campaigns (Figure 5 sweeps the
+    regular overlays and the reference overlays separately), so the CLI
+    tallies outcomes through the progress hook instead of reading one
+    executor's per-campaign stats.
+    """
+
+    def __init__(self, console: ConsoleProgress | None = None) -> None:
+        self.console = console
+        self.executed = 0
+        self.cached = 0
+        self.failed = 0
+
+    def reset(self) -> None:
+        self.executed = self.cached = self.failed = 0
+
+    @property
+    def total(self) -> int:
+        return self.executed + self.cached + self.failed
+
+    def __call__(self, stats, outcome) -> None:
+        if outcome.source == "cache":
+            self.cached += 1
+        elif outcome.ok:
+            self.executed += 1
+        else:
+            self.failed += 1
+        if self.console is not None:
+            self.console(stats, outcome)
+
+    def summary(self) -> str:
+        return (
+            f"{self.executed} executed, {self.cached} cached, "
+            f"{self.failed} failed"
+        )
+
+
+def _experiment_kwargs(
+    fn: Callable[..., FigureResult], scale: str | None, seed: int | None
+) -> dict[str, object]:
+    """Build call kwargs, passing the seed override only where it applies.
+
+    Experiments without randomness (the schedule diagrams and tables)
+    take no ``base_seed``; the flag is silently inapplicable to them.
+    """
+    kwargs: dict[str, object] = {"scale": scale}
+    if seed is not None and "base_seed" in inspect.signature(fn).parameters:
+        kwargs["base_seed"] = seed
+    return kwargs
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -120,24 +191,109 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--no-plot", action="store_true", help="suppress ASCII plots"
     )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for sweep execution (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "content-addressed result cache; completed tasks found here "
+            "are skipped and fresh results are stored for next time"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume an interrupted run from cached results (uses "
+            f"{DEFAULT_CACHE_DIR!r} when --cache-dir is not given)"
+        ),
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "override every experiment's base seed (experiments without "
+            "randomness ignore it)"
+        ),
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="render live campaign progress (tasks/sec, ETA) on stderr",
+    )
     args = parser.parse_args(argv)
 
-    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.jobs < 1:
+        parser.error(f"argument --jobs: must be >= 1, got {args.jobs}")
+    executor = (
+        ParallelExecutor(jobs=args.jobs) if args.jobs > 1 else SerialExecutor()
+    )
+    cache_dir = args.cache_dir or (DEFAULT_CACHE_DIR if args.resume else None)
+    cache = ResultCache(cache_dir) if cache_dir else None
+    console = ConsoleProgress(sys.stderr) if args.progress else None
+    tally = _CampaignTally(console)
+
+    run_all = args.experiment == "all"
+    names = list(EXPERIMENTS) if run_all else [args.experiment]
     outputs: list[dict[str, object]] = []
-    for name in names:
-        started = time.monotonic()
-        result = EXPERIMENTS[name](scale=args.scale)
-        elapsed = time.monotonic() - started
-        print(result.render(plot=not args.no_plot))
-        print(f"[{name} finished in {elapsed:.1f}s]")
-        print()
-        outputs.append(_to_jsonable(result))
+    summary: list[tuple[str, bool, float, str | None]] = []
+    with configured(executor=executor, cache=cache, progress=tally):
+        for name in names:
+            fn = EXPERIMENTS[name]
+            tally.reset()
+            started = time.monotonic()
+            try:
+                result = fn(**_experiment_kwargs(fn, args.scale, args.seed))
+            except Exception as exc:  # noqa: BLE001 - reported in summary
+                elapsed = time.monotonic() - started
+                if console is not None:
+                    console.close()
+                if not run_all:
+                    raise
+                summary.append((name, False, elapsed, f"{type(exc).__name__}: {exc}"))
+                print(f"[{name} FAILED after {elapsed:.1f}s: {exc}]")
+                print()
+                continue
+            elapsed = time.monotonic() - started
+            if console is not None:
+                console.close()
+            print(result.render(plot=not args.no_plot))
+            if cache is not None and tally.total:
+                print(f"[campaign: {tally.summary()}]")
+            print(f"[{name} finished in {elapsed:.1f}s]")
+            print()
+            summary.append((name, True, elapsed, None))
+            outputs.append(_to_jsonable(result))
+
+    failed = [s for s in summary if not s[1]]
+    if run_all:
+        print("== summary ==")
+        for name, ok, elapsed, error in summary:
+            status = "ok  " if ok else "FAIL"
+            line = f"{name:<26} {status} {elapsed:7.1f}s"
+            if error:
+                line += f"  {error}"
+            print(line)
+        print(
+            f"{len(summary) - len(failed)} passed, {len(failed)} failed "
+            f"in {sum(s[2] for s in summary):.1f}s"
+        )
 
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(outputs, handle, indent=2, default=str)
         print(f"wrote {args.json}")
-    return 0
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests

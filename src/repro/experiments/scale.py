@@ -2,11 +2,16 @@
 
 Paper-scale sweeps (n up to 10,000 and n = k = 1000 degree sweeps, several
 replicates each) take multi-hour wall-clock in pure Python. Every
-experiment therefore runs at one of three scales:
+experiment therefore runs at one of four scales:
 
 * ``full`` — the paper's parameters;
+* ``xl`` — near-paper parameters sized for the parallel campaign
+  executor (``repro-experiments --jobs N``): ~1/2 linear scale with an
+  extra replicate-heavy grid that amortises well over workers;
 * ``lite`` — the paper's shape at ~1/4 linear scale (minutes);
-* ``ci`` — small swarms for tests and benchmarks (seconds).
+* ``ci`` — small swarms for tests and benchmarks (seconds); the
+  campaign smoke tests pin this scale's exact task counts
+  (:func:`sweep_task_counts`).
 
 The scale is chosen per call or via the ``REPRO_SCALE`` environment
 variable. The paper's qualitative claims (linearity in ``k``, logarithmic
@@ -22,7 +27,7 @@ from dataclasses import dataclass
 
 from ..core.errors import ConfigError
 
-__all__ = ["Scale", "resolve_scale", "SCALES"]
+__all__ = ["Scale", "resolve_scale", "sweep_task_counts", "SCALES"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -76,6 +81,26 @@ SCALES: dict[str, Scale] = {
         table_ns=(16, 32, 100, 256, 1000),
         table_ks=(1, 16, 100, 1000),
     ),
+    "xl": Scale(
+        name="xl",
+        replicates=4,
+        fig3_k=500,
+        fig3_ns=(10, 30, 100, 300, 1000, 3000, 6000),
+        fig4_n=500,
+        fig4_ks=(10, 30, 100, 300, 1000, 3000),
+        fit_ns=(64, 128, 256, 512),
+        fit_ks=(125, 250, 500, 1000),
+        fig5_n=500,
+        fig5_ks=(500, 1000),
+        fig5_degrees=(4, 6, 8, 10, 15, 20, 25, 30, 40, 60),
+        fig67_n=500,
+        fig67_k=500,
+        fig67_degrees=(10, 20, 30, 40, 50, 60, 70, 90, 110),
+        fig67_sd_product=50,
+        fig67_max_ticks=12000,
+        table_ns=(16, 32, 100, 256, 512),
+        table_ks=(1, 16, 100, 512),
+    ),
     "lite": Scale(
         name="lite",
         replicates=3,
@@ -117,6 +142,27 @@ SCALES: dict[str, Scale] = {
         table_ks=(1, 8, 33),
     ),
 }
+
+
+def sweep_task_counts(scale: str | Scale | None = None) -> dict[str, int]:
+    """Campaign task count of every swept figure at ``scale``.
+
+    One task is one ``(experiment, point, replicate, seed)`` simulation
+    job — the unit the campaign executors schedule and the result cache
+    keys. Tests pin these numbers so preset edits are deliberate.
+    """
+    s = resolve_scale(scale)
+    r = s.replicates
+    return {
+        "fig3": len(s.fig3_ns) * r,
+        "fig4": len(s.fig4_ks) * r,
+        "fit": len(s.fit_ns) * len(s.fit_ks) * r,
+        # Figure 5 sweeps every degree plus two reference overlays per k.
+        "fig5": len(s.fig5_ks) * (len(s.fig5_degrees) + 2) * r,
+        # Figures 6-7 sweep two credit curves over the degree grid.
+        "fig6": 2 * len(s.fig67_degrees) * r,
+        "fig7": 2 * len(s.fig67_degrees) * r,
+    }
 
 
 def resolve_scale(scale: str | Scale | None = None) -> Scale:

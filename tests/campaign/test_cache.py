@@ -1,0 +1,108 @@
+"""Tests for the content-addressed result cache."""
+
+from __future__ import annotations
+
+from repro.campaign.cache import ResultCache, cache_key, default_salt
+from repro.campaign.model import Job
+from repro.core.log import RunResult, TransferLog
+
+
+def make_result(n: int = 4, k: int = 2, completion: int | None = 7) -> RunResult:
+    completions = {c: completion for c in range(1, n)} if completion else {}
+    return RunResult(
+        n=n,
+        k=k,
+        completion_time=completion,
+        client_completions=completions,
+        log=TransferLog(),
+        meta={"algorithm": "test", "seed": 123},
+    )
+
+
+def make_job(point: object = 10, replicate: int = 0, seed: int = 42) -> Job:
+    return Job(
+        experiment="exp", point=point, replicate=replicate, seed=seed, fn=None
+    )
+
+
+class TestCacheKey:
+    def test_stable(self):
+        assert cache_key("fig3", 100, 7) == cache_key("fig3", 100, 7)
+
+    def test_sensitive_to_every_component(self):
+        base = cache_key("fig3", 100, 7, replicate=0, salt="s")
+        assert cache_key("fig4", 100, 7, replicate=0, salt="s") != base
+        assert cache_key("fig3", 101, 7, replicate=0, salt="s") != base
+        assert cache_key("fig3", 100, 8, replicate=0, salt="s") != base
+        assert cache_key("fig3", 100, 7, replicate=1, salt="s") != base
+        assert cache_key("fig3", 100, 7, replicate=0, salt="t") != base
+
+    def test_point_types_disambiguated(self):
+        # repr() keys: the int 1 and the string "1" must not collide.
+        assert cache_key("e", 1, 0) != cache_key("e", "1", 0)
+
+    def test_default_salt_includes_code_version(self):
+        assert default_salt().startswith("v")
+
+
+class TestResultCache:
+    def test_miss_returns_none(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(make_job()) is None
+
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = make_job()
+        cache.put(job, make_result())
+        restored = cache.get(job)
+        assert restored is not None
+        assert restored.n == 4
+        assert restored.k == 2
+        assert restored.completion_time == 7
+        assert restored.completed
+        assert restored.client_completions == {1: 7, 2: 7, 3: 7}
+        assert restored.mean_completion == 7.0
+        assert restored.meta["algorithm"] == "test"
+
+    def test_timeout_result_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = make_job()
+        cache.put(job, make_result(completion=None))
+        restored = cache.get(job)
+        assert restored is not None
+        assert not restored.completed
+        assert restored.completion_time is None
+
+    def test_persists_across_instances(self, tmp_path):
+        job = make_job()
+        ResultCache(tmp_path).put(job, make_result())
+        reopened = ResultCache(tmp_path)
+        assert len(reopened) == 1
+        assert reopened.get(job) is not None
+
+    def test_salt_change_invalidates(self, tmp_path):
+        job = make_job()
+        ResultCache(tmp_path, salt="a").put(job, make_result())
+        assert ResultCache(tmp_path, salt="a").get(job) is not None
+        assert ResultCache(tmp_path, salt="b").get(job) is None
+
+    def test_tolerates_truncated_tail(self, tmp_path):
+        # An interrupted run leaves a half-written final line; everything
+        # before it must still load.
+        cache = ResultCache(tmp_path)
+        job = make_job()
+        cache.put(job, make_result())
+        with cache.path.open("a", encoding="utf-8") as handle:
+            handle.write('{"key": "deadbeef", "result": {"n"')
+        reopened = ResultCache(tmp_path)
+        assert len(reopened) == 1
+        assert reopened.get(job) is not None
+
+    def test_unpicklable_meta_stringified(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = make_job()
+        result = make_result()
+        result.meta["policy"] = object()
+        cache.put(job, result)
+        restored = cache.get(job)
+        assert isinstance(restored.meta["policy"], str)

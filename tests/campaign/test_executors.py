@@ -1,0 +1,225 @@
+"""Tests for campaign executors: serial/parallel equivalence, ordering,
+worker-crash retries and per-task timeouts.
+
+The factories live at module level so the process pool can pickle them
+(workers re-resolve them by qualified name).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.executors import ParallelExecutor, SerialExecutor
+from repro.campaign.model import Campaign, CampaignError, Job, derive_seed
+from repro.core.errors import ConfigError
+from repro.core.log import RunResult, TransferLog
+from repro.analysis.sweeps import sweep
+from repro.randomized.cooperative import randomized_cooperative_run
+
+
+def small_cooperative(n: object, seed: int) -> RunResult:
+    return randomized_cooperative_run(int(n), 6, rng=seed, keep_log=False)
+
+
+def fake_result(value: int) -> RunResult:
+    return RunResult(
+        n=2,
+        k=1,
+        completion_time=value,
+        client_completions={1: value},
+        log=TransferLog(),
+    )
+
+
+@dataclass(frozen=True)
+class SlowInverse:
+    """Finishes fast for late points — stresses completion-order shuffles."""
+
+    def __call__(self, point: object, seed: int) -> RunResult:
+        time.sleep(0.2 if point == 0 else 0.0)
+        return fake_result(int(point) + 1)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class FailOn:
+    bad_point: object
+
+    def __call__(self, point: object, seed: int) -> RunResult:
+        if point == self.bad_point:
+            raise ValueError(f"cannot simulate {point!r}")
+        return fake_result(1)
+
+
+@dataclass(frozen=True)
+class CrashOnce:
+    """Hard-kill the worker on first attempt, succeed on the retry.
+
+    Cross-process state goes through a marker file: the first execution
+    creates it and then exits the worker without Python cleanup.
+    """
+
+    marker: str
+
+    def __call__(self, point: object, seed: int) -> RunResult:
+        if not os.path.exists(self.marker):
+            with open(self.marker, "w", encoding="utf-8") as handle:
+                handle.write("crashed")
+            os._exit(13)
+        return fake_result(5)
+
+
+@dataclass(frozen=True)
+class CrashAlways:
+    def __call__(self, point: object, seed: int) -> RunResult:
+        os._exit(13)
+
+
+@dataclass(frozen=True)
+class Sleeper:
+    seconds: float
+
+    def __call__(self, point: object, seed: int) -> RunResult:
+        time.sleep(self.seconds)
+        return fake_result(1)
+
+
+def jobs_for(fn, points, replicates: int = 1) -> Campaign:
+    return Campaign.from_sweep("test", points, fn, replicates, base_seed=0)
+
+
+class TestSerialParallelEquivalence:
+    def test_identical_sweep_aggregates(self):
+        """The acceptance property: same aggregates at any parallelism."""
+        kwargs = dict(replicates=2, base_seed=11, experiment="equiv")
+        serial = sweep([4, 6, 10], small_cooperative, executor=SerialExecutor(), **kwargs)
+        parallel = sweep(
+            [4, 6, 10], small_cooperative, executor=ParallelExecutor(jobs=3), **kwargs
+        )
+        assert [p.label for p in serial] == [p.label for p in parallel]
+        assert [p.completion for p in serial] == [p.completion for p in parallel]
+        assert [p.timeouts for p in serial] == [p.timeouts for p in parallel]
+        assert [p.mean_client_completion for p in serial] == [
+            p.mean_client_completion for p in parallel
+        ]
+
+    def test_outcome_order_independent_of_completion_order(self):
+        campaign = jobs_for(SlowInverse(), [0, 1, 2, 3])
+        outcomes = ParallelExecutor(jobs=4).run(campaign)
+        assert [o.job.point for o in outcomes] == [0, 1, 2, 3]
+        assert [o.result.completion_time for o in outcomes] == [1, 2, 3, 4]
+
+
+class TestFailureHandling:
+    def test_task_exception_becomes_failed_outcome(self):
+        campaign = jobs_for(FailOn(bad_point=1), [0, 1, 2])
+        executor = ParallelExecutor(jobs=2)
+        outcomes = executor.run(campaign)
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert "ValueError" in outcomes[1].error
+        assert executor.last_stats.failed == 1
+        assert executor.last_stats.executed == 2
+
+    def test_sweep_raises_campaign_error_on_failures(self):
+        with pytest.raises(CampaignError, match="cannot simulate"):
+            sweep(
+                [0, 1],
+                FailOn(bad_point=1),
+                replicates=1,
+                executor=ParallelExecutor(jobs=2),
+            )
+
+    def test_serial_propagates_exceptions_unchanged(self):
+        with pytest.raises(ValueError, match="cannot simulate"):
+            sweep([0, 1], FailOn(bad_point=1), replicates=1, executor=SerialExecutor())
+
+    def test_worker_crash_is_retried(self, tmp_path):
+        marker = str(tmp_path / "crashed-once")
+        campaign = jobs_for(CrashOnce(marker=marker), ["x"])
+        executor = ParallelExecutor(jobs=1, retries=1)
+        (outcome,) = executor.run(campaign)
+        assert outcome.ok
+        assert outcome.attempts == 2
+        assert executor.last_stats.retried == 1
+
+    def test_crash_without_retries_fails_task(self):
+        campaign = jobs_for(CrashAlways(), ["x"])
+        executor = ParallelExecutor(jobs=1, retries=0)
+        (outcome,) = executor.run(campaign)
+        assert not outcome.ok
+        assert "crashed" in outcome.error
+
+    def test_crash_retries_are_bounded(self):
+        campaign = jobs_for(CrashAlways(), ["x"])
+        executor = ParallelExecutor(jobs=1, retries=2)
+        (outcome,) = executor.run(campaign)
+        assert not outcome.ok
+        assert outcome.attempts == 3
+
+    def test_task_timeout_fails_task(self):
+        campaign = jobs_for(Sleeper(seconds=30.0), ["x"])
+        executor = ParallelExecutor(jobs=1, timeout=0.3)
+        started = time.monotonic()
+        (outcome,) = executor.run(campaign)
+        assert time.monotonic() - started < 10
+        assert not outcome.ok
+        assert "Timeout" in outcome.error
+
+
+class TestValidation:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ConfigError):
+            ParallelExecutor(jobs=0)
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ConfigError):
+            ParallelExecutor(retries=-1)
+
+    def test_rejects_zero_replicates(self):
+        with pytest.raises(ConfigError):
+            Campaign.from_sweep("x", [1], fake_result, 0, 0)
+
+
+class TestCacheIntegration:
+    def test_warm_cache_executes_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        campaign = jobs_for(small_cooperative, [4, 6], replicates=2)
+        executor = ParallelExecutor(jobs=2)
+        first = executor.run(campaign, cache=cache)
+        assert executor.last_stats.executed == 4
+        second = executor.run(campaign, cache=cache)
+        assert executor.last_stats.executed == 0
+        assert executor.last_stats.cached == 4
+        assert [o.source for o in second] == ["cache"] * 4
+        assert [o.result.completion_time for o in first] == [
+            o.result.completion_time for o in second
+        ]
+
+    def test_serial_and_parallel_share_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        campaign = jobs_for(small_cooperative, [4, 6], replicates=2)
+        SerialExecutor().run(campaign, cache=cache)
+        executor = ParallelExecutor(jobs=2)
+        executor.run(campaign, cache=cache)
+        assert executor.last_stats.executed == 0
+
+    def test_progress_reports_every_task(self, tmp_path):
+        seen = []
+        campaign = jobs_for(small_cooperative, [4, 6], replicates=2)
+        SerialExecutor().run(campaign, progress=lambda s, o: seen.append(o.job.point))
+        assert seen == [4, 4, 6, 6]
+
+
+class TestSeedDiscipline:
+    def test_jobs_receive_derived_seeds(self):
+        campaign = Campaign.from_sweep("x", [10, 20], fake_result, 2, base_seed=9)
+        assert [j.seed for j in campaign.jobs] == [
+            derive_seed(9, 10, 0),
+            derive_seed(9, 10, 1),
+            derive_seed(9, 20, 0),
+            derive_seed(9, 20, 1),
+        ]

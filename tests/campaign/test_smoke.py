@@ -1,0 +1,43 @@
+"""End-to-end campaign smoke test through the CLI.
+
+Runs one figure through ``ParallelExecutor`` (``--jobs 2 --scale ci``)
+against a temp cache dir, then asserts the repeated invocation executes
+zero simulation tasks — everything is served from the content-addressed
+cache.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.runner import main
+from repro.experiments.scale import sweep_task_counts
+
+
+class TestParallelCachedCli:
+    def test_second_invocation_fully_cached(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        total = sweep_task_counts("ci")["fig3"]
+        argv = [
+            "fig3", "--scale", "ci", "--jobs", "2",
+            "--cache-dir", cache_dir, "--no-plot",
+        ]
+
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert f"[campaign: {total} executed, 0 cached, 0 failed]" in out
+
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert f"[campaign: 0 executed, {total} cached, 0 failed]" in out
+
+    def test_cached_rerun_reproduces_rows(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        base = ["fig4", "--scale", "ci", "--jobs", "2", "--no-plot",
+                "--cache-dir", cache_dir]
+        assert main([*base, "--json", str(first)]) == 0
+        assert main([*base, "--json", str(second)]) == 0
+        capsys.readouterr()
+        assert json.loads(first.read_text()) == json.loads(second.read_text())

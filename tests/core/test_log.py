@@ -30,6 +30,18 @@ class TestTransferLog:
         with pytest.raises(ConfigError):
             log.record(2, 0, 1, 1)
 
+    def test_out_of_order_message_names_both_ticks(self):
+        # The error must say what order was violated, with both ticks, so
+        # an engine bug is locatable from the message alone.
+        log = TransferLog()
+        log.record(5, 0, 1, 0)
+        with pytest.raises(ConfigError, match=r"tick order.*4.*after.*5"):
+            log.append(Transfer(4, 0, 1, 1))
+
+    def test_out_of_order_via_constructor(self):
+        with pytest.raises(ConfigError, match="tick order"):
+            TransferLog([Transfer(2, 0, 1, 0), Transfer(1, 0, 1, 1)])
+
     def test_same_tick_allowed(self):
         log = TransferLog()
         log.record(1, 0, 1, 0)

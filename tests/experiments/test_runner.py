@@ -6,7 +6,20 @@ import json
 
 import pytest
 
+from repro.experiments import runner as runner_module
+from repro.experiments.figures import FigureResult
 from repro.experiments.runner import EXPERIMENTS, main
+
+
+def stub_result(name: str) -> FigureResult:
+    return FigureResult(
+        name=name,
+        title=f"stub {name}",
+        scale="ci",
+        columns=("x",),
+        rows=[{"x": 1}],
+        series={},
+    )
 
 
 class TestCli:
@@ -43,3 +56,81 @@ class TestCli:
     def test_unknown_scale_rejected(self):
         with pytest.raises(SystemExit):
             main(["price", "--scale", "gigantic"])
+
+
+class TestSeedFlag:
+    def test_seed_overrides_base_seed(self, monkeypatch, capsys):
+        seen = {}
+
+        def fake(scale=None, base_seed=3):
+            seen["base_seed"] = base_seed
+            return stub_result("fake")
+
+        monkeypatch.setattr(runner_module, "EXPERIMENTS", {"fake": fake})
+        assert main(["fake", "--seed", "99", "--no-plot"]) == 0
+        assert seen["base_seed"] == 99
+
+    def test_default_seed_untouched(self, monkeypatch, capsys):
+        seen = {}
+
+        def fake(scale=None, base_seed=3):
+            seen["base_seed"] = base_seed
+            return stub_result("fake")
+
+        monkeypatch.setattr(runner_module, "EXPERIMENTS", {"fake": fake})
+        assert main(["fake", "--no-plot"]) == 0
+        assert seen["base_seed"] == 3
+
+    def test_seed_skipped_for_seedless_experiments(self, monkeypatch, capsys):
+        def seedless(scale=None):
+            return stub_result("seedless")
+
+        monkeypatch.setattr(runner_module, "EXPERIMENTS", {"seedless": seedless})
+        assert main(["seedless", "--seed", "99", "--no-plot"]) == 0
+
+
+class TestRunAll:
+    def test_all_keeps_going_after_failure(self, monkeypatch, capsys):
+        ran = []
+
+        def ok(name):
+            def fn(scale=None):
+                ran.append(name)
+                return stub_result(name)
+
+            return fn
+
+        def boom(scale=None):
+            ran.append("boom")
+            raise RuntimeError("simulated explosion")
+
+        monkeypatch.setattr(
+            runner_module,
+            "EXPERIMENTS",
+            {"first": ok("first"), "boom": boom, "last": ok("last")},
+        )
+        assert main(["all", "--no-plot"]) == 1
+        out = capsys.readouterr().out
+        # The failure neither stops the run nor hides the summary.
+        assert ran == ["first", "boom", "last"]
+        assert "boom FAILED" in out
+        assert "== summary ==" in out
+        assert "2 passed, 1 failed" in out
+        assert "RuntimeError: simulated explosion" in out
+
+    def test_all_green_exits_zero(self, monkeypatch, capsys):
+        def fn(scale=None):
+            return stub_result("only")
+
+        monkeypatch.setattr(runner_module, "EXPERIMENTS", {"only": fn})
+        assert main(["all", "--no-plot"]) == 0
+        out = capsys.readouterr().out
+        assert "1 passed, 0 failed" in out
+
+    def test_single_experiment_failure_still_raises(self, monkeypatch, capsys):
+        def boom(scale=None):
+            raise RuntimeError("simulated explosion")
+
+        monkeypatch.setattr(runner_module, "EXPERIMENTS", {"boom": boom})
+        with pytest.raises(RuntimeError):
+            main(["boom"])

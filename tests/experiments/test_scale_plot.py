@@ -11,7 +11,7 @@ from repro.experiments.scale import SCALES, resolve_scale
 
 class TestScale:
     def test_known_names(self):
-        assert set(SCALES) == {"full", "lite", "ci"}
+        assert set(SCALES) == {"full", "xl", "lite", "ci"}
 
     def test_resolve_by_name(self):
         assert resolve_scale("ci").name == "ci"
@@ -38,7 +38,12 @@ class TestScale:
         assert full.fig67_sd_product == 100
 
     def test_scales_are_ordered_by_size(self):
-        assert SCALES["ci"].fig3_k < SCALES["lite"].fig3_k < SCALES["full"].fig3_k
+        assert (
+            SCALES["ci"].fig3_k
+            < SCALES["lite"].fig3_k
+            < SCALES["xl"].fig3_k
+            < SCALES["full"].fig3_k
+        )
 
 
 class TestAsciiPlot:
