@@ -10,8 +10,9 @@ The execution subsystem behind every sweep, figure and benchmark:
   :class:`ParallelExecutor` (process pool with per-task timeouts,
   crash retries, and deterministic result ordering);
 * :mod:`repro.campaign.cache` — content-addressed on-disk
-  :class:`ResultCache` keyed by experiment/point/seed/code-version, so
-  warm re-runs execute zero tasks and interrupted runs resume;
+  :class:`ResultCache` keyed by experiment / run-factory fingerprint /
+  point / seed / code-version, so warm re-runs execute zero tasks and
+  interrupted runs resume;
 * :mod:`repro.campaign.telemetry` — :class:`CampaignStats` progress
   counters (tasks/sec, ETA) delivered through a callback hook;
 * :mod:`repro.campaign.context` — ambient :func:`configured` executor /
@@ -27,7 +28,13 @@ Quickstart::
         result = figure3(scale="lite")     # warm cache: 0 tasks executed
 """
 
-from .cache import CODE_VERSION, ResultCache, cache_key, default_salt
+from .cache import (
+    CODE_VERSION,
+    ResultCache,
+    cache_key,
+    default_salt,
+    fn_fingerprint,
+)
 from .context import CampaignConfig, configured, current_config
 from .executors import Executor, ParallelExecutor, SerialExecutor
 from .model import Campaign, CampaignError, Job, TaskOutcome, derive_seed
@@ -51,4 +58,5 @@ __all__ = [
     "current_config",
     "default_salt",
     "derive_seed",
+    "fn_fingerprint",
 ]

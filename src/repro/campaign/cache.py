@@ -1,8 +1,13 @@
 """Content-addressed, on-disk cache of campaign task results.
 
 Every completed task is stored as one JSON line keyed by a stable hash of
-``(experiment name, point params, seed, code-version salt)``. Because the
-key captures every input that determines a run's outcome, re-running a
+``(experiment name, run-factory fingerprint, point params, seed,
+code-version salt)``. The factory fingerprint matters: sweep points are
+often only *partial* coordinates (figure 3's point is ``n`` alone — the
+block count ``k`` lives inside the factory), and scales reuse the same
+points with different factory parameters, so a key without the factory's
+parameters would serve one scale's results to another. Because the key
+captures every input that determines a run's outcome, re-running a
 campaign against a warm cache is a pure lookup — completed tasks are
 skipped and an interrupted campaign resumes where it stopped.
 
@@ -32,17 +37,45 @@ from pathlib import Path
 from ..core.log import RunResult, TransferLog
 from .model import Job
 
-__all__ = ["CODE_VERSION", "ResultCache", "cache_key", "default_salt"]
+__all__ = [
+    "CODE_VERSION",
+    "ResultCache",
+    "cache_key",
+    "default_salt",
+    "fn_fingerprint",
+]
 
 # Bump whenever simulation semantics change in a way that invalidates old
 # results (new engine behavior, changed RunResult fields, ...).
-CODE_VERSION = "1"
+CODE_VERSION = "2"
 
 
 def default_salt() -> str:
     """Library-wide cache salt: code version plus optional env override."""
     extra = os.environ.get("REPRO_CACHE_SALT", "")
     return f"v{CODE_VERSION}|{extra}" if extra else f"v{CODE_VERSION}"
+
+
+def fn_fingerprint(fn: object) -> str:
+    """Stable textual identity of a run factory, parameters included.
+
+    Run factories are module-level functions or instances of frozen
+    dataclasses (they must be, to be picklable for the process pool), so
+    either the qualified name or ``repr`` — which for a dataclass spells
+    out every field, e.g. ``_CooperativeVsN(k=1000)`` — is stable across
+    processes. A default object ``repr`` embeds a memory address and is
+    *not* content-stable, so it falls back to the type's qualified name.
+    """
+    if fn is None:
+        return ""
+    qualname = getattr(fn, "__qualname__", None)
+    if qualname is not None:  # plain function, method, or class
+        return f"{getattr(fn, '__module__', '')}.{qualname}"
+    cls = type(fn)
+    rep = repr(fn)
+    if " at 0x" in rep or " object at " in rep:
+        return f"{cls.__module__}.{cls.__qualname__}"
+    return f"{cls.__module__}.{rep}"
 
 
 def cache_key(
@@ -52,16 +85,21 @@ def cache_key(
     *,
     replicate: int = 0,
     salt: str = "",
+    fn: object = None,
 ) -> str:
     """Stable content hash identifying one task's inputs.
 
     Point params are keyed by ``repr``, which is stable across processes
     for the plain values used as sweep labels (ints, floats, strings,
-    tuples thereof).
+    tuples thereof). ``fn`` is the run factory; its fingerprint carries
+    the parameters that are baked into the factory rather than the point
+    (e.g. the fixed ``k`` of a ``T`` vs ``n`` sweep), which is what keeps
+    the same sweep at different ``--scale`` values from colliding.
     """
     payload = json.dumps(
         {
             "experiment": experiment,
+            "fn": fn_fingerprint(fn),
             "point": repr(point),
             "replicate": replicate,
             "seed": seed,
@@ -116,6 +154,7 @@ class ResultCache:
             job.seed,
             replicate=job.replicate,
             salt=salt or self.salt,
+            fn=job.fn,
         )
 
     def get(self, job: Job, salt: str = "") -> RunResult | None:
@@ -132,6 +171,7 @@ class ResultCache:
         record = {
             "key": key,
             "experiment": job.experiment,
+            "fn": fn_fingerprint(job.fn),
             "point": repr(job.point),
             "replicate": job.replicate,
             "seed": job.seed,

@@ -19,9 +19,11 @@ handled without losing the campaign:
 * a per-task wall-clock ``timeout`` is enforced *inside* the worker via
   ``SIGALRM``, so a wedged simulation turns into a failed outcome instead
   of a hung pool;
-* a hard worker crash (segfault, ``os._exit``) breaks the pool — the
-  executor rebuilds it and resubmits the unfinished tasks, up to
-  ``retries`` extra attempts per task.
+* a hard worker crash (segfault, ``os._exit``) breaks the pool — results
+  that finished before the break are still harvested, the pool is
+  rebuilt, and unfinished tasks are resubmitted; only the tasks that
+  plausibly lost an execution to the crash are charged against their
+  ``retries`` budget, so still-queued tasks retry for free.
 
 Determinism: seeds are derived before submission and results are slotted
 by job index, so the outcome list — and any aggregate computed from it —
@@ -141,6 +143,9 @@ class _TaskTimeout(Exception):
     """Raised inside a worker when a task exceeds its wall-clock budget."""
 
 
+_NO_RESULT = object()
+
+
 def _execute_task(
     fn, point: object, seed: int, timeout: float | None
 ) -> tuple[str, RunResult | str]:
@@ -150,26 +155,45 @@ def _execute_task(
     pool healthy; only a hard crash (signal, ``os._exit``) breaks it.
     The timeout uses ``SIGALRM`` and therefore only applies on platforms
     with Unix signals; elsewhere it is silently skipped.
+
+    The alarm is inherently racy: it can fire *after* ``fn()`` returned
+    but before the timer is cancelled. The inner ``finally`` cancels the
+    timer as the very first thing after ``fn()`` exits (so a late alarm
+    cannot fire inside the handlers below and escape the worker), and a
+    ``_TaskTimeout`` that still sneaks into that one-line window is
+    recognised by the already-bound result and reported as a success.
     """
     import signal
 
     use_alarm = timeout is not None and hasattr(signal, "setitimer")
-    if use_alarm:
-        def _on_alarm(signum, frame):
-            raise _TaskTimeout(f"task exceeded {timeout:.1f}s timeout")
-
-        previous = signal.signal(signal.SIGALRM, _on_alarm)
-        signal.setitimer(signal.ITIMER_REAL, timeout)
+    previous = None
+    result = _NO_RESULT
     try:
-        return ("ok", fn(point, seed))
+        if use_alarm:
+            def _on_alarm(signum, frame):
+                raise _TaskTimeout(f"task exceeded {timeout:.1f}s timeout")
+
+            previous = signal.signal(signal.SIGALRM, _on_alarm)
+            signal.setitimer(signal.ITIMER_REAL, timeout)
+        try:
+            result = fn(point, seed)
+        finally:
+            if use_alarm:
+                signal.setitimer(signal.ITIMER_REAL, 0.0)
+        return ("ok", result)
     except _TaskTimeout as exc:
+        if result is not _NO_RESULT:
+            # The alarm fired between fn() returning and the cancel
+            # above — the run actually finished in time.
+            return ("ok", result)
         return ("error", f"TimeoutError: {exc}")
     except BaseException as exc:  # noqa: BLE001 - reported, not swallowed
         return ("error", f"{type(exc).__name__}: {exc}")
     finally:
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
-            signal.signal(signal.SIGALRM, previous)
+            if previous is not None:
+                signal.signal(signal.SIGALRM, previous)
 
 
 class ParallelExecutor(Executor):
@@ -202,6 +226,10 @@ class ParallelExecutor(Executor):
         super().__init__()
         if jobs is not None and jobs < 1:
             raise ConfigError(f"need at least one worker, got {jobs}")
+        if timeout is not None and timeout <= 0:
+            # setitimer(..., 0.0) would silently cancel enforcement and a
+            # negative value raises inside the worker.
+            raise ConfigError(f"timeout must be positive, got {timeout}")
         if retries < 0:
             raise ConfigError(f"retries must be >= 0, got {retries}")
         self.jobs = jobs or os.cpu_count() or 1
@@ -223,13 +251,13 @@ class ParallelExecutor(Executor):
         remaining = list(pending)
         while remaining:
             crashed = False
-            pool = self._pool(min(self.jobs, len(remaining)))
+            width = min(self.jobs, len(remaining))
+            pool = self._pool(width)
             try:
                 futures = {}
                 try:
                     for i in remaining:
                         job = jobs[i]
-                        attempts[i] += 1
                         futures[
                             pool.submit(
                                 _execute_task, job.fn, job.point, job.seed, self.timeout
@@ -237,7 +265,15 @@ class ParallelExecutor(Executor):
                         ] = i
                     for future in as_completed(futures):
                         i = futures[future]
-                        status, payload = future.result()
+                        try:
+                            status, payload = future.result()
+                        except BrokenProcessPool:
+                            # This task's execution was lost to the crash;
+                            # keep draining so tasks that finished before
+                            # the pool broke still get their results.
+                            crashed = True
+                            continue
+                        attempts[i] += 1
                         job = jobs[i]
                         if status == "ok":
                             outcome = TaskOutcome(
@@ -260,8 +296,15 @@ class ParallelExecutor(Executor):
             remaining = [i for i in remaining if outcomes[i] is None]
             if not crashed or not remaining:
                 break
-            # A worker died mid-task. Tasks out of attempts become
-            # failures; the rest go back into a fresh pool.
+            # A worker died mid-task. Only the tasks plausibly in flight
+            # when the pool broke are charged an attempt: workers consume
+            # the queue FIFO, so those are the first `width` unfinished
+            # tasks in submission order. Tasks still queued never started
+            # and are resubmitted for free — a single poison task cannot
+            # exhaust the retry budget of the whole campaign behind it.
+            suspects = set(remaining[:width])
+            for i in suspects:
+                attempts[i] += 1
             for i in list(remaining):
                 if attempts[i] > self.retries:
                     job = jobs[i]
@@ -280,5 +323,5 @@ class ParallelExecutor(Executor):
                         outcomes, stats, cache, progress,
                     )
                     remaining.remove(i)
-                else:
+                elif i in suspects:
                     stats.retried += 1

@@ -10,7 +10,9 @@ Seeds follow the library-wide discipline of :func:`derive_seed`: replicate
 ``i`` of point ``p`` under base seed ``b`` always receives the same
 63-bit seed, in any process, on any platform. That stability is what
 makes content-addressed result caching (:mod:`repro.campaign.cache`)
-sound: the seed, the point and the experiment name fully identify a
+sound: the seed, the point, the experiment name and the run factory's
+fingerprint (which carries parameters baked into the factory rather
+than the point, e.g. a scale's fixed block count) fully identify a
 task's inputs.
 """
 

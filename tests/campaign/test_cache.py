@@ -2,9 +2,26 @@
 
 from __future__ import annotations
 
-from repro.campaign.cache import ResultCache, cache_key, default_salt
+from dataclasses import dataclass
+
+from repro.campaign.cache import (
+    ResultCache,
+    cache_key,
+    default_salt,
+    fn_fingerprint,
+)
 from repro.campaign.model import Job
 from repro.core.log import RunResult, TransferLog
+
+
+@dataclass(frozen=True)
+class ParamFactory:
+    """Stand-in for a run factory carrying scale-dependent parameters."""
+
+    k: int
+
+    def __call__(self, point: object, seed: int) -> RunResult:
+        raise NotImplementedError
 
 
 def make_result(n: int = 4, k: int = 2, completion: int | None = 7) -> RunResult:
@@ -41,8 +58,59 @@ class TestCacheKey:
         # repr() keys: the int 1 and the string "1" must not collide.
         assert cache_key("e", 1, 0) != cache_key("e", "1", 0)
 
+    def test_factory_params_differentiate_keys(self):
+        # Figure 3's point is n alone — k lives inside the factory, and
+        # scales reuse the same points with different k. The factory's
+        # parameters must therefore be part of the key.
+        base = cache_key("fig3", 100, 7, fn=ParamFactory(k=250))
+        assert cache_key("fig3", 100, 7, fn=ParamFactory(k=1000)) != base
+        assert cache_key("fig3", 100, 7, fn=ParamFactory(k=250)) == base
+
+    def test_fig3_scales_never_collide(self):
+        # The concrete regression: fig3 sweeps share points across scales
+        # (n=100 exists at lite/xl/full) while k differs per scale, so a
+        # shared cache dir must key each scale's runs separately.
+        from repro.experiments.figures import _CooperativeVsN
+        from repro.experiments.scale import SCALES
+
+        keys = {
+            cache_key("fig3", 100, 7, fn=_CooperativeVsN(s.fig3_k))
+            for s in SCALES.values()
+        }
+        assert len(keys) == len({s.fig3_k for s in SCALES.values()})
+
     def test_default_salt_includes_code_version(self):
         assert default_salt().startswith("v")
+
+
+class TestFnFingerprint:
+    def test_dataclass_factory_spells_out_params(self):
+        fp = fn_fingerprint(ParamFactory(k=250))
+        assert "ParamFactory(k=250)" in fp
+        assert fp != fn_fingerprint(ParamFactory(k=1000))
+
+    def test_stable_across_calls(self):
+        assert fn_fingerprint(ParamFactory(k=3)) == fn_fingerprint(
+            ParamFactory(k=3)
+        )
+
+    def test_plain_function_keyed_by_qualified_name(self):
+        fp = fn_fingerprint(make_result)
+        assert fp.endswith("make_result")
+        assert "0x" not in fp
+
+    def test_default_object_repr_never_leaks_addresses(self):
+        # A callable without a dataclass repr would embed a memory
+        # address; the fingerprint must fall back to the type name.
+        class Opaque:
+            def __call__(self, point: object, seed: int) -> None: ...
+
+        fp = fn_fingerprint(Opaque())
+        assert "0x" not in fp
+        assert "Opaque" in fp
+
+    def test_none_is_empty(self):
+        assert fn_fingerprint(None) == ""
 
 
 class TestResultCache:
@@ -85,6 +153,22 @@ class TestResultCache:
         ResultCache(tmp_path, salt="a").put(job, make_result())
         assert ResultCache(tmp_path, salt="a").get(job) is not None
         assert ResultCache(tmp_path, salt="b").get(job) is None
+
+    def test_factory_params_invalidate(self, tmp_path):
+        # Same experiment/point/seed at two scales (k baked into the
+        # factory): a shared cache dir must treat them as distinct tasks.
+        cache = ResultCache(tmp_path)
+        lite = Job(
+            experiment="fig3", point=100, replicate=0, seed=7,
+            fn=ParamFactory(k=250),
+        )
+        full = Job(
+            experiment="fig3", point=100, replicate=0, seed=7,
+            fn=ParamFactory(k=1000),
+        )
+        cache.put(lite, make_result())
+        assert cache.get(lite) is not None
+        assert cache.get(full) is None
 
     def test_tolerates_truncated_tail(self, tmp_path):
         # An interrupted run leaves a half-written final line; everything

@@ -80,6 +80,18 @@ class CrashAlways:
 
 
 @dataclass(frozen=True)
+class CrashOnPoint:
+    """Hard-kill the worker only for one poison point."""
+
+    bad_point: object
+
+    def __call__(self, point: object, seed: int) -> RunResult:
+        if point == self.bad_point:
+            os._exit(13)
+        return fake_result(int(point))  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
 class Sleeper:
     seconds: float
 
@@ -160,6 +172,32 @@ class TestFailureHandling:
         assert not outcome.ok
         assert outcome.attempts == 3
 
+    def test_poison_task_does_not_exhaust_innocent_tasks(self):
+        # With jobs=1 the poison task is the only one in flight when the
+        # pool breaks; the queued tasks behind it never started, so they
+        # must be resubmitted without burning their own retry budget.
+        campaign = jobs_for(CrashOnPoint(bad_point=0), [0, 1, 2, 3])
+        executor = ParallelExecutor(jobs=1, retries=1)
+        outcomes = executor.run(campaign)
+        assert [o.ok for o in outcomes] == [False, True, True, True]
+        assert "crashed" in outcomes[0].error
+        assert [o.attempts for o in outcomes] == [2, 1, 1, 1]
+        assert executor.last_stats.retried == 1
+        assert executor.last_stats.failed == 1
+        assert executor.last_stats.executed == 3
+
+    def test_results_completed_before_crash_are_harvested(self):
+        # jobs=1 runs FIFO: point 1 finishes before the poison point 0
+        # breaks the pool. Its already-completed result must be consumed,
+        # not re-run or counted as lost to the crash.
+        campaign = jobs_for(CrashOnPoint(bad_point=0), [1, 0, 2])
+        executor = ParallelExecutor(jobs=1, retries=0)
+        outcomes = executor.run(campaign)
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert [o.attempts for o in outcomes] == [1, 1, 1]
+        assert executor.last_stats.executed == 2
+        assert executor.last_stats.failed == 1
+
     def test_task_timeout_fails_task(self):
         campaign = jobs_for(Sleeper(seconds=30.0), ["x"])
         executor = ParallelExecutor(jobs=1, timeout=0.3)
@@ -178,6 +216,14 @@ class TestValidation:
     def test_rejects_negative_retries(self):
         with pytest.raises(ConfigError):
             ParallelExecutor(retries=-1)
+
+    def test_rejects_nonpositive_timeout(self):
+        # timeout=0 would silently cancel the in-worker itimer; negative
+        # values raise inside the worker. Both must fail fast.
+        with pytest.raises(ConfigError):
+            ParallelExecutor(timeout=0)
+        with pytest.raises(ConfigError):
+            ParallelExecutor(timeout=-1.5)
 
     def test_rejects_zero_replicates(self):
         with pytest.raises(ConfigError):
