@@ -8,6 +8,12 @@ from .progress import (
     swarm_progress,
 )
 from .regression import CompletionFit, fit_completion_model
+from .resilience import (
+    abort_breakdown,
+    completion_probability,
+    overhead_ratio,
+    wasted_upload_fraction,
+)
 from .stats import Summary, mean, sample_std, summarize
 from .sweeps import SweepPoint, derive_seed, sweep
 
@@ -16,16 +22,20 @@ __all__ = [
     "EfficiencyTrace",
     "Summary",
     "SweepPoint",
+    "abort_breakdown",
     "completion_cdf",
+    "completion_probability",
     "derive_seed",
     "efficiency_trace",
     "fit_completion_model",
     "mean",
     "median_completion",
+    "overhead_ratio",
     "per_node_progress",
     "sample_std",
     "summarize",
     "swarm_progress",
     "sweep",
+    "wasted_upload_fraction",
     "window_means",
 ]

@@ -1,0 +1,96 @@
+"""Resilience metrics over replicated fault-injected runs.
+
+The paper's figures report completion time on a perfect network; under
+fault injection a run may not complete at all, so the primary statistic
+becomes *completion probability*, and the cost of the faults splits into
+slowdown (``overhead_ratio`` against a fault-free baseline) and outright
+waste (``wasted_upload_fraction`` — upload slots burned by attempts that
+delivered nothing).
+
+All three work straight off :class:`~repro.core.log.RunResult` lists as
+produced by :func:`repro.analysis.sweeps.sweep` (with
+``keep_results=True``) or any hand-rolled replicate loop; they only read
+the uniform result surface (``completed``, ``completion_time``, the
+fault telemetry in ``meta``), never engine internals.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from ..core.errors import ConfigError
+from ..core.log import RunResult
+
+__all__ = [
+    "completion_probability",
+    "overhead_ratio",
+    "wasted_upload_fraction",
+    "abort_breakdown",
+]
+
+
+def completion_probability(results: Iterable[RunResult]) -> float:
+    """Fraction of runs in which every (surviving) client finished.
+
+    Deadlocked, stalled and timed-out runs all count as failures — the
+    distinctions live in :func:`abort_breakdown`.
+    """
+    results = list(results)
+    if not results:
+        raise ConfigError("completion_probability needs at least one run")
+    return sum(1 for r in results if r.completed) / len(results)
+
+
+def overhead_ratio(
+    results: Iterable[RunResult], baseline: float | Sequence[RunResult]
+) -> float | None:
+    """Mean completion time of completed runs relative to a baseline.
+
+    ``baseline`` is either a fault-free mean completion time or a list of
+    fault-free runs to take the mean of. Returns ``None`` when no faulted
+    run completed (the ratio is then meaningless — completion probability
+    is the statistic that captures it).
+    """
+    if not isinstance(baseline, (int, float)):
+        base_times = [r.completion_time for r in baseline if r.completed]
+        if not base_times:
+            raise ConfigError("baseline contains no completed runs")
+        baseline = sum(base_times) / len(base_times)
+    if baseline <= 0:
+        raise ConfigError(f"baseline completion time must be > 0, got {baseline}")
+    times = [r.completion_time for r in results if r.completed]
+    if not times:
+        return None
+    return (sum(times) / len(times)) / baseline
+
+
+def wasted_upload_fraction(results: Iterable[RunResult]) -> float:
+    """Fraction of attempted uploads that delivered nothing, pooled.
+
+    Pools attempts across runs (so short aborted runs don't dominate).
+    Reads the engines' fault telemetry when present and falls back to the
+    log's failure stream, so it also works on logs loaded from disk.
+    """
+    delivered = 0
+    failed = 0
+    for r in results:
+        failed += int(r.meta.get("failed_transfers", r.log.failed_count))
+        delivered += len(r.log) if len(r.log) else _delivered_from_meta(r)
+    attempts = delivered + failed
+    return failed / attempts if attempts else 0.0
+
+
+def _delivered_from_meta(r: RunResult) -> int:
+    """Delivered-transfer count for log-less results (``keep_log=False``
+    engines, cache hits): per-tick upload counts are kept either way."""
+    upt = r.meta.get("uploads_per_tick")
+    return sum(upt) if isinstance(upt, list) else 0
+
+
+def abort_breakdown(results: Iterable[RunResult]) -> dict[str, int]:
+    """Count runs by outcome: completed / deadlock / stall / max-ticks."""
+    out = {"completed": 0, "deadlock": 0, "stall": 0, "max-ticks": 0}
+    for r in results:
+        key = "completed" if r.completed else (r.abort or "max-ticks")
+        out[key] = out.get(key, 0) + 1
+    return out

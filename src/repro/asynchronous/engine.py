@@ -31,6 +31,8 @@ from typing import NamedTuple, Protocol
 
 from ..core.errors import ConfigError
 from ..core.model import SERVER
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan
 
 __all__ = ["AsyncTransfer", "AsyncRunResult", "AsyncStrategy", "AsyncEngine"]
 
@@ -70,6 +72,7 @@ class AsyncRunResult:
     client_completions: dict[int, float]
     transfers: list[AsyncTransfer]
     meta: dict[str, object] = field(default_factory=dict)
+    failed_transfers: list[AsyncTransfer] = field(default_factory=list)
 
     @property
     def completed(self) -> bool:
@@ -96,6 +99,13 @@ class AsyncEngine:
     max_time:
         Simulation horizon; an unfinished run returns
         ``completion_time=None``.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan`. Continuous time
+        supports transfer loss, link outages and server outage windows
+        (the server idles during a window; a lost transfer occupies both
+        links for its full duration and then delivers nothing — judged at
+        completion time). Node crashes are a tick-engine concept and are
+        rejected here.
     """
 
     def __init__(
@@ -108,6 +118,7 @@ class AsyncEngine:
         parallel_downloads: int = 1,
         rng: random.Random | int | None = None,
         max_time: float | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         if n < 2:
             raise ConfigError(f"need a server and at least one client, got n={n}")
@@ -122,6 +133,28 @@ class AsyncEngine:
         self.parallel_downloads = parallel_downloads
         self.rng = rng if isinstance(rng, random.Random) else random.Random(rng)
         self.max_time = max_time if max_time is not None else 50.0 * (k + n)
+
+        self.fault_plan = faults if faults is not None and not faults.is_null else None
+        if self.fault_plan is not None and self.fault_plan.crash_rate > 0.0:
+            raise ConfigError(
+                "AsyncEngine models transfer loss, link outages and server "
+                "outage windows; node crashes need a tick engine"
+            )
+        self.faults: FaultInjector | None = (
+            FaultInjector(self.fault_plan, random.Random(self.rng.getrandbits(63)))
+            if self.fault_plan is not None
+            else None
+        )
+        self.failed: list[AsyncTransfer] = []
+        # In-flight transfers are judged at their *end* time, so a server
+        # send can run into an outage window that opened mid-flight —
+        # unlike the tick engines, server windows require judging here.
+        self._judge = (
+            self.faults.transfer_fails
+            if self.faults is not None
+            and (self.faults.judges_links or self.faults.has_server_windows)
+            else None
+        )
 
         self.masks = [0] * n
         self.masks[SERVER] = (1 << k) - 1
@@ -180,6 +213,12 @@ class AsyncEngine:
 
     def _try_start(self, src: int) -> bool:
         if self._uplink_busy[src] or self.masks[src] == 0:
+            return False
+        if (
+            src == SERVER
+            and self.faults is not None
+            and self.faults.server_down(self.now)
+        ):
             return False
         choice = self.strategy.next_transfer(self, src)
         if choice is None:
@@ -252,11 +291,16 @@ class AsyncEngine:
             self._uplink_busy[src] = False
             self._downlink_busy[dst] -= 1
             self._inbound.discard((dst, block))
-            self.masks[dst] |= 1 << block
-            self.transfers.append(transfer)
-            if dst != SERVER and self.masks[dst] == self._full:
-                self._incomplete.discard(dst)
-                completions[dst] = end
+            if self._judge is not None and self._judge(end, src, dst):
+                # The links were tied up for the whole duration; nothing
+                # arrived. Both endpoints are free to try again.
+                self.failed.append(transfer)
+            else:
+                self.masks[dst] |= 1 << block
+                self.transfers.append(transfer)
+                if dst != SERVER and self.masks[dst] == self._full:
+                    self._incomplete.discard(dst)
+                    completions[dst] = end
 
             # The freed sender, the receiver, and all idle nodes may now
             # have a move.
@@ -267,16 +311,21 @@ class AsyncEngine:
                     self._idle.discard(node)
 
         done = not self._incomplete
+        meta: dict[str, object] = {
+            "strategy": type(self.strategy).__name__,
+            "heterogeneous": len(set(self.up)) > 1 or len(set(self.down)) > 1,
+        }
+        if self.faults is not None:
+            meta["faults"] = self.fault_plan.describe()
+            meta.update(self.faults.telemetry())
         return AsyncRunResult(
             n=self.n,
             k=self.k,
             completion_time=self.now if done else None,
             client_completions=completions,
             transfers=self.transfers,
-            meta={
-                "strategy": type(self.strategy).__name__,
-                "heterogeneous": len(set(self.up)) > 1 or len(set(self.down)) > 1,
-            },
+            meta=meta,
+            failed_transfers=self.failed,
         )
 
 

@@ -8,6 +8,14 @@ from, and what the efficiency analysis ("amortization") consumes.
 
 Keeping the log as plain tuples keeps the hot loops cheap; the richer
 accessors here build indexes lazily.
+
+Failed transfers (:mod:`repro.faults`) are first-class records: a failed
+send consumed the tick's upload and download bandwidth — and, under a
+barter mechanism, credit — but delivered nothing. They are kept in a
+separate stream (``failures``) so every historical accessor
+(``by_tick``, ``uploads_per_tick``, ``completion_ticks`` ...) still
+describes *delivered* blocks only and fault-free logs are bit-identical
+to what they always were.
 """
 
 from __future__ import annotations
@@ -37,16 +45,26 @@ class TransferLog:
 
     Transfers must be appended in non-decreasing tick order; engines are
     tick-synchronous so this is natural, and it lets per-tick grouping be a
-    single pass.
+    single pass. Successful deliveries and failed attempts form two
+    streams with independent tick-order invariants, so a log can be
+    rebuilt stream by stream (serde) as well as interleaved (engines).
     """
 
-    __slots__ = ("_transfers", "_last_tick")
+    __slots__ = ("_transfers", "_last_tick", "_failures", "_last_fail_tick")
 
-    def __init__(self, transfers: Iterable[Transfer] = ()) -> None:
+    def __init__(
+        self,
+        transfers: Iterable[Transfer] = (),
+        failures: Iterable[Transfer] = (),
+    ) -> None:
         self._transfers: list[Transfer] = []
         self._last_tick = 0
+        self._failures: list[Transfer] = []
+        self._last_fail_tick = 0
         for t in transfers:
             self.append(t)
+        for t in failures:
+            self.append_failure(t)
 
     def append(self, transfer: Transfer) -> None:
         """Record one transfer; ticks must be non-decreasing and >= 1."""
@@ -64,6 +82,27 @@ class TransferLog:
         """Convenience wrapper around :meth:`append`."""
         self.append(Transfer(tick, src, dst, block))
 
+    def append_failure(self, transfer: Transfer) -> None:
+        """Record one *failed* attempt; ticks must be non-decreasing.
+
+        A failed attempt consumed upload/download bandwidth (and, under
+        barter, credit) but delivered nothing; it never appears in
+        delivery-side accessors such as :meth:`by_tick`.
+        """
+        if transfer.tick < 1:
+            raise ConfigError(f"ticks are 1-based, got {transfer.tick}")
+        if transfer.tick < self._last_fail_tick:
+            raise ConfigError(
+                f"failures must be appended in tick order "
+                f"({transfer.tick} after {self._last_fail_tick})"
+            )
+        self._last_fail_tick = transfer.tick
+        self._failures.append(transfer)
+
+    def record_failure(self, tick: int, src: int, dst: int, block: int) -> None:
+        """Convenience wrapper around :meth:`append_failure`."""
+        self.append_failure(Transfer(tick, src, dst, block))
+
     def __len__(self) -> int:
         return len(self._transfers)
 
@@ -78,10 +117,37 @@ class TransferLog:
         """The tick of the final transfer (0 for an empty log)."""
         return self._last_tick
 
+    @property
+    def failures(self) -> tuple[Transfer, ...]:
+        """All failed attempts, in tick order."""
+        return tuple(self._failures)
+
+    @property
+    def failed_count(self) -> int:
+        """Number of failed attempts recorded."""
+        return len(self._failures)
+
+    @property
+    def attempted(self) -> int:
+        """Total attempts: deliveries plus failures."""
+        return len(self._transfers) + len(self._failures)
+
+    @property
+    def last_attempt_tick(self) -> int:
+        """Tick of the final attempt, successful or failed (0 if empty)."""
+        return max(self._last_tick, self._last_fail_tick)
+
     def by_tick(self) -> dict[int, list[Transfer]]:
         """Group transfers per tick. Only ticks with activity appear."""
         grouped: dict[int, list[Transfer]] = defaultdict(list)
         for t in self._transfers:
+            grouped[t.tick].append(t)
+        return dict(grouped)
+
+    def failures_by_tick(self) -> dict[int, list[Transfer]]:
+        """Group failed attempts per tick. Only ticks with failures appear."""
+        grouped: dict[int, list[Transfer]] = defaultdict(list)
+        for t in self._failures:
             grouped[t.tick].append(t)
         return dict(grouped)
 
@@ -158,6 +224,36 @@ class RunResult:
     def completed(self) -> bool:
         """True when every client finished."""
         return self.completion_time is not None
+
+    @property
+    def deadlocked(self) -> bool:
+        """True when the run aborted on a *proven* permanent deadlock.
+
+        Uniform across engines: randomized/churn runs set
+        ``meta["deadlocked"]`` from their conclusive zero-transfer proof;
+        engines that can only time out (exchange, triangular) leave it
+        unset, which reads as False here. Analysis code should use this
+        accessor rather than indexing ``meta`` directly.
+        """
+        return bool(self.meta.get("deadlocked", False))
+
+    @property
+    def abort(self) -> str | None:
+        """Why the run stopped short, or ``None`` for a clean completion.
+
+        One of ``"deadlock"`` (proven permanent stall), ``"stall"``
+        (no progress for a recovery policy's window under stochastic
+        faults — not provably permanent), or ``"max-ticks"`` (tick
+        guard exhausted). Engines record it as ``meta["abort"]``;
+        legacy results without the key fall back to the completion and
+        deadlock flags.
+        """
+        reason = self.meta.get("abort")
+        if reason is not None:
+            return str(reason)
+        if self.completed:
+            return None
+        return "deadlock" if self.deadlocked else "max-ticks"
 
     @property
     def mean_completion(self) -> float | None:

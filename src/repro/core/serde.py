@@ -32,6 +32,10 @@ __all__ = [
 
 _SCHEDULE_FORMAT = "repro/schedule/v1"
 _LOG_FORMAT = "repro/log/v1"
+# v2 adds the failed-attempt stream (repro.faults); emitted only when a
+# log actually carries failures, so fault-free documents stay v1
+# byte-identical and old readers keep working on them.
+_LOG_FORMAT_V2 = "repro/log/v2"
 
 
 def schedule_to_dict(schedule: Schedule) -> dict:
@@ -66,21 +70,35 @@ def schedule_from_dict(data: dict) -> Schedule:
 
 
 def log_to_dict(log: TransferLog, n: int, k: int) -> dict:
-    """Plain-dict form of a transfer log."""
-    return {
-        "format": _LOG_FORMAT,
+    """Plain-dict form of a transfer log.
+
+    Failed attempts, when present, are stored under ``"failures"`` as the
+    same flat ``[tick, src, dst, block]`` rows and the envelope is
+    stamped v2; logs without failures keep the historical v1 document.
+    """
+    doc = {
+        "format": _LOG_FORMAT_V2 if log.failed_count else _LOG_FORMAT,
         "n": n,
         "k": k,
         "transfers": [[t.tick, t.src, t.dst, t.block] for t in log],
     }
+    if log.failed_count:
+        doc["failures"] = [
+            [t.tick, t.src, t.dst, t.block] for t in log.failures
+        ]
+    return doc
 
 
 def log_from_dict(data: dict) -> tuple[TransferLog, int, int]:
-    """Rebuild ``(log, n, k)``; validates the envelope."""
-    if data.get("format") != _LOG_FORMAT:
+    """Rebuild ``(log, n, k)``; validates the envelope (v1 or v2)."""
+    if data.get("format") not in (_LOG_FORMAT, _LOG_FORMAT_V2):
         raise ConfigError(f"not a log document (format={data.get('format')!r})")
     log = TransferLog(
-        Transfer(int(t), int(s), int(d), int(b)) for t, s, d, b in data["transfers"]
+        (Transfer(int(t), int(s), int(d), int(b)) for t, s, d, b in data["transfers"]),
+        failures=(
+            Transfer(int(t), int(s), int(d), int(b))
+            for t, s, d, b in data.get("failures", ())
+        ),
     )
     return log, int(data["n"]), int(data["k"])
 
@@ -108,15 +126,20 @@ def load_schedule(fp: IO[str]) -> Schedule:
 
 
 def _jsonable_meta(meta: dict) -> dict:
-    """Keep only JSON-representable metadata values (stringify the rest)."""
-    out: dict = {}
-    for key, value in meta.items():
-        if isinstance(value, (str, int, float, bool, type(None))):
-            out[key] = value
-        elif isinstance(value, (list, tuple)) and all(
-            isinstance(v, (str, int, float, bool, type(None))) for v in value
-        ):
-            out[key] = list(value)
-        else:
-            out[key] = repr(value)
-    return out
+    """Keep only JSON-representable metadata values (stringify the rest).
+
+    Nested lists and string-keyed dicts are kept (fault metadata such as
+    ``crash_events`` is a list of ``[tick, node]`` rows); anything else is
+    repr'd so the document always serialises.
+    """
+    return {key: _jsonable(value) for key, value in meta.items()}
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool, type(None))):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict) and all(isinstance(k, str) for k in value):
+        return {k: _jsonable(v) for k, v in value.items()}
+    return repr(value)

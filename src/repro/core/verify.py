@@ -21,6 +21,13 @@ Checked rules:
   only along edges of a given overlay network;
 * the **mechanism** per-tick constraints (strict / credit-limited /
   triangular barter).
+
+Failed attempts (:mod:`repro.faults`) are replayed under the same rules:
+a failed send must still have been *legal* when attempted — the sender
+held the block at tick start, the receiver lacked it, the link is an
+overlay edge — and it consumes upload capacity, download capacity and
+barter credit exactly like a delivery. Only the delivery itself is
+skipped: a failed transfer never updates the receiver's holdings.
 """
 
 from __future__ import annotations
@@ -52,7 +59,19 @@ class VerificationReport:
     all_complete: bool
     busy_ticks: int = 0
     upload_efficiency: float = 0.0
+    failed_transfers: int = 0
     extras: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def attempted_transfers(self) -> int:
+        """Deliveries plus failed attempts."""
+        return self.transfers + self.failed_transfers
+
+    @property
+    def wasted_upload_fraction(self) -> float:
+        """Fraction of attempted uploads that delivered nothing."""
+        attempts = self.attempted_transfers
+        return self.failed_transfers / attempts if attempts else 0.0
 
 
 def verify_log(
@@ -65,6 +84,8 @@ def verify_log(
     overlay=None,
     require_completion: bool = True,
     allow_redundant: bool = False,
+    crash_events=None,
+    rejoin_events=None,
 ) -> VerificationReport:
     """Replay ``log`` and check every model rule; see module docstring.
 
@@ -80,6 +101,14 @@ def verify_log(
     allow_redundant:
         When True, a transfer of a block the receiver already holds is
         counted (``redundant_transfers``) rather than fatal.
+    crash_events, rejoin_events:
+        Fault-injection event histories (``meta["crash_events"]`` /
+        ``meta["rejoin_events"]`` of a faulted run): ``(tick, node)``
+        crashes zero the node's holdings at the start of that tick, and
+        ``(tick, node, retained_mask)`` rejoins restore exactly the
+        retained mask. Without them, a crash run's re-deliveries would
+        read as usefulness violations (the verifier would believe the
+        receiver still held the lost blocks).
 
     Raises
     ------
@@ -93,17 +122,32 @@ def verify_log(
     masks = [0] * n
     masks[SERVER] = full_mask(k)
 
+    # Crash/rejoin events, merged in application order: within a tick the
+    # engines apply rejoins before drawing crashes.
+    events: list[tuple[int, int, int, int]] = [
+        (int(e[0]), 0, int(e[1]), int(e[2])) for e in (rejoin_events or ())
+    ] + [(int(e[0]), 1, int(e[1]), 0) for e in (crash_events or ())]
+    events.sort()
+    next_event = 0
+
     redundant = 0
     server_uploads = 0
     peak_downloads = 0
     busy_ticks = 0
 
     by_tick = log.by_tick()
-    for tick in sorted(by_tick):
-        transfers = by_tick[tick]
+    fails_by_tick = log.failures_by_tick()
+    for tick in sorted(by_tick.keys() | fails_by_tick.keys()):
+        while next_event < len(events) and events[next_event][0] <= tick:
+            _, kind, node, mask = events[next_event]
+            masks[node] = mask if kind == 0 else 0
+            next_event += 1
+        transfers = by_tick.get(tick, [])
+        failures = fails_by_tick.get(tick, [])
         _check_tick(
             tick,
             transfers,
+            failures,
             masks,
             n=n,
             k=k,
@@ -111,10 +155,19 @@ def verify_log(
             overlay=overlay,
             allow_redundant=allow_redundant,
         )
+        # A failed send consumed barter credit like any other: mechanisms
+        # judge the tick's *attempts* (the exchange engine's paired swaps
+        # stay symmetric even when one direction is lost in transit).
         mechanism.check_tick(
-            tick, [t for t in transfers if t.src != SERVER and t.dst != SERVER]
+            tick,
+            [
+                t
+                for t in (*transfers, *failures)
+                if t.src != SERVER and t.dst != SERVER
+            ],
         )
-        # Apply receipts only after the whole tick is validated (synchrony).
+        # Apply receipts only after the whole tick is validated (synchrony);
+        # failed attempts deliver nothing.
         for t in transfers:
             if masks[t.dst] >> t.block & 1:
                 redundant += 1
@@ -122,14 +175,27 @@ def verify_log(
             if t.src == SERVER:
                 server_uploads += 1
         downloads = Counter(t.dst for t in transfers)
+        downloads.update(t.dst for t in failures)
         if downloads:
             peak_downloads = max(peak_downloads, max(downloads.values()))
         busy_ticks += 1
 
+    # Events after the last active tick still count (a late fail-stop
+    # crash zeroes its node), and a node whose *last* event is a crash is
+    # out of the swarm — it is excused from the completion requirement.
+    for _, kind, node, mask in events[next_event:]:
+        masks[node] = mask if kind == 0 else 0
+    gone: set[int] = set()
+    for _, kind, node, _ in events:
+        if kind == 1:
+            gone.add(node)
+        else:
+            gone.discard(node)
+
     full = full_mask(k)
-    all_complete = all(masks[c] == full for c in range(1, n))
+    all_complete = all(masks[c] == full for c in range(1, n) if c not in gone)
     if require_completion and not all_complete:
-        unfinished = [c for c in range(1, n) if masks[c] != full]
+        unfinished = [c for c in range(1, n) if masks[c] != full and c not in gone]
         raise ScheduleViolation(
             f"{len(unfinished)} client(s) never completed "
             f"(first few: {unfinished[:5]})",
@@ -137,7 +203,7 @@ def verify_log(
         )
 
     total = len(log)
-    ticks = log.last_tick
+    ticks = log.last_attempt_tick
     # Upload efficiency: achieved transfers relative to the ceiling of one
     # upload per node per tick over the run (the paper's "fraction of nodes
     # that upload data in each step").
@@ -156,12 +222,14 @@ def verify_log(
         all_complete=all_complete,
         busy_ticks=busy_ticks,
         upload_efficiency=efficiency,
+        failed_transfers=log.failed_count,
     )
 
 
 def _check_tick(
     tick: int,
     transfers: list[Transfer],
+    failures: list[Transfer],
     masks: list[int],
     *,
     n: int,
@@ -174,7 +242,13 @@ def _check_tick(
     downloads: Counter[int] = Counter()
     incoming_blocks: set[tuple[int, int]] = set()
 
-    for t in transfers:
+    # Failed attempts obey every static rule and consume capacity, but are
+    # exempt from the duplicate-delivery check: a failed send followed by a
+    # successful (or another failed) send of the same block to the same
+    # receiver within one tick is legal — nothing arrived the first time.
+    for attempt_failed, t in [(False, t) for t in transfers] + [
+        (True, t) for t in failures
+    ]:
         if not (0 <= t.src < n and 0 <= t.dst < n):
             raise ScheduleViolation(
                 f"transfer {t} references a node outside 0..{n - 1}",
@@ -208,13 +282,14 @@ def _check_tick(
                 tick=tick,
                 rule="usefulness",
             )
-        if (t.dst, t.block) in incoming_blocks and not allow_redundant:
-            raise ScheduleViolation(
-                f"node {t.dst} receives block {t.block} twice in one tick",
-                tick=tick,
-                rule="usefulness",
-            )
-        incoming_blocks.add((t.dst, t.block))
+        if not attempt_failed:
+            if (t.dst, t.block) in incoming_blocks and not allow_redundant:
+                raise ScheduleViolation(
+                    f"node {t.dst} receives block {t.block} twice in one tick",
+                    tick=tick,
+                    rule="usefulness",
+                )
+            incoming_blocks.add((t.dst, t.block))
         uploads[t.src] += 1
         downloads[t.dst] += 1
 

@@ -39,6 +39,7 @@ from .figures import (
     figure6,
     figure7,
 )
+from .resilience import resilience
 from .runner import EXPERIMENTS, main
 from .scale import SCALES, Scale, resolve_scale
 from .tables import price_table, schedule_table
@@ -72,6 +73,7 @@ __all__ = [
     "figure7",
     "main",
     "price_table",
+    "resilience",
     "resolve_scale",
     "schedule_table",
 ]

@@ -70,7 +70,14 @@ class FigureResult:
             for c, w in zip(self.columns, widths):
                 v = row.get(c, "")
                 if isinstance(v, float):
-                    v = f"{v:.1f}"
+                    # One decimal suits tick counts and ratios; rates and
+                    # probabilities below 1 would collapse (0.15 and 0.05
+                    # both print "0.1", crash rates print "0.0"), so give
+                    # them three significant digits instead.
+                    if abs(v) < 1 and float(f"{v:.1f}") != v:
+                        v = f"{v:.3g}"
+                    else:
+                        v = f"{v:.1f}"
                 cells.append(str(v).rjust(w))
             lines.append("  ".join(cells))
         if self.fit is not None:

@@ -54,6 +54,7 @@ from .extensions import (
     extension_multiserver,
 )
 from .figures import FigureResult, completion_fit, figure3, figure4, figure5, figure6, figure7
+from .resilience import resilience
 from .scale import SCALES
 from .tables import price_table, schedule_table
 
@@ -83,6 +84,7 @@ EXPERIMENTS: dict[str, Callable[..., FigureResult]] = {
     "ext-triangular": extension_triangular,
     "ext-coding": extension_coding,
     "ext-incentives": extension_incentives,
+    "resilience": resilience,
 }
 
 DEFAULT_CACHE_DIR = ".repro-campaign-cache"

@@ -58,6 +58,19 @@ class Scale:
     # Schedule table grid.
     table_ns: tuple[int, ...]
     table_ks: tuple[int, ...]
+    # Resilience sweep (fault injection): loss x crash grid per mechanism.
+    # Crashes are a sustained per-tick hazard (uncapped), so completion
+    # requires surviving a crash-free window — the regime that separates
+    # the mechanisms' repair bandwidth. Rates scale inversely with n.
+    res_n: int = 24
+    res_k: int = 12
+    res_credit: int = 2
+    res_loss_rates: tuple[float, ...] = (0.0, 0.1, 0.25)
+    res_crash_rates: tuple[float, ...] = (0.0, 0.015)
+    res_rejoin_delay: int = 6
+    res_retention: float = 0.25
+    res_max_crashes: int | None = None
+    res_max_ticks: int = 600
 
 
 SCALES: dict[str, Scale] = {
@@ -80,6 +93,15 @@ SCALES: dict[str, Scale] = {
         fig67_max_ticks=20000,
         table_ns=(16, 32, 100, 256, 1000),
         table_ks=(1, 16, 100, 1000),
+        res_n=256,
+        res_k=128,
+        res_credit=2,
+        res_loss_rates=(0.0, 0.05, 0.15, 0.3),
+        res_crash_rates=(0.0, 0.00025, 0.0005),
+        res_rejoin_delay=16,
+        res_retention=0.25,
+        res_max_crashes=None,
+        res_max_ticks=6000,
     ),
     "xl": Scale(
         name="xl",
@@ -100,6 +122,15 @@ SCALES: dict[str, Scale] = {
         fig67_max_ticks=12000,
         table_ns=(16, 32, 100, 256, 512),
         table_ks=(1, 16, 100, 512),
+        res_n=128,
+        res_k=64,
+        res_credit=2,
+        res_loss_rates=(0.0, 0.05, 0.15, 0.3),
+        res_crash_rates=(0.0, 0.0005, 0.001),
+        res_rejoin_delay=12,
+        res_retention=0.25,
+        res_max_crashes=None,
+        res_max_ticks=3000,
     ),
     "lite": Scale(
         name="lite",
@@ -120,6 +151,15 @@ SCALES: dict[str, Scale] = {
         fig67_max_ticks=8000,
         table_ns=(16, 32, 100, 256),
         table_ks=(1, 16, 100),
+        res_n=64,
+        res_k=32,
+        res_credit=2,
+        res_loss_rates=(0.0, 0.05, 0.15, 0.3),
+        res_crash_rates=(0.0, 0.001, 0.002),
+        res_rejoin_delay=10,
+        res_retention=0.25,
+        res_max_crashes=None,
+        res_max_ticks=1500,
     ),
     "ci": Scale(
         name="ci",
@@ -140,6 +180,15 @@ SCALES: dict[str, Scale] = {
         fig67_max_ticks=4000,
         table_ns=(8, 16, 33, 64),
         table_ks=(1, 8, 33),
+        res_n=24,
+        res_k=12,
+        res_credit=2,
+        res_loss_rates=(0.0, 0.1, 0.25),
+        res_crash_rates=(0.0, 0.015),
+        res_rejoin_delay=6,
+        res_retention=0.25,
+        res_max_crashes=None,
+        res_max_ticks=600,
     ),
 }
 
@@ -162,6 +211,8 @@ def sweep_task_counts(scale: str | Scale | None = None) -> dict[str, int]:
         # Figures 6-7 sweep two credit curves over the degree grid.
         "fig6": 2 * len(s.fig67_degrees) * r,
         "fig7": 2 * len(s.fig67_degrees) * r,
+        # Resilience: three mechanisms over the full loss x crash grid.
+        "resilience": 3 * len(s.res_loss_rates) * len(s.res_crash_rates) * r,
     }
 
 

@@ -1,0 +1,19 @@
+"""Fault injection and recovery for the simulation engines.
+
+The paper assumes a perfect network; this package measures what its
+mechanisms are worth without one. A :class:`FaultPlan` declares the
+faults (transfer loss, link outages, node crashes with optional rejoin,
+server outage windows), a :class:`FaultInjector` realises them per run
+from a dedicated RNG stream, and a :class:`RecoveryPolicy` describes the
+countermeasures (bounded retry with backoff, stall detection, server
+reseeding). Deterministic schedules are perturbed through
+:func:`replay_schedule`; the randomized engines take ``faults=`` /
+``recovery=`` keyword arguments directly.
+"""
+
+from .injector import FaultInjector
+from .plan import FaultPlan
+from .recovery import RecoveryPolicy
+from .replay import replay_schedule
+
+__all__ = ["FaultPlan", "FaultInjector", "RecoveryPolicy", "replay_schedule"]

@@ -33,6 +33,8 @@ def randomized_barter_run(
     rng: random.Random | int | None = None,
     max_ticks: int | None = None,
     keep_log: bool = True,
+    faults=None,
+    recovery=None,
 ) -> RunResult:
     """One randomized credit-limited run; see :class:`RandomizedEngine`.
 
@@ -55,5 +57,7 @@ def randomized_barter_run(
         rng=rng,
         max_ticks=max_ticks,
         keep_log=keep_log,
+        faults=faults,
+        recovery=recovery,
     )
     return engine.run()

@@ -59,6 +59,8 @@ class ChurnEngine(RandomizedEngine):
         keep_log: bool = True,
         arrivals: dict[int, int] | None = None,
         departures: dict[int, int] | None = None,
+        faults=None,
+        recovery=None,
     ) -> None:
         super().__init__(
             n,
@@ -70,6 +72,8 @@ class ChurnEngine(RandomizedEngine):
             rng=rng,
             max_ticks=max_ticks,
             keep_log=keep_log,
+            faults=faults,
+            recovery=recovery,
         )
         self.arrivals = dict(arrivals or {})
         self.departures = dict(departures or {})
@@ -109,11 +113,15 @@ class ChurnEngine(RandomizedEngine):
                 continue
             self._absent.discard(node)
             self.state.enroll(node)
-            self._pool.append(node)
-            self._pool_pos[node] = len(self._pool) - 1
+            self._pool_add(node)
             self._pending_arrivals -= 1
         for node in self._by_tick_departures.get(tick, ()):
             if node in self._absent:
+                # A crashed node (fault injection) departs for good from
+                # wherever it was: its scheduled rejoin is cancelled so
+                # the run stops waiting for it.
+                if self.faults is not None and self.faults.cancel_rejoin(node):
+                    self.departed.add(node)
                 continue
             self._absent.add(node)
             self.departed.add(node)
@@ -124,35 +132,27 @@ class ChurnEngine(RandomizedEngine):
         self._apply_churn(self.tick + 1)
         return super()._run_tick()
 
-    # -- run loop ----------------------------------------------------------------
+    # -- run-loop hooks ----------------------------------------------------------
 
-    def run(self, progress=None) -> RunResult:
-        state = self.state
-        deadlocked = False
-        while self.tick < self.max_ticks and (
-            not state.all_complete or self._pending_arrivals
-        ):
-            made = self._run_tick()
-            if progress is not None:
-                progress(self.tick, made)
-            if (
-                made == 0
-                and self._dynamic is None
-                and not self._pending_arrivals
-                and not self._upcoming_departures()
-            ):
-                deadlocked = True
-                break
+    def _goal_reached(self) -> bool:
+        return super()._goal_reached() and not self._pending_arrivals
 
-        completions: dict[int, int] = {}
-        if self.keep_log:
-            completions = {
-                c: t
-                for c, t in self.log.completion_ticks(self.n, self.k).items()
-                if c not in self.departed and c not in self._absent
-            }
-        completed = state.all_complete and not self._pending_arrivals
-        meta: dict[str, object] = {
+    def _zero_tick_conclusive(self) -> bool:
+        return (
+            super()._zero_tick_conclusive()
+            and not self._pending_arrivals
+            and not self._upcoming_departures()
+        )
+
+    def _completions(self) -> dict[int, int]:
+        return {
+            c: t
+            for c, t in self.log.completion_ticks(self.n, self.k).items()
+            if c not in self.departed and c not in self._absent
+        }
+
+    def _result_meta(self) -> dict[str, object]:
+        return {
             "algorithm": "randomized-churn",
             "policy": self.policy.name,
             "mechanism": self.mechanism.name,
@@ -160,17 +160,8 @@ class ChurnEngine(RandomizedEngine):
             "departures": dict(self.departures),
             "departed": sorted(self.departed),
             "uploads_per_tick": self.uploads_per_tick,
-            "deadlocked": deadlocked,
-            "final_holdings": [m.bit_count() for m in state.masks],
+            "final_holdings": [m.bit_count() for m in self.state.masks],
         }
-        return RunResult(
-            n=self.n,
-            k=self.k,
-            completion_time=self.tick if completed else None,
-            client_completions=completions,
-            log=self.log,
-            meta=meta,
-        )
 
     def _upcoming_departures(self) -> bool:
         """Whether any departure is still scheduled after the current tick.

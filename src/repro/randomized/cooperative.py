@@ -30,6 +30,8 @@ def randomized_cooperative_run(
     rng: random.Random | int | None = None,
     max_ticks: int | None = None,
     keep_log: bool = True,
+    faults=None,
+    recovery=None,
 ) -> RunResult:
     """One randomized cooperative run; see :class:`RandomizedEngine`.
 
@@ -52,5 +54,7 @@ def randomized_cooperative_run(
         rng=rng,
         max_ticks=max_ticks,
         keep_log=keep_log,
+        faults=faults,
+        recovery=recovery,
     )
     return engine.run()

@@ -33,6 +33,9 @@ from ..core.log import RunResult, TransferLog
 from ..core.mechanisms import Cooperative, CreditLimitedBarter, Mechanism
 from ..core.model import SERVER, BandwidthModel
 from ..core.state import SwarmState
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan
+from ..faults.recovery import RecoveryPolicy
 from ..overlays.dynamic import DynamicOverlay
 from ..overlays.graph import CompleteGraph, Graph
 from .policies import BlockPolicy, RandomPolicy
@@ -88,6 +91,20 @@ class RandomizedEngine:
         tick's upload independently with probability ``p`` (0 = fully
         compliant, 1 = free-rider). The strategic knob for incentive
         analysis (:mod:`repro.incentives`).
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan`. A null plan (all
+        rates zero, no windows) is normalised to "no faults" and the run
+        stays bit-identical to one without the argument. Otherwise an
+        injector with its own RNG stream judges every attempted transfer
+        (a failed attempt consumes bandwidth and credit but delivers
+        nothing), crashes/rejoins clients at tick starts, and sits the
+        server out during outage windows.
+    recovery:
+        :class:`~repro.faults.recovery.RecoveryPolicy` governing stall
+        detection (the generalisation of the conclusive zero-transfer
+        deadlock abort, which stochastic faults make inconclusive) and
+        optional server reseeding of blocks that crashes made
+        server-only again. Only consulted when ``faults`` is active.
     """
 
     def __init__(
@@ -103,6 +120,8 @@ class RandomizedEngine:
         keep_log: bool = True,
         selfish: frozenset[int] | set[int] = frozenset(),
         throttle: dict[int, float] | None = None,
+        faults: FaultPlan | None = None,
+        recovery: RecoveryPolicy | None = None,
     ) -> None:
         self.state = SwarmState(n, k)
         self.n, self.k = n, k
@@ -156,7 +175,27 @@ class RandomizedEngine:
         # they are invalid destinations on explicit overlays.
         self._absent: set[int] = set()
 
+        # Fault injection. A null plan is normalised away so that
+        # ``faults=FaultPlan()`` costs nothing — no injector, no extra RNG
+        # draw — and the run is bit-identical to a fault-free one.
+        self.recovery = recovery or RecoveryPolicy()
+        self.fault_plan = faults if faults is not None and not faults.is_null else None
+        if self.fault_plan is not None:
+            self.faults: FaultInjector | None = FaultInjector(
+                self.fault_plan, random.Random(self.rng.getrandbits(63))
+            )
+            self._stall_window = self.recovery.stall_window_for(self.fault_plan)
+        else:
+            self.faults = None
+            self._stall_window = 0
+        self.failures_per_tick: list[int] = []
+
     # -- candidate pool ------------------------------------------------------
+
+    def _pool_add(self, v: int) -> None:
+        if v not in self._pool_pos:
+            self._pool_pos[v] = len(self._pool)
+            self._pool.append(v)
 
     def _pool_remove(self, v: int) -> None:
         pos = self._pool_pos.pop(v, None)
@@ -176,13 +215,46 @@ class RandomizedEngine:
             self._avail[pos] = last
             self._avail_pos[last] = pos
 
+    # -- fault events ----------------------------------------------------------
+
+    def _apply_faults(self, inj: FaultInjector) -> None:
+        """Apply this tick's crash and rejoin events (before the snapshot).
+
+        Rejoins land first: a node returning with its retained blocks is
+        enrolled back into the goal set (and the candidate pool) before
+        this tick's crash hazard is drawn over the present clients.
+        """
+        state = self.state
+        crashes, rejoins = inj.begin_tick(
+            self.tick, [v for v in range(1, self.n) if v not in self._absent]
+        )
+        for node, retained in rejoins:
+            self._absent.discard(node)
+            state.enroll(node)
+            if retained:
+                state.seed(node, retained)
+            if state.masks[node] != self._full:
+                self._pool_add(node)
+        for node in crashes:
+            inj.note_crash(self.tick, node, state.masks[node])
+            self._absent.add(node)
+            state.retire(node)
+            self._pool_remove(node)
+
     # -- one tick --------------------------------------------------------------
 
     def _run_tick(self) -> int:
-        """Advance one tick; returns the number of transfers made."""
+        """Advance one tick; returns the number of *delivered* transfers.
+
+        Failed attempts (fault injection) are counted separately in
+        ``failures_per_tick``.
+        """
         self.tick += 1
         if self._dynamic is not None:
             self.graph = self._dynamic.at_tick(self.tick)
+        inj = self.faults
+        if inj is not None and inj.tick_events_possible():
+            self._apply_faults(inj)
 
         state = self.state
         snapshot = state.begin_tick()
@@ -207,8 +279,17 @@ class RandomizedEngine:
             and v not in selfish
             and (not throttle or (p := throttle.get(v)) is None or rng.random() >= p)
         ]
-        uploaders.append(SERVER)
+        if inj is None or not inj.server_down(self.tick):
+            uploaders.append(SERVER)
         rng.shuffle(uploaders)
+
+        # Server reseeding (recovery): blocks crashes made server-only
+        # again (global holder count 1) get priority in server picks.
+        reseed_rare = 0
+        if inj is not None and self.recovery.reseed:
+            for b, count in enumerate(state.freq):
+                if count == 1:
+                    reseed_rare |= 1 << b
 
         # Blocks held by *every* incomplete client at tick start: an
         # uploader whose content is a subset of this can interest nobody
@@ -221,6 +302,13 @@ class RandomizedEngine:
         self._common = common
 
         transfers = 0
+        failed = 0
+        # Per-attempt judging only matters when loss/outage can fire; the
+        # server is already benched during its outage windows above, so an
+        # injector without link faults never fails a tick-sync attempt.
+        judge = (
+            inj.transfer_fails if inj is not None and inj.judges_links else None
+        )
         # Credit balances are judged at tick start (transfers within a tick
         # are simultaneous); ledger updates are buffered and flushed below.
         credit_sends: list[tuple[int, int]] = []
@@ -233,7 +321,23 @@ class RandomizedEngine:
                 if dst is None:
                     break
                 useful = snapshot[src] & ~masks[dst]
+                if reseed_rare and src == SERVER and useful & reseed_rare:
+                    useful &= reseed_rare
                 block = self.policy.choose(useful, self, src, dst)
+                if judge is not None and judge(self.tick, src, dst):
+                    # The attempt consumed this upload round, the
+                    # receiver's download slot and (under barter) credit,
+                    # but delivered nothing.
+                    if dl_left is not None:
+                        dl_left[dst] -= 1
+                        if complete_graph and dl_left[dst] <= 0:
+                            self._avail_remove(dst)
+                    if self._credit is not None:
+                        credit_sends.append((src, dst))
+                    if self.keep_log:
+                        self.log.record_failure(self.tick, src, dst, block)
+                    failed += 1
+                    continue
                 state.receive(dst, block)
                 if state.masks[dst] == self._full:
                     self._pool_remove(dst)
@@ -252,6 +356,7 @@ class RandomizedEngine:
             for src, dst in credit_sends:
                 self._credit.note_send(src, dst)
         self.uploads_per_tick.append(transfers)
+        self.failures_per_tick.append(failed)
         return transfers
 
     def _pick_destination(
@@ -313,32 +418,37 @@ class RandomizedEngine:
 
     # -- whole run ---------------------------------------------------------------
 
-    def run(self, progress: Callable[[int, int], None] | None = None) -> RunResult:
-        """Run until every client completes or ``max_ticks`` elapse.
+    def _goal_reached(self) -> bool:
+        """Whether the run's success condition currently holds.
 
-        ``progress`` (optional) is called as ``progress(tick, transfers)``
-        after each tick.
+        Base case: every (present) client holds the file and no crashed
+        node is still scheduled to rejoin incomplete. Subclasses extend
+        (churn also waits out pending arrivals).
         """
-        state = self.state
-        deadlocked = False
-        while not state.all_complete and self.tick < self.max_ticks:
-            made = self._run_tick()
-            if progress is not None:
-                progress(self.tick, made)
-            if made == 0 and self._dynamic is None and not self.throttle:
-                # The destination search is exhaustive (bounded rejection
-                # sampling *plus* a full fallback scan), so a tick with zero
-                # transfers proves no legal transfer exists; with a static
-                # overlay the state can never change again. Permanent
-                # deadlock — the paper's "off the charts" barter runs.
-                # (Random throttling makes a silent tick non-conclusive, so
-                # throttled runs rely on max_ticks instead.)
-                deadlocked = True
-                break
+        return self.state.all_complete and (
+            self.faults is None or not self.faults.pending_rejoins()
+        )
 
-        completions: dict[int, int] = {}
-        if self.keep_log:
-            completions = self.log.completion_ticks(self.n, self.k)
+    def _zero_tick_conclusive(self) -> bool:
+        """Whether a tick with zero *attempts* proves permanent deadlock.
+
+        The destination search is exhaustive (bounded rejection sampling
+        *plus* a full fallback scan), so a tick with zero attempts proves
+        no legal transfer exists; with a static overlay the state can
+        never change again. Random throttling makes a silent tick
+        non-conclusive (a skipped uploader may act next tick), and under
+        fault injection the injector rules out the events that could
+        still change the state (rejoins, future crashes, a server outage
+        ending).
+        """
+        if self._dynamic is not None or self.throttle:
+            return False
+        return self.faults is None or self.faults.zero_attempt_conclusive(self.tick)
+
+    def _completions(self) -> dict[int, int]:
+        return self.log.completion_ticks(self.n, self.k)
+
+    def _result_meta(self) -> dict[str, object]:
         meta: dict[str, object] = {
             "algorithm": "randomized",
             "policy": self.policy.name,
@@ -346,12 +456,60 @@ class RandomizedEngine:
             "overlay": type(self.graph).__name__,
             "max_ticks": self.max_ticks,
             "uploads_per_tick": self.uploads_per_tick,
-            "deadlocked": deadlocked,
-            "final_holdings": [m.bit_count() for m in state.masks],
+            "final_holdings": [m.bit_count() for m in self.state.masks],
         }
         if self.selfish:
             meta["selfish"] = sorted(self.selfish)
-        completed = state.all_complete
+        return meta
+
+    def run(self, progress: Callable[[int, int], None] | None = None) -> RunResult:
+        """Run until every client completes or ``max_ticks`` elapse.
+
+        ``progress`` (optional) is called as ``progress(tick, transfers)``
+        after each tick. A run can also end on a proven deadlock (the
+        paper's "off the charts" barter runs) or, under fault injection,
+        on stall detection — see :attr:`~repro.core.log.RunResult.abort`.
+        """
+        inj = self.faults
+        deadlocked = False
+        abort: str | None = None
+        idle = 0
+        while self.tick < self.max_ticks and not self._goal_reached():
+            made = self._run_tick()
+            if progress is not None:
+                progress(self.tick, made)
+            if self._goal_reached():
+                # Checked *before* the deadlock guard: a tick can make
+                # zero transfers and still reach the goal (a departure at
+                # the start of the tick may remove the last incomplete
+                # client), and that must never read as a deadlock.
+                break
+            attempts = made if inj is None else made + self.failures_per_tick[-1]
+            if attempts == 0 and self._zero_tick_conclusive():
+                deadlocked = True
+                break
+            if inj is not None:
+                idle = idle + 1 if made == 0 else 0
+                if idle >= self._stall_window:
+                    # No delivery for a whole window: not provably
+                    # permanent (faults are stochastic), but hopeless
+                    # enough that the recovery policy gives up.
+                    abort = "stall"
+                    break
+
+        completed = self._goal_reached()
+        completions = self._completions() if self.keep_log else {}
+        meta = self._result_meta()
+        meta["deadlocked"] = deadlocked
+        if deadlocked:
+            abort = "deadlock"
+        meta["abort"] = None if completed else (abort or "max-ticks")
+        if inj is not None:
+            meta["faults"] = self.fault_plan.describe()
+            meta["failures_per_tick"] = self.failures_per_tick
+            meta["stall_window"] = self._stall_window
+            meta.update(inj.telemetry())
+            meta.update(inj.events())
         return RunResult(
             n=self.n,
             k=self.k,

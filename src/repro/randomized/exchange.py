@@ -11,6 +11,13 @@ exception to barter).
 
 This directly exposes the start-up bottleneck of Theorem 2: only clients
 already holding data can be matched, so the swarm warms up linearly.
+
+Fault injection (:mod:`repro.faults`) applies per *direction* of a swap:
+a lost direction consumes its bandwidth — and keeps the tick's pairing
+symmetric, so the strict-barter constraint still holds over the tick's
+attempts — but delivers nothing. Crashed clients leave the swarm (their
+copies vanish) and may rejoin with retained blocks; the server sits out
+its outage windows.
 """
 
 from __future__ import annotations
@@ -20,6 +27,9 @@ import random
 from ..core.log import RunResult, TransferLog
 from ..core.model import SERVER, BandwidthModel
 from ..core.state import SwarmState
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan
+from ..faults.recovery import RecoveryPolicy
 from ..overlays.graph import CompleteGraph, Graph
 from .engine import default_max_ticks
 from .policies import BlockPolicy, RandomPolicy
@@ -45,6 +55,8 @@ def randomized_exchange_run(
     model: BandwidthModel | None = None,
     rng: random.Random | int | None = None,
     max_ticks: int | None = None,
+    faults: FaultPlan | None = None,
+    recovery: RecoveryPolicy | None = None,
 ) -> RunResult:
     """Run randomized strict-barter exchange until completion or timeout.
 
@@ -53,10 +65,12 @@ def randomized_exchange_run(
     random unmatched neighbor with which a mutually useful swap exists,
     and the pair exchanges blocks chosen by ``policy`` in both directions.
 
-    Note that a strict-barter swarm can deadlock short of completion (two
-    clients missing only each other's... nothing: no client has anything
-    the other lacks, pairwise), in which case the run times out and
-    ``completion_time is None``.
+    A strict-barter swarm can deadlock short of completion (no pair has
+    mutual interest and the server cannot help); a zero-transfer tick
+    proves it — the partner scan is exhaustive — and the run aborts with
+    ``meta["deadlocked"] = True``. Under fault injection the proof needs
+    the injector's say-so (a rejoin or outage end could revive the
+    swarm), and a stall window aborts runs that merely stop progressing.
     """
     model = model or BandwidthModel.symmetric()
     rng = rng if isinstance(rng, random.Random) else random.Random(rng)
@@ -67,33 +81,80 @@ def randomized_exchange_run(
     log = TransferLog()
     limit = max_ticks or default_max_ticks(n, k)
 
-    while not state.all_complete and view.tick < limit:
+    recovery = recovery or RecoveryPolicy()
+    plan = faults if faults is not None and not faults.is_null else None
+    inj: FaultInjector | None = None
+    stall_window = 0
+    if plan is not None:
+        inj = FaultInjector(plan, random.Random(rng.getrandbits(63)))
+        stall_window = recovery.stall_window_for(plan)
+
+    # Judging only matters when loss/outage can fire; server sends are
+    # already benched during outage windows at the same tick granularity.
+    judge = inj.transfer_fails if inj is not None and inj.judges_links else None
+
+    absent: set[int] = set()
+    failures_per_tick: list[int] = []
+    deadlocked = False
+    abort: str | None = None
+    idle = 0
+
+    def goal_reached() -> bool:
+        return state.all_complete and (inj is None or not inj.pending_rejoins())
+
+    while view.tick < limit and not goal_reached():
         view.tick += 1
         tick = view.tick
+
+        if inj is not None and inj.tick_events_possible():
+            crashes, rejoins = inj.begin_tick(
+                tick, [v for v in range(1, n) if v not in absent]
+            )
+            for node, retained in rejoins:
+                absent.discard(node)
+                state.enroll(node)
+                if retained:
+                    state.seed(node, retained)
+            for node in crashes:
+                inj.note_crash(tick, node, state.masks[node])
+                absent.add(node)
+                state.retire(node)
+
         snapshot = state.begin_tick()
         matched: set[int] = set()
+        made = 0
+        failed = 0
 
         # Server seeding: one free block per tick to a random client that
         # is interested in the server's content (i.e. incomplete).
-        candidates = [
-            v
-            for v in graph.neighbors(SERVER)
-            if v != SERVER and snapshot[SERVER] & ~state.masks[v]
-        ]
         seeded = None
-        if candidates:
-            seeded = candidates[rng.randrange(len(candidates))]
-            block = policy.choose(
-                snapshot[SERVER] & ~state.masks[seeded], view, SERVER, seeded
-            )
-            state.receive(seeded, block)
-            log.record(tick, SERVER, seeded, block)
+        if inj is None or not inj.server_down(tick):
+            candidates = [
+                v
+                for v in graph.neighbors(SERVER)
+                if v != SERVER
+                and v not in absent
+                and snapshot[SERVER] & ~state.masks[v]
+            ]
+            if candidates:
+                seeded = candidates[rng.randrange(len(candidates))]
+                block = policy.choose(
+                    snapshot[SERVER] & ~state.masks[seeded], view, SERVER, seeded
+                )
+                if judge is not None and judge(tick, SERVER, seeded):
+                    log.record_failure(tick, SERVER, seeded, block)
+                    failed += 1
+                else:
+                    state.receive(seeded, block)
+                    log.record(tick, SERVER, seeded, block)
+                    made += 1
 
         # Pairwise matching of mutually interested clients. A node the
-        # server seeded this tick may only also barter if it has a second
-        # unit of download capacity.
+        # server seeded this tick (even if the seed was lost in transit —
+        # the slot is spent) may only also barter with a second unit of
+        # download capacity.
         seed_can_barter = model.unbounded_download or model.download >= 2
-        order = [v for v in range(1, n) if snapshot[v]]
+        order = [v for v in range(1, n) if snapshot[v] and v not in absent]
         rng.shuffle(order)
         for a in order:
             if a in matched or (a == seeded and not seed_can_barter):
@@ -103,6 +164,7 @@ def randomized_exchange_run(
                 for b in graph.neighbors(a)
                 if b != SERVER
                 and b not in matched
+                and b not in absent
                 and (b != seeded or seed_can_barter)
                 and snapshot[a] & ~state.masks[b]
                 and snapshot[b] & ~state.masks[a]
@@ -112,24 +174,62 @@ def randomized_exchange_run(
             b = partners[rng.randrange(len(partners))]
             block_ab = policy.choose(snapshot[a] & ~state.masks[b], view, a, b)
             block_ba = policy.choose(snapshot[b] & ~state.masks[a], view, b, a)
-            state.receive(b, block_ab)
-            state.receive(a, block_ba)
-            log.record(tick, a, b, block_ab)
-            log.record(tick, b, a, block_ba)
+            # Each direction is judged independently; the *attempts* stay
+            # paired, which is what strict barter constrains.
+            for src, dst, blk in ((a, b, block_ab), (b, a, block_ba)):
+                if judge is not None and judge(tick, src, dst):
+                    log.record_failure(tick, src, dst, blk)
+                    failed += 1
+                else:
+                    state.receive(dst, blk)
+                    log.record(tick, src, dst, blk)
+                    made += 1
             matched.add(a)
             matched.add(b)
 
-    completions = log.completion_ticks(n, k)
+        failures_per_tick.append(failed)
+        if goal_reached():
+            break
+        if made + failed == 0 and (inj is None or inj.zero_attempt_conclusive(tick)):
+            # The partner scan is exhaustive, so a tick without a single
+            # attempt proves no legal move exists; the state can never
+            # change again (and with faults, the injector just ruled out
+            # rejoins, crashes and outage ends).
+            deadlocked = True
+            break
+        if inj is not None:
+            idle = idle + 1 if made == 0 else 0
+            if idle >= stall_window:
+                abort = "stall"
+                break
+
+    completed = goal_reached()
+    if deadlocked:
+        abort = "deadlock"
+    completions = {
+        c: t
+        for c, t in log.completion_ticks(n, k).items()
+        if c not in absent
+    }
+    meta: dict[str, object] = {
+        "algorithm": "randomized-exchange",
+        "policy": policy.name,
+        "mechanism": "strict-barter",
+        "max_ticks": limit,
+        "deadlocked": deadlocked,
+        "abort": None if completed else (abort or "max-ticks"),
+    }
+    if inj is not None:
+        meta["faults"] = plan.describe()
+        meta["failures_per_tick"] = failures_per_tick
+        meta["stall_window"] = stall_window
+        meta.update(inj.telemetry())
+        meta.update(inj.events())
     return RunResult(
         n=n,
         k=k,
-        completion_time=view.tick if state.all_complete else None,
+        completion_time=view.tick if completed else None,
         client_completions=completions,
         log=log,
-        meta={
-            "algorithm": "randomized-exchange",
-            "policy": policy.name,
-            "mechanism": "strict-barter",
-            "max_ticks": limit,
-        },
+        meta=meta,
     )

@@ -86,6 +86,7 @@ def randomized_triangular_run(
         return snapshot[a] & ~state.masks[b]
 
     stalled = 0
+    stall_abort = False
     while not state.all_complete and view.tick < limit:
         view.tick += 1
         tick = view.tick
@@ -140,15 +141,17 @@ def randomized_triangular_run(
         if transfers_this_tick == 0:
             stalled += 1
             if stalled >= 8:  # matching is randomized; give it several shots
+                stall_abort = True
                 break
         else:
             stalled = 0
 
     completions = log.completion_ticks(n, k)
+    completed = state.all_complete
     return RunResult(
         n=n,
         k=k,
-        completion_time=view.tick if state.all_complete else None,
+        completion_time=view.tick if completed else None,
         client_completions=completions,
         log=log,
         meta={
@@ -157,6 +160,11 @@ def randomized_triangular_run(
             "mechanism": "triangular-barter",
             "allow_triangles": allow_triangles,
             "max_ticks": limit,
+            # Uniform run-outcome metadata: the sampled cycle search is
+            # not exhaustive, so a quiet stretch is a stall, never a
+            # *proven* deadlock.
+            "deadlocked": False,
+            "abort": None if completed else ("stall" if stall_abort else "max-ticks"),
         },
     )
 

@@ -1,0 +1,213 @@
+"""Adversarial property tests: arbitrary mutations of valid logs must be
+caught by the verifier with the *right* rule.
+
+:mod:`tests.core.test_metamorphic` checks a fixed catalogue of hand-built
+corruptions; here hypothesis drives the adversary, picking which transfer
+to mutate and how. Every mutation class maps to the rule the verifier
+must cite, so a regression that makes the verifier reject the right logs
+for the wrong reason also fails.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import execute_schedule
+from repro.core.errors import ScheduleViolation
+from repro.core.log import Transfer, TransferLog
+from repro.core.mechanisms import CreditLimitedBarter
+from repro.core.verify import verify_log
+from repro.randomized.barter import randomized_barter_run
+from repro.schedules.hypercube import hypercube_schedule
+
+N, K = 16, 8
+
+_GOOD = list(execute_schedule(hypercube_schedule(N, K)).log)
+
+
+def _rebuild(transfers):
+    return TransferLog(sorted(transfers, key=lambda t: t.tick))
+
+
+def _rule_of(call):
+    with pytest.raises(ScheduleViolation) as err:
+        call()
+    return err.value.rule
+
+
+class TestMutations:
+    @given(index=st.integers(0, len(_GOOD) - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_dropping_a_receipt_breaks_causality_or_completion(self, index):
+        # Removing one delivery either leaves a later transfer without its
+        # upstream block (causality) or, if nothing depended on it, leaves
+        # the receiver short at the end (completion).
+        mutated = _GOOD[:index] + _GOOD[index + 1 :]
+        rule = _rule_of(lambda: verify_log(_rebuild(mutated), N, K))
+        assert rule in ("causality", "completion")
+
+    @given(index=st.integers(0, len(_GOOD) - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_duplicating_a_delivery_is_redundant(self, index):
+        t = _GOOD[index]
+        dup = Transfer(t.tick + 1, t.src, t.dst, t.block)
+        rule = _rule_of(lambda: verify_log(_rebuild(_GOOD + [dup]), N, K))
+        # The receiver already holds the block on the later tick; if the
+        # duplicate also overbooks a link the capacity rule may fire first.
+        assert rule in ("usefulness", "upload-capacity", "download-capacity")
+
+    @given(
+        index=st.integers(0, len(_GOOD) - 1),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_hijacking_the_sender_breaks_causality(self, index, data):
+        # Redirect a transfer to come from a node that cannot hold the
+        # block yet: any client that never received it before this tick.
+        t = _GOOD[index]
+        held_before = {SRC for SRC in (0,)}  # server always holds
+        candidates = [
+            v
+            for v in range(1, N)
+            if v != t.dst
+            and not any(
+                g.dst == v and g.block == t.block and g.tick < t.tick
+                for g in _GOOD
+            )
+        ]
+        if not candidates:  # pragma: no cover - never for this schedule
+            return
+        bad_src = data.draw(st.sampled_from(candidates))
+        mutated = list(_GOOD)
+        mutated[index] = Transfer(t.tick, bad_src, t.dst, t.block)
+        rule = _rule_of(lambda: verify_log(_rebuild(mutated), N, K))
+        assert rule in (
+            "causality",
+            "self-transfer",
+            "upload-capacity",
+            "download-capacity",
+            # The original sender's delivery is gone, so a later hop that
+            # depended on *its receiver* may now be short at the end.
+            "completion",
+            "usefulness",
+        )
+
+    @given(
+        index=st.integers(0, len(_GOOD) - 1),
+        block=st.integers(K, K + 3),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_out_of_range_block(self, index, block):
+        t = _GOOD[index]
+        mutated = list(_GOOD)
+        mutated[index] = Transfer(t.tick, t.src, t.dst, block)
+        assert _rule_of(
+            lambda: verify_log(_rebuild(mutated), N, K)
+        ) == "block-range"
+
+    @given(
+        index=st.integers(0, len(_GOOD) - 1),
+        node=st.integers(N, N + 3),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_out_of_range_node(self, index, node):
+        t = _GOOD[index]
+        mutated = list(_GOOD)
+        mutated[index] = Transfer(t.tick, t.src, node, t.block)
+        assert _rule_of(
+            lambda: verify_log(_rebuild(mutated), N, K)
+        ) == "node-range"
+
+    @given(index=st.integers(0, len(_GOOD) - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_self_transfer(self, index):
+        t = _GOOD[index]
+        mutated = list(_GOOD)
+        mutated[index] = Transfer(t.tick, t.dst, t.dst, t.block)
+        assert _rule_of(
+            lambda: verify_log(_rebuild(mutated), N, K)
+        ) == "self-transfer"
+
+    @given(data=st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_overbooked_upload_capacity(self, data):
+        # Give one sender a second upload in a tick where it already
+        # uploads, of a block the new receiver genuinely lacks and the
+        # sender genuinely holds: only the capacity rule can object.
+        t = data.draw(st.sampled_from(_GOOD))
+        held = [0] * N
+        held[0] = (1 << K) - 1
+        receivers_block: list[tuple[int, int]] = []
+        for g in _GOOD:
+            if g.tick < t.tick:
+                held[g.dst] |= 1 << g.block
+        candidates = [
+            (v, b)
+            for v in range(1, N)
+            if v != t.src
+            for b in range(K)
+            if held[t.src] >> b & 1 or t.src == 0
+            if not held[v] >> b & 1
+            if not any(
+                g.tick == t.tick and (g.dst == v or (g.dst, g.block) == (v, b))
+                for g in _GOOD
+            )
+        ]
+        if not candidates:
+            return
+        dst, block = data.draw(st.sampled_from(candidates))
+        extra = Transfer(t.tick, t.src, dst, block)
+        rule = _rule_of(lambda: verify_log(_rebuild(_GOOD + [extra]), N, K))
+        assert rule == "upload-capacity"
+
+
+class TestMechanismMutations:
+    def _barter_log(self):
+        r = randomized_barter_run(12, 6, credit_limit=1, rng=5)
+        assert r.completed
+        return r
+
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_injected_free_ride_breaks_credit(self, data):
+        # Forge one extra client upload a -> b at a tick where a's net
+        # balance toward b already sits AT the limit s=1, of a block a
+        # verifiably holds: the only legal objections are the credit rule
+        # or a capacity rule the forged send happens to overbook first.
+        r = self._barter_log()
+        transfers = list(r.log)
+        held = [0] * 12
+        held[0] = (1 << 6) - 1
+        balance: dict[tuple[int, int], int] = {}
+        candidates: list[Transfer] = []
+        last_tick = transfers[-1].tick
+        for tick in range(1, last_tick + 1):
+            for (a, b), net in balance.items():
+                if net >= 1 and held[a]:
+                    block = next(
+                        blk for blk in range(6) if held[a] >> blk & 1
+                    )
+                    candidates.append(Transfer(tick, a, b, block))
+            for t in transfers:
+                if t.tick != tick:
+                    continue
+                held[t.dst] |= 1 << t.block
+                if t.src != 0 and t.dst != 0:
+                    balance[(t.src, t.dst)] = balance.get((t.src, t.dst), 0) + 1
+                    balance[(t.dst, t.src)] = balance.get((t.dst, t.src), 0) - 1
+        assert candidates, "no pair ever reached the credit limit"
+        forged = data.draw(st.sampled_from(candidates))
+        mutated = TransferLog(
+            sorted(transfers + [forged], key=lambda x: x.tick)
+        )
+        with pytest.raises(ScheduleViolation) as err:
+            verify_log(
+                mutated, 12, 6,
+                mechanism=CreditLimitedBarter(1),
+                require_completion=False,
+                allow_redundant=True,
+            )
+        assert err.value.rule in ("credit-limit", "upload-capacity",
+                                  "download-capacity")

@@ -31,6 +31,7 @@ class TestCli:
             "ablation-estimated-rarest", "ablation-rotation",
             "ext-multiserver", "ext-asynchrony", "ext-bittorrent",
             "ext-freerider", "ext-embedding", "ext-churn", "ext-triangular", "ext-coding", "ext-incentives",
+            "resilience",
         }
         assert set(EXPERIMENTS) == expected
 

@@ -40,6 +40,7 @@ class TestTaskCounts:
             "fig5": 36,
             "fig6": 28,
             "fig7": 28,
+            "resilience": 36,
         }
 
     def test_xl_task_counts(self):
@@ -50,6 +51,7 @@ class TestTaskCounts:
             "fig5": 96,
             "fig6": 72,
             "fig7": 72,
+            "resilience": 144,
         }
 
     def test_xl_offers_enough_parallel_width(self):

@@ -1,0 +1,266 @@
+"""Fault injection through the live engines, with verification round trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asynchronous import AsyncEngine, AsyncRandom
+from repro.core.errors import ConfigError
+from repro.core.verify import verify_log
+from repro.faults import FaultPlan, RecoveryPolicy
+from repro.randomized.barter import randomized_barter_run
+from repro.randomized.churn import churn_run
+from repro.randomized.cooperative import randomized_cooperative_run
+from repro.randomized.exchange import randomized_exchange_run
+
+pytestmark = pytest.mark.faults
+
+
+class TestZeroFaultIdentity:
+    """A null plan must leave every engine bit-identical to no plan."""
+
+    def test_randomized(self):
+        plain = randomized_cooperative_run(20, 10, rng=7)
+        nulled = randomized_cooperative_run(20, 10, rng=7, faults=FaultPlan())
+        assert plain.completion_time == nulled.completion_time
+        assert list(plain.log) == list(nulled.log)
+        assert nulled.log.failed_count == 0
+
+    def test_barter(self):
+        plain = randomized_barter_run(16, 8, credit_limit=2, rng=3)
+        nulled = randomized_barter_run(
+            16, 8, credit_limit=2, rng=3, faults=FaultPlan()
+        )
+        assert list(plain.log) == list(nulled.log)
+
+    def test_churn(self):
+        plain = churn_run(16, 8, departures={4: 6}, rng=5)
+        nulled = churn_run(16, 8, departures={4: 6}, rng=5, faults=FaultPlan())
+        assert plain.completion_time == nulled.completion_time
+        assert list(plain.log) == list(nulled.log)
+
+    def test_exchange(self):
+        plain = randomized_exchange_run(12, 6, rng=9)
+        nulled = randomized_exchange_run(12, 6, rng=9, faults=FaultPlan())
+        assert plain.completion_time == nulled.completion_time
+        assert list(plain.log) == list(nulled.log)
+
+    def test_async(self):
+        plain = AsyncEngine(10, 5, AsyncRandom(), rng=11).run()
+        nulled = AsyncEngine(
+            10, 5, AsyncRandom(), rng=11, faults=FaultPlan()
+        ).run()
+        assert plain.completion_time == nulled.completion_time
+        assert plain.transfers == nulled.transfers
+        assert nulled.failed_transfers == []
+
+    def test_rejoin_only_plan_is_null(self):
+        # rejoin parameters without a crash rate inject nothing.
+        plan = FaultPlan(rejoin_delay=9, rejoin_retention=0.9)
+        plain = randomized_cooperative_run(12, 6, rng=1)
+        nulled = randomized_cooperative_run(12, 6, rng=1, faults=plan)
+        assert list(plain.log) == list(nulled.log)
+
+
+class TestTransferLoss:
+    def test_lossy_run_completes_and_verifies(self):
+        plan = FaultPlan(loss_rate=0.2)
+        r = randomized_cooperative_run(20, 10, rng=2, faults=plan)
+        assert r.completed
+        assert r.log.failed_count > 0
+        report = verify_log(r.log, 20, 10)
+        assert report.failed_transfers == r.log.failed_count
+        assert report.wasted_upload_fraction > 0
+
+    def test_loss_costs_time(self):
+        base = randomized_cooperative_run(24, 12, rng=4)
+        lossy = randomized_cooperative_run(
+            24, 12, rng=4, faults=FaultPlan(loss_rate=0.4)
+        )
+        assert lossy.completed
+        assert lossy.completion_time > base.completion_time
+
+    def test_failed_transfer_consumes_barter_credit(self):
+        # With s=1 every client-to-client pair alternates; a failed send
+        # still charges the ledger, so verification (which also charges
+        # failures) must accept the log exactly as recorded.
+        from repro.core.mechanisms import CreditLimitedBarter
+
+        plan = FaultPlan(loss_rate=0.25)
+        r = randomized_barter_run(16, 8, credit_limit=1, rng=6, faults=plan)
+        assert r.completed
+        verify_log(
+            r.log, 16, 8, mechanism=CreditLimitedBarter(1),
+            crash_events=r.meta.get("crash_events"),
+            rejoin_events=r.meta.get("rejoin_events"),
+        )
+
+    def test_exchange_direction_loss_keeps_pairing(self):
+        from repro.core.mechanisms import StrictBarter
+
+        plan = FaultPlan(loss_rate=0.3)
+        r = randomized_exchange_run(14, 7, rng=8, faults=plan)
+        assert r.log.failed_count > 0
+        # Strict barter judges the tick's *attempts*; the verifier feeds
+        # deliveries + failures, which stay pairwise symmetric.
+        verify_log(
+            r.log, 14, 7, mechanism=StrictBarter(),
+            require_completion=r.completed,
+        )
+
+    def test_failures_recorded_in_meta(self):
+        plan = FaultPlan(loss_rate=0.2)
+        r = randomized_cooperative_run(16, 8, rng=10, faults=plan)
+        assert r.meta["failed_transfers"] == r.log.failed_count
+        assert r.meta["fault_attempts"] >= r.meta["failed_transfers"]
+        assert sum(r.meta["failures_per_tick"]) == r.log.failed_count
+        assert r.meta["faults"] == {"loss_rate": 0.2}
+
+
+class TestCrashes:
+    def test_crash_rejoin_verifies_with_events(self):
+        plan = FaultPlan(
+            crash_rate=0.02, rejoin_delay=4, rejoin_retention=0.5,
+            max_crashes=5,
+        )
+        r = randomized_cooperative_run(20, 10, rng=12, faults=plan)
+        assert r.meta["crashes"] > 0
+        report = verify_log(
+            r.log, 20, 10,
+            require_completion=r.completed,
+            crash_events=r.meta.get("crash_events"),
+            rejoin_events=r.meta.get("rejoin_events"),
+        )
+        assert report.all_complete == r.completed
+
+    def test_fail_stop_excuses_gone_nodes(self):
+        plan = FaultPlan(crash_rate=0.05, rejoin_delay=0, max_crashes=3)
+        r = randomized_cooperative_run(16, 8, rng=13, faults=plan)
+        assert r.meta["crashes"] > 0
+        assert r.completed  # survivors finish; the dead are excused
+        verify_log(
+            r.log, 16, 8,
+            crash_events=r.meta.get("crash_events"),
+            rejoin_events=r.meta.get("rejoin_events"),
+        )
+        for _, node in r.meta["crash_events"]:
+            assert node not in r.client_completions
+
+    def test_crash_events_required_for_strict_verification(self):
+        # Without the event history the verifier believes re-deliveries
+        # are redundant: dropping the events must raise.
+        from repro.core.errors import ScheduleViolation
+
+        plan = FaultPlan(
+            crash_rate=0.03, rejoin_delay=3, rejoin_retention=0.0,
+            max_crashes=4,
+        )
+        r = None
+        for seed in range(40):
+            cand = randomized_cooperative_run(20, 10, rng=seed, faults=plan)
+            crashed = {node for _, node in cand.meta.get("crash_events", ())}
+            redelivered = any(
+                t.dst in crashed for t in cand.log
+            ) and cand.meta.get("rejoin_events")
+            if cand.completed and redelivered:
+                r = cand
+                break
+        assert r is not None, "no seed produced a crash-rejoin re-delivery"
+        verify_log(
+            r.log, 20, 10,
+            crash_events=r.meta["crash_events"],
+            rejoin_events=r.meta["rejoin_events"],
+        )
+        with pytest.raises(ScheduleViolation):
+            verify_log(r.log, 20, 10)
+
+    def test_exchange_crashes(self):
+        plan = FaultPlan(
+            crash_rate=0.01, rejoin_delay=5, rejoin_retention=0.25,
+            max_crashes=4,
+        )
+        r = randomized_exchange_run(16, 8, rng=14, faults=plan, max_ticks=2000)
+        verify_log(
+            r.log, 16, 8,
+            require_completion=r.completed,
+            crash_events=r.meta.get("crash_events"),
+            rejoin_events=r.meta.get("rejoin_events"),
+        )
+
+    def test_async_rejects_crash_plans(self):
+        with pytest.raises(ConfigError):
+            AsyncEngine(
+                8, 4, AsyncRandom(), faults=FaultPlan(crash_rate=0.1)
+            )
+
+
+class TestServerOutages:
+    def test_randomized_server_sits_out_window(self):
+        plan = FaultPlan(server_outages=((1, 5),))
+        r = randomized_cooperative_run(12, 6, rng=15, faults=plan)
+        assert r.completed
+        for t in r.log:
+            assert t.src != 0 or t.tick > 5
+        verify_log(r.log, 12, 6)
+
+    def test_async_server_idles_in_window(self):
+        # Outage windows are judged at transfer *start* time.
+        plan = FaultPlan(server_outages=((1, 3),))
+        r = AsyncEngine(8, 4, AsyncRandom(), rng=16, faults=plan).run()
+        assert r.completed
+        for t in r.transfers + r.failed_transfers:
+            assert t.src != 0 or not 1 <= t.start <= 3
+
+
+class TestAbortMetadata:
+    """Every engine reports the uniform deadlock/abort vocabulary."""
+
+    def test_completed_runs_have_no_abort(self):
+        r = randomized_cooperative_run(12, 6, rng=0)
+        assert r.abort is None
+        assert not r.deadlocked
+
+    def test_max_ticks_abort(self):
+        r = randomized_cooperative_run(24, 12, rng=0, max_ticks=3)
+        assert not r.completed
+        assert r.abort == "max-ticks"
+        assert not r.deadlocked
+
+    def test_exchange_conclusive_deadlock(self):
+        # Client 3 is disconnected from everyone: it can never receive a
+        # block, and once clients 1-2 finish no attempt is possible. The
+        # exchange engine must prove the deadlock instead of spinning to
+        # max_ticks.
+        from repro.overlays.graph import ExplicitGraph
+
+        g = ExplicitGraph(4, edges=[(0, 1), (0, 2), (1, 2)])
+        r = randomized_exchange_run(4, 2, overlay=g, rng=1, max_ticks=10_000)
+        assert not r.completed
+        assert r.deadlocked
+        assert r.abort == "deadlock"
+        assert r.meta["max_ticks"] == 10_000
+        # The connected clients did finish before the verdict.
+        assert set(r.client_completions) == {1, 2}
+
+    def test_stall_abort_under_faults(self):
+        # A permanent server outage with strict barter and nothing seeded:
+        # no attempt can ever be made, but the injector cannot prove it
+        # (the window might end after max_ticks) — stall detection fires.
+        plan = FaultPlan(server_outages=((1, 10**6),))
+        r = randomized_exchange_run(
+            8, 4, rng=2, faults=plan,
+            recovery=RecoveryPolicy(stall_window=20), max_ticks=5000,
+        )
+        assert not r.completed
+        assert r.abort == "stall"
+        assert not r.deadlocked
+
+    def test_randomized_stall_abort(self):
+        plan = FaultPlan(server_outages=((1, 10**6),))
+        r = randomized_cooperative_run(
+            8, 4, rng=3, faults=plan,
+            recovery=RecoveryPolicy(stall_window=20), max_ticks=5000,
+        )
+        assert not r.completed
+        assert r.abort == "stall"
+        assert r.meta["stall_window"] == 20

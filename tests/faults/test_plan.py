@@ -1,0 +1,76 @@
+"""Tests for FaultPlan validation and normalisation."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.faults import FaultPlan
+
+pytestmark = pytest.mark.faults
+
+
+class TestValidation:
+    def test_default_plan_is_null(self):
+        assert FaultPlan().is_null
+
+    @pytest.mark.parametrize("field", ["loss_rate", "outage_rate", "crash_rate"])
+    @pytest.mark.parametrize("value", [-0.1, 1.0, 1.5])
+    def test_rates_must_be_probabilities(self, field, value):
+        with pytest.raises(ConfigError):
+            FaultPlan(**{field: value})
+
+    def test_retention_bounds(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(rejoin_retention=-0.01)
+        with pytest.raises(ConfigError):
+            FaultPlan(rejoin_retention=1.01)
+        # 1.0 is legal: a rejoiner may keep everything.
+        FaultPlan(crash_rate=0.1, rejoin_delay=1, rejoin_retention=1.0)
+
+    def test_outage_needs_duration(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(outage_rate=0.1, outage_duration=0)
+        with pytest.raises(ConfigError):
+            FaultPlan(outage_duration=-1)
+
+    def test_negative_rejoin_delay_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(rejoin_delay=-1)
+
+    def test_bad_server_windows_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(server_outages=((0, 5),))
+        with pytest.raises(ConfigError):
+            FaultPlan(server_outages=((7, 3),))
+
+    def test_negative_max_crashes_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(max_crashes=-1)
+
+
+class TestNormalisation:
+    def test_windows_normalised_from_lists(self):
+        plan = FaultPlan(server_outages=[[3, 7], (10, 12)])
+        assert plan.server_outages == ((3, 7), (10, 12))
+        assert hash(plan) == hash(FaultPlan(server_outages=((3, 7), (10, 12))))
+
+    def test_null_detection(self):
+        assert FaultPlan(rejoin_delay=5, rejoin_retention=0.5).is_null
+        assert not FaultPlan(loss_rate=0.01).is_null
+        assert not FaultPlan(outage_rate=0.01, outage_duration=2).is_null
+        assert not FaultPlan(crash_rate=0.01).is_null
+        assert not FaultPlan(server_outages=((1, 2),)).is_null
+
+    def test_picklable_and_hashable(self):
+        plan = FaultPlan(loss_rate=0.2, crash_rate=0.01, rejoin_delay=4)
+        assert pickle.loads(pickle.dumps(plan)) == plan
+        assert plan in {plan}
+
+    def test_describe_lists_non_defaults_only(self):
+        plan = FaultPlan(loss_rate=0.1, server_outages=((2, 4),))
+        desc = plan.describe()
+        assert desc == {"loss_rate": 0.1, "server_outages": [[2, 4]]}
+        assert FaultPlan().describe() == {}

@@ -1,0 +1,63 @@
+"""Serde round-trips for fault-carrying logs and results."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.serde import log_from_dict, log_to_dict, result_to_dict
+from repro.core.verify import verify_log
+from repro.faults import FaultPlan
+from repro.randomized.cooperative import randomized_cooperative_run
+
+pytestmark = pytest.mark.faults
+
+
+class TestLogFormats:
+    def test_fault_free_log_stays_v1(self):
+        r = randomized_cooperative_run(10, 5, rng=0)
+        doc = log_to_dict(r.log, 10, 5)
+        assert doc["format"] == "repro/log/v1"
+        assert "failures" not in doc
+
+    def test_failure_log_round_trips_as_v2(self):
+        r = randomized_cooperative_run(
+            16, 8, rng=1, faults=FaultPlan(loss_rate=0.3)
+        )
+        assert r.log.failed_count > 0
+        doc = json.loads(json.dumps(log_to_dict(r.log, 16, 8)))
+        assert doc["format"] == "repro/log/v2"
+        log, n, k = log_from_dict(doc)
+        assert (n, k) == (16, 8)
+        assert list(log) == list(r.log)
+        assert log.failures == r.log.failures
+
+    def test_loaded_log_reverifies(self):
+        r = randomized_cooperative_run(
+            16, 8, rng=2, faults=FaultPlan(loss_rate=0.25)
+        )
+        log, n, k = log_from_dict(log_to_dict(r.log, 16, 8))
+        report = verify_log(log, n, k, require_completion=r.completed)
+        assert report.failed_transfers == r.log.failed_count
+
+    def test_result_meta_keeps_fault_events(self):
+        plan = FaultPlan(
+            crash_rate=0.05, rejoin_delay=3, rejoin_retention=0.5,
+            max_crashes=3,
+        )
+        r = randomized_cooperative_run(16, 8, rng=3, faults=plan)
+        assert r.meta["crashes"] > 0
+        doc = json.loads(json.dumps(result_to_dict(r)))
+        # Events survive as nested int rows, so a loaded result can be
+        # strictly verified.
+        assert doc["meta"]["crash_events"] == [
+            list(e) for e in r.meta["crash_events"]
+        ]
+        log, n, k = log_from_dict(doc["log"])
+        verify_log(
+            log, n, k,
+            require_completion=r.completed,
+            crash_events=doc["meta"]["crash_events"],
+            rejoin_events=doc["meta"].get("rejoin_events"),
+        )

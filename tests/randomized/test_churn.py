@@ -120,3 +120,71 @@ class TestChurnInteractions:
         churned = churn_run(16, 8, rng=11)
         assert plain.completion_time == churned.completion_time
         assert list(plain.log) == list(churned.log)
+
+
+class TestStallTickDepartures:
+    """Regression: a departure at the start of a zero-transfer tick used
+    to read as a deadlock even though it completed the run.
+
+    Client 2 is unreachable (no overlay edges), so the first tick after
+    client 1 finishes has zero attempts. If client 2's scheduled
+    departure lands exactly on that tick, the run IS complete — the goal
+    must be checked before the deadlock guard."""
+
+    def _overlay(self):
+        from repro.overlays.graph import ExplicitGraph
+
+        return ExplicitGraph(3, edges=[(0, 1)])
+
+    def test_departure_at_stall_tick_completes(self):
+        # Client 1 completes at tick k=2 (it is the server's only
+        # neighbor); tick 3 is the first zero-attempt tick.
+        r = churn_run(3, 2, departures={2: 3}, overlay=self._overlay(), rng=0)
+        assert r.completed
+        assert not r.deadlocked
+        assert r.abort is None
+        assert 2 not in r.client_completions
+
+    def test_departure_after_stall_tick_defers_the_verdict(self):
+        # With the departure one tick later, the zero-attempt tick 3 must
+        # not be called conclusive either: the scheduled departure will
+        # shrink the goal, so the engine waits and completes at tick 4.
+        r = churn_run(3, 2, departures={2: 4}, overlay=self._overlay(), rng=0)
+        assert r.completed
+        assert not r.deadlocked
+        assert r.completion_time == 4
+        assert 2 not in r.client_completions
+
+    def test_unreachable_client_without_churn_deadlocks(self):
+        r = churn_run(3, 2, overlay=self._overlay(), rng=0)
+        assert not r.completed
+        assert r.deadlocked
+
+    def test_arrival_exactly_at_stall_tick_revives_the_swarm(self):
+        # A client arriving on the very tick the swarm would otherwise
+        # stall must be enrolled before the deadlock verdict: here client
+        # 2 is server-reachable and arrives at tick 3 (the first
+        # zero-attempt tick of the 2-client swarm), so the run completes.
+        from repro.overlays.graph import ExplicitGraph
+
+        g = ExplicitGraph(3, edges=[(0, 1), (0, 2)])
+        r = churn_run(3, 2, arrivals={2: 3}, overlay=g, rng=0)
+        assert r.completed
+        assert not r.deadlocked
+        assert r.client_completions[2] >= 3
+
+    def test_pending_arrival_defers_the_verdict(self):
+        # The same stalled swarm with an arrival still pending must not
+        # call the stall conclusive; client 2's arrival (even though it
+        # can never download) keeps the goal open until it happens.
+        engine = ChurnEngine(
+            3, 2, arrivals={2: 6}, overlay=self._overlay(), rng=0,
+            max_ticks=50,
+        )
+        r = engine.run()
+        assert not r.completed
+        assert r.deadlocked
+        # The verdict comes at-or-after the arrival tick, not during the
+        # pre-arrival stall (ticks 3-5 are also zero-attempt).
+        assert engine.tick >= 6
+        assert r.log.last_tick <= 2  # no transfers ever reach client 2
