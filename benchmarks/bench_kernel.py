@@ -1,0 +1,194 @@
+"""Kernel-overhead benchmark: the shared tick loop vs the pre-refactor one.
+
+The :mod:`repro.sim` kernel replaced six hand-inlined tick loops; the one
+that mattered for wall-clock is the randomized engine's complete-graph
+fast path (the paper's n = 10,000 run lives on it). ``_LegacyLoop`` below
+is a frozen copy of that pre-refactor hot loop — cooperative mechanism,
+complete graph, ``keep_log=False``, no faults: exactly the configuration
+of the big figure sweeps — kept draw-for-draw RNG-compatible with the
+kernel so both sides simulate the *identical* run.
+
+``test_kernel_overhead_within_10pct`` is the acceptance gate: per-tick
+kernel time at n=1000, k=1000 must stay within 10% of the legacy loop.
+The two ``benchmark`` variants record absolute per-tick numbers for
+trend tracking.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.core.model import SERVER, BandwidthModel
+from repro.core.state import SwarmState
+from repro.randomized.engine import RandomizedEngine
+from repro.randomized.policies import RandomPolicy
+
+N, K = 1000, 1000
+TICKS = 60  # steady-state warm phase of the ~1070-tick full run
+_REJECTION_TRIES = 12
+
+
+class _LegacyLoop:
+    """Pre-refactor ``RandomizedEngine._run_tick``, stripped to the
+    complete-graph cooperative fast path (no faults / selfish / throttle /
+    credit / log — all were no-ops in the benchmarked configuration, and
+    their guard checks are kept so the baseline pays the same branches)."""
+
+    def __init__(self, n: int, k: int, rng: int) -> None:
+        self.n, self.k = n, k
+        self.model = BandwidthModel.symmetric()
+        self.state = SwarmState(n, k)
+        self.rng = random.Random(rng)
+        self.policy = RandomPolicy()
+        self.tick = 0
+        self._full = (1 << k) - 1
+        self._pool = list(range(1, n))
+        self._pool_pos = {v: i for i, v in enumerate(self._pool)}
+        self._avail: list[int] = []
+        self._avail_pos: dict[int, int] = {}
+        self._common = 0
+
+    def _pool_remove(self, v: int) -> None:
+        pos = self._pool_pos.pop(v, None)
+        if pos is None:
+            return
+        last = self._pool.pop()
+        if last != v:
+            self._pool[pos] = last
+            self._pool_pos[last] = pos
+
+    def _avail_remove(self, v: int) -> None:
+        pos = self._avail_pos.pop(v, None)
+        if pos is None:
+            return
+        last = self._avail.pop()
+        if last != v:
+            self._avail[pos] = last
+            self._avail_pos[last] = pos
+
+    def _run_tick(self) -> int:
+        self.tick += 1
+        state = self.state
+        snapshot = state.begin_tick()
+        masks = state.masks
+        rng = self.rng
+        download_cap = self.model.download
+        dl_left = [download_cap] * self.n if download_cap is not None else None
+        self._avail = list(self._pool)
+        self._avail_pos = {v: i for i, v in enumerate(self._avail)}
+
+        uploaders = [v for v in range(1, self.n) if snapshot[v]]
+        uploaders.append(SERVER)
+        rng.shuffle(uploaders)
+
+        common = -1
+        for v in self._pool:
+            common &= snapshot[v]
+            if common == 0:
+                break
+        self._common = common
+
+        transfers = 0
+        for src in uploaders:
+            rounds = self.model.server_upload if src == SERVER else 1
+            for _ in range(rounds):
+                dst = self._pick_destination(src, snapshot, masks, dl_left)
+                if dst is None:
+                    break
+                useful = snapshot[src] & ~masks[dst]
+                block = self.policy.choose(useful, self, src, dst)
+                state.receive(dst, block)
+                if state.masks[dst] == self._full:
+                    self._pool_remove(dst)
+                    self._avail_remove(dst)
+                if dl_left is not None:
+                    dl_left[dst] -= 1
+                    if dl_left[dst] <= 0:
+                        self._avail_remove(dst)
+                transfers += 1
+        return transfers
+
+    def _pick_destination(self, src, snapshot, masks, dl_left):
+        have = snapshot[src]
+        rng = self.rng
+        candidates_pool = self._avail
+        if have & ~self._common == 0:
+            return None
+        size = len(candidates_pool)
+        if size == 0:
+            return None
+        for _ in range(min(_REJECTION_TRIES, size)):
+            v = candidates_pool[rng.randrange(size)]
+            if v != src and (dl_left is None or dl_left[v] > 0) and have & ~masks[v]:
+                return v
+        candidates = [
+            v
+            for v in candidates_pool
+            if v != src and (dl_left is None or dl_left[v] > 0) and have & ~masks[v]
+        ]
+        if not candidates:
+            return None
+        return candidates[rng.randrange(len(candidates))]
+
+
+def _run_legacy(ticks: int = TICKS, rng: int = 1):
+    loop = _LegacyLoop(N, K, rng=rng)
+    for _ in range(ticks):
+        loop._run_tick()
+    return loop
+
+
+def _run_kernel(ticks: int = TICKS, rng: int = 1):
+    engine = RandomizedEngine(N, K, rng=rng, keep_log=False)
+    for _ in range(ticks):
+        engine.kernel.step()
+    return engine
+
+
+def test_legacy_and_kernel_simulate_the_same_run():
+    """The baseline is only meaningful if it is draw-for-draw identical."""
+    legacy = _run_legacy(ticks=30)
+    engine = _run_kernel(ticks=30)
+    assert legacy.state.masks == engine.state.masks
+    assert legacy.rng.random() == engine.kernel.rng.random()
+
+
+def test_kernel_tick_n1000(benchmark):
+    engine = benchmark.pedantic(_run_kernel, rounds=1, iterations=1)
+    assert engine.kernel.tick == TICKS
+
+
+def test_legacy_tick_n1000(benchmark):
+    loop = benchmark.pedantic(_run_legacy, rounds=1, iterations=1)
+    assert loop.tick == TICKS
+
+
+@pytest.mark.slow
+def test_kernel_overhead_within_10pct():
+    """Acceptance gate: per-tick kernel overhead <= 10% over the frozen
+    pre-refactor hot loop at n=1000, k=1000 (best of 3, same seeds)."""
+
+    def best_of(fn, reps=3):
+        best = float("inf")
+        for _ in range(reps):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    _run_kernel(ticks=5)  # warm imports and allocator before timing
+    legacy = best_of(_run_legacy)
+    kernel = best_of(_run_kernel)
+    per_tick_ms = kernel / TICKS * 1000
+    print(
+        f"\nlegacy {legacy / TICKS * 1000:.2f} ms/tick, "
+        f"kernel {per_tick_ms:.2f} ms/tick, "
+        f"ratio {kernel / legacy:.3f}"
+    )
+    assert kernel <= legacy * 1.10, (
+        f"kernel tick loop is {kernel / legacy:.2%} of the legacy hot path "
+        f"(budget 110%)"
+    )

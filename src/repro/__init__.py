@@ -13,6 +13,9 @@ clients under the paper's tick-synchronous bandwidth model, and provides:
 * :mod:`repro.schedules` — the deterministic algorithms and closed-form
   bounds (pipeline, multicast, binomial pipeline and its hypercube
   embedding, riffle pipeline, lower bounds);
+* :mod:`repro.sim` — the shared tick-simulation kernel every swarm engine
+  runs on, and the engine registry (``run_engine("randomized", n, k)``)
+  that constructs any engine by name with uniform kernel options;
 * :mod:`repro.randomized` — the paper's randomized algorithms on arbitrary
   overlays with Random / Rarest-First block selection, cooperative and
   credit-limited, plus strict-barter exchange matching;
@@ -89,10 +92,12 @@ from .schedules import (
     riffle_pipeline_schedule,
     strict_barter_lower_bound,
 )
+from .sim import ENGINES, create_engine, engine_names, run_engine
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ENGINES",
     "SERVER",
     "BandwidthModel",
     "BlockPolicy",
@@ -127,7 +132,9 @@ __all__ = [
     "complete_graph",
     "configured",
     "cooperative_lower_bound",
+    "create_engine",
     "dary_tree",
+    "engine_names",
     "execute_schedule",
     "hypercube",
     "hypercube_schedule",
@@ -137,6 +144,7 @@ __all__ = [
     "randomized_barter_run",
     "randomized_cooperative_run",
     "riffle_pipeline_schedule",
+    "run_engine",
     "strict_barter_lower_bound",
     "verify_log",
     "__version__",

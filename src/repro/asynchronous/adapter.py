@@ -1,0 +1,116 @@
+"""Registry adapter: the continuous-time engine behind the tick-engine API.
+
+The :data:`~repro.sim.registry.ENGINES` registry promises one option
+surface — ``rng``, ``max_ticks``, ``keep_log``, ``faults``, ``recovery``,
+a ``progress`` callback — and a :class:`~repro.core.log.RunResult` with
+the uniform abort verdict. :class:`AsyncRunAdapter` wraps
+:class:`~repro.asynchronous.engine.AsyncEngine` in exactly that contract:
+``max_ticks`` bounds simulated time, continuous transfer times are
+quantised to the unit-time window ``(t - 1, t]`` they end in (with the
+default homogeneous unit rates transfers end on integer times, so the
+quantisation is exact), and the early "everyone idle for many phase
+hops" exit surfaces as ``abort = "stall"``.
+
+The underlying engine already carries transfer loss, link outages and
+server outage windows and rejects crash plans with ``ConfigError`` —
+``fault_support = "links"``, matching the registry entry.
+"""
+
+from __future__ import annotations
+
+import random
+from math import ceil
+from typing import Callable, Sequence
+
+from ..core.log import RunResult, Transfer, TransferLog
+from ..faults.plan import FaultPlan
+from ..faults.recovery import RecoveryPolicy
+from ..overlays.graph import Graph
+from .engine import AsyncEngine, AsyncStrategy
+from .strategies import AsyncRandom
+
+__all__ = ["AsyncRunAdapter"]
+
+
+def _quantize(end: float) -> int:
+    """Tick of the unit-time window ``(t - 1, t]`` a transfer ends in."""
+    return max(1, ceil(end - 1e-9))
+
+
+class AsyncRunAdapter:
+    """Run :class:`AsyncEngine` with kernel-style options; see module
+    docstring.
+
+    Parameters mirror the tick engines; ``strategy`` defaults to
+    :class:`~repro.asynchronous.strategies.AsyncRandom` (the asynchronous
+    analogue of the randomized cooperative algorithm), restricted to
+    ``overlay`` when one is given. ``recovery`` is accepted for interface
+    uniformity; stall detection is the engine's own phase-hop budget.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        overlay: Graph | None = None,
+        strategy: AsyncStrategy | None = None,
+        rng: random.Random | int | None = None,
+        max_ticks: int | None = None,
+        keep_log: bool = True,
+        faults: FaultPlan | None = None,
+        recovery: RecoveryPolicy | None = None,
+        upload_rates: Sequence[float] | None = None,
+        download_rates: Sequence[float] | None = None,
+        parallel_downloads: int = 1,
+    ) -> None:
+        self.n, self.k = n, k
+        self.keep_log = keep_log
+        self.engine = AsyncEngine(
+            n,
+            k,
+            strategy if strategy is not None else AsyncRandom(overlay),
+            upload_rates=upload_rates,
+            download_rates=download_rates,
+            parallel_downloads=parallel_downloads,
+            rng=rng,
+            max_time=float(max_ticks) if max_ticks is not None else None,
+            faults=faults,
+        )
+
+    def run(self, progress: Callable[[int, int], None] | None = None) -> RunResult:
+        engine = self.engine
+        result = engine.run(progress)
+        completed = result.completed
+
+        log = TransferLog()
+        if self.keep_log:
+            for t in result.transfers:
+                log.append(Transfer(_quantize(t.end), t.src, t.dst, t.block))
+            for t in result.failed_transfers:
+                log.append_failure(Transfer(_quantize(t.end), t.src, t.dst, t.block))
+
+        if completed:
+            abort = None
+        elif engine.now > engine.max_time:
+            abort = "max-ticks"
+        else:
+            abort = "stall"  # phase-hop budget exhausted with everyone idle
+        meta: dict[str, object] = {
+            "algorithm": "async",
+            "mechanism": "cooperative",
+            "max_ticks": int(ceil(engine.max_time)),
+            "completion_time_continuous": result.completion_time,
+            "deadlocked": False,
+            "abort": abort,
+        }
+        meta.update(result.meta)
+        return RunResult(
+            n=self.n,
+            k=self.k,
+            completion_time=_quantize(engine.now) if completed else None,
+            client_completions={
+                c: _quantize(t) for c, t in result.client_completions.items()
+            },
+            log=log,
+            meta=meta,
+        )

@@ -27,7 +27,7 @@ import random
 from math import floor as math_floor
 from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import NamedTuple, Protocol
+from typing import Callable, NamedTuple, Protocol
 
 from ..core.errors import ConfigError
 from ..core.model import SERVER
@@ -260,10 +260,20 @@ class AsyncEngine:
         assert best is not None
         return best
 
-    def run(self) -> AsyncRunResult:
-        """Simulate until every client completes or ``max_time`` passes."""
+    def run(
+        self, progress: Callable[[int, int], None] | None = None
+    ) -> AsyncRunResult:
+        """Simulate until every client completes or ``max_time`` passes.
+
+        ``progress`` (optional) is called as ``progress(t, deliveries)``
+        once per unit-time window ``(t - 1, t]`` as the clock passes it —
+        the continuous-time analogue of the tick engines' per-tick
+        callback (with unit rates the windows *are* the ticks).
+        """
         completions: dict[int, float] = {}
         silent_skips = 0
+        window = 1
+        window_count = 0
         for v in range(self.n):
             if not self._try_start(v):
                 self._idle.add(v)
@@ -287,6 +297,11 @@ class AsyncEngine:
             silent_skips = 0
             end, _, transfer = heapq.heappop(self._events)
             self.now = end
+            if progress is not None:
+                while end > window + 1e-9:
+                    progress(window, window_count)
+                    window += 1
+                    window_count = 0
             src, dst, block = transfer.src, transfer.dst, transfer.block
             self._uplink_busy[src] = False
             self._downlink_busy[dst] -= 1
@@ -298,6 +313,7 @@ class AsyncEngine:
             else:
                 self.masks[dst] |= 1 << block
                 self.transfers.append(transfer)
+                window_count += 1
                 if dst != SERVER and self.masks[dst] == self._full:
                     self._incomplete.discard(dst)
                     completions[dst] = end
@@ -309,6 +325,9 @@ class AsyncEngine:
             for node in list(self._idle):
                 if self._try_start(node):
                     self._idle.discard(node)
+
+        if progress is not None and window_count:
+            progress(window, window_count)
 
         done = not self._incomplete
         meta: dict[str, object] = {

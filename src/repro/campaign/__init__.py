@@ -13,6 +13,9 @@ The execution subsystem behind every sweep, figure and benchmark:
   :class:`ResultCache` keyed by experiment / run-factory fingerprint /
   point / seed / code-version, so warm re-runs execute zero tasks and
   interrupted runs resume;
+* :mod:`repro.campaign.factories` — :class:`EngineRun`, the generic
+  picklable run factory that constructs :mod:`repro.sim` registry
+  engines by name;
 * :mod:`repro.campaign.telemetry` — :class:`CampaignStats` progress
   counters (tasks/sec, ETA) delivered through a callback hook;
 * :mod:`repro.campaign.context` — ambient :func:`configured` executor /
@@ -37,6 +40,7 @@ from .cache import (
 )
 from .context import CampaignConfig, configured, current_config
 from .executors import Executor, ParallelExecutor, SerialExecutor
+from .factories import EngineRun
 from .model import Campaign, CampaignError, Job, TaskOutcome, derive_seed
 from .telemetry import CampaignStats, ConsoleProgress
 
@@ -47,6 +51,7 @@ __all__ = [
     "CampaignError",
     "CampaignStats",
     "ConsoleProgress",
+    "EngineRun",
     "Executor",
     "Job",
     "ParallelExecutor",

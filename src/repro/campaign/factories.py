@@ -1,0 +1,54 @@
+"""Generic campaign run factories built on the engine registry.
+
+A sweep needs a picklable ``fn(point, seed) -> RunResult`` (see
+:class:`~repro.campaign.model.Job`); before the :mod:`repro.sim`
+registry, every experiment hand-wrote one frozen dataclass per engine.
+:class:`EngineRun` is the generic form: the engine is named, fixed
+options are baked into the (cache-fingerprinted, picklable) factory, and
+mapping-shaped sweep points contribute per-point engine options::
+
+    from repro.campaign.factories import EngineRun
+
+    factory = EngineRun.configure("randomized", n=200, k=100, keep_log=False)
+    sweep([{"mechanism": CreditLimitedBarter(1)}, {}], factory, ...)
+
+Non-mapping points (plain labels like ``(n, degree)``) are treated as
+labels only — whatever varies must then be baked into the factory, as
+the hand-written experiment factories do.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from ..core.log import RunResult
+from ..sim.registry import run_engine
+
+__all__ = ["EngineRun"]
+
+
+@dataclass(frozen=True)
+class EngineRun:
+    """Picklable run factory: one registry engine, constructed by name.
+
+    ``options`` is a sorted tuple of ``(key, value)`` pairs rather than a
+    dict so the dataclass stays frozen and its ``repr`` — which the
+    result cache uses as the factory fingerprint — is deterministic.
+    """
+
+    engine: str
+    n: int
+    k: int
+    options: tuple[tuple[str, object], ...] = ()
+
+    @classmethod
+    def configure(cls, engine: str, n: int, k: int, **options: object) -> "EngineRun":
+        """Build a factory with ``options`` baked in (keyword-friendly form)."""
+        return cls(engine, n, k, tuple(sorted(options.items())))
+
+    def __call__(self, point: object, seed: int) -> RunResult:
+        kwargs = dict(self.options)
+        if isinstance(point, Mapping):
+            kwargs.update(point)
+        return run_engine(self.engine, self.n, self.k, rng=seed, **kwargs)

@@ -21,21 +21,158 @@ under barter (Figure 7's rarest-first dependence) and in the endgame
 combination is innovative with probability ``>= 1/2`` over GF(2), and
 higher fields push that toward 1. The ``ext-coding`` experiment measures
 what that buys on low-degree overlays.
+
+On the :mod:`repro.sim` kernel, delivery means inserting the coded
+vector into the receiver's basis (the policy overrides the kernel's
+delivery hook), and the engine gains transfer-loss / outage fault
+injection, stall abort and progress callbacks (``fault_support =
+"links"``: crashes would need basis retirement semantics; see ROADMAP).
 """
 
 from __future__ import annotations
 
 import random
+from typing import Callable
 
 from ..core.errors import ConfigError
-from ..core.log import RunResult, TransferLog
+from ..core.log import RunResult
 from ..core.model import SERVER, BandwidthModel
+from ..faults.plan import FaultPlan
+from ..faults.recovery import RecoveryPolicy
 from ..overlays.graph import CompleteGraph, Graph
+from ..sim.kernel import TickKernel
+from ..sim.policy import TickPolicy
 from .gf2 import Gf2Basis
 
-__all__ = ["NetworkCodingEngine", "network_coding_run"]
+__all__ = ["CodingTickPolicy", "NetworkCodingEngine", "network_coding_run"]
 
-_REJECTION_TRIES = 8
+
+class CodingTickPolicy(TickPolicy):
+    """Random GF(2) combinations as a kernel policy.
+
+    Swarm content lives in per-node bases, not block masks, so this
+    policy overrides the kernel's delivery hook (:meth:`deliver`) and the
+    completion predicate; the logged "block" of a delivery is the pivot
+    of the received coefficient vector (logged even when the combination
+    turns out redundant — bandwidth was spent either way).
+    """
+
+    name = "network-coding"
+    fault_support = "links"
+
+    def __init__(self, k: int, n: int, graph: Graph, field: str) -> None:
+        self.field = field
+        self._graph = graph
+        self.bases: list[Gf2Basis] = [Gf2Basis(k) for _ in range(n)]
+        self.bases[SERVER] = Gf2Basis.full(k)
+        self.redundant = 0
+        self._incomplete = set(range(1, n))
+        self._completions: dict[int, int] = {}
+        self._vector = 0  # coefficient vector of the in-flight attempt
+
+    def bind(self, kernel: TickKernel) -> None:
+        super().bind(kernel)
+        kernel.graph = self._graph
+
+    def run_tick(self, snapshot: list[int]) -> None:
+        # ``snapshot`` (block masks) is meaningless here; senders use
+        # their start-of-tick *span*: snapshot ranks by copying basis rows
+        # lazily — a row received this tick must not be re-broadcast until
+        # next tick (causality).
+        kernel = self.kernel
+        rng = kernel.rng
+        k = kernel.k
+        dl_left = kernel.download_ledger
+        attempt = kernel.attempt
+        bases = self.bases
+        snapshots = [list(b.basis_rows()) for b in bases]
+
+        server_ok = kernel.server_available()
+        uploaders = [
+            v
+            for v in range(kernel.n)
+            if snapshots[v] and (v != SERVER or server_ok)
+        ]
+        rng.shuffle(uploaders)
+        server_rounds = kernel.model.server_upload
+        for src in uploaders:
+            rounds = server_rounds if src == SERVER else 1
+            src_basis = Gf2Basis(k, snapshots[src])
+            for _ in range(rounds):
+                dst = self._pick_destination_snapshot(src, src_basis, dl_left)
+                if dst is None:
+                    break
+                vector = src_basis.random_member(rng)
+                if self.field == "ideal":
+                    # Large-field limit: a random combination is innovative
+                    # with probability -> 1 whenever the spans differ.
+                    # Model it by re-drawing random combinations until one
+                    # is innovative (one exists since eligibility required
+                    # span(src) ⊄ span(dst); each draw succeeds w.p. >= 1/2
+                    # even over GF(2), so this terminates fast) — keeping
+                    # the *random mixing* that coding's benefit rests on.
+                    while bases[dst].contains(vector):
+                        vector = src_basis.random_member(rng)
+                self._vector = vector
+                attempt(src, dst, vector.bit_length() - 1)
+
+    def deliver(self, src: int, dst: int, block: int) -> None:
+        """Kernel delivery hook: insert the coded vector (not a block)."""
+        innovative = self.bases[dst].insert(self._vector)
+        if not innovative:
+            # Random combination happened to lie in the receiver's span
+            # (probability <= 1/2 per try over GF(2)).
+            self.redundant += 1
+        elif dst != SERVER and self.bases[dst].is_full():
+            self._incomplete.discard(dst)
+            self._completions[dst] = self.kernel.tick
+
+    def _pick_destination_snapshot(
+        self, src: int, src_basis: Gf2Basis, dl_left: list[int] | None
+    ) -> int | None:
+        kernel = self.kernel
+        bases = self.bases
+        if isinstance(kernel.graph, CompleteGraph):
+            pool = [v for v in range(kernel.n) if not bases[v].is_full()]
+        else:
+            pool = list(kernel.graph.neighbors(src))
+        pool = [
+            v
+            for v in pool
+            if v != src
+            and (dl_left is None or dl_left[v] > 0)
+            and not bases[v].is_full()
+            and src_basis.has_innovative_for(bases[v])
+        ]
+        if not pool:
+            return None
+        return pool[kernel.rng.randrange(len(pool))]
+
+    def all_complete(self) -> bool:
+        return not self._incomplete
+
+    def zero_tick_conclusive(self) -> bool:
+        """The destination search is an exhaustive scan, so a tick with
+        zero attempts proves no node holds anything innovative for any
+        reachable incomplete receiver — permanent on a static overlay."""
+        return True
+
+    def completions(self) -> dict[int, int]:
+        # Completion is tracked from basis ranks directly, so it survives
+        # ``keep_log=False`` (unlike mask engines, which recover it from
+        # the transfer log).
+        return dict(self._completions)
+
+    def result_meta(self) -> dict[str, object]:
+        kernel = self.kernel
+        return {
+            "algorithm": self.name,
+            "field": self.field,
+            "mechanism": "cooperative",
+            "redundant_combinations": self.redundant,
+            "uploads_per_tick": kernel.uploads_per_tick,
+            "final_holdings": [b.rank for b in self.bases],
+        }
 
 
 class NetworkCodingEngine:
@@ -50,6 +187,9 @@ class NetworkCodingEngine:
         rng: random.Random | int | None = None,
         max_ticks: int | None = None,
         field: str = "binary",
+        keep_log: bool = True,
+        faults: FaultPlan | None = None,
+        recovery: RecoveryPolicy | None = None,
     ) -> None:
         if n < 2:
             raise ConfigError(f"need a server and at least one client, got n={n}")
@@ -60,118 +200,52 @@ class NetworkCodingEngine:
                 f"field must be 'binary' (GF(2)) or 'ideal' (large-field "
                 f"limit: every combination innovative), got {field!r}"
             )
-        self.field = field
         self.n, self.k = n, k
-        self.graph = overlay if overlay is not None else CompleteGraph(n)
-        if self.graph.n != n:
-            raise ConfigError(f"overlay has {self.graph.n} nodes, swarm has {n}")
-        self.model = model or BandwidthModel.symmetric()
-        self.rng = rng if isinstance(rng, random.Random) else random.Random(rng)
-        self.max_ticks = max_ticks or (40 * k + 10 * n + 1000)
-        self.bases: list[Gf2Basis] = [Gf2Basis(k) for _ in range(n)]
-        self.bases[SERVER] = Gf2Basis.full(k)
-        self.log = TransferLog()  # block field = pivot of the received row
-        self.tick = 0
-        self.redundant = 0
-        self.uploads_per_tick: list[int] = []
-
-    def _run_tick(self) -> int:
-        self.tick += 1
-        cap = self.model.download
-        dl_left = [cap] * self.n if cap is not None else None
-        # Senders use their start-of-tick span: snapshot ranks by copying
-        # basis rows lazily — a received row this tick must not be
-        # re-broadcast until next tick (causality).
-        snapshots = [list(b.basis_rows()) for b in self.bases]
-
-        uploaders = [v for v in range(self.n) if snapshots[v]]
-        self.rng.shuffle(uploaders)
-        transfers = 0
-        for src in uploaders:
-            rounds = self.model.server_upload if src == SERVER else 1
-            src_basis = Gf2Basis(self.k, snapshots[src])
-            for _ in range(rounds):
-                dst = self._pick_destination_snapshot(
-                    src, src_basis, dl_left
-                )
-                if dst is None:
-                    break
-                vector = src_basis.random_member(self.rng)
-                if self.field == "ideal":
-                    # Large-field limit: a random combination is innovative
-                    # with probability -> 1 whenever the spans differ.
-                    # Model it by re-drawing random combinations until one
-                    # is innovative (one exists since eligibility required
-                    # span(src) ⊄ span(dst); each draw succeeds w.p. >= 1/2
-                    # even over GF(2), so this terminates fast) — keeping
-                    # the *random mixing* that coding's benefit rests on.
-                    while self.bases[dst].contains(vector):
-                        vector = src_basis.random_member(self.rng)
-                innovative = self.bases[dst].insert(vector)
-                if not innovative:
-                    # Random combination happened to lie in the receiver's
-                    # span (probability <= 1/2 per try over GF(2)).
-                    self.redundant += 1
-                if dl_left is not None:
-                    dl_left[dst] -= 1
-                self.log.record(
-                    self.tick, src, dst, vector.bit_length() - 1
-                )
-                transfers += 1
-        self.uploads_per_tick.append(transfers)
-        return transfers
-
-    def _pick_destination_snapshot(
-        self, src: int, src_basis: Gf2Basis, dl_left: list[int] | None
-    ) -> int | None:
-        if isinstance(self.graph, CompleteGraph):
-            pool = [v for v in range(self.n) if not self.bases[v].is_full()]
-        else:
-            pool = list(self.graph.neighbors(src))
-        pool = [
-            v
-            for v in pool
-            if v != src
-            and (dl_left is None or dl_left[v] > 0)
-            and not self.bases[v].is_full()
-            and src_basis.has_innovative_for(self.bases[v])
-        ]
-        if not pool:
-            return None
-        return pool[self.rng.randrange(len(pool))]
-
-    def run(self) -> RunResult:
-        """Run until every client can decode, or the tick guard trips."""
-        completions: dict[int, int] = {}
-        while self.tick < self.max_ticks:
-            incomplete = [
-                v for v in range(1, self.n) if not self.bases[v].is_full()
-            ]
-            if not incomplete:
-                break
-            made = self._run_tick()
-            for v in incomplete:
-                if self.bases[v].is_full():
-                    completions[v] = self.tick
-            if made == 0:
-                break  # exhaustive search found nothing: deadlocked
-
-        done = all(self.bases[v].is_full() for v in range(1, self.n))
-        return RunResult(
-            n=self.n,
-            k=self.k,
-            completion_time=self.tick if done else None,
-            client_completions=completions,
-            log=self.log,
-            meta={
-                "algorithm": "network-coding",
-                "field": self.field,
-                "mechanism": "cooperative",
-                "redundant_combinations": self.redundant,
-                "uploads_per_tick": self.uploads_per_tick,
-                "final_holdings": [b.rank for b in self.bases],
-            },
+        self.field = field
+        graph = overlay if overlay is not None else CompleteGraph(n)
+        if graph.n != n:
+            raise ConfigError(f"overlay has {graph.n} nodes, swarm has {n}")
+        self.tick_policy = CodingTickPolicy(k, n, graph, field)
+        self.kernel = TickKernel(
+            n,
+            k,
+            self.tick_policy,
+            model=model,
+            rng=rng,
+            max_ticks=max_ticks,
+            keep_log=keep_log,
+            faults=faults,
+            recovery=recovery,
         )
+
+    @property
+    def bases(self) -> list[Gf2Basis]:
+        return self.tick_policy.bases
+
+    @property
+    def redundant(self) -> int:
+        return self.tick_policy.redundant
+
+    @property
+    def log(self):
+        return self.kernel.log
+
+    @property
+    def tick(self) -> int:
+        return self.kernel.tick
+
+    @property
+    def graph(self) -> Graph:
+        assert self.kernel.graph is not None
+        return self.kernel.graph
+
+    @property
+    def uploads_per_tick(self) -> list[int]:
+        return self.kernel.uploads_per_tick
+
+    def run(self, progress: Callable[[int, int], None] | None = None) -> RunResult:
+        """Run until every client can decode, or the tick guard trips."""
+        return self.kernel.run(progress)
 
 
 def network_coding_run(

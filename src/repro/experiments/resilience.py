@@ -36,10 +36,9 @@ from ..analysis.resilience import (
     wasted_upload_fraction,
 )
 from ..analysis.sweeps import sweep
+from ..core.mechanisms import CreditLimitedBarter
 from ..faults.plan import FaultPlan
-from ..randomized.barter import randomized_barter_run
-from ..randomized.cooperative import randomized_cooperative_run
-from ..randomized.exchange import randomized_exchange_run
+from ..sim.registry import run_engine
 from .figures import FigureResult
 from .scale import Scale, resolve_scale
 
@@ -74,20 +73,24 @@ class _ResilienceRun:
             rejoin_retention=self.retention if crash else 0.0,
             max_crashes=self.max_crashes,
         )
+        # Engines are constructed by registry name; the kwargs mirror the
+        # old per-mechanism wrappers exactly, so the seeds' draw order —
+        # and therefore every number in the figure — is unchanged.
         if mechanism == "cooperative":
-            return randomized_cooperative_run(
-                self.n, self.k, rng=seed, max_ticks=self.max_ticks,
-                keep_log=False, faults=plan,
+            return run_engine(
+                "randomized", self.n, self.k, rng=seed,
+                max_ticks=self.max_ticks, keep_log=False, faults=plan,
             )
         if mechanism == "credit":
-            return randomized_barter_run(
-                self.n, self.k, credit_limit=self.credit, rng=seed,
+            return run_engine(
+                "randomized", self.n, self.k,
+                mechanism=CreditLimitedBarter(self.credit), rng=seed,
                 max_ticks=self.max_ticks, keep_log=False, faults=plan,
             )
         if mechanism == "strict":
-            return randomized_exchange_run(
-                self.n, self.k, rng=seed, max_ticks=self.max_ticks,
-                faults=plan,
+            return run_engine(
+                "exchange", self.n, self.k, rng=seed,
+                max_ticks=self.max_ticks, faults=plan,
             )
         raise ValueError(f"unknown mechanism {mechanism!r}")
 

@@ -164,6 +164,26 @@ def _experiment_kwargs(
     return kwargs
 
 
+def _engine_table() -> str:
+    """Render the :mod:`repro.sim` engine registry as an aligned table."""
+    from ..sim.registry import ENGINES
+
+    rows = [("engine", "faults", "mechanism", "summary")]
+    rows.extend(
+        (spec.name, spec.fault_support, spec.mechanism, spec.summary)
+        for spec in ENGINES.values()
+    )
+    widths = [max(len(row[i]) for row in rows) for i in range(3)]
+    lines = [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row[:3]))
+        + "  "
+        + row[3]
+        for row in rows
+    ]
+    lines.insert(1, "-" * max(map(len, lines)))
+    return "\n".join(lines)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -175,8 +195,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS, "all"],
-        help="which figure/table/ablation to run",
+        choices=[*EXPERIMENTS, "all", "engines"],
+        help="which figure/table/ablation to run ('engines' lists the "
+        "simulation engine registry)",
     )
     parser.add_argument(
         "--scale",
@@ -234,6 +255,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="render live campaign progress (tasks/sec, ETA) on stderr",
     )
     args = parser.parse_args(argv)
+
+    if args.experiment == "engines":
+        print(_engine_table())
+        return 0
 
     if args.jobs < 1:
         parser.error(f"argument --jobs: must be >= 1, got {args.jobs}")

@@ -17,94 +17,81 @@ BitTorrent within the same tick model so both claims can be measured:
   interested neighbors each window;
 * ``selfish`` clients never upload; they ride optimistic unchokes only —
   the loophole the paper calls out.
+
+Running on the :mod:`repro.sim` kernel gives this engine transfer-loss /
+outage fault injection, stall abort and progress callbacks for free
+(``fault_support = "links"``: node crashes are rejected with
+:class:`~repro.core.errors.ConfigError` — choking state has no
+crash/rejoin semantics yet; see ROADMAP).
 """
 
 from __future__ import annotations
 
 import random
 from collections import defaultdict
+from typing import Callable
 
 from ..core.errors import ConfigError
-from ..core.log import RunResult, TransferLog
+from ..core.log import RunResult
 from ..core.model import SERVER, BandwidthModel
-from ..core.state import SwarmState
+from ..faults.plan import FaultPlan
+from ..faults.recovery import RecoveryPolicy
 from ..overlays.graph import CompleteGraph, Graph
-from .engine import default_max_ticks
+from ..sim.kernel import TickKernel
+from ..sim.policy import TickPolicy
 from .policies import BlockPolicy, RarestFirstPolicy
 
-__all__ = ["BitTorrentEngine", "bittorrent_run"]
+__all__ = ["BitTorrentEngine", "BitTorrentTickPolicy", "bittorrent_run"]
 
 
-class BitTorrentEngine:
-    """Tick-synchronous BitTorrent-like swarm; see module docstring."""
+class BitTorrentTickPolicy(TickPolicy):
+    """Tit-for-tat choking as a kernel policy; see module docstring."""
+
+    name = "bittorrent"
+    fault_support = "links"
 
     def __init__(
         self,
-        n: int,
-        k: int,
-        overlay: Graph | None = None,
-        unchoke_slots: int = 4,
-        optimistic_slots: int = 1,
-        rechoke_period: int = 10,
-        policy: BlockPolicy | None = None,
-        model: BandwidthModel | None = None,
-        rng: random.Random | int | None = None,
-        max_ticks: int | None = None,
-        keep_log: bool = True,
-        selfish: frozenset[int] | set[int] = frozenset(),
-        per_node_unchoke: dict[int, int] | None = None,
+        block_policy: BlockPolicy,
+        graph: Graph,
+        *,
+        unchoke_slots: int,
+        optimistic_slots: int,
+        rechoke_period: int,
+        selfish: frozenset[int],
+        per_node_unchoke: dict[int, int],
     ) -> None:
-        if unchoke_slots < 1:
-            raise ConfigError(f"need at least one unchoke slot, got {unchoke_slots}")
-        if optimistic_slots < 0:
-            raise ConfigError(f"optimistic slots must be >= 0, got {optimistic_slots}")
-        if rechoke_period < 1:
-            raise ConfigError(f"rechoke period must be >= 1, got {rechoke_period}")
-        self.state = SwarmState(n, k)
-        self.n, self.k = n, k
-        self.graph = overlay if overlay is not None else CompleteGraph(n)
-        if self.graph.n != n:
-            raise ConfigError(f"overlay has {self.graph.n} nodes, swarm has {n}")
+        self.block_policy = block_policy
+        self._graph = graph
         self.unchoke_slots = unchoke_slots
         self.optimistic_slots = optimistic_slots
         self.rechoke_period = rechoke_period
-        self.policy = policy or RarestFirstPolicy()
-        self.model = model or BandwidthModel.symmetric()
-        self.rng = rng if isinstance(rng, random.Random) else random.Random(rng)
-        self.max_ticks = max_ticks or default_max_ticks(n, k)
-        self.keep_log = keep_log
-        self.selfish = frozenset(selfish)
-        if SERVER in self.selfish:
-            raise ConfigError("the seed cannot be selfish")
-        # A strategic client may run fewer (or more) reciprocation slots
-        # than the protocol default; everyone else keeps `unchoke_slots`.
-        self.per_node_unchoke = dict(per_node_unchoke or {})
-        for node, slots in self.per_node_unchoke.items():
-            if not 0 <= node < n:
-                raise ConfigError(f"unchoke override for unknown node {node}")
-            if slots < 0:
-                raise ConfigError(f"unchoke slots must be >= 0, got {slots}")
-        self.log = TransferLog()
-        self.tick = 0
-        self.uploads_per_tick: list[int] = []
+        self.selfish = selfish
+        self.per_node_unchoke = per_node_unchoke
         # received_window[v][u]: blocks v got from u in the current window.
         self._received_window: dict[int, dict[int, int]] = defaultdict(
             lambda: defaultdict(int)
         )
         self._unchoked: dict[int, tuple[int, ...]] = {}
-        self._full = (1 << k) - 1
+        self._silent_windows = 0
 
-    # -- choking -------------------------------------------------------------
+    def bind(self, kernel: TickKernel) -> None:
+        super().bind(kernel)
+        kernel.graph = self._graph
+
+    # -- choking -----------------------------------------------------------
 
     def _rechoke(self) -> None:
         """Recompute every node's unchoke set from last window's receipts."""
-        rng = self.rng
-        masks = self.state.masks
-        for node in range(self.n):
+        kernel = self.kernel
+        rng = kernel.rng
+        masks = kernel.state.masks
+        graph = kernel.graph
+        for node in range(kernel.n):
             if node != SERVER and not masks[node]:
                 self._unchoked[node] = ()
                 continue
-            neighbors = [v for v in self.graph.neighbors(node) if v != node]
+            neighbors = [v for v in graph.neighbors(node) if v != node]
             if not neighbors:
                 self._unchoked[node] = ()
                 continue
@@ -128,31 +115,33 @@ class BitTorrentEngine:
             return []
         if len(pool) <= count:
             return list(pool)
-        return self.rng.sample(pool, count)
+        return self.kernel.rng.sample(pool, count)
 
-    # -- ticks ---------------------------------------------------------------
+    # -- ticks -------------------------------------------------------------
 
-    def _run_tick(self) -> int:
-        self.tick += 1
-        if (self.tick - 1) % self.rechoke_period == 0:
+    def pre_tick(self, tick: int) -> None:
+        if (tick - 1) % self.rechoke_period == 0:
             self._rechoke()
 
-        state = self.state
-        snapshot = state.begin_tick()
-        masks = state.masks
-        rng = self.rng
-        cap = self.model.download
-        dl_left = [cap] * self.n if cap is not None else None
+    def run_tick(self, snapshot: list[int]) -> None:
+        kernel = self.kernel
+        masks = kernel.state.masks
+        rng = kernel.rng
+        dl_left = kernel.download_ledger
+        selfish = self.selfish
+        attempt = kernel.attempt
+        choose = self.block_policy.choose
+        server_ok = kernel.server_available()
 
         uploaders = [
             v
-            for v in range(self.n)
-            if snapshot[v] and v not in self.selfish
+            for v in range(kernel.n)
+            if snapshot[v] and v not in selfish and (v != SERVER or server_ok)
         ]
         rng.shuffle(uploaders)
-        transfers = 0
+        server_rounds = kernel.model.server_upload
         for src in uploaders:
-            rounds = self.model.server_upload if src == SERVER else 1
+            rounds = server_rounds if src == SERVER else 1
             have = snapshot[src]
             for _ in range(rounds):
                 candidates = [
@@ -164,52 +153,128 @@ class BitTorrentEngine:
                     break
                 dst = candidates[rng.randrange(len(candidates))]
                 useful = have & ~masks[dst]
-                block = self.policy.choose(useful, self, src, dst)
-                state.receive(dst, block)
-                if dl_left is not None:
-                    dl_left[dst] -= 1
-                self._received_window[dst][src] += 1
-                if self.keep_log:
-                    self.log.record(self.tick, src, dst, block)
-                transfers += 1
-        self.uploads_per_tick.append(transfers)
-        return transfers
+                block = choose(useful, kernel, src, dst)
+                if attempt(src, dst, block):
+                    # Only *delivered* blocks count toward reciprocation —
+                    # a transfer lost to fault injection earns no credit.
+                    self._received_window[dst][src] += 1
 
-    def run(self) -> RunResult:
-        """Run to completion or ``max_ticks``; stalls cannot be proven
-        permanent here (rechoking re-randomizes), so no deadlock abort —
-        but an all-windows-silent swarm exits early anyway."""
-        silent_windows = 0
-        state = self.state
-        while not state.all_complete and self.tick < self.max_ticks:
-            made = self._run_tick()
-            if made == 0 and self.tick % self.rechoke_period == 0:
-                silent_windows += 1
-                if silent_windows >= 20:
-                    break
-            elif made:
-                silent_windows = 0
+    def post_tick(self, delivered: int, failed: int) -> str | None:
+        """Stalls cannot be proven permanent here (rechoking
+        re-randomizes), so there is no deadlock verdict — but an
+        all-windows-silent swarm aborts as a stall."""
+        if delivered == 0 and self.kernel.tick % self.rechoke_period == 0:
+            self._silent_windows += 1
+            if self._silent_windows >= 20:
+                return "stall"
+        elif delivered:
+            self._silent_windows = 0
+        return None
 
-        completions = (
-            self.log.completion_ticks(self.n, self.k) if self.keep_log else {}
+    def zero_tick_conclusive(self) -> bool:
+        return False
+
+    def result_meta(self) -> dict[str, object]:
+        kernel = self.kernel
+        return {
+            "algorithm": self.name,
+            "policy": self.block_policy.name,
+            "unchoke_slots": self.unchoke_slots,
+            "optimistic_slots": self.optimistic_slots,
+            "rechoke_period": self.rechoke_period,
+            "uploads_per_tick": kernel.uploads_per_tick,
+            "final_holdings": [m.bit_count() for m in kernel.state.masks],
+            "selfish": sorted(self.selfish),
+        }
+
+
+class BitTorrentEngine:
+    """Tick-synchronous BitTorrent-like swarm; see module docstring."""
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        overlay: Graph | None = None,
+        unchoke_slots: int = 4,
+        optimistic_slots: int = 1,
+        rechoke_period: int = 10,
+        policy: BlockPolicy | None = None,
+        model: BandwidthModel | None = None,
+        rng: random.Random | int | None = None,
+        max_ticks: int | None = None,
+        keep_log: bool = True,
+        selfish: frozenset[int] | set[int] = frozenset(),
+        per_node_unchoke: dict[int, int] | None = None,
+        faults: FaultPlan | None = None,
+        recovery: RecoveryPolicy | None = None,
+    ) -> None:
+        if unchoke_slots < 1:
+            raise ConfigError(f"need at least one unchoke slot, got {unchoke_slots}")
+        if optimistic_slots < 0:
+            raise ConfigError(f"optimistic slots must be >= 0, got {optimistic_slots}")
+        if rechoke_period < 1:
+            raise ConfigError(f"rechoke period must be >= 1, got {rechoke_period}")
+        self.n, self.k = n, k
+        graph = overlay if overlay is not None else CompleteGraph(n)
+        if graph.n != n:
+            raise ConfigError(f"overlay has {graph.n} nodes, swarm has {n}")
+        self.policy = policy or RarestFirstPolicy()
+        self.selfish = frozenset(selfish)
+        if SERVER in self.selfish:
+            raise ConfigError("the seed cannot be selfish")
+        # A strategic client may run fewer (or more) reciprocation slots
+        # than the protocol default; everyone else keeps `unchoke_slots`.
+        per_node_unchoke = dict(per_node_unchoke or {})
+        for node, slots in per_node_unchoke.items():
+            if not 0 <= node < n:
+                raise ConfigError(f"unchoke override for unknown node {node}")
+            if slots < 0:
+                raise ConfigError(f"unchoke slots must be >= 0, got {slots}")
+        self.tick_policy = BitTorrentTickPolicy(
+            self.policy,
+            graph,
+            unchoke_slots=unchoke_slots,
+            optimistic_slots=optimistic_slots,
+            rechoke_period=rechoke_period,
+            selfish=self.selfish,
+            per_node_unchoke=per_node_unchoke,
         )
-        return RunResult(
-            n=self.n,
-            k=self.k,
-            completion_time=self.tick if state.all_complete else None,
-            client_completions=completions,
-            log=self.log,
-            meta={
-                "algorithm": "bittorrent",
-                "policy": self.policy.name,
-                "unchoke_slots": self.unchoke_slots,
-                "optimistic_slots": self.optimistic_slots,
-                "rechoke_period": self.rechoke_period,
-                "uploads_per_tick": self.uploads_per_tick,
-                "final_holdings": [m.bit_count() for m in state.masks],
-                "selfish": sorted(self.selfish),
-            },
+        self.kernel = TickKernel(
+            n,
+            k,
+            self.tick_policy,
+            model=model,
+            rng=rng,
+            max_ticks=max_ticks,
+            keep_log=keep_log,
+            faults=faults,
+            recovery=recovery,
         )
+
+    @property
+    def state(self):
+        return self.kernel.state
+
+    @property
+    def log(self):
+        return self.kernel.log
+
+    @property
+    def tick(self) -> int:
+        return self.kernel.tick
+
+    @property
+    def graph(self) -> Graph:
+        assert self.kernel.graph is not None
+        return self.kernel.graph
+
+    @property
+    def uploads_per_tick(self) -> list[int]:
+        return self.kernel.uploads_per_tick
+
+    def run(self, progress: Callable[[int, int], None] | None = None) -> RunResult:
+        return self.kernel.run(progress)
 
 
 def bittorrent_run(

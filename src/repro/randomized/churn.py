@@ -27,10 +27,124 @@ from ..core.mechanisms import Mechanism
 from ..core.model import SERVER, BandwidthModel
 from ..overlays.dynamic import DynamicOverlay
 from ..overlays.graph import Graph
-from .engine import RandomizedEngine
+from .engine import RandomizedEngine, RandomizedTickPolicy
 from .policies import BlockPolicy
 
-__all__ = ["ChurnEngine", "churn_run"]
+__all__ = ["ChurnEngine", "ChurnTickPolicy", "churn_run"]
+
+
+class ChurnTickPolicy(RandomizedTickPolicy):
+    """Randomized sampling with scheduled arrivals and departures.
+
+    The churn tables are injected after kernel construction via
+    :meth:`configure_churn` (late arrivals must retire *after* the swarm
+    state exists); the per-tick hooks then apply churn events ahead of
+    fault events and the snapshot.
+    """
+
+    name = "randomized-churn"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.arrivals: dict[int, int] = {}
+        self.departures: dict[int, int] = {}
+        self._by_tick_arrivals: dict[int, list[int]] = {}
+        self._by_tick_departures: dict[int, list[int]] = {}
+        self._pending_arrivals = 0
+        self.departed: set[int] = set()
+
+    def configure_churn(
+        self, arrivals: dict[int, int], departures: dict[int, int]
+    ) -> None:
+        kernel = self.kernel
+        self.arrivals = dict(arrivals)
+        self.departures = dict(departures)
+        # Late arrivals start absent.
+        for node in self.arrivals:
+            kernel.absent.add(node)
+            kernel.state.retire(node)
+            kernel._pool_remove(node)
+        for node, tick in self.arrivals.items():
+            self._by_tick_arrivals.setdefault(tick, []).append(node)
+        for node, tick in self.departures.items():
+            self._by_tick_departures.setdefault(tick, []).append(node)
+        self._pending_arrivals = len(self.arrivals)
+
+    # -- churn processing --------------------------------------------------
+
+    def _apply_churn(self, tick: int) -> None:
+        kernel = self.kernel
+        absent = kernel.absent
+        state = kernel.state
+        for node in self._by_tick_arrivals.get(tick, ()):
+            if node in self.departed:  # pragma: no cover - validated earlier
+                continue
+            absent.discard(node)
+            state.enroll(node)
+            kernel._pool_add(node)
+            self._pending_arrivals -= 1
+        for node in self._by_tick_departures.get(tick, ()):
+            if node in absent:
+                # A crashed node (fault injection) departs for good from
+                # wherever it was: its scheduled rejoin is cancelled so
+                # the run stops waiting for it.
+                if kernel.faults is not None and kernel.faults.cancel_rejoin(node):
+                    self.departed.add(node)
+                continue
+            absent.add(node)
+            self.departed.add(node)
+            state.retire(node)
+            kernel._pool_remove(node)
+
+    def pre_tick(self, tick: int) -> None:
+        self._apply_churn(tick)
+        super().pre_tick(tick)
+
+    # -- run-loop hooks ----------------------------------------------------
+
+    def goal_extra(self) -> bool:
+        return not self._pending_arrivals
+
+    def zero_tick_conclusive(self) -> bool:
+        return (
+            super().zero_tick_conclusive()
+            and not self._pending_arrivals
+            and not self._upcoming_departures()
+        )
+
+    def completions(self) -> dict[int, int]:
+        kernel = self.kernel
+        if not kernel.keep_log:
+            return {}
+        absent = kernel.absent
+        return {
+            c: t
+            for c, t in kernel.log.completion_ticks(kernel.n, kernel.k).items()
+            if c not in self.departed and c not in absent
+        }
+
+    def result_meta(self) -> dict[str, object]:
+        kernel = self.kernel
+        return {
+            "algorithm": self.name,
+            "policy": self.block_policy.name,
+            "mechanism": self.mechanism.name,
+            "arrivals": dict(self.arrivals),
+            "departures": dict(self.departures),
+            "departed": sorted(self.departed),
+            "uploads_per_tick": kernel.uploads_per_tick,
+            "final_holdings": [m.bit_count() for m in kernel.state.masks],
+        }
+
+    def _upcoming_departures(self) -> bool:
+        """Whether any departure is still scheduled after the current tick.
+
+        A departure can unblock nothing (it only removes capacity), but it
+        can change the completion *goal* — a swarm stalled solely on a
+        client that is about to leave is not deadlocked.
+        """
+        tick = self.kernel.tick
+        return any(t > tick for t in self.departures.values())
 
 
 class ChurnEngine(RandomizedEngine):
@@ -45,6 +159,9 @@ class ChurnEngine(RandomizedEngine):
         Mapping ``client -> tick`` at which it leaves (start of tick).
         A client may both arrive and depart; it must arrive first.
     """
+
+    _tick_policy_cls = ChurnTickPolicy
+    tick_policy: ChurnTickPolicy
 
     def __init__(
         self,
@@ -75,9 +192,9 @@ class ChurnEngine(RandomizedEngine):
             faults=faults,
             recovery=recovery,
         )
-        self.arrivals = dict(arrivals or {})
-        self.departures = dict(departures or {})
-        for label, table in (("arrival", self.arrivals), ("departure", self.departures)):
+        arrivals = dict(arrivals or {})
+        departures = dict(departures or {})
+        for label, table in (("arrival", arrivals), ("departure", departures)):
             for node, tick in table.items():
                 if node == SERVER:
                     raise ConfigError("the server neither arrives nor departs")
@@ -85,92 +202,25 @@ class ChurnEngine(RandomizedEngine):
                     raise ConfigError(f"{label} for unknown client {node}")
                 if tick < 1:
                     raise ConfigError(f"{label} ticks are 1-based, got {tick}")
-        for node, tick in self.departures.items():
-            if node in self.arrivals and self.arrivals[node] >= tick:
+        for node, tick in departures.items():
+            if node in arrivals and arrivals[node] >= tick:
                 raise ConfigError(
                     f"client {node} would depart (tick {tick}) before or at "
-                    f"its arrival (tick {self.arrivals[node]})"
+                    f"its arrival (tick {arrivals[node]})"
                 )
-        # Late arrivals start absent.
-        for node in self.arrivals:
-            self._absent.add(node)
-            self.state.retire(node)
-            self._pool_remove(node)
-        self._by_tick_arrivals: dict[int, list[int]] = {}
-        for node, tick in self.arrivals.items():
-            self._by_tick_arrivals.setdefault(tick, []).append(node)
-        self._by_tick_departures: dict[int, list[int]] = {}
-        for node, tick in self.departures.items():
-            self._by_tick_departures.setdefault(tick, []).append(node)
-        self._pending_arrivals = len(self.arrivals)
-        self.departed: set[int] = set()
+        self.tick_policy.configure_churn(arrivals, departures)
 
-    # -- churn processing ------------------------------------------------------
+    @property
+    def arrivals(self) -> dict[int, int]:
+        return self.tick_policy.arrivals
 
-    def _apply_churn(self, tick: int) -> None:
-        for node in self._by_tick_arrivals.get(tick, ()):
-            if node in self.departed:  # pragma: no cover - validated earlier
-                continue
-            self._absent.discard(node)
-            self.state.enroll(node)
-            self._pool_add(node)
-            self._pending_arrivals -= 1
-        for node in self._by_tick_departures.get(tick, ()):
-            if node in self._absent:
-                # A crashed node (fault injection) departs for good from
-                # wherever it was: its scheduled rejoin is cancelled so
-                # the run stops waiting for it.
-                if self.faults is not None and self.faults.cancel_rejoin(node):
-                    self.departed.add(node)
-                continue
-            self._absent.add(node)
-            self.departed.add(node)
-            self.state.retire(node)
-            self._pool_remove(node)
+    @property
+    def departures(self) -> dict[int, int]:
+        return self.tick_policy.departures
 
-    def _run_tick(self) -> int:
-        self._apply_churn(self.tick + 1)
-        return super()._run_tick()
-
-    # -- run-loop hooks ----------------------------------------------------------
-
-    def _goal_reached(self) -> bool:
-        return super()._goal_reached() and not self._pending_arrivals
-
-    def _zero_tick_conclusive(self) -> bool:
-        return (
-            super()._zero_tick_conclusive()
-            and not self._pending_arrivals
-            and not self._upcoming_departures()
-        )
-
-    def _completions(self) -> dict[int, int]:
-        return {
-            c: t
-            for c, t in self.log.completion_ticks(self.n, self.k).items()
-            if c not in self.departed and c not in self._absent
-        }
-
-    def _result_meta(self) -> dict[str, object]:
-        return {
-            "algorithm": "randomized-churn",
-            "policy": self.policy.name,
-            "mechanism": self.mechanism.name,
-            "arrivals": dict(self.arrivals),
-            "departures": dict(self.departures),
-            "departed": sorted(self.departed),
-            "uploads_per_tick": self.uploads_per_tick,
-            "final_holdings": [m.bit_count() for m in self.state.masks],
-        }
-
-    def _upcoming_departures(self) -> bool:
-        """Whether any departure is still scheduled after the current tick.
-
-        A departure can unblock nothing (it only removes capacity), but it
-        can change the completion *goal* — a swarm stalled solely on a
-        client that is about to leave is not deadlocked.
-        """
-        return any(t > self.tick for t in self.departures.values())
+    @property
+    def departed(self) -> set[int]:
+        return self.tick_policy.departed
 
 
 def churn_run(

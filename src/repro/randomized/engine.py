@@ -21,6 +21,11 @@ acceptance), then a full scan choosing uniformly among the eligible. On a
 complete graph the candidate pool is the set of still-incomplete nodes,
 maintained incrementally so big swarms (the paper's n = 10,000 run) stay
 fast.
+
+Since the :mod:`repro.sim` refactor the mechanics live in
+:class:`~repro.sim.kernel.TickKernel`; this module contributes
+:class:`RandomizedTickPolicy` (the upload decisions above) and keeps
+:class:`RandomizedEngine` as the stable construction facade.
 """
 
 from __future__ import annotations
@@ -38,22 +43,212 @@ from ..faults.plan import FaultPlan
 from ..faults.recovery import RecoveryPolicy
 from ..overlays.dynamic import DynamicOverlay
 from ..overlays.graph import CompleteGraph, Graph
+from ..sim.kernel import TickKernel, default_max_ticks
+from ..sim.policy import TickPolicy
 from .policies import BlockPolicy, RandomPolicy
 
-__all__ = ["RandomizedEngine", "default_max_ticks"]
+__all__ = ["RandomizedEngine", "RandomizedTickPolicy", "default_max_ticks"]
 
 _REJECTION_TRIES = 12
 
 
-def default_max_ticks(n: int, k: int) -> int:
-    """Generous run guard: far above any completion the paper observes
-    (worst cases there are ~6k ticks at n = k = 1000), yet finite so a
-    non-converging configuration returns instead of spinning."""
-    return 40 * k + 10 * n + 1000
+class RandomizedTickPolicy(TickPolicy):
+    """Randomized uniform-neighbor sampling as a kernel policy.
+
+    Holds the decision-side configuration (block policy, barter gate,
+    free-riders, throttling, overlay); the kernel owns the swarm state,
+    capacity, faults and logging. Construct through
+    :class:`RandomizedEngine`, which validates arguments.
+    """
+
+    name = "randomized"
+    fault_support = "full"
+
+    def __init__(
+        self,
+        block_policy: BlockPolicy,
+        mechanism: Mechanism,
+        *,
+        selfish: frozenset[int] = frozenset(),
+        throttle: dict[int, float] | None = None,
+        graph: Graph | None = None,
+        dynamic: DynamicOverlay | None = None,
+    ) -> None:
+        self.block_policy = block_policy
+        self.mechanism = mechanism
+        self.selfish = frozenset(selfish)
+        self.throttle = dict(throttle or {})
+        self._graph = graph
+        self._dynamic = dynamic
+        self._gated = not isinstance(mechanism, Cooperative)
+        self._common = 0  # refreshed at every tick start
+
+    def bind(self, kernel: TickKernel) -> None:
+        super().bind(kernel)
+        kernel.graph = self._graph
+
+    def pre_tick(self, tick: int) -> None:
+        if self._dynamic is not None:
+            self.kernel.graph = self._dynamic.at_tick(tick)
+
+    def run_tick(self, snapshot: list[int]) -> None:
+        kernel = self.kernel
+        state = kernel.state
+        masks = state.masks
+        rng = kernel.rng
+        graph = kernel.graph
+        dl_left = kernel.download_ledger
+        complete_graph = isinstance(graph, CompleteGraph)
+        # Per-tick receiver pool for complete graphs: incomplete nodes
+        # with download capacity left. Shrinks as capacity is spent, so
+        # late uploaders don't re-sample saturated receivers.
+        if complete_graph:
+            kernel.activate_receiver_pool()
+
+        selfish = self.selfish
+        throttle = self.throttle
+        uploaders = [
+            v
+            for v in range(1, kernel.n)
+            if snapshot[v]
+            and v not in selfish
+            and (not throttle or (p := throttle.get(v)) is None or rng.random() >= p)
+        ]
+        if kernel.server_available():
+            uploaders.append(SERVER)
+        rng.shuffle(uploaders)
+
+        # Server reseeding (recovery): blocks crashes made server-only
+        # again (global holder count 1) get priority in server picks.
+        reseed_rare = 0
+        if kernel.faults is not None and kernel.recovery.reseed:
+            for b, count in enumerate(state.freq):
+                if count == 1:
+                    reseed_rare |= 1 << b
+
+        # Blocks held by *every* incomplete client at tick start: an
+        # uploader whose content is a subset of this can interest nobody
+        # and is skipped outright (a large saving near the endgame).
+        common = -1
+        for v in kernel.incomplete_pool:
+            common &= snapshot[v]
+            if common == 0:
+                break
+        self._common = common
+
+        attempt = kernel.attempt
+        choose = self.block_policy.choose
+        pick = self._pick_destination
+        server_rounds = kernel.model.server_upload
+        # Hot-loop hoists: the receiver pool is one live list per tick
+        # (mutated in place as capacity drains), so its reference — like
+        # the rng and absent set — is loop-invariant and passed down
+        # rather than re-fetched through kernel properties per pick.
+        pool = kernel.receiver_pool if complete_graph else None
+        absent = kernel.absent
+        for src in uploaders:
+            rounds = server_rounds if src == SERVER else 1
+            for _ in range(rounds):
+                dst = pick(src, snapshot, masks, dl_left, pool, rng, absent)
+                if dst is None:
+                    break
+                useful = snapshot[src] & ~masks[dst]
+                if reseed_rare and src == SERVER and useful & reseed_rare:
+                    useful &= reseed_rare
+                block = choose(useful, kernel, src, dst)
+                attempt(src, dst, block)
+
+    def _pick_destination(
+        self,
+        src: int,
+        snapshot: list[int],
+        masks: list[int],
+        dl_left: list[int] | None,
+        pool: list[int] | None,
+        rng,
+        absent: set[int],
+    ) -> int | None:
+        """Uniformly random eligible destination for ``src``, or ``None``.
+
+        Bounded rejection sampling over the candidate pool (uniform over
+        the eligible subset, conditioned on acceptance), then a full scan
+        choosing uniformly outright — the combination is exactly uniform.
+        The eligibility predicate is inlined twice for speed: this is the
+        hottest loop of the whole library. ``pool`` is the complete-graph
+        receiver pool (``None`` on sparse overlays).
+        """
+        have = snapshot[src]
+        gated = self._gated
+        allows = self.mechanism.allows
+
+        if pool is not None:
+            # Nobody can be interested if every incomplete client already
+            # held all of src's content at tick start.
+            if have & ~self._common == 0:
+                return None
+            candidates_pool = pool
+        else:
+            candidates_pool = self.kernel.graph.neighbors(src)
+        size = len(candidates_pool)
+        if size == 0:
+            return None
+
+        for _ in range(min(_REJECTION_TRIES, size)):
+            v = candidates_pool[rng.randrange(size)]
+            if (
+                v != src
+                and (dl_left is None or dl_left[v] > 0)
+                and have & ~masks[v]
+                and (not absent or v not in absent)
+                and (not gated or allows(src, v))
+            ):
+                return v
+        candidates = [
+            v
+            for v in candidates_pool
+            if v != src
+            and (dl_left is None or dl_left[v] > 0)
+            and have & ~masks[v]
+            and (not absent or v not in absent)
+            and (not gated or allows(src, v))
+        ]
+        if not candidates:
+            return None
+        return candidates[rng.randrange(len(candidates))]
+
+    def zero_tick_conclusive(self) -> bool:
+        """The destination search is exhaustive (bounded rejection
+        sampling *plus* a full fallback scan), so a tick with zero
+        attempts proves no legal transfer exists; with a static overlay
+        the state can never change again. Random throttling makes a
+        silent tick non-conclusive (a skipped uploader may act next
+        tick); the kernel separately asks the fault injector about
+        fault-side revivals (rejoins, a server outage ending)."""
+        return self._dynamic is None and not self.throttle
+
+    def result_meta(self) -> dict[str, object]:
+        kernel = self.kernel
+        meta: dict[str, object] = {
+            "algorithm": self.name,
+            "policy": self.block_policy.name,
+            "mechanism": self.mechanism.name,
+            "overlay": type(kernel.graph).__name__,
+            "max_ticks": kernel.max_ticks,
+            "uploads_per_tick": kernel.uploads_per_tick,
+            "final_holdings": [m.bit_count() for m in kernel.state.masks],
+        }
+        if self.selfish:
+            meta["selfish"] = sorted(self.selfish)
+        return meta
 
 
 class RandomizedEngine:
     """One randomized run over a (possibly dynamic) overlay.
+
+    A construction facade: validates arguments, builds a
+    :class:`RandomizedTickPolicy` and the :class:`~repro.sim.kernel.
+    TickKernel` that drives it, and exposes the familiar attribute
+    surface (``state``, ``log``, ``tick``, ``graph``, ...) by delegation.
 
     Parameters
     ----------
@@ -107,6 +302,8 @@ class RandomizedEngine:
         server-only again. Only consulted when ``faults`` is active.
     """
 
+    _tick_policy_cls = RandomizedTickPolicy
+
     def __init__(
         self,
         n: int,
@@ -123,27 +320,19 @@ class RandomizedEngine:
         faults: FaultPlan | None = None,
         recovery: RecoveryPolicy | None = None,
     ) -> None:
-        self.state = SwarmState(n, k)
         self.n, self.k = n, k
         self.policy = policy or RandomPolicy()
         self.mechanism = mechanism or Cooperative()
         self.mechanism.reset()
-        self.model = model or BandwidthModel.symmetric()
-        self.rng = rng if isinstance(rng, random.Random) else random.Random(rng)
-        self.max_ticks = max_ticks or default_max_ticks(n, k)
-        self.keep_log = keep_log
-        self.log = TransferLog()
-        self.uploads_per_tick: list[int] = []
-        self.tick = 0
 
-        self._dynamic = overlay if isinstance(overlay, DynamicOverlay) else None
-        if self._dynamic is not None:
-            self.graph: Graph = self._dynamic.at_tick(1)
+        dynamic = overlay if isinstance(overlay, DynamicOverlay) else None
+        if dynamic is not None:
+            graph: Graph = dynamic.at_tick(1)
         else:
-            self.graph = overlay if overlay is not None else CompleteGraph(n)
-        if self.graph.n != n:
+            graph = overlay if overlay is not None else CompleteGraph(n)
+        if graph.n != n:
             raise ConfigError(
-                f"overlay has {self.graph.n} nodes but the swarm has {n}"
+                f"overlay has {graph.n} nodes but the swarm has {n}"
             )
 
         self.selfish = frozenset(selfish)
@@ -159,89 +348,104 @@ class RandomizedEngine:
         # Zero entries are dropped so an all-zero throttle is bit-for-bit
         # identical to no throttle (no RNG draws are spent on it).
         self.throttle = {node: p for node, p in (throttle or {}).items() if p > 0}
-        self._gated = not isinstance(self.mechanism, Cooperative)
-        self._credit = (
+
+        self.tick_policy = self._build_tick_policy(graph, dynamic)
+        credit = (
             self.mechanism if isinstance(self.mechanism, CreditLimitedBarter) else None
         )
-        # Incomplete-node pool with O(1) sampling and removal, used as the
-        # candidate set on complete graphs.
-        self._pool: list[int] = list(range(1, n))
-        self._pool_pos: dict[int, int] = {v: i for i, v in enumerate(self._pool)}
-        self._full = (1 << k) - 1
-        self._common = 0  # refreshed at every tick start
-        self._avail: list[int] = []
-        self._avail_pos: dict[int, int] = {}
-        # Nodes currently out of the swarm (churn engines populate this);
-        # they are invalid destinations on explicit overlays.
-        self._absent: set[int] = set()
+        self.kernel = TickKernel(
+            n,
+            k,
+            self.tick_policy,
+            model=model,
+            rng=rng,
+            max_ticks=max_ticks,
+            keep_log=keep_log,
+            faults=faults,
+            recovery=recovery,
+            credit=credit,
+        )
 
-        # Fault injection. A null plan is normalised away so that
-        # ``faults=FaultPlan()`` costs nothing — no injector, no extra RNG
-        # draw — and the run is bit-identical to a fault-free one.
-        self.recovery = recovery or RecoveryPolicy()
-        self.fault_plan = faults if faults is not None and not faults.is_null else None
-        if self.fault_plan is not None:
-            self.faults: FaultInjector | None = FaultInjector(
-                self.fault_plan, random.Random(self.rng.getrandbits(63))
-            )
-            self._stall_window = self.recovery.stall_window_for(self.fault_plan)
-        else:
-            self.faults = None
-            self._stall_window = 0
-        self.failures_per_tick: list[int] = []
+    def _build_tick_policy(
+        self, graph: Graph, dynamic: DynamicOverlay | None
+    ) -> RandomizedTickPolicy:
+        return self._tick_policy_cls(
+            self.policy,
+            self.mechanism,
+            selfish=self.selfish,
+            throttle=self.throttle,
+            graph=graph,
+            dynamic=dynamic,
+        )
 
-    # -- candidate pool ------------------------------------------------------
+    # -- delegation to the kernel ------------------------------------------
+
+    @property
+    def state(self) -> SwarmState:
+        return self.kernel.state
+
+    @property
+    def log(self) -> TransferLog:
+        return self.kernel.log
+
+    @property
+    def rng(self) -> random.Random:
+        return self.kernel.rng
+
+    @property
+    def model(self) -> BandwidthModel:
+        return self.kernel.model
+
+    @property
+    def max_ticks(self) -> int:
+        return self.kernel.max_ticks
+
+    @property
+    def keep_log(self) -> bool:
+        return self.kernel.keep_log
+
+    @property
+    def tick(self) -> int:
+        return self.kernel.tick
+
+    @tick.setter
+    def tick(self, value: int) -> None:
+        self.kernel.tick = value
+
+    @property
+    def graph(self) -> Graph:
+        assert self.kernel.graph is not None
+        return self.kernel.graph
+
+    @property
+    def uploads_per_tick(self) -> list[int]:
+        return self.kernel.uploads_per_tick
+
+    @property
+    def failures_per_tick(self) -> list[int]:
+        return self.kernel.failures_per_tick
+
+    @property
+    def faults(self) -> FaultInjector | None:
+        return self.kernel.faults
+
+    @property
+    def fault_plan(self) -> FaultPlan | None:
+        return self.kernel.fault_plan
+
+    @property
+    def recovery(self) -> RecoveryPolicy:
+        return self.kernel.recovery
+
+    @property
+    def _absent(self) -> set[int]:
+        return self.kernel.absent
 
     def _pool_add(self, v: int) -> None:
-        if v not in self._pool_pos:
-            self._pool_pos[v] = len(self._pool)
-            self._pool.append(v)
+        self.kernel._pool_add(v)
 
     def _pool_remove(self, v: int) -> None:
-        pos = self._pool_pos.pop(v, None)
-        if pos is None:
-            return
-        last = self._pool.pop()
-        if last != v:
-            self._pool[pos] = last
-            self._pool_pos[last] = pos
-
-    def _avail_remove(self, v: int) -> None:
-        pos = self._avail_pos.pop(v, None)
-        if pos is None:
-            return
-        last = self._avail.pop()
-        if last != v:
-            self._avail[pos] = last
-            self._avail_pos[last] = pos
-
-    # -- fault events ----------------------------------------------------------
-
-    def _apply_faults(self, inj: FaultInjector) -> None:
-        """Apply this tick's crash and rejoin events (before the snapshot).
-
-        Rejoins land first: a node returning with its retained blocks is
-        enrolled back into the goal set (and the candidate pool) before
-        this tick's crash hazard is drawn over the present clients.
-        """
-        state = self.state
-        crashes, rejoins = inj.begin_tick(
-            self.tick, [v for v in range(1, self.n) if v not in self._absent]
-        )
-        for node, retained in rejoins:
-            self._absent.discard(node)
-            state.enroll(node)
-            if retained:
-                state.seed(node, retained)
-            if state.masks[node] != self._full:
-                self._pool_add(node)
-        for node in crashes:
-            inj.note_crash(self.tick, node, state.masks[node])
-            self._absent.add(node)
-            state.retire(node)
-            self._pool_remove(node)
-
-    # -- one tick --------------------------------------------------------------
+        self.kernel._pool_remove(v)
 
     def _run_tick(self) -> int:
         """Advance one tick; returns the number of *delivered* transfers.
@@ -249,218 +453,7 @@ class RandomizedEngine:
         Failed attempts (fault injection) are counted separately in
         ``failures_per_tick``.
         """
-        self.tick += 1
-        if self._dynamic is not None:
-            self.graph = self._dynamic.at_tick(self.tick)
-        inj = self.faults
-        if inj is not None and inj.tick_events_possible():
-            self._apply_faults(inj)
-
-        state = self.state
-        snapshot = state.begin_tick()
-        masks = state.masks
-        rng = self.rng
-        download_cap = self.model.download
-        dl_left = [download_cap] * self.n if download_cap is not None else None
-        complete_graph = isinstance(self.graph, CompleteGraph)
-        # Per-tick receiver pool for complete graphs: incomplete nodes with
-        # download capacity left. Shrinks as capacity is spent, so late
-        # uploaders don't re-sample saturated receivers.
-        if complete_graph:
-            self._avail = list(self._pool)
-            self._avail_pos = {v: i for i, v in enumerate(self._avail)}
-
-        selfish = self.selfish
-        throttle = self.throttle
-        uploaders = [
-            v
-            for v in range(1, self.n)
-            if snapshot[v]
-            and v not in selfish
-            and (not throttle or (p := throttle.get(v)) is None or rng.random() >= p)
-        ]
-        if inj is None or not inj.server_down(self.tick):
-            uploaders.append(SERVER)
-        rng.shuffle(uploaders)
-
-        # Server reseeding (recovery): blocks crashes made server-only
-        # again (global holder count 1) get priority in server picks.
-        reseed_rare = 0
-        if inj is not None and self.recovery.reseed:
-            for b, count in enumerate(state.freq):
-                if count == 1:
-                    reseed_rare |= 1 << b
-
-        # Blocks held by *every* incomplete client at tick start: an
-        # uploader whose content is a subset of this can interest nobody
-        # and is skipped outright (a large saving near the endgame).
-        common = -1
-        for v in self._pool:
-            common &= snapshot[v]
-            if common == 0:
-                break
-        self._common = common
-
-        transfers = 0
-        failed = 0
-        # Per-attempt judging only matters when loss/outage can fire; the
-        # server is already benched during its outage windows above, so an
-        # injector without link faults never fails a tick-sync attempt.
-        judge = (
-            inj.transfer_fails if inj is not None and inj.judges_links else None
-        )
-        # Credit balances are judged at tick start (transfers within a tick
-        # are simultaneous); ledger updates are buffered and flushed below.
-        credit_sends: list[tuple[int, int]] = []
-        for src in uploaders:
-            rounds = self.model.server_upload if src == SERVER else 1
-            for _ in range(rounds):
-                dst = self._pick_destination(
-                    src, snapshot, masks, dl_left, complete_graph
-                )
-                if dst is None:
-                    break
-                useful = snapshot[src] & ~masks[dst]
-                if reseed_rare and src == SERVER and useful & reseed_rare:
-                    useful &= reseed_rare
-                block = self.policy.choose(useful, self, src, dst)
-                if judge is not None and judge(self.tick, src, dst):
-                    # The attempt consumed this upload round, the
-                    # receiver's download slot and (under barter) credit,
-                    # but delivered nothing.
-                    if dl_left is not None:
-                        dl_left[dst] -= 1
-                        if complete_graph and dl_left[dst] <= 0:
-                            self._avail_remove(dst)
-                    if self._credit is not None:
-                        credit_sends.append((src, dst))
-                    if self.keep_log:
-                        self.log.record_failure(self.tick, src, dst, block)
-                    failed += 1
-                    continue
-                state.receive(dst, block)
-                if state.masks[dst] == self._full:
-                    self._pool_remove(dst)
-                    if complete_graph:
-                        self._avail_remove(dst)
-                if dl_left is not None:
-                    dl_left[dst] -= 1
-                    if complete_graph and dl_left[dst] <= 0:
-                        self._avail_remove(dst)
-                if self._credit is not None:
-                    credit_sends.append((src, dst))
-                if self.keep_log:
-                    self.log.record(self.tick, src, dst, block)
-                transfers += 1
-        if self._credit is not None:
-            for src, dst in credit_sends:
-                self._credit.note_send(src, dst)
-        self.uploads_per_tick.append(transfers)
-        self.failures_per_tick.append(failed)
-        return transfers
-
-    def _pick_destination(
-        self,
-        src: int,
-        snapshot: list[int],
-        masks: list[int],
-        dl_left: list[int] | None,
-        complete_graph: bool,
-    ) -> int | None:
-        """Uniformly random eligible destination for ``src``, or ``None``.
-
-        Bounded rejection sampling over the candidate pool (uniform over
-        the eligible subset, conditioned on acceptance), then a full scan
-        choosing uniformly outright — the combination is exactly uniform.
-        The eligibility predicate is inlined twice for speed: this is the
-        hottest loop of the whole library.
-        """
-        have = snapshot[src]
-        gated = self._gated
-        allows = self.mechanism.allows
-        rng = self.rng
-
-        if complete_graph:
-            candidates_pool = self._avail
-            # Nobody can be interested if every incomplete client already
-            # held all of src's content at tick start.
-            if have & ~self._common == 0:
-                return None
-        else:
-            candidates_pool = self.graph.neighbors(src)
-        size = len(candidates_pool)
-        if size == 0:
-            return None
-        absent = self._absent
-
-        for _ in range(min(_REJECTION_TRIES, size)):
-            v = candidates_pool[rng.randrange(size)]
-            if (
-                v != src
-                and (dl_left is None or dl_left[v] > 0)
-                and have & ~masks[v]
-                and (not absent or v not in absent)
-                and (not gated or allows(src, v))
-            ):
-                return v
-        candidates = [
-            v
-            for v in candidates_pool
-            if v != src
-            and (dl_left is None or dl_left[v] > 0)
-            and have & ~masks[v]
-            and (not absent or v not in absent)
-            and (not gated or allows(src, v))
-        ]
-        if not candidates:
-            return None
-        return candidates[rng.randrange(len(candidates))]
-
-    # -- whole run ---------------------------------------------------------------
-
-    def _goal_reached(self) -> bool:
-        """Whether the run's success condition currently holds.
-
-        Base case: every (present) client holds the file and no crashed
-        node is still scheduled to rejoin incomplete. Subclasses extend
-        (churn also waits out pending arrivals).
-        """
-        return self.state.all_complete and (
-            self.faults is None or not self.faults.pending_rejoins()
-        )
-
-    def _zero_tick_conclusive(self) -> bool:
-        """Whether a tick with zero *attempts* proves permanent deadlock.
-
-        The destination search is exhaustive (bounded rejection sampling
-        *plus* a full fallback scan), so a tick with zero attempts proves
-        no legal transfer exists; with a static overlay the state can
-        never change again. Random throttling makes a silent tick
-        non-conclusive (a skipped uploader may act next tick), and under
-        fault injection the injector rules out the events that could
-        still change the state (rejoins, future crashes, a server outage
-        ending).
-        """
-        if self._dynamic is not None or self.throttle:
-            return False
-        return self.faults is None or self.faults.zero_attempt_conclusive(self.tick)
-
-    def _completions(self) -> dict[int, int]:
-        return self.log.completion_ticks(self.n, self.k)
-
-    def _result_meta(self) -> dict[str, object]:
-        meta: dict[str, object] = {
-            "algorithm": "randomized",
-            "policy": self.policy.name,
-            "mechanism": self.mechanism.name,
-            "overlay": type(self.graph).__name__,
-            "max_ticks": self.max_ticks,
-            "uploads_per_tick": self.uploads_per_tick,
-            "final_holdings": [m.bit_count() for m in self.state.masks],
-        }
-        if self.selfish:
-            meta["selfish"] = sorted(self.selfish)
-        return meta
+        return self.kernel.step()
 
     def run(self, progress: Callable[[int, int], None] | None = None) -> RunResult:
         """Run until every client completes or ``max_ticks`` elapse.
@@ -470,51 +463,4 @@ class RandomizedEngine:
         paper's "off the charts" barter runs) or, under fault injection,
         on stall detection — see :attr:`~repro.core.log.RunResult.abort`.
         """
-        inj = self.faults
-        deadlocked = False
-        abort: str | None = None
-        idle = 0
-        while self.tick < self.max_ticks and not self._goal_reached():
-            made = self._run_tick()
-            if progress is not None:
-                progress(self.tick, made)
-            if self._goal_reached():
-                # Checked *before* the deadlock guard: a tick can make
-                # zero transfers and still reach the goal (a departure at
-                # the start of the tick may remove the last incomplete
-                # client), and that must never read as a deadlock.
-                break
-            attempts = made if inj is None else made + self.failures_per_tick[-1]
-            if attempts == 0 and self._zero_tick_conclusive():
-                deadlocked = True
-                break
-            if inj is not None:
-                idle = idle + 1 if made == 0 else 0
-                if idle >= self._stall_window:
-                    # No delivery for a whole window: not provably
-                    # permanent (faults are stochastic), but hopeless
-                    # enough that the recovery policy gives up.
-                    abort = "stall"
-                    break
-
-        completed = self._goal_reached()
-        completions = self._completions() if self.keep_log else {}
-        meta = self._result_meta()
-        meta["deadlocked"] = deadlocked
-        if deadlocked:
-            abort = "deadlock"
-        meta["abort"] = None if completed else (abort or "max-ticks")
-        if inj is not None:
-            meta["faults"] = self.fault_plan.describe()
-            meta["failures_per_tick"] = self.failures_per_tick
-            meta["stall_window"] = self._stall_window
-            meta.update(inj.telemetry())
-            meta.update(inj.events())
-        return RunResult(
-            n=self.n,
-            k=self.k,
-            completion_time=self.tick if completed else None,
-            client_completions=completions,
-            log=self.log,
-            meta=meta,
-        )
+        return self.kernel.run(progress)

@@ -18,143 +18,91 @@ symmetric, so the strict-barter constraint still holds over the tick's
 attempts — but delivers nothing. Crashed clients leave the swarm (their
 copies vanish) and may rejoin with retained blocks; the server sits out
 its outage windows.
+
+On the :mod:`repro.sim` kernel the matching logic is
+:class:`ExchangeTickPolicy`; :class:`ExchangeEngine` is the construction
+facade and :func:`randomized_exchange_run` the one-call entry point.
 """
 
 from __future__ import annotations
 
 import random
+from typing import Callable
 
-from ..core.log import RunResult, TransferLog
+from ..core.errors import ConfigError
+from ..core.log import RunResult
 from ..core.model import SERVER, BandwidthModel
-from ..core.state import SwarmState
-from ..faults.injector import FaultInjector
 from ..faults.plan import FaultPlan
 from ..faults.recovery import RecoveryPolicy
 from ..overlays.graph import CompleteGraph, Graph
-from .engine import default_max_ticks
+from ..sim.kernel import TickKernel
+from ..sim.policy import TickPolicy
 from .policies import BlockPolicy, RandomPolicy
 
-__all__ = ["randomized_exchange_run"]
+__all__ = ["ExchangeEngine", "ExchangeTickPolicy", "randomized_exchange_run"]
 
 
-class _ExchangeEngine:
-    """Minimal engine view passed to block policies (state / rng / tick)."""
-
-    def __init__(self, state: SwarmState, graph: Graph, rng: random.Random) -> None:
-        self.state = state
-        self.graph = graph
-        self.rng = rng
-        self.tick = 0
-
-
-def randomized_exchange_run(
-    n: int,
-    k: int,
-    overlay: Graph | None = None,
-    policy: BlockPolicy | None = None,
-    model: BandwidthModel | None = None,
-    rng: random.Random | int | None = None,
-    max_ticks: int | None = None,
-    faults: FaultPlan | None = None,
-    recovery: RecoveryPolicy | None = None,
-) -> RunResult:
-    """Run randomized strict-barter exchange until completion or timeout.
+class ExchangeTickPolicy(TickPolicy):
+    """Per-tick random matching of mutually interested client pairs.
 
     Per tick: the server sends one block to a random interested client;
     clients are scanned in random order, each unmatched client picking a
     random unmatched neighbor with which a mutually useful swap exists,
-    and the pair exchanges blocks chosen by ``policy`` in both directions.
-
-    A strict-barter swarm can deadlock short of completion (no pair has
-    mutual interest and the server cannot help); a zero-transfer tick
-    proves it — the partner scan is exhaustive — and the run aborts with
-    ``meta["deadlocked"] = True``. Under fault injection the proof needs
-    the injector's say-so (a rejoin or outage end could revive the
-    swarm), and a stall window aborts runs that merely stop progressing.
+    and the pair exchanges blocks chosen by the block policy in both
+    directions. Download capacity is enforced structurally (one swap per
+    client, plus the seeded client needing a second unit), so the
+    kernel's per-node download ledger is switched off.
     """
-    model = model or BandwidthModel.symmetric()
-    rng = rng if isinstance(rng, random.Random) else random.Random(rng)
-    graph = overlay if overlay is not None else CompleteGraph(n)
-    policy = policy or RandomPolicy()
-    state = SwarmState(n, k)
-    view = _ExchangeEngine(state, graph, rng)
-    log = TransferLog()
-    limit = max_ticks or default_max_ticks(n, k)
 
-    recovery = recovery or RecoveryPolicy()
-    plan = faults if faults is not None and not faults.is_null else None
-    inj: FaultInjector | None = None
-    stall_window = 0
-    if plan is not None:
-        inj = FaultInjector(plan, random.Random(rng.getrandbits(63)))
-        stall_window = recovery.stall_window_for(plan)
+    name = "randomized-exchange"
+    fault_support = "full"
+    uses_download_ledger = False
 
-    # Judging only matters when loss/outage can fire; server sends are
-    # already benched during outage windows at the same tick granularity.
-    judge = inj.transfer_fails if inj is not None and inj.judges_links else None
+    def __init__(self, block_policy: BlockPolicy, graph: Graph) -> None:
+        self.block_policy = block_policy
+        self._graph = graph
 
-    absent: set[int] = set()
-    failures_per_tick: list[int] = []
-    deadlocked = False
-    abort: str | None = None
-    idle = 0
+    def bind(self, kernel: TickKernel) -> None:
+        super().bind(kernel)
+        kernel.graph = self._graph
 
-    def goal_reached() -> bool:
-        return state.all_complete and (inj is None or not inj.pending_rejoins())
-
-    while view.tick < limit and not goal_reached():
-        view.tick += 1
-        tick = view.tick
-
-        if inj is not None and inj.tick_events_possible():
-            crashes, rejoins = inj.begin_tick(
-                tick, [v for v in range(1, n) if v not in absent]
-            )
-            for node, retained in rejoins:
-                absent.discard(node)
-                state.enroll(node)
-                if retained:
-                    state.seed(node, retained)
-            for node in crashes:
-                inj.note_crash(tick, node, state.masks[node])
-                absent.add(node)
-                state.retire(node)
-
-        snapshot = state.begin_tick()
+    def run_tick(self, snapshot: list[int]) -> None:
+        kernel = self.kernel
+        state = kernel.state
+        masks = state.masks
+        rng = kernel.rng
+        graph = kernel.graph
+        absent = kernel.absent
+        policy = self.block_policy
+        attempt = kernel.attempt
+        tick = kernel.tick
         matched: set[int] = set()
-        made = 0
-        failed = 0
 
         # Server seeding: one free block per tick to a random client that
         # is interested in the server's content (i.e. incomplete).
         seeded = None
-        if inj is None or not inj.server_down(tick):
+        if kernel.server_available():
             candidates = [
                 v
                 for v in graph.neighbors(SERVER)
                 if v != SERVER
                 and v not in absent
-                and snapshot[SERVER] & ~state.masks[v]
+                and snapshot[SERVER] & ~masks[v]
             ]
             if candidates:
                 seeded = candidates[rng.randrange(len(candidates))]
                 block = policy.choose(
-                    snapshot[SERVER] & ~state.masks[seeded], view, SERVER, seeded
+                    snapshot[SERVER] & ~masks[seeded], kernel, SERVER, seeded
                 )
-                if judge is not None and judge(tick, SERVER, seeded):
-                    log.record_failure(tick, SERVER, seeded, block)
-                    failed += 1
-                else:
-                    state.receive(seeded, block)
-                    log.record(tick, SERVER, seeded, block)
-                    made += 1
+                attempt(SERVER, seeded, block)
 
         # Pairwise matching of mutually interested clients. A node the
         # server seeded this tick (even if the seed was lost in transit —
         # the slot is spent) may only also barter with a second unit of
         # download capacity.
+        model = kernel.model
         seed_can_barter = model.unbounded_download or model.download >= 2
-        order = [v for v in range(1, n) if snapshot[v] and v not in absent]
+        order = [v for v in range(1, kernel.n) if snapshot[v] and v not in absent]
         rng.shuffle(order)
         for a in order:
             if a in matched or (a == seeded and not seed_can_barter):
@@ -166,70 +114,135 @@ def randomized_exchange_run(
                 and b not in matched
                 and b not in absent
                 and (b != seeded or seed_can_barter)
-                and snapshot[a] & ~state.masks[b]
-                and snapshot[b] & ~state.masks[a]
+                and snapshot[a] & ~masks[b]
+                and snapshot[b] & ~masks[a]
             ]
             if not partners:
                 continue
             b = partners[rng.randrange(len(partners))]
-            block_ab = policy.choose(snapshot[a] & ~state.masks[b], view, a, b)
-            block_ba = policy.choose(snapshot[b] & ~state.masks[a], view, b, a)
+            block_ab = policy.choose(snapshot[a] & ~masks[b], kernel, a, b)
+            block_ba = policy.choose(snapshot[b] & ~masks[a], kernel, b, a)
             # Each direction is judged independently; the *attempts* stay
             # paired, which is what strict barter constrains.
-            for src, dst, blk in ((a, b, block_ab), (b, a, block_ba)):
-                if judge is not None and judge(tick, src, dst):
-                    log.record_failure(tick, src, dst, blk)
-                    failed += 1
-                else:
-                    state.receive(dst, blk)
-                    log.record(tick, src, dst, blk)
-                    made += 1
+            attempt(a, b, block_ab)
+            attempt(b, a, block_ba)
             matched.add(a)
             matched.add(b)
 
-        failures_per_tick.append(failed)
-        if goal_reached():
-            break
-        if made + failed == 0 and (inj is None or inj.zero_attempt_conclusive(tick)):
-            # The partner scan is exhaustive, so a tick without a single
-            # attempt proves no legal move exists; the state can never
-            # change again (and with faults, the injector just ruled out
-            # rejoins, crashes and outage ends).
-            deadlocked = True
-            break
-        if inj is not None:
-            idle = idle + 1 if made == 0 else 0
-            if idle >= stall_window:
-                abort = "stall"
-                break
+    def zero_tick_conclusive(self) -> bool:
+        """The partner scan is exhaustive, so a tick without a single
+        attempt proves no legal move exists; the state can never change
+        again (the kernel separately rules out fault-side revivals)."""
+        return True
 
-    completed = goal_reached()
-    if deadlocked:
-        abort = "deadlock"
-    completions = {
-        c: t
-        for c, t in log.completion_ticks(n, k).items()
-        if c not in absent
-    }
-    meta: dict[str, object] = {
-        "algorithm": "randomized-exchange",
-        "policy": policy.name,
-        "mechanism": "strict-barter",
-        "max_ticks": limit,
-        "deadlocked": deadlocked,
-        "abort": None if completed else (abort or "max-ticks"),
-    }
-    if inj is not None:
-        meta["faults"] = plan.describe()
-        meta["failures_per_tick"] = failures_per_tick
-        meta["stall_window"] = stall_window
-        meta.update(inj.telemetry())
-        meta.update(inj.events())
-    return RunResult(
-        n=n,
-        k=k,
-        completion_time=view.tick if completed else None,
-        client_completions=completions,
-        log=log,
-        meta=meta,
-    )
+    def completions(self) -> dict[int, int]:
+        kernel = self.kernel
+        if not kernel.keep_log:
+            return {}
+        absent = kernel.absent
+        return {
+            c: t
+            for c, t in kernel.log.completion_ticks(kernel.n, kernel.k).items()
+            if c not in absent
+        }
+
+    def result_meta(self) -> dict[str, object]:
+        return {
+            "algorithm": self.name,
+            "policy": self.block_policy.name,
+            "mechanism": "strict-barter",
+            "max_ticks": self.kernel.max_ticks,
+        }
+
+
+class ExchangeEngine:
+    """Randomized strict-barter exchange swarm; see module docstring.
+
+    A strict-barter swarm can deadlock short of completion (no pair has
+    mutual interest and the server cannot help); a zero-transfer tick
+    proves it and the run aborts with ``meta["deadlocked"] = True``.
+    Under fault injection the proof needs the injector's say-so (a rejoin
+    or outage end could revive the swarm), and a stall window aborts runs
+    that merely stop progressing.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        overlay: Graph | None = None,
+        policy: BlockPolicy | None = None,
+        model: BandwidthModel | None = None,
+        rng: random.Random | int | None = None,
+        max_ticks: int | None = None,
+        keep_log: bool = True,
+        faults: FaultPlan | None = None,
+        recovery: RecoveryPolicy | None = None,
+    ) -> None:
+        self.n, self.k = n, k
+        self.policy = policy or RandomPolicy()
+        graph = overlay if overlay is not None else CompleteGraph(n)
+        if graph.n != n:
+            raise ConfigError(
+                f"overlay has {graph.n} nodes but the swarm has {n}"
+            )
+        self.tick_policy = ExchangeTickPolicy(self.policy, graph)
+        self.kernel = TickKernel(
+            n,
+            k,
+            self.tick_policy,
+            model=model,
+            rng=rng,
+            max_ticks=max_ticks,
+            keep_log=keep_log,
+            faults=faults,
+            recovery=recovery,
+        )
+
+    @property
+    def state(self):
+        return self.kernel.state
+
+    @property
+    def log(self):
+        return self.kernel.log
+
+    @property
+    def tick(self) -> int:
+        return self.kernel.tick
+
+    @property
+    def graph(self) -> Graph:
+        assert self.kernel.graph is not None
+        return self.kernel.graph
+
+    def run(self, progress: Callable[[int, int], None] | None = None) -> RunResult:
+        return self.kernel.run(progress)
+
+
+def randomized_exchange_run(
+    n: int,
+    k: int,
+    overlay: Graph | None = None,
+    policy: BlockPolicy | None = None,
+    model: BandwidthModel | None = None,
+    rng: random.Random | int | None = None,
+    max_ticks: int | None = None,
+    keep_log: bool = True,
+    faults: FaultPlan | None = None,
+    recovery: RecoveryPolicy | None = None,
+) -> RunResult:
+    """Run randomized strict-barter exchange until completion or timeout;
+    see :class:`ExchangeEngine`."""
+    return ExchangeEngine(
+        n,
+        k,
+        overlay=overlay,
+        policy=policy,
+        model=model,
+        rng=rng,
+        max_ticks=max_ticks,
+        keep_log=keep_log,
+        faults=faults,
+        recovery=recovery,
+    ).run()

@@ -1,0 +1,444 @@
+"""The shared tick-synchronous simulation kernel.
+
+Every tick engine in this library used to own a private copy of the same
+machinery: the tick loop, the start-of-tick snapshot, live capacity
+counters, fault judging, logging and the abort verdict. This module is
+that machinery, written once. An engine is now a
+:class:`~repro.sim.policy.TickPolicy` (who uploads what to whom) driving
+a :class:`TickKernel` (everything else), which is what makes fault
+plans, stall detection and progress callbacks behave identically across
+mechanisms — and gives the library a single hot path to optimise.
+
+Kernel responsibilities, per tick:
+
+1. ``policy.pre_tick`` — churn events, dynamic-overlay updates;
+2. fault crash/rejoin processing (rejoins land before the crash draw);
+3. the start-of-tick snapshot via ``SwarmState.begin_tick`` (synchronous
+   semantics: blocks received in tick ``t`` forward from ``t + 1``);
+4. the download-capacity ledger (``dl_left``), including the
+   complete-graph incremental *receiver pool* used for O(1) eligible
+   sampling;
+5. ``policy.run_tick`` — the policy attempts transfers through
+   :meth:`TickKernel.attempt`, which judges each attempt against the
+   fault injector, applies deliveries, charges capacity and credit, and
+   logs both streams;
+6. verdicts — the uniform ``None | deadlock | stall | max-ticks`` abort,
+   with deadlock only on a *conclusive* zero-attempt tick.
+
+RNG discipline: the kernel draws nothing itself. Decision randomness
+belongs to the policy (via ``kernel.rng``); fault randomness to the
+injector's own stream, seeded once from ``rng.getrandbits(63)`` exactly
+as the pre-kernel engines did — which is why the golden-log suite can
+require byte-identical transfer logs across the refactor.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from ..core.errors import ConfigError
+from ..core.log import RunResult, TransferLog
+from ..core.mechanisms import CreditLimitedBarter
+from ..core.model import BandwidthModel
+from ..core.state import SwarmState
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan
+from ..faults.recovery import RecoveryPolicy
+from ..overlays.graph import Graph
+from .policy import FAULT_SUPPORT_LEVELS, TickPolicy
+
+__all__ = ["TickKernel", "default_max_ticks"]
+
+
+def default_max_ticks(n: int, k: int) -> int:
+    """Generous run guard: far above any completion the paper observes
+    (worst cases there are ~6k ticks at n = k = 1000), yet finite so a
+    non-converging configuration returns instead of spinning."""
+    return 40 * k + 10 * n + 1000
+
+
+class TickKernel:
+    """One tick-synchronous run of one policy; see module docstring.
+
+    Parameters
+    ----------
+    n, k:
+        Swarm size (server included) and number of blocks.
+    policy:
+        The :class:`~repro.sim.policy.TickPolicy` deciding uploads.
+    model:
+        Bandwidth model; defaults to ``d = u`` (one download per tick).
+    rng:
+        A :class:`random.Random`, a seed, or ``None`` — the *decision*
+        stream, exposed to the policy as ``kernel.rng``.
+    max_ticks:
+        Abort threshold; a run that exceeds it returns an incomplete
+        :class:`~repro.core.log.RunResult`.
+    keep_log:
+        Record every transfer (needed for verification); off saves
+        memory on huge sweeps — per-tick upload counts are kept anyway.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan`. A null plan is
+        normalised to "no faults" (bit-identical runs); a non-null plan
+        must fit ``policy.fault_support`` or construction raises
+        :class:`~repro.core.errors.ConfigError`.
+    recovery:
+        :class:`~repro.faults.recovery.RecoveryPolicy` governing stall
+        detection and server reseeding; consulted only under faults.
+    credit:
+        Optional :class:`~repro.core.mechanisms.CreditLimitedBarter`
+        whose ledger the kernel charges per attempt (buffered within a
+        tick: simultaneous transfers are judged at tick-start balances).
+    """
+
+    # Slotted: ``attempt`` / ``_deliver_mask`` run once per transfer
+    # across every engine, and slot attribute loads are measurably
+    # cheaper than dict lookups on that path.
+    __slots__ = (
+        "state", "n", "k", "policy", "model", "rng", "max_ticks",
+        "keep_log", "log", "tick", "uploads_per_tick", "failures_per_tick",
+        "graph", "_pool", "_pool_pos", "_full", "_avail", "_avail_pos",
+        "_avail_active", "absent", "credit", "_credit_sends", "_dl_left",
+        "_use_dl_ledger", "_tick_delivered", "_tick_failed", "recovery",
+        "fault_plan", "faults", "_stall_window", "_judge", "_deliver",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        policy: TickPolicy,
+        *,
+        model: BandwidthModel | None = None,
+        rng: random.Random | int | None = None,
+        max_ticks: int | None = None,
+        keep_log: bool = True,
+        faults: FaultPlan | None = None,
+        recovery: RecoveryPolicy | None = None,
+        credit: CreditLimitedBarter | None = None,
+    ) -> None:
+        self.state = SwarmState(n, k)
+        self.n, self.k = n, k
+        self.policy = policy
+        self.model = model or BandwidthModel.symmetric()
+        self.rng = rng if isinstance(rng, random.Random) else random.Random(rng)
+        self.max_ticks = max_ticks or default_max_ticks(n, k)
+        self.keep_log = keep_log
+        self.log = TransferLog()
+        self.tick = 0
+        self.uploads_per_tick: list[int] = []
+        self.failures_per_tick: list[int] = []
+        #: Current overlay view; policies that use one keep it updated so
+        #: block-selection policies can consult ``kernel.graph``.
+        self.graph: Graph | None = None
+
+        # Incomplete-node pool with O(1) membership/removal: the
+        # candidate set for complete-graph sampling, kept in sync by
+        # deliveries and crash/rejoin events.
+        self._pool: list[int] = list(range(1, n))
+        self._pool_pos: dict[int, int] = {v: i for i, v in enumerate(self._pool)}
+        self._full = (1 << k) - 1
+        # Per-tick receiver pool (incomplete nodes with download capacity
+        # left); active only when the policy asks for it.
+        self._avail: list[int] = []
+        self._avail_pos: dict[int, int] = {}
+        self._avail_active = False
+        #: Nodes currently out of the swarm (crashes, churn).
+        self.absent: set[int] = set()
+
+        self.credit = credit
+        self._credit_sends: list[tuple[int, int]] = []
+        self._dl_left: list[int] | None = None
+        self._use_dl_ledger = policy.uses_download_ledger
+        self._tick_delivered = 0
+        self._tick_failed = 0
+
+        # Fault injection. A null plan is normalised away so that
+        # ``faults=FaultPlan()`` costs nothing — no injector, no extra
+        # RNG draw — and the run is bit-identical to a fault-free one.
+        support = policy.fault_support
+        if support not in FAULT_SUPPORT_LEVELS:  # pragma: no cover - dev error
+            raise ConfigError(
+                f"policy {policy.name!r} declares unknown fault_support "
+                f"{support!r}"
+            )
+        self.recovery = recovery or RecoveryPolicy()
+        plan = faults if faults is not None and not faults.is_null else None
+        if plan is not None:
+            if support == "none":
+                raise ConfigError(
+                    f"the {policy.name} engine does not support fault "
+                    f"injection; remove the FaultPlan or use an engine "
+                    f"whose kernel path carries it"
+                )
+            if plan.crash_rate > 0.0 and support != "full":
+                raise ConfigError(
+                    f"the {policy.name} engine carries transfer loss, link "
+                    f"outages and server outage windows, but not node "
+                    f"crashes (crash_rate={plan.crash_rate}); set "
+                    f"crash_rate=0 or use an engine with full fault support"
+                )
+        self.fault_plan = plan
+        if plan is not None:
+            self.faults: FaultInjector | None = FaultInjector(
+                plan, random.Random(self.rng.getrandbits(63))
+            )
+            self._stall_window = self.recovery.stall_window_for(plan)
+        else:
+            self.faults = None
+            self._stall_window = 0
+        self._judge = (
+            self.faults.transfer_fails
+            if self.faults is not None and self.faults.judges_links
+            else None
+        )
+        # Policies may own delivery application entirely (network coding
+        # inserts basis rows instead of setting mask bits).
+        deliver = getattr(policy, "deliver", None)
+        self._deliver: Callable[[int, int, int], None] = (
+            deliver if deliver is not None else self._deliver_mask
+        )
+        policy.bind(self)
+
+    # -- pools -------------------------------------------------------------
+
+    @property
+    def incomplete_pool(self) -> list[int]:
+        """Clients still missing blocks (live list; do not mutate)."""
+        return self._pool
+
+    def _pool_add(self, v: int) -> None:
+        if v not in self._pool_pos:
+            self._pool_pos[v] = len(self._pool)
+            self._pool.append(v)
+
+    def _pool_remove(self, v: int) -> None:
+        pos = self._pool_pos.pop(v, None)
+        if pos is None:
+            return
+        last = self._pool.pop()
+        if last != v:
+            self._pool[pos] = last
+            self._pool_pos[last] = pos
+
+    def activate_receiver_pool(self) -> list[int]:
+        """Arm the per-tick receiver pool from the incomplete pool.
+
+        Complete-graph policies call this at tick start; the kernel then
+        shrinks the pool as receivers complete or exhaust their download
+        capacity, so late uploaders never re-sample saturated receivers.
+        Returns the live pool list.
+        """
+        self._avail = list(self._pool)
+        self._avail_pos = {v: i for i, v in enumerate(self._avail)}
+        self._avail_active = True
+        return self._avail
+
+    @property
+    def receiver_pool(self) -> list[int]:
+        """The live per-tick receiver pool (valid after activation)."""
+        return self._avail
+
+    def _avail_remove(self, v: int) -> None:
+        pos = self._avail_pos.pop(v, None)
+        if pos is None:
+            return
+        last = self._avail.pop()
+        if last != v:
+            self._avail[pos] = last
+            self._avail_pos[last] = pos
+
+    # -- per-attempt primitive ---------------------------------------------
+
+    def attempt(self, src: int, dst: int, block: int) -> bool:
+        """Attempt one transfer; returns whether it was delivered.
+
+        The single hot path shared by every engine: judges the attempt
+        against the fault injector (a failed attempt consumes the
+        receiver's download slot and any barter credit but delivers
+        nothing), applies the delivery, charges the capacity ledger, and
+        records the appropriate log stream.
+        """
+        judge = self._judge
+        if judge is not None and judge(self.tick, src, dst):
+            dl = self._dl_left
+            if dl is not None:
+                left = dl[dst] = dl[dst] - 1
+                if left <= 0 and self._avail_active:
+                    self._avail_remove(dst)
+            if self.credit is not None:
+                self._credit_sends.append((src, dst))
+            if self.keep_log:
+                self.log.record_failure(self.tick, src, dst, block)
+            self._tick_failed += 1
+            return False
+        self._deliver(src, dst, block)
+        dl = self._dl_left
+        if dl is not None:
+            left = dl[dst] = dl[dst] - 1
+            if left <= 0 and self._avail_active:
+                self._avail_remove(dst)
+        if self.credit is not None:
+            self._credit_sends.append((src, dst))
+        if self.keep_log:
+            self.log.record(self.tick, src, dst, block)
+        self._tick_delivered += 1
+        return True
+
+    def _deliver_mask(self, src: int, dst: int, block: int) -> None:
+        state = self.state
+        state.receive(dst, block)
+        if state.masks[dst] == self._full:
+            self._pool_remove(dst)
+            if self._avail_active:
+                self._avail_remove(dst)
+
+    @property
+    def download_ledger(self) -> list[int] | None:
+        """Per-node download slots left this tick (``None`` = unbounded
+        or ledger disabled by the policy)."""
+        return self._dl_left
+
+    def server_available(self) -> bool:
+        """Whether the server may upload this tick (outage windows)."""
+        inj = self.faults
+        return inj is None or not inj.server_down(self.tick)
+
+    # -- fault events ------------------------------------------------------
+
+    def _apply_fault_events(self, inj: FaultInjector) -> None:
+        """Apply this tick's crash and rejoin events (before the
+        snapshot). Rejoins land first: a node returning with retained
+        blocks re-enters the goal set before this tick's crash hazard is
+        drawn over the present clients."""
+        state = self.state
+        absent = self.absent
+        policy = self.policy
+        crashes, rejoins = inj.begin_tick(
+            self.tick, [v for v in range(1, self.n) if v not in absent]
+        )
+        for node, retained in rejoins:
+            absent.discard(node)
+            state.enroll(node)
+            if retained:
+                state.seed(node, retained)
+            if state.masks[node] != self._full:
+                self._pool_add(node)
+            policy.after_rejoin(node)
+        for node in crashes:
+            inj.note_crash(self.tick, node, state.masks[node])
+            absent.add(node)
+            state.retire(node)
+            self._pool_remove(node)
+            policy.after_crash(node)
+
+    # -- tick loop ---------------------------------------------------------
+
+    def step(self) -> int:
+        """Advance exactly one tick; returns delivered transfers.
+
+        Failed attempts are counted separately in ``failures_per_tick``.
+        """
+        self.tick += 1
+        policy = self.policy
+        policy.pre_tick(self.tick)
+        inj = self.faults
+        if inj is not None and inj.tick_events_possible():
+            self._apply_fault_events(inj)
+        snapshot = self.state.begin_tick()
+        cap = self.model.download
+        self._dl_left = (
+            [cap] * self.n if (self._use_dl_ledger and cap is not None) else None
+        )
+        self._avail_active = False
+        self._tick_delivered = 0
+        self._tick_failed = 0
+        policy.run_tick(snapshot)
+        credit = self.credit
+        if credit is not None and self._credit_sends:
+            # Balances were judged at tick start (transfers within a tick
+            # are simultaneous); flush the buffered ledger updates now.
+            note = credit.note_send
+            for src, dst in self._credit_sends:
+                note(src, dst)
+            self._credit_sends.clear()
+        made = self._tick_delivered
+        self.uploads_per_tick.append(made)
+        self.failures_per_tick.append(self._tick_failed)
+        return made
+
+    def _goal_reached(self) -> bool:
+        policy = self.policy
+        return (
+            policy.all_complete()
+            and (self.faults is None or not self.faults.pending_rejoins())
+            and policy.goal_extra()
+        )
+
+    def _zero_tick_conclusive(self) -> bool:
+        if not self.policy.zero_tick_conclusive():
+            return False
+        return self.faults is None or self.faults.zero_attempt_conclusive(self.tick)
+
+    # -- whole run ---------------------------------------------------------
+
+    def run(self, progress: Callable[[int, int], None] | None = None) -> RunResult:
+        """Run until the goal holds or ``max_ticks`` elapse.
+
+        ``progress`` (optional) is called as ``progress(tick,
+        transfers)`` after each tick. A run can also end on a proven
+        deadlock or, under fault injection, on stall detection — see
+        :attr:`~repro.core.log.RunResult.abort`.
+        """
+        inj = self.faults
+        deadlocked = False
+        abort: str | None = None
+        idle = 0
+        while self.tick < self.max_ticks and not self._goal_reached():
+            made = self.step()
+            if progress is not None:
+                progress(self.tick, made)
+            if self._goal_reached():
+                # Checked *before* the deadlock guard: a tick can make
+                # zero transfers and still reach the goal (a departure
+                # at tick start may remove the last incomplete client),
+                # and that must never read as a deadlock.
+                break
+            if made + self.failures_per_tick[-1] == 0 and self._zero_tick_conclusive():
+                deadlocked = True
+                break
+            if inj is not None:
+                idle = idle + 1 if made == 0 else 0
+                if idle >= self._stall_window:
+                    # No delivery for a whole window: not provably
+                    # permanent (faults are stochastic), but hopeless
+                    # enough that the recovery policy gives up.
+                    abort = "stall"
+                    break
+            reason = self.policy.post_tick(made, self.failures_per_tick[-1])
+            if reason is not None:
+                abort = reason
+                break
+
+        completed = self._goal_reached()
+        completions = self.policy.completions()
+        meta = self.policy.result_meta()
+        meta["deadlocked"] = deadlocked
+        if deadlocked:
+            abort = "deadlock"
+        meta["abort"] = None if completed else (abort or "max-ticks")
+        if inj is not None:
+            meta["faults"] = self.fault_plan.describe()
+            meta["failures_per_tick"] = self.failures_per_tick
+            meta["stall_window"] = self._stall_window
+            meta.update(inj.telemetry())
+            meta.update(inj.events())
+        return RunResult(
+            n=self.n,
+            k=self.k,
+            completion_time=self.tick if completed else None,
+            client_completions=completions,
+            log=self.log,
+            meta=meta,
+        )

@@ -1,0 +1,129 @@
+"""The policy side of the simulation kernel contract.
+
+A :class:`TickPolicy` answers exactly one question per tick — *who
+uploads what to whom* — while :class:`~repro.sim.kernel.TickKernel` owns
+everything mechanical about a run: the tick loop, the start-of-tick
+snapshot, live upload/download capacity, fault-attempt judging,
+crash/rejoin processing, transfer logging, progress callbacks and the
+uniform ``None | deadlock | stall | max-ticks`` abort verdict.
+
+Concrete policies live next to the engines they power:
+
+* randomized sampling (cooperative / credit-limited barter) —
+  :mod:`repro.randomized.engine`;
+* the same with scheduled churn — :mod:`repro.randomized.churn`;
+* strict-barter pairwise exchange — :mod:`repro.randomized.exchange`;
+* BitTorrent choking — :mod:`repro.randomized.bittorrent`;
+* GF(2) network coding — :mod:`repro.coding.engine`.
+
+A policy declares how much of the fault model it can honor via
+``fault_support``; the kernel refuses (``ConfigError``) any
+:class:`~repro.faults.plan.FaultPlan` axis the policy cannot carry, so
+fault plans are never silently ignored.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .kernel import TickKernel
+
+__all__ = ["TickPolicy", "FAULT_SUPPORT_LEVELS"]
+
+#: Valid ``TickPolicy.fault_support`` values, weakest to strongest:
+#: ``"none"`` rejects every non-null plan; ``"links"`` carries transfer
+#: loss, link outages and server outage windows but rejects node
+#: crashes; ``"full"`` carries every axis including crash/rejoin.
+FAULT_SUPPORT_LEVELS = ("none", "links", "full")
+
+
+class TickPolicy:
+    """Base class for per-tick upload decision policies.
+
+    Subclasses implement :meth:`run_tick` using the kernel's
+    :meth:`~repro.sim.kernel.TickKernel.attempt` primitive, and override
+    the remaining hooks only where their engine's semantics differ from
+    the defaults (which encode the plain randomized engine's behavior).
+    """
+
+    #: Engine name recorded in run metadata and used by the registry.
+    name = "policy"
+
+    #: Fault axes this policy can honor; see :data:`FAULT_SUPPORT_LEVELS`.
+    fault_support = "full"
+
+    #: Whether the kernel should maintain the per-tick download-capacity
+    #: ledger (``dl_left``). Policies that enforce capacity structurally
+    #: (pairwise exchange) switch it off.
+    uses_download_ledger = True
+
+    kernel: "TickKernel"
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def bind(self, kernel: "TickKernel") -> None:
+        """Attach the kernel; called once, at the end of kernel setup.
+
+        Policies that must adjust initial swarm membership (late churn
+        arrivals) extend this.
+        """
+        self.kernel = kernel
+
+    def pre_tick(self, tick: int) -> None:
+        """Hook before fault events and the snapshot (churn, dynamic
+        overlays)."""
+
+    def run_tick(self, snapshot: list[int]) -> None:
+        """Decide and attempt this tick's uploads via ``kernel.attempt``.
+
+        ``snapshot`` is the start-of-tick holdings list: senders must
+        read their own content from it (a block received this tick cannot
+        be forwarded until the next), while receiver holdings are read
+        live from ``kernel.state.masks``.
+        """
+        raise NotImplementedError
+
+    def post_tick(self, delivered: int, failed: int) -> str | None:
+        """Optional extra abort check after a tick; return a verdict
+        string (e.g. ``"stall"``) to end the run, else ``None``."""
+        return None
+
+    # -- goal and verdict hooks --------------------------------------------
+
+    def all_complete(self) -> bool:
+        """Whether every tracked client holds the complete file."""
+        return self.kernel.state.all_complete
+
+    def goal_extra(self) -> bool:
+        """Extra completion conditions (churn waits out pending
+        arrivals); ANDed with :meth:`all_complete`."""
+        return True
+
+    def zero_tick_conclusive(self) -> bool:
+        """Whether a zero-attempt tick proves permanent deadlock, as far
+        as the policy's own dynamics are concerned. The kernel separately
+        asks the fault injector about fault-side revivals."""
+        return True
+
+    # -- result assembly ---------------------------------------------------
+
+    def completions(self) -> dict[int, int]:
+        """Per-client completion ticks for the result."""
+        kernel = self.kernel
+        if not kernel.keep_log:
+            return {}
+        return kernel.log.completion_ticks(kernel.n, kernel.k)
+
+    def result_meta(self) -> dict[str, object]:
+        """Engine-specific run metadata; the kernel adds the uniform
+        verdict and fault-telemetry keys on top."""
+        return {"algorithm": self.name}
+
+    # -- fault-event hooks -------------------------------------------------
+
+    def after_crash(self, node: int) -> None:
+        """Called after the kernel retires a crashed client."""
+
+    def after_rejoin(self, node: int) -> None:
+        """Called after the kernel re-enrolls a rejoined client."""

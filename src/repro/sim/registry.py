@@ -1,0 +1,169 @@
+"""The engine registry: construct any simulation engine by name.
+
+The paper's point is comparing *mechanisms* under one model; the registry
+is that comparison surface in code. Every entry accepts the same kernel
+options (``rng``, ``max_ticks``, ``keep_log``, ``faults``, ``recovery``,
+and a ``progress`` callback on :func:`run_engine`) and returns a
+:class:`~repro.core.log.RunResult` with the uniform
+``None | deadlock | stall | max-ticks`` abort verdict — which is what
+lets experiment runners, campaign factories and the fault suite treat
+engines as data::
+
+    from repro.sim import run_engine
+
+    result = run_engine("randomized", n=100, k=100, rng=42)
+    result = run_engine("exchange", n=50, k=20, rng=7,
+                        faults=FaultPlan(loss_rate=0.05))
+
+A fault plan an engine cannot honor raises
+:class:`~repro.core.errors.ConfigError` at construction (see
+``EngineSpec.fault_support``) instead of being silently ignored.
+
+Engine modules are imported lazily inside each factory: the registry is
+imported by :mod:`repro.sim`, which the engines themselves import for the
+kernel, and laziness breaks that cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..core.errors import ConfigError
+from ..core.log import RunResult
+
+__all__ = ["ENGINES", "EngineSpec", "create_engine", "engine_names", "run_engine"]
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One registry entry: how to build an engine and what it can do."""
+
+    #: Registry key (also the conventional CLI / campaign label).
+    name: str
+    #: One-line description for listings.
+    summary: str
+    #: Paper mechanism the engine realises (see DESIGN.md mapping).
+    mechanism: str
+    #: Fault axes the engine honors — ``"none"`` / ``"links"`` /
+    #: ``"full"``; plans beyond this raise ``ConfigError``.
+    fault_support: str
+    #: ``factory(n, k, **kwargs)`` returning an object with
+    #: ``run(progress=None) -> RunResult``.
+    factory: Callable[..., Any]
+
+
+def _randomized(n: int, k: int, **kwargs: Any) -> Any:
+    from ..randomized.engine import RandomizedEngine
+
+    return RandomizedEngine(n, k, **kwargs)
+
+
+def _churn(n: int, k: int, **kwargs: Any) -> Any:
+    from ..randomized.churn import ChurnEngine
+
+    return ChurnEngine(n, k, **kwargs)
+
+
+def _exchange(n: int, k: int, **kwargs: Any) -> Any:
+    from ..randomized.exchange import ExchangeEngine
+
+    return ExchangeEngine(n, k, **kwargs)
+
+
+def _bittorrent(n: int, k: int, **kwargs: Any) -> Any:
+    from ..randomized.bittorrent import BitTorrentEngine
+
+    return BitTorrentEngine(n, k, **kwargs)
+
+
+def _coding(n: int, k: int, **kwargs: Any) -> Any:
+    from ..coding.engine import NetworkCodingEngine
+
+    return NetworkCodingEngine(n, k, **kwargs)
+
+
+def _async(n: int, k: int, **kwargs: Any) -> Any:
+    from ..asynchronous.adapter import AsyncRunAdapter
+
+    return AsyncRunAdapter(n, k, **kwargs)
+
+
+ENGINES: dict[str, EngineSpec] = {
+    spec.name: spec
+    for spec in (
+        EngineSpec(
+            name="randomized",
+            summary="randomized uniform-neighbor sampling "
+            "(cooperative or credit-limited barter)",
+            mechanism="cooperative / credit-limited barter",
+            fault_support="full",
+            factory=_randomized,
+        ),
+        EngineSpec(
+            name="churn",
+            summary="randomized sampling with scheduled arrivals/departures",
+            mechanism="cooperative / credit-limited barter",
+            fault_support="full",
+            factory=_churn,
+        ),
+        EngineSpec(
+            name="exchange",
+            summary="randomized strict-barter pairwise exchange matching",
+            mechanism="strict barter",
+            fault_support="full",
+            factory=_exchange,
+        ),
+        EngineSpec(
+            name="bittorrent",
+            summary="BitTorrent-style tit-for-tat choking",
+            mechanism="tit-for-tat (approximate barter)",
+            fault_support="links",
+            factory=_bittorrent,
+        ),
+        EngineSpec(
+            name="coding",
+            summary="GF(2) network coding (random linear combinations)",
+            mechanism="cooperative",
+            fault_support="links",
+            factory=_coding,
+        ),
+        EngineSpec(
+            name="async",
+            summary="continuous-time asynchronous engine "
+            "(tick-quantised RunResult adapter)",
+            mechanism="cooperative",
+            fault_support="links",
+            factory=_async,
+        ),
+    )
+}
+
+
+def engine_names() -> list[str]:
+    """Registered engine names, in registry order."""
+    return list(ENGINES)
+
+
+def create_engine(name: str, n: int, k: int, **kwargs: Any) -> Any:
+    """Build the named engine (unstarted); raises ``ConfigError`` for an
+    unknown name or options the engine rejects."""
+    spec = ENGINES.get(name)
+    if spec is None:
+        raise ConfigError(
+            f"unknown engine {name!r}; registered: {', '.join(ENGINES)}"
+        )
+    return spec.factory(n, k, **kwargs)
+
+
+def run_engine(
+    name: str,
+    n: int,
+    k: int,
+    *,
+    progress: Callable[[int, int], None] | None = None,
+    **kwargs: Any,
+) -> RunResult:
+    """Construct and run the named engine; the uniform entry point used
+    by experiment runners and campaign factories."""
+    return create_engine(name, n, k, **kwargs).run(progress)

@@ -264,3 +264,72 @@ class TestAbortMetadata:
         assert not r.completed
         assert r.abort == "stall"
         assert r.meta["stall_window"] == 20
+
+
+class TestFaultPlanHonesty:
+    """Engines that cannot honor a fault axis must refuse it loudly at
+    construction (never silently ignore the plan) — and honor the axes
+    they do support, with failures in the log to prove it."""
+
+    def test_bittorrent_rejects_crash_plans(self):
+        from repro.randomized.bittorrent import BitTorrentEngine
+
+        with pytest.raises(ConfigError, match="crash"):
+            BitTorrentEngine(12, 6, faults=FaultPlan(crash_rate=0.05))
+
+    def test_bittorrent_honors_loss_plans(self):
+        from repro.randomized.bittorrent import bittorrent_run
+
+        r = bittorrent_run(12, 6, rng=4, faults=FaultPlan(loss_rate=0.2))
+        assert r.completed
+        assert r.log.failed_count > 0
+        assert r.meta["failed_transfers"] == r.log.failed_count
+
+    def test_coding_rejects_crash_plans(self):
+        from repro.coding.engine import NetworkCodingEngine
+
+        with pytest.raises(ConfigError, match="crash"):
+            NetworkCodingEngine(12, 6, faults=FaultPlan(crash_rate=0.05))
+
+    def test_coding_honors_loss_plans(self):
+        from repro.coding import network_coding_run
+
+        r = network_coding_run(12, 5, rng=4, faults=FaultPlan(loss_rate=0.2))
+        assert r.completed
+        assert r.log.failed_count > 0
+
+    def test_null_plans_are_not_rejected(self):
+        # A plan with no active axis normalizes away even on the
+        # restricted engines.
+        from repro.coding.engine import NetworkCodingEngine
+        from repro.randomized.bittorrent import BitTorrentEngine
+
+        assert BitTorrentEngine(8, 4, faults=FaultPlan()).kernel.faults is None
+        assert NetworkCodingEngine(8, 4, faults=FaultPlan()).kernel.faults is None
+
+
+class TestFaultRunHelper:
+    """`repro.faults.fault_run` — one plan, any registry engine."""
+
+    def test_runs_named_engine_under_plan(self):
+        from repro.faults import fault_run
+
+        r = fault_run("randomized", 16, 8, FaultPlan(loss_rate=0.1), rng=6)
+        assert r.completed
+        assert r.log.failed_count > 0
+        verify_log(r.log, 16, 8)
+
+    def test_matches_direct_construction(self):
+        from repro.faults import fault_run
+
+        plan = FaultPlan(loss_rate=0.1)
+        direct = randomized_cooperative_run(16, 8, rng=6, faults=plan)
+        named = fault_run("randomized", 16, 8, plan, rng=6)
+        assert list(direct.log) == list(named.log)
+        assert direct.completion_time == named.completion_time
+
+    def test_propagates_config_errors(self):
+        from repro.faults import fault_run
+
+        with pytest.raises(ConfigError):
+            fault_run("bittorrent", 12, 6, FaultPlan(crash_rate=0.1), rng=1)

@@ -1,0 +1,60 @@
+"""Capture the golden-log fixtures for the kernel conformance suite.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/sim/capture_golden.py
+
+Writes one JSON document per spec in ``tests/sim/golden/``. See
+``golden_specs.py`` for what the fixtures mean and when regeneration is
+legitimate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+if __package__:
+    from .golden_specs import GOLDEN_SPECS
+else:  # run as a script
+    sys.path.insert(0, os.path.dirname(__file__))
+    from golden_specs import GOLDEN_SPECS
+
+
+def result_fingerprint(result) -> dict:
+    """The byte-identity surface of a run: log, verdict, completions."""
+    return {
+        "n": result.n,
+        "k": result.k,
+        "completion_time": result.completion_time,
+        "abort": result.abort,
+        "deadlocked": result.deadlocked,
+        "client_completions": {
+            str(c): t for c, t in sorted(result.client_completions.items())
+        },
+        "transfers": [[t.tick, t.src, t.dst, t.block] for t in result.log],
+        "failures": [
+            [t.tick, t.src, t.dst, t.block] for t in result.log.failures
+        ],
+    }
+
+
+def main() -> None:
+    out_dir = os.path.join(os.path.dirname(__file__), "golden")
+    os.makedirs(out_dir, exist_ok=True)
+    for name, spec in GOLDEN_SPECS.items():
+        doc = result_fingerprint(spec())
+        path = os.path.join(out_dir, f"{name}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(
+            f"{name}: {len(doc['transfers'])} transfers, "
+            f"{len(doc['failures'])} failures, "
+            f"completion={doc['completion_time']}, abort={doc['abort']}"
+        )
+
+
+if __name__ == "__main__":
+    main()

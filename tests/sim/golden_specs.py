@@ -1,0 +1,117 @@
+"""Pinned-seed run specifications for the golden-log conformance suite.
+
+Each spec builds one engine run through the *public* construction API and
+returns its :class:`~repro.core.log.RunResult`. The JSON fixtures under
+``tests/sim/golden/`` were captured from these exact specs **before** the
+engines were rebuilt on the shared :mod:`repro.sim` kernel; the suite in
+``test_golden_logs.py`` replays every spec and requires the transfer log
+(deliveries *and* failures), the completion time and the abort verdict to
+be byte-identical. That is the proof that the kernel refactor moved code
+without moving a single figure.
+
+Regenerate (only when a spec itself changes, never to paper over a
+behavioral diff)::
+
+    PYTHONPATH=src python tests/sim/capture_golden.py
+"""
+
+from __future__ import annotations
+
+from repro.core.mechanisms import CreditLimitedBarter
+from repro.faults import FaultPlan, RecoveryPolicy
+from repro.overlays.random_regular import random_regular_graph
+from repro.randomized.churn import ChurnEngine
+from repro.randomized.engine import RandomizedEngine
+from repro.randomized.exchange import randomized_exchange_run
+from repro.randomized.policies import RarestFirstPolicy
+
+__all__ = ["GOLDEN_SPECS"]
+
+
+def _randomized_cooperative():
+    return RandomizedEngine(24, 12, rng=42).run()
+
+
+def _randomized_barter_rarest():
+    return RandomizedEngine(
+        20,
+        10,
+        mechanism=CreditLimitedBarter(2),
+        policy=RarestFirstPolicy(),
+        rng=7,
+    ).run()
+
+
+def _randomized_overlay_throttle():
+    graph = random_regular_graph(18, 6, rng=0)
+    return RandomizedEngine(
+        18, 9, overlay=graph, throttle={2: 0.5, 5: 0.25}, rng=13
+    ).run()
+
+
+def _randomized_selfish_barter():
+    # Free-riders under a tight credit limit: exercises the starve /
+    # deadlock verdict path.
+    return RandomizedEngine(
+        12, 6, mechanism=CreditLimitedBarter(1), selfish={3}, rng=3
+    ).run()
+
+
+def _randomized_faults():
+    plan = FaultPlan(
+        loss_rate=0.1,
+        crash_rate=0.01,
+        rejoin_delay=5,
+        rejoin_retention=0.5,
+        max_crashes=3,
+    )
+    return RandomizedEngine(
+        20, 10, rng=11, faults=plan, recovery=RecoveryPolicy(reseed=True)
+    ).run()
+
+
+def _randomized_server_outage():
+    plan = FaultPlan(server_outages=((2, 5),))
+    return RandomizedEngine(16, 8, rng=17, faults=plan).run()
+
+
+def _churn():
+    return ChurnEngine(
+        16, 8, arrivals={3: 4, 5: 9}, departures={2: 6}, rng=5
+    ).run()
+
+
+def _churn_faults():
+    plan = FaultPlan(loss_rate=0.15)
+    return ChurnEngine(
+        14, 7, arrivals={4: 6}, departures={3: 5}, rng=21, faults=plan
+    ).run()
+
+
+def _exchange():
+    return randomized_exchange_run(16, 8, rng=9)
+
+
+def _exchange_overlay():
+    graph = random_regular_graph(16, 5, rng=1)
+    return randomized_exchange_run(16, 8, overlay=graph, rng=19)
+
+
+def _exchange_faults():
+    plan = FaultPlan(loss_rate=0.1, outage_rate=0.02, outage_duration=3)
+    return randomized_exchange_run(14, 7, rng=23, faults=plan)
+
+
+GOLDEN_SPECS = {
+    "randomized-cooperative": _randomized_cooperative,
+    "randomized-barter-rarest": _randomized_barter_rarest,
+    "randomized-overlay-throttle": _randomized_overlay_throttle,
+    "randomized-selfish-barter": _randomized_selfish_barter,
+    "randomized-faults": _randomized_faults,
+    "randomized-server-outage": _randomized_server_outage,
+    "churn": _churn,
+    "churn-faults": _churn_faults,
+    "exchange": _exchange,
+    "exchange-overlay": _exchange_overlay,
+    "exchange-faults": _exchange_faults,
+}
