@@ -3,10 +3,16 @@
 The paper's Section 2.3.4 sketches how its algorithms behave without a
 global tick — nodes use their links round-robin "at their own pace" —
 and its BitTorrent study (Section 4) runs on asynchronous simulation.
-This package provides that substrate:
+This package provides that substrate, hosted on the shared simulation
+kernel (one tick = one unit-time event window, see :mod:`.policy`):
 
-* :class:`AsyncEngine` — event-driven swarm with per-node upload and
-  download rates and tail-link transfer durations;
+* :class:`AsyncEngine` — continuous-time front end with per-node upload
+  and download rates and tail-link transfer durations;
+* :class:`AsyncKernelRun` — the registry surface returning a kernel
+  :class:`~repro.core.log.RunResult`;
+* :class:`AsyncTickPolicy` — the event loop itself, as a
+  :class:`~repro.sim.policy.TickPolicy` with full fault support
+  (loss, outages, server windows, node crash/rejoin);
 * strategies: :class:`AsyncHypercube` (round-robin hypercube links),
   :class:`AsyncRandom` / :class:`AsyncRarest` (asynchronous analogues of
   the randomized algorithms).
@@ -16,15 +22,24 @@ synchronous tick engines (asserted by the test suite); heterogeneous
 rates quantify the cost of asynchrony.
 """
 
-from .engine import AsyncEngine, AsyncRunResult, AsyncStrategy, AsyncTransfer
+from .engine import (
+    AsyncEngine,
+    AsyncKernelRun,
+    AsyncRunResult,
+    AsyncStrategy,
+    AsyncTransfer,
+)
+from .policy import AsyncTickPolicy
 from .strategies import AsyncHypercube, AsyncRandom, AsyncRarest
 
 __all__ = [
     "AsyncEngine",
     "AsyncHypercube",
+    "AsyncKernelRun",
     "AsyncRandom",
     "AsyncRarest",
     "AsyncRunResult",
     "AsyncStrategy",
+    "AsyncTickPolicy",
     "AsyncTransfer",
 ]

@@ -1,4 +1,4 @@
-"""Event-driven (continuous-time) swarm simulator.
+"""Event-driven (continuous-time) swarm simulation on the shared kernel.
 
 Section 2.3.4, "Dealing with asynchrony": in reality nodes have slightly
 differing bandwidths and no global tick; the paper suggests running the
@@ -7,57 +7,68 @@ order *at its own pace*, and notes the connection to the randomized
 algorithms. The paper's own ongoing BitTorrent study also uses
 asynchronous simulations.
 
-This engine realises that setting. Time is continuous; each node ``v``
-has an upload rate ``up[v]`` and a download rate ``down[v]`` (blocks per
-unit time). A transfer occupies the sender's uplink and one downlink slot
-at the receiver for ``1 / min(up[src], down[dst])`` time units (the
-paper's tail-link bottleneck, one connection at a time). Whenever a
-node's uplink frees, its *strategy* picks the next (receiver, block) —
-or the node idles until some transfer completes somewhere and retries.
+Time is continuous; each node ``v`` has an upload rate ``up[v]`` and a
+download rate ``down[v]`` (blocks per unit time). A transfer occupies
+the sender's uplink and one downlink slot at the receiver for
+``1 / min(up[src], down[dst])`` time units (the paper's tail-link
+bottleneck, one connection at a time). Whenever a node's uplink frees,
+its *strategy* picks the next (receiver, block) — or the node idles
+until some transfer completes somewhere and retries.
 
-With all rates equal to 1 this reduces to the synchronous model up to
-scheduling slack, so the test suite cross-checks completion times against
-the tick engines.
+The event loop itself lives in
+:class:`~repro.asynchronous.policy.AsyncTickPolicy`, hosted on the
+shared :class:`~repro.sim.kernel.TickKernel` (one tick = one unit-time
+window). Two front ends wrap it:
+
+* :class:`AsyncEngine` — the continuous-time API
+  (:class:`AsyncRunResult` with float times), used by the asynchrony
+  extension experiment and the strategy tests;
+* :class:`AsyncKernelRun` — the registry adapter surface (``rng`` /
+  ``max_ticks`` / ``keep_log`` / ``faults`` / ``recovery`` / progress
+  callback) returning the uniform :class:`~repro.core.log.RunResult`.
+
+Both carry the full fault model, including node crash/rejoin
+(``fault_support = "full"``). With all rates equal to 1 this reduces to
+the synchronous model up to scheduling slack, so the test suite
+cross-checks completion times against the tick engines.
 """
 
 from __future__ import annotations
 
-import heapq
 import random
-from math import floor as math_floor
+from math import ceil
 from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Callable, NamedTuple, Protocol
+from typing import Callable, Protocol
 
 from ..core.errors import ConfigError
-from ..core.model import SERVER
-from ..faults.injector import FaultInjector
+from ..core.log import RunResult
 from ..faults.plan import FaultPlan
+from ..faults.recovery import RecoveryPolicy
+from ..overlays.graph import Graph
+from ..sim.kernel import TickKernel
+from .policy import AsyncTickPolicy, AsyncTransfer, validate_rates
 
-__all__ = ["AsyncTransfer", "AsyncRunResult", "AsyncStrategy", "AsyncEngine"]
-
-
-class AsyncTransfer(NamedTuple):
-    """One completed block transfer in continuous time."""
-
-    start: float
-    end: float
-    src: int
-    dst: int
-    block: int
+__all__ = [
+    "AsyncTransfer",
+    "AsyncRunResult",
+    "AsyncStrategy",
+    "AsyncEngine",
+    "AsyncKernelRun",
+]
 
 
 class AsyncStrategy(Protocol):
     """Decides what a node uploads next when its uplink frees."""
 
-    def next_transfer(
-        self, engine: "AsyncEngine", src: int
-    ) -> tuple[int, int] | None:
+    def next_transfer(self, engine, src: int) -> tuple[int, int] | None:
         """Return ``(dst, block)`` or ``None`` to idle.
 
-        Must only propose receivers with a free downlink slot
-        (``engine.downlink_free(dst)``) holding ``block`` not yet present
-        (``engine.has_block(dst, block)`` is False) that ``src`` holds.
+        ``engine`` is the live :class:`AsyncTickPolicy` (the query
+        surface documented there). Must only propose receivers with a
+        free downlink slot (``engine.downlink_free(dst)``) holding
+        ``block`` not yet present (``engine.has_block(dst, block)`` is
+        False) that ``src`` holds.
         """
         ...
 
@@ -80,6 +91,43 @@ class AsyncRunResult:
         return self.completion_time is not None
 
 
+def _build_kernel(
+    n: int,
+    k: int,
+    strategy,
+    *,
+    upload_rates: Sequence[float] | None,
+    download_rates: Sequence[float] | None,
+    parallel_downloads: int,
+    rng: random.Random | int | None,
+    max_ticks: int,
+    keep_log: bool,
+    faults: FaultPlan | None,
+    recovery: RecoveryPolicy | None,
+) -> tuple[AsyncTickPolicy, TickKernel]:
+    if n < 2:
+        raise ConfigError(f"need a server and at least one client, got n={n}")
+    if k < 1:
+        raise ConfigError(f"file must have at least one block, got k={k}")
+    policy = AsyncTickPolicy(
+        strategy,
+        validate_rates(upload_rates, n, "upload"),
+        validate_rates(download_rates, n, "download"),
+        parallel_downloads,
+    )
+    kernel = TickKernel(
+        n,
+        k,
+        policy,
+        rng=rng,
+        max_ticks=max_ticks,
+        keep_log=keep_log,
+        faults=faults,
+        recovery=recovery,
+    )
+    return policy, kernel
+
+
 class AsyncEngine:
     """Continuous-time swarm simulation; see module docstring.
 
@@ -100,12 +148,10 @@ class AsyncEngine:
         Simulation horizon; an unfinished run returns
         ``completion_time=None``.
     faults:
-        Optional :class:`~repro.faults.plan.FaultPlan`. Continuous time
-        supports transfer loss, link outages and server outage windows
-        (the server idles during a window; a lost transfer occupies both
-        links for its full duration and then delivers nothing — judged at
-        completion time). Node crashes are a tick-engine concept and are
-        rejected here.
+        Optional :class:`~repro.faults.plan.FaultPlan` — every axis,
+        including node crash/rejoin, is carried (loss and link outages
+        are judged at the tick of the window a transfer ends in; a
+        server outage window benches the server at transfer start).
     """
 
     def __init__(
@@ -120,145 +166,44 @@ class AsyncEngine:
         max_time: float | None = None,
         faults: FaultPlan | None = None,
     ) -> None:
-        if n < 2:
-            raise ConfigError(f"need a server and at least one client, got n={n}")
-        if k < 1:
-            raise ConfigError(f"file must have at least one block, got k={k}")
-        if parallel_downloads < 1:
-            raise ConfigError("need at least one download slot")
         self.n, self.k = n, k
         self.strategy = strategy
-        self.up = self._rates(upload_rates, n, "upload")
-        self.down = self._rates(download_rates, n, "download")
-        self.parallel_downloads = parallel_downloads
-        self.rng = rng if isinstance(rng, random.Random) else random.Random(rng)
         self.max_time = max_time if max_time is not None else 50.0 * (k + n)
-
-        self.fault_plan = faults if faults is not None and not faults.is_null else None
-        if self.fault_plan is not None and self.fault_plan.crash_rate > 0.0:
-            raise ConfigError(
-                "AsyncEngine models transfer loss, link outages and server "
-                "outage windows; node crashes need a tick engine"
-            )
-        self.faults: FaultInjector | None = (
-            FaultInjector(self.fault_plan, random.Random(self.rng.getrandbits(63)))
-            if self.fault_plan is not None
-            else None
+        # Float transfer times are the result surface here, so the
+        # kernel's tick-quantised log is redundant — keep_log=False keeps
+        # the memory profile of the pre-kernel event loop.
+        self.policy, self.kernel = _build_kernel(
+            n,
+            k,
+            strategy,
+            upload_rates=upload_rates,
+            download_rates=download_rates,
+            parallel_downloads=parallel_downloads,
+            rng=rng,
+            max_ticks=max(1, int(ceil(self.max_time - 1e-9))),
+            keep_log=False,
+            faults=faults,
+            recovery=None,
         )
-        self.failed: list[AsyncTransfer] = []
-        # In-flight transfers are judged at their *end* time, so a server
-        # send can run into an outage window that opened mid-flight —
-        # unlike the tick engines, server windows require judging here.
-        self._judge = (
-            self.faults.transfer_fails
-            if self.faults is not None
-            and (self.faults.judges_links or self.faults.has_server_windows)
-            else None
-        )
-
-        self.masks = [0] * n
-        self.masks[SERVER] = (1 << k) - 1
-        self._full = (1 << k) - 1
-        self._incomplete = set(range(1, n))
-        self.now = 0.0
-        self.transfers: list[AsyncTransfer] = []
-        self._downlink_busy = [0] * n
-        self._uplink_busy = [False] * n
-        # Blocks currently in flight toward each node (no duplicates).
-        self._inbound: set[tuple[int, int]] = set()
-        self._events: list[tuple[float, int, AsyncTransfer]] = []
-        self._event_seq = 0
-        self._idle: set[int] = set()
-
-    @staticmethod
-    def _rates(rates: Sequence[float] | None, n: int, kind: str) -> list[float]:
-        if rates is None:
-            return [1.0] * n
-        if len(rates) != n:
-            raise ConfigError(f"need {n} {kind} rates, got {len(rates)}")
-        values = [float(r) for r in rates]
-        if any(r <= 0 for r in values):
-            raise ConfigError(f"{kind} rates must be positive")
-        return values
-
-    # -- queries for strategies ----------------------------------------------
-
-    def has_block(self, node: int, block: int) -> bool:
-        """Whether ``node`` holds (fully received) ``block``."""
-        return bool(self.masks[node] >> block & 1)
-
-    def downlink_free(self, node: int) -> bool:
-        """Whether ``node`` can accept one more incoming transfer now."""
-        return self._downlink_busy[node] < self.parallel_downloads
-
-    def incoming(self, node: int, block: int) -> bool:
-        """Whether ``block`` is already in flight toward ``node``."""
-        return (node, block) in self._inbound
-
-    def useful_mask(self, src: int, dst: int) -> int:
-        """Blocks ``src`` holds that ``dst`` neither holds nor is receiving."""
-        mask = self.masks[src] & ~self.masks[dst]
-        if mask:
-            for block in list(_iter_bits(mask)):
-                if (dst, block) in self._inbound:
-                    mask &= ~(1 << block)
-        return mask
+        self.up = self.policy.up
+        self.down = self.policy.down
 
     @property
-    def incomplete_nodes(self) -> set[int]:
-        """Clients still missing blocks (live view; do not mutate)."""
-        return self._incomplete
+    def masks(self) -> list[int]:
+        """Live holdings (mutable test hook; the kernel's swarm state)."""
+        return self.kernel.state.masks
 
-    # -- simulation loop -------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.policy.now
 
-    def _try_start(self, src: int) -> bool:
-        if self._uplink_busy[src] or self.masks[src] == 0:
-            return False
-        if (
-            src == SERVER
-            and self.faults is not None
-            and self.faults.server_down(self.now)
-        ):
-            return False
-        choice = self.strategy.next_transfer(self, src)
-        if choice is None:
-            return False
-        dst, block = choice
-        if not self.masks[src] >> block & 1:
-            raise ConfigError(
-                f"strategy proposed sending block {block} not held by {src}"
-            )
-        if not self.downlink_free(dst) or self.has_block(dst, block):
-            raise ConfigError("strategy proposed an infeasible transfer")
-        duration = 1.0 / min(self.up[src], self.down[dst])
-        transfer = AsyncTransfer(self.now, self.now + duration, src, dst, block)
-        self._uplink_busy[src] = True
-        self._downlink_busy[dst] += 1
-        self._inbound.add((dst, block))
-        self._event_seq += 1
-        heapq.heappush(self._events, (transfer.end, self._event_seq, transfer))
-        return True
+    @property
+    def transfers(self) -> list[AsyncTransfer]:
+        return self.policy.transfers
 
-    def _next_phase_boundary(self) -> float:
-        """Earliest *strictly future* time at which any node's link phase
-        can change.
-
-        Phase-based strategies (the async hypercube) may have every node
-        idle at one instant yet have work at the next phase; rather than
-        declaring the swarm dead, time skips forward to the next boundary.
-        Floating point makes "the boundary we are standing on" hazardous —
-        a candidate that does not strictly advance the clock is pushed one
-        full period ahead.
-        """
-        best = None
-        for rate in self.up:
-            candidate = (math_floor(self.now * rate + 1e-9) + 1) / rate
-            if candidate <= self.now + 1e-12:
-                candidate += 1.0 / rate
-            if best is None or candidate < best:
-                best = candidate
-        assert best is not None
-        return best
+    @property
+    def failed(self) -> list[AsyncTransfer]:
+        return self.policy.failed
 
     def run(
         self, progress: Callable[[int, int], None] | None = None
@@ -266,90 +211,69 @@ class AsyncEngine:
         """Simulate until every client completes or ``max_time`` passes.
 
         ``progress`` (optional) is called as ``progress(t, deliveries)``
-        once per unit-time window ``(t - 1, t]`` as the clock passes it —
-        the continuous-time analogue of the tick engines' per-tick
-        callback (with unit rates the windows *are* the ticks).
+        once per unit-time window ``(t - 1, t]`` — the tick callback of
+        the underlying kernel (with unit rates the windows *are* the
+        ticks).
         """
-        completions: dict[int, float] = {}
-        silent_skips = 0
-        window = 1
-        window_count = 0
-        for v in range(self.n):
-            if not self._try_start(v):
-                self._idle.add(v)
-
-        while self._incomplete and self.now <= self.max_time:
-            if not self._events:
-                # Everyone idle: hop to the next phase boundary and retry;
-                # a long run of fruitless hops is a genuine deadlock. Phase
-                # boundaries are dense (roughly one per node per link
-                # period), so the budget must cover several full link
-                # cycles of the slowest node — generously, ~64 boundaries
-                # per node.
-                silent_skips += 1
-                if silent_skips > 64 * self.n + 256:
-                    break
-                self.now = self._next_phase_boundary()
-                for node in list(self._idle):
-                    if self._try_start(node):
-                        self._idle.discard(node)
-                continue
-            silent_skips = 0
-            end, _, transfer = heapq.heappop(self._events)
-            self.now = end
-            if progress is not None:
-                while end > window + 1e-9:
-                    progress(window, window_count)
-                    window += 1
-                    window_count = 0
-            src, dst, block = transfer.src, transfer.dst, transfer.block
-            self._uplink_busy[src] = False
-            self._downlink_busy[dst] -= 1
-            self._inbound.discard((dst, block))
-            if self._judge is not None and self._judge(end, src, dst):
-                # The links were tied up for the whole duration; nothing
-                # arrived. Both endpoints are free to try again.
-                self.failed.append(transfer)
-            else:
-                self.masks[dst] |= 1 << block
-                self.transfers.append(transfer)
-                window_count += 1
-                if dst != SERVER and self.masks[dst] == self._full:
-                    self._incomplete.discard(dst)
-                    completions[dst] = end
-
-            # The freed sender, the receiver, and all idle nodes may now
-            # have a move.
-            self._idle.add(src)
-            self._idle.add(dst)
-            for node in list(self._idle):
-                if self._try_start(node):
-                    self._idle.discard(node)
-
-        if progress is not None and window_count:
-            progress(window, window_count)
-
-        done = not self._incomplete
-        meta: dict[str, object] = {
-            "strategy": type(self.strategy).__name__,
-            "heterogeneous": len(set(self.up)) > 1 or len(set(self.down)) > 1,
-        }
-        if self.faults is not None:
-            meta["faults"] = self.fault_plan.describe()
-            meta.update(self.faults.telemetry())
+        result = self.kernel.run(progress)
+        policy = self.policy
+        completions = dict(policy.float_completions)
+        done = result.completion_time is not None
         return AsyncRunResult(
             n=self.n,
             k=self.k,
-            completion_time=self.now if done else None,
+            completion_time=(
+                max(completions.values()) if done and completions else
+                (policy.now if done else None)
+            ),
             client_completions=completions,
-            transfers=self.transfers,
-            meta=meta,
-            failed_transfers=self.failed,
+            transfers=policy.transfers,
+            meta=dict(result.meta),
+            failed_transfers=policy.failed,
         )
 
 
-def _iter_bits(mask: int):
-    while mask:
-        low = mask & -mask
-        yield low.bit_length() - 1
-        mask ^= low
+class AsyncKernelRun:
+    """Registry surface for the asynchronous engine; see module docstring.
+
+    Parameters mirror the tick engines; ``strategy`` defaults to
+    :class:`~repro.asynchronous.strategies.AsyncRandom` (the asynchronous
+    analogue of the randomized cooperative algorithm), restricted to
+    ``overlay`` when one is given. ``max_ticks`` bounds simulated time
+    (one tick = one unit-time window).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        overlay: Graph | None = None,
+        strategy: AsyncStrategy | None = None,
+        rng: random.Random | int | None = None,
+        max_ticks: int | None = None,
+        keep_log: bool = True,
+        faults: FaultPlan | None = None,
+        recovery: RecoveryPolicy | None = None,
+        upload_rates: Sequence[float] | None = None,
+        download_rates: Sequence[float] | None = None,
+        parallel_downloads: int = 1,
+    ) -> None:
+        from .strategies import AsyncRandom
+
+        self.n, self.k = n, k
+        self.policy, self.kernel = _build_kernel(
+            n,
+            k,
+            strategy if strategy is not None else AsyncRandom(overlay),
+            upload_rates=upload_rates,
+            download_rates=download_rates,
+            parallel_downloads=parallel_downloads,
+            rng=rng,
+            max_ticks=max_ticks if max_ticks is not None else 50 * (k + n),
+            keep_log=keep_log,
+            faults=faults,
+            recovery=recovery,
+        )
+
+    def run(self, progress: Callable[[int, int], None] | None = None) -> RunResult:
+        return self.kernel.run(progress)

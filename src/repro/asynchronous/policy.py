@@ -1,0 +1,365 @@
+"""The continuous-time strategies as a :class:`~repro.sim.kernel.TickKernel` policy.
+
+Section 2.3.4's asynchronous setting used to run on a private event loop
+(``asynchronous/engine.py`` pre-kernel) behind a result adapter. This
+module hosts the same event-driven dynamics *inside* the shared kernel:
+one kernel tick is the unit-time window ``(t - 1, t]``, and
+:meth:`AsyncTickPolicy.run_tick` drains exactly the heap events that end
+inside the current window, advancing the continuous clock ``now`` event
+by event (and phase boundary by phase boundary when every link idles)
+exactly as the standalone loop did. Decisions are unchanged — the same
+strategies see the same ``now``/phase/retry sequence — but the run now
+flows through ``kernel.attempt``, which is what buys the asynchronous
+engine the full fault model (``fault_support = "full"``: loss, outages,
+server windows, node crash/rejoin), stall abort, ``--progress``
+callbacks and golden-log coverage for free.
+
+Quantization contract: a transfer ending at continuous time ``T`` is
+logged in the tick ``ceil(T)`` of the window it ends in, matching the
+retired adapter's ``_quantize``. With the default homogeneous unit
+rates, transfers end on integer times and the quantization is exact.
+Transfer loss and link outages are judged at the integer tick of the
+window (the continuous end time rounds to it), and a server outage
+window benches the server at transfer *start* time; a server transfer
+already in flight when a window opens is delivered (start-time judging,
+consistent with the tick engines).
+
+A node crash aborts its in-flight transfers — both endpoints' links
+free immediately, nothing is logged for the aborted flight
+(``aborted_in_flight`` counts them in run metadata) — and a rejoining
+node re-enters with whatever block mask it retained.
+"""
+
+from __future__ import annotations
+
+import heapq
+from math import ceil, floor as math_floor
+from typing import NamedTuple, Sequence
+
+from ..core.errors import ConfigError
+from ..core.model import SERVER
+from ..sim.kernel import TickKernel
+from ..sim.policy import TickPolicy
+
+__all__ = ["AsyncTransfer", "AsyncTickPolicy", "validate_rates"]
+
+
+class AsyncTransfer(NamedTuple):
+    """One completed block transfer in continuous time."""
+
+    start: float
+    end: float
+    src: int
+    dst: int
+    block: int
+
+
+def validate_rates(rates: Sequence[float] | None, n: int, kind: str) -> list[float]:
+    """Normalise per-node rates (default 1.0 everywhere); see AsyncEngine."""
+    if rates is None:
+        return [1.0] * n
+    if len(rates) != n:
+        raise ConfigError(f"need {n} {kind} rates, got {len(rates)}")
+    values = [float(r) for r in rates]
+    if any(r <= 0 for r in values):
+        raise ConfigError(f"{kind} rates must be positive")
+    return values
+
+
+class AsyncTickPolicy(TickPolicy):
+    """Event-window asynchronous dynamics on the kernel; see module
+    docstring.
+
+    The policy *is* the "engine" object handed to strategies: it exposes
+    the exact query surface of the retired standalone loop (``now``,
+    ``up``, ``rng``, ``k``, ``transfers``, ``downlink_free``,
+    ``useful_mask``, ``has_block``, ``incoming``, ``incomplete_nodes``),
+    so :mod:`repro.asynchronous.strategies` runs unmodified.
+    """
+
+    name = "async"
+    fault_support = "full"
+    # Downlink slots are continuous-time state (``parallel_downloads``
+    # concurrent in-flight transfers), managed here, not per-tick.
+    uses_download_ledger = False
+
+    def __init__(
+        self,
+        strategy,
+        up: list[float],
+        down: list[float],
+        parallel_downloads: int,
+    ) -> None:
+        if parallel_downloads < 1:
+            raise ConfigError("need at least one download slot")
+        self.strategy = strategy
+        self.up = up
+        self.down = down
+        self.parallel_downloads = parallel_downloads
+        self.now = 0.0
+        #: Completed transfers in continuous time (always kept — the
+        #: rarest-first strategy reads them for its frequency tracker).
+        self.transfers: list[AsyncTransfer] = []
+        self.failed: list[AsyncTransfer] = []
+        self.float_completions: dict[int, float] = {}
+        self.aborted_in_flight = 0
+
+    def bind(self, kernel: TickKernel) -> None:
+        super().bind(kernel)
+        n = kernel.n
+        self.k = kernel.k
+        self.rng = kernel.rng
+        self._full = (1 << kernel.k) - 1
+        self._downlink_busy = [0] * n
+        self._uplink_busy = [False] * n
+        # Blocks currently in flight toward each node (no duplicates).
+        self._inbound: set[tuple[int, int]] = set()
+        self._events: list[tuple[float, int, AsyncTransfer]] = []
+        self._event_seq = 0
+        self._idle: set[int] = set()
+        self._silent_hops = 0
+        # Phase boundaries are dense (roughly one per node per link
+        # period), so the fruitless-hop budget covers several full link
+        # cycles of the slowest node before the run reads as stalled.
+        self._hop_budget = 64 * n + 256
+        self._hops_exhausted = False
+        self._started = False
+
+    # -- queries for strategies --------------------------------------------
+
+    @property
+    def masks(self) -> list[int]:
+        """Live holdings (the kernel's swarm state)."""
+        return self.kernel.state.masks
+
+    def has_block(self, node: int, block: int) -> bool:
+        """Whether ``node`` holds (fully received) ``block``."""
+        return bool(self.kernel.state.masks[node] >> block & 1)
+
+    def downlink_free(self, node: int) -> bool:
+        """Whether ``node`` can accept one more incoming transfer now."""
+        return (
+            self._downlink_busy[node] < self.parallel_downloads
+            and node not in self.kernel.absent
+        )
+
+    def incoming(self, node: int, block: int) -> bool:
+        """Whether ``block`` is already in flight toward ``node``."""
+        return (node, block) in self._inbound
+
+    def useful_mask(self, src: int, dst: int) -> int:
+        """Blocks ``src`` holds that ``dst`` neither holds nor is receiving."""
+        masks = self.kernel.state.masks
+        mask = masks[src] & ~masks[dst]
+        if mask:
+            for block in list(_iter_bits(mask)):
+                if (dst, block) in self._inbound:
+                    mask &= ~(1 << block)
+        return mask
+
+    @property
+    def incomplete_nodes(self):
+        """Clients still missing blocks (live view; do not mutate)."""
+        return self.kernel.incomplete_pool
+
+    # -- event loop ---------------------------------------------------------
+
+    def _try_start(self, src: int) -> bool:
+        if self._uplink_busy[src] or self.kernel.state.masks[src] == 0:
+            return False
+        faults = self.kernel.faults
+        if src == SERVER and faults is not None and faults.server_down(self.now):
+            return False
+        choice = self.strategy.next_transfer(self, src)
+        if choice is None:
+            return False
+        dst, block = choice
+        if not self.kernel.state.masks[src] >> block & 1:
+            raise ConfigError(
+                f"strategy proposed sending block {block} not held by {src}"
+            )
+        if not self.downlink_free(dst) or self.has_block(dst, block):
+            raise ConfigError("strategy proposed an infeasible transfer")
+        duration = 1.0 / min(self.up[src], self.down[dst])
+        transfer = AsyncTransfer(self.now, self.now + duration, src, dst, block)
+        self._uplink_busy[src] = True
+        self._downlink_busy[dst] += 1
+        self._inbound.add((dst, block))
+        self._event_seq += 1
+        heapq.heappush(self._events, (transfer.end, self._event_seq, transfer))
+        return True
+
+    def _next_phase_boundary(self) -> float:
+        """Earliest *strictly future* time at which any node's link phase
+        can change (see the retired standalone loop: a candidate that
+        does not strictly advance the clock is pushed one full period
+        ahead, floating point being what it is)."""
+        best = None
+        for rate in self.up:
+            candidate = (math_floor(self.now * rate + 1e-9) + 1) / rate
+            if candidate <= self.now + 1e-12:
+                candidate += 1.0 / rate
+            if best is None or candidate < best:
+                best = candidate
+        assert best is not None
+        return best
+
+    def _retry_idle(self) -> bool:
+        started = False
+        for node in list(self._idle):
+            if self._try_start(node):
+                self._idle.discard(node)
+                started = True
+        return started
+
+    def _finish(self, transfer: AsyncTransfer) -> None:
+        src, dst, block = transfer.src, transfer.dst, transfer.block
+        self._uplink_busy[src] = False
+        self._downlink_busy[dst] -= 1
+        self._inbound.discard((dst, block))
+        if self.kernel.attempt(src, dst, block):
+            self.transfers.append(transfer)
+            if dst != SERVER and self.kernel.state.masks[dst] == self._full:
+                self.float_completions[dst] = transfer.end
+        else:
+            # The links were tied up for the whole duration; nothing
+            # arrived. Both endpoints are free to try again.
+            self.failed.append(transfer)
+        self._idle.add(src)
+        self._idle.add(dst)
+        self._retry_idle()
+
+    def run_tick(self, snapshot: list[int]) -> None:
+        # ``snapshot`` (start-of-tick masks) is unused: asynchrony has no
+        # synchronous forwarding rule — a block is forwardable the
+        # continuous instant its transfer ends, which the event order
+        # already guarantees.
+        if not self._started:
+            self._started = True
+            for v in range(self.kernel.n):
+                if not self._try_start(v):
+                    self._idle.add(v)
+        window_end = float(self.kernel.tick)
+        events = self._events
+        if not events and self.now < window_end - 1.0:
+            # ``now`` only advances with events and phase hops, so it
+            # stalls across all-complete waits (everyone done, a crashed
+            # node still scheduled to rejoin). Snap it to the window
+            # start so resumed activity is stamped — and per-window
+            # capacity-accounted — in the tick it actually happens in.
+            self.now = window_end - 1.0
+        while True:
+            if events and events[0][0] <= window_end + 1e-9:
+                self._silent_hops = 0
+                end, _, transfer = heapq.heappop(events)
+                self.now = end
+                self._finish(transfer)
+                continue
+            if events:
+                break  # next event ends in a later window
+            if self.all_complete():
+                break  # nothing left to schedule (or waiting on rejoins)
+            candidate = self._next_phase_boundary()
+            if candidate > window_end + 1e-9:
+                break
+            self._silent_hops += 1
+            if self._silent_hops > self._hop_budget:
+                self._hops_exhausted = True
+                break
+            self.now = candidate
+            if self._retry_idle():
+                self._silent_hops = 0
+
+    def post_tick(self, delivered: int, failed: int) -> str | None:
+        """A long run of fruitless phase hops is a genuine stall — unless
+        a crashed node is still scheduled to return, in which case the
+        budget resets and the kernel's own fault stall window governs."""
+        if self._hops_exhausted:
+            faults = self.kernel.faults
+            if faults is not None and faults.pending_rejoins():
+                self._hops_exhausted = False
+                self._silent_hops = 0
+                return None
+            return "stall"
+        return None
+
+    def zero_tick_conclusive(self) -> bool:
+        """Phase-based strategies can idle a whole window yet have work
+        at the next phase; a zero-attempt tick proves nothing."""
+        return False
+
+    # -- crash/rejoin ------------------------------------------------------
+
+    def after_crash(self, node: int) -> None:
+        """Abort the crashed node's in-flight transfers and free links.
+
+        Nothing is logged for an aborted flight — the bits never fully
+        arrived and the sender's slot frees mid-transfer — but the count
+        is kept (``aborted_in_flight`` in run metadata).
+        """
+        events = self._events
+        kept = []
+        for item in events:
+            t = item[2]
+            if t.src != node and t.dst != node:
+                kept.append(item)
+                continue
+            self.aborted_in_flight += 1
+            if t.src == node:
+                self._downlink_busy[t.dst] -= 1
+                self._inbound.discard((t.dst, t.block))
+                self._idle.add(t.dst)
+            else:
+                self._uplink_busy[t.src] = False
+                self._idle.add(t.src)
+        if len(kept) != len(events):
+            heapq.heapify(kept)
+            self._events = kept
+        self._uplink_busy[node] = False
+        self._downlink_busy[node] = 0
+        self._inbound = {(d, b) for d, b in self._inbound if d != node}
+        self._idle.discard(node)
+        self.float_completions.pop(node, None)
+
+    def after_rejoin(self, node: int) -> None:
+        """The returning node is idle-eligible from the next retry point."""
+        self._idle.add(node)
+
+    # -- result assembly ---------------------------------------------------
+
+    def all_complete(self) -> bool:
+        return self.kernel.state.all_complete
+
+    def completions(self) -> dict[int, int]:
+        # Quantized from continuous completion times, so they survive
+        # ``keep_log=False`` (the adapter's ``_quantize`` contract).
+        return {
+            c: max(1, ceil(t - 1e-9)) for c, t in self.float_completions.items()
+        }
+
+    def result_meta(self) -> dict[str, object]:
+        kernel = self.kernel
+        done = self.all_complete() and (
+            kernel.faults is None or not kernel.faults.pending_rejoins()
+        )
+        return {
+            "algorithm": self.name,
+            "mechanism": "cooperative",
+            "strategy": type(self.strategy).__name__,
+            "heterogeneous": len(set(self.up)) > 1 or len(set(self.down)) > 1,
+            "max_ticks": kernel.max_ticks,
+            "completion_time_continuous": (
+                max(self.float_completions.values())
+                if done and self.float_completions
+                else None
+            ),
+            "uploads_per_tick": kernel.uploads_per_tick,
+            "aborted_in_flight": self.aborted_in_flight,
+        }
+
+
+def _iter_bits(mask: int):
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low

@@ -11,7 +11,9 @@
 
 All strategies only ever propose feasible transfers (receiver lacks the
 block, nothing identical already in flight, downlink slot free), which
-the engine enforces.
+the engine enforces. ``engine`` is the live
+:class:`~repro.asynchronous.policy.AsyncTickPolicy` — the query surface
+of the kernel-hosted event loop.
 """
 
 from __future__ import annotations
@@ -22,7 +24,6 @@ from ..core.blocks import random_set_bit, rarest_set_bit
 from ..core.model import SERVER
 from ..overlays.graph import CompleteGraph, Graph
 from ..overlays.hypercube import HypercubeLayout
-from .engine import AsyncEngine
 
 __all__ = ["AsyncHypercube", "AsyncRandom", "AsyncRarest"]
 
@@ -62,7 +63,7 @@ class AsyncHypercube:
         self._twin = [layout.twin(node) for node in range(n)]
         self._server_next = 0  # index of the next block the server introduces
 
-    def next_transfer(self, engine: AsyncEngine, src: int) -> tuple[int, int] | None:
+    def next_transfer(self, engine, src: int) -> tuple[int, int] | None:
         links = self._links[src]
         if not links:
             return None
@@ -103,13 +104,13 @@ class _AsyncRandomBase:
     def __init__(self, overlay: Graph | None = None) -> None:
         self.overlay = overlay
 
-    def _neighbors(self, engine: AsyncEngine, src: int):
+    def _neighbors(self, engine, src: int):
         if self.overlay is None or isinstance(self.overlay, CompleteGraph):
             # Incomplete clients are the only possible receivers.
             return [v for v in engine.incomplete_nodes if v != src]
         return [v for v in self.overlay.neighbors(src) if v != src]
 
-    def _pick(self, engine: AsyncEngine, src: int) -> tuple[int, int] | None:
+    def _pick(self, engine, src: int) -> tuple[int, int] | None:
         rng = engine.rng
         candidates = []
         for dst in self._neighbors(engine, src):
@@ -123,17 +124,17 @@ class _AsyncRandomBase:
         dst, useful = candidates[rng.randrange(len(candidates))]
         return dst, self._block(engine, useful)
 
-    def _block(self, engine: AsyncEngine, useful: int) -> int:
+    def _block(self, engine, useful: int) -> int:
         raise NotImplementedError
 
-    def next_transfer(self, engine: AsyncEngine, src: int) -> tuple[int, int] | None:
+    def next_transfer(self, engine, src: int) -> tuple[int, int] | None:
         return self._pick(engine, src)
 
 
 class AsyncRandom(_AsyncRandomBase):
     """Random interested neighbor, random useful block."""
 
-    def _block(self, engine: AsyncEngine, useful: int) -> int:
+    def _block(self, engine, useful: int) -> int:
         return random_set_bit(useful, engine.rng)
 
 
@@ -150,7 +151,7 @@ class AsyncRarest(_AsyncRandomBase):
         self._freq: np.ndarray | None = None
         self._seen = 0
 
-    def _block(self, engine: AsyncEngine, useful: int) -> int:
+    def _block(self, engine, useful: int) -> int:
         if self._freq is None:
             self._freq = np.ones(engine.k, dtype=np.int64)  # server's copies
         for transfer in engine.transfers[self._seen :]:

@@ -9,10 +9,12 @@ swarm and :mod:`.gf2` for the linear-algebra substrate.
 
 from .engine import NetworkCodingEngine, network_coding_run
 from .gf2 import Gf2Basis, random_vector
+from .verify import verify_coding_log
 
 __all__ = [
     "Gf2Basis",
     "NetworkCodingEngine",
     "network_coding_run",
     "random_vector",
+    "verify_coding_log",
 ]

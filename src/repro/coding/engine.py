@@ -24,9 +24,13 @@ what that buys on low-degree overlays.
 
 On the :mod:`repro.sim` kernel, delivery means inserting the coded
 vector into the receiver's basis (the policy overrides the kernel's
-delivery hook), and the engine gains transfer-loss / outage fault
-injection, stall abort and progress callbacks (``fault_support =
-"links"``: crashes would need basis retirement semantics; see ROADMAP).
+delivery hook), and the engine gains the full fault model
+(``fault_support = "full"``): transfer loss, link/server outages, stall
+abort, progress callbacks, and node crash/rejoin. Retained state across
+a crash is *rows of the GF(2) basis*, not block bits: each basis row
+survives independently with probability ``rejoin_retention``, and the
+rejoining node's basis is rebuilt (rank recomputed) from the surviving
+rows — a strict subspace of what it held at crash time.
 """
 
 from __future__ import annotations
@@ -58,7 +62,7 @@ class CodingTickPolicy(TickPolicy):
     """
 
     name = "network-coding"
-    fault_support = "links"
+    fault_support = "full"
 
     def __init__(self, k: int, n: int, graph: Graph, field: str) -> None:
         self.field = field
@@ -69,6 +73,11 @@ class CodingTickPolicy(TickPolicy):
         self._incomplete = set(range(1, n))
         self._completions: dict[int, int] = {}
         self._vector = 0  # coefficient vector of the in-flight attempt
+        # Coefficient vectors of logged attempts, parallel to the
+        # kernel log's delivery / failure streams (keep_log-gated), so
+        # :func:`repro.coding.verify.verify_coding_log` can replay spans.
+        self.coding_vectors: list[int] = []
+        self.coding_failed_vectors: list[int] = []
 
     def bind(self, kernel: TickKernel) -> None:
         super().bind(kernel)
@@ -114,7 +123,12 @@ class CodingTickPolicy(TickPolicy):
                     while bases[dst].contains(vector):
                         vector = src_basis.random_member(rng)
                 self._vector = vector
-                attempt(src, dst, vector.bit_length() - 1)
+                delivered = attempt(src, dst, vector.bit_length() - 1)
+                if kernel.keep_log:
+                    if delivered:
+                        self.coding_vectors.append(vector)
+                    else:
+                        self.coding_failed_vectors.append(vector)
 
     def deliver(self, src: int, dst: int, block: int) -> None:
         """Kernel delivery hook: insert the coded vector (not a block)."""
@@ -136,10 +150,12 @@ class CodingTickPolicy(TickPolicy):
             pool = [v for v in range(kernel.n) if not bases[v].is_full()]
         else:
             pool = list(kernel.graph.neighbors(src))
+        absent = kernel.absent
         pool = [
             v
             for v in pool
             if v != src
+            and v not in absent
             and (dl_left is None or dl_left[v] > 0)
             and not bases[v].is_full()
             and src_basis.has_innovative_for(bases[v])
@@ -163,9 +179,47 @@ class CodingTickPolicy(TickPolicy):
         # the transfer log).
         return dict(self._completions)
 
+    # -- crash/rejoin ------------------------------------------------------
+
+    def crash_retention_sampler(self, node: int):
+        """Sample retained *basis rows* instead of block bits.
+
+        Each row of the node's crash-time basis (pivot-descending, the
+        canonical :meth:`~repro.coding.gf2.Gf2Basis.basis_rows` order)
+        survives independently with probability ``rejoin_retention`` —
+        one RNG draw per row, on the injector's stream, even at
+        retention 1, so telemetry draws stay aligned across retention
+        settings. The surviving rows span a subspace of the crash-time
+        span; rank is recomputed on rejoin.
+        """
+        rows = self.bases[node].basis_rows()
+
+        def sample(rng, retention) -> tuple[int, ...]:
+            if retention <= 0.0 or not rows:
+                return ()
+            return tuple(r for r in rows if rng.random() < retention)
+
+        return sample
+
+    def after_crash(self, node: int) -> None:
+        """Void the crashed node's basis; it is out of the goal set."""
+        self.bases[node] = Gf2Basis(self.kernel.k)
+        self._incomplete.discard(node)
+        self._completions.pop(node, None)
+
+    def restore_retained(self, node: int, retained) -> None:
+        """Rebuild the rejoined node's basis from its surviving rows."""
+        basis = Gf2Basis(self.kernel.k, retained or ())
+        self.bases[node] = basis
+        if node != SERVER:
+            if basis.is_full():
+                self._completions[node] = self.kernel.tick
+            else:
+                self._incomplete.add(node)
+
     def result_meta(self) -> dict[str, object]:
         kernel = self.kernel
-        return {
+        meta: dict[str, object] = {
             "algorithm": self.name,
             "field": self.field,
             "mechanism": "cooperative",
@@ -173,6 +227,12 @@ class CodingTickPolicy(TickPolicy):
             "uploads_per_tick": kernel.uploads_per_tick,
             "final_holdings": [b.rank for b in self.bases],
         }
+        if kernel.keep_log:
+            # Parallel to the log's delivery/failure streams; lets
+            # verify_coding_log replay the run at the vector level.
+            meta["coding_vectors"] = list(self.coding_vectors)
+            meta["coding_failed_vectors"] = list(self.coding_failed_vectors)
+        return meta
 
 
 class NetworkCodingEngine:

@@ -105,8 +105,10 @@ def verify_log(
         Fault-injection event histories (``meta["crash_events"]`` /
         ``meta["rejoin_events"]`` of a faulted run): ``(tick, node)``
         crashes zero the node's holdings at the start of that tick, and
-        ``(tick, node, retained_mask)`` rejoins restore exactly the
-        retained mask. Without them, a crash run's re-deliveries would
+        ``(tick, node, retained)`` rejoins restore exactly the retained
+        mask (an int; a list of retained GF(2) basis rows is reduced to
+        its pivot-block mask). Without them, a crash run's re-deliveries
+        would
         read as usefulness violations (the verifier would believe the
         receiver still held the lost blocks).
 
@@ -125,7 +127,8 @@ def verify_log(
     # Crash/rejoin events, merged in application order: within a tick the
     # engines apply rejoins before drawing crashes.
     events: list[tuple[int, int, int, int]] = [
-        (int(e[0]), 0, int(e[1]), int(e[2])) for e in (rejoin_events or ())
+        (int(e[0]), 0, int(e[1]), _retained_mask(e[2]))
+        for e in (rejoin_events or ())
     ] + [(int(e[0]), 1, int(e[1]), 0) for e in (crash_events or ())]
     events.sort()
     next_event = 0
@@ -224,6 +227,28 @@ def verify_log(
         upload_efficiency=efficiency,
         failed_transfers=log.failed_count,
     )
+
+
+def _retained_mask(retained) -> int:
+    """Block mask a rejoin event's retained payload amounts to.
+
+    Mask engines record an int and it passes through unchanged. The
+    coding engine records its retained GF(2) basis rows (a list/tuple of
+    int-coded vectors); block-level replay conservatively credits the
+    rejoined node with the *pivot* blocks of those rows — the blocks its
+    truncated basis can still express alone — which is exactly the mask
+    :class:`repro.coding.gf2.Gf2Basis` rebuilt from the rows reports.
+    Full row-level replay of coding logs lives in
+    :func:`repro.coding.verify.verify_coding_log`.
+    """
+    if isinstance(retained, (list, tuple)):
+        mask = 0
+        for row in retained:
+            row = int(row)
+            if row:
+                mask |= 1 << (row.bit_length() - 1)
+        return mask
+    return int(retained)
 
 
 def _check_tick(

@@ -6,8 +6,8 @@ robustness axis the paper leaves to "systems specifically tailored toward
 goals like robustness". The question it answers: *when transfers fail and
 nodes crash, how much of the damage is the mechanism's fault?*
 
-Three mechanisms run over the same loss x crash grid on a complete
-graph, with identical fault seeds per grid point:
+All six registry mechanisms run over the same loss x crash grid on a
+complete graph, with identical fault seeds per grid point:
 
 * **cooperative** — uploads freely; faults only cost repeated attempts;
 * **credit-limited barter** (``s`` from the scale) — a crashed node that
@@ -15,7 +15,14 @@ graph, with identical fault seeds per grid point:
   credit, so recovery is gated but not blocked;
 * **strict barter** (randomized exchange) — a rejoining node with
   nothing to trade can only be re-fed by the server's one free seed per
-  tick, so crashes starve it and completion probability collapses first.
+  tick, so crashes starve it and completion probability collapses first;
+* **bittorrent** — tit-for-tat choking; a crashed peer is evicted from
+  all unchoke sets and a rejoiner bootstraps through the server's
+  optimistic unchoke;
+* **coding** — random linear network coding; a crash truncates the
+  node's GF(2) basis to the sampled retained rows;
+* **async** — the continuous-time engine on kernel event windows, same
+  crash/rejoin semantics judged per unit-time window.
 
 Crash faults use crash-rejoin (delay and retention from the scale): a
 crash permanently destroys a sampled fraction of a node's blocks, which
@@ -44,7 +51,14 @@ from .scale import Scale, resolve_scale
 
 __all__ = ["resilience"]
 
-MECHANISMS = ("cooperative", "credit", "strict")
+MECHANISMS = (
+    "cooperative",
+    "credit",
+    "strict",
+    "bittorrent",
+    "coding",
+    "async",
+)
 
 
 @dataclass(frozen=True)
@@ -91,6 +105,13 @@ class _ResilienceRun:
             return run_engine(
                 "exchange", self.n, self.k, rng=seed,
                 max_ticks=self.max_ticks, faults=plan,
+            )
+        if mechanism in ("bittorrent", "coding", "async"):
+            # Registry engines by their own names — all three graduated
+            # to fault_support="full", so the same plan applies verbatim.
+            return run_engine(
+                mechanism, self.n, self.k, rng=seed,
+                max_ticks=self.max_ticks, keep_log=False, faults=plan,
             )
         raise ValueError(f"unknown mechanism {mechanism!r}")
 
@@ -164,6 +185,9 @@ def resilience(
         "crashes (a rejoined node has nothing to trade; only the server's "
         "one free seed per tick re-feeds it), while credit-limited barter "
         "tracks cooperative at bounded overhead",
+        "all six registry mechanisms sweep the same grid with identical "
+        "fault seeds — bittorrent, coding and async graduated to full "
+        "crash/rejoin support (see the fault parity table in docs/API.md)",
         f"crash points use crash-rejoin: delay {s.res_rejoin_delay} ticks, "
         f"retention {s.res_retention}, "
         + (

@@ -80,12 +80,13 @@ class FaultInjector:
         self._link_down_until: dict[tuple[int, int], float] = {}
         # Crashed node -> scheduled rejoin tick (fail-stop nodes absent).
         self._rejoin_at: dict[int, int] = {}
-        # Crashed node -> block mask it will retain on rejoin.
-        self._retained: dict[int, int] = {}
+        # Crashed node -> state it will retain on rejoin: a block mask,
+        # or whatever the policy's crash_retention_sampler produced.
+        self._retained: dict[int, object] = {}
         # Event history, so logs can be *verified* against the crashes
-        # that explain them: (tick, node) and (tick, node, retained_mask).
+        # that explain them: (tick, node) and (tick, node, retained).
         self.crash_log: list[tuple[int, int]] = []
-        self.rejoin_log: list[tuple[int, int, int]] = []
+        self.rejoin_log: list[tuple[int, int, object]] = []
         self._loss_rate = plan.loss_rate
         self._outage_rate = plan.outage_rate
         self._rand = self.rng.random
@@ -150,7 +151,7 @@ class FaultInjector:
 
     def begin_tick(
         self, tick: int, present: list[int]
-    ) -> tuple[list[int], list[tuple[int, int]]]:
+    ) -> tuple[list[int], list[tuple[int, object]]]:
         """Crash/rejoin events at the start of ``tick``.
 
         Returns ``(crashes, rejoins)``: clients (drawn from ``present``,
@@ -185,27 +186,40 @@ class FaultInjector:
                         break
         return crashes, rejoins
 
-    def note_crash(self, tick: int, node: int, mask: int) -> None:
+    def note_crash(
+        self, tick: int, node: int, mask: int, sample_retained=None
+    ) -> None:
         """Record a crash the engine applied; samples retention/rejoin.
 
         With ``rejoin_delay == 0`` the crash is fail-stop and nothing is
         scheduled. Otherwise each held block survives independently with
         probability ``rejoin_retention`` and the node returns at
         ``tick + rejoin_delay``.
+
+        Policies whose per-node state is not a block mask pass
+        ``sample_retained`` (see
+        :meth:`repro.sim.policy.TickPolicy.crash_retention_sampler`); it
+        is invoked as ``sample_retained(rng, retention)`` on the
+        injector's RNG stream in place of the per-bit draw, and whatever
+        it returns travels through the rejoin event verbatim.
         """
         self.crash_log.append((tick, node))
         plan = self.plan
         if plan.rejoin_delay <= 0:
             return
-        retained = 0
-        if plan.rejoin_retention > 0.0 and mask:
-            bit = 1
-            m = mask
-            while m:
-                if m & 1 and self.rng.random() < plan.rejoin_retention:
-                    retained |= bit
-                m >>= 1
-                bit <<= 1
+        retained: object
+        if sample_retained is not None:
+            retained = sample_retained(self.rng, plan.rejoin_retention)
+        else:
+            retained = 0
+            if plan.rejoin_retention > 0.0 and mask:
+                bit = 1
+                m = mask
+                while m:
+                    if m & 1 and self.rng.random() < plan.rejoin_retention:
+                        retained |= bit
+                    m >>= 1
+                    bit <<= 1
         self._rejoin_at[node] = tick + plan.rejoin_delay
         self._retained[node] = retained
 
@@ -244,16 +258,21 @@ class FaultInjector:
             "rejoins": self.rejoins,
         }
 
-    def events(self) -> dict[str, list[list[int]]]:
+    def events(self) -> dict[str, list[list]]:
         """Crash/rejoin event history, JSON-shaped, for run metadata.
 
         :func:`repro.core.verify.verify_log` takes these back (as
         ``crash_events`` / ``rejoin_events``) so a log whose holdings were
         perturbed by crashes can still be verified strictly.
         """
-        out: dict[str, list[list[int]]] = {}
+        out: dict[str, list[list]] = {}
         if self.crash_log:
             out["crash_events"] = [list(e) for e in self.crash_log]
         if self.rejoin_log:
-            out["rejoin_events"] = [list(e) for e in self.rejoin_log]
+            # Retained state is a mask (int) or a tuple of basis rows
+            # (coding); tuples become lists so the row is JSON-shaped.
+            out["rejoin_events"] = [
+                [t, node, list(r) if isinstance(r, tuple) else r]
+                for t, node, r in self.rejoin_log
+            ]
         return out

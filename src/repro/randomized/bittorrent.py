@@ -18,11 +18,13 @@ BitTorrent within the same tick model so both claims can be measured:
 * ``selfish`` clients never upload; they ride optimistic unchokes only —
   the loophole the paper calls out.
 
-Running on the :mod:`repro.sim` kernel gives this engine transfer-loss /
-outage fault injection, stall abort and progress callbacks for free
-(``fault_support = "links"``: node crashes are rejected with
-:class:`~repro.core.errors.ConfigError` — choking state has no
-crash/rejoin semantics yet; see ROADMAP).
+Running on the :mod:`repro.sim` kernel gives this engine the full fault
+model (``fault_support = "full"``): transfer loss, link/server outages,
+stall abort, progress callbacks, and node crash/rejoin. A crash evicts
+the node from every unchoke set and voids its receipt history — the next
+rechoke re-ranks without ghosts — and a rejoining node is re-seeded
+through the server's optimistic-unchoke path until it earns
+reciprocation slots again.
 """
 
 from __future__ import annotations
@@ -48,7 +50,7 @@ class BitTorrentTickPolicy(TickPolicy):
     """Tit-for-tat choking as a kernel policy; see module docstring."""
 
     name = "bittorrent"
-    fault_support = "links"
+    fault_support = "full"
 
     def __init__(
         self,
@@ -91,7 +93,11 @@ class BitTorrentTickPolicy(TickPolicy):
             if node != SERVER and not masks[node]:
                 self._unchoked[node] = ()
                 continue
-            neighbors = [v for v in graph.neighbors(node) if v != node]
+            neighbors = [
+                v
+                for v in graph.neighbors(node)
+                if v != node and v not in kernel.absent
+            ]
             if not neighbors:
                 self._unchoked[node] = ()
                 continue
@@ -173,6 +179,38 @@ class BitTorrentTickPolicy(TickPolicy):
 
     def zero_tick_conclusive(self) -> bool:
         return False
+
+    # -- crash/rejoin ------------------------------------------------------
+
+    def after_crash(self, node: int) -> None:
+        """Evict a crashed peer from all choking state.
+
+        Its receipt history is voided both ways (credit earned from a
+        dead peer must not buy reciprocation at the next rechoke), and it
+        is stripped from every live unchoke set so no upload slot is
+        wasted on it mid-window.
+        """
+        self._received_window.pop(node, None)
+        for window in self._received_window.values():
+            window.pop(node, None)
+        self._unchoked.pop(node, None)
+        for holder, unchoked in list(self._unchoked.items()):
+            if node in unchoked:
+                self._unchoked[holder] = tuple(
+                    v for v in unchoked if v != node
+                )
+
+    def after_rejoin(self, node: int) -> None:
+        """Re-seed a rejoined peer through the server's unchoke set.
+
+        A returning node has no receipt history, so until the next
+        rechoke nobody would rank it; granting it an immediate
+        server-side optimistic unchoke mirrors BitTorrent's bootstrap
+        path for fresh arrivals.
+        """
+        server_set = self._unchoked.get(SERVER, ())
+        if node not in server_set:
+            self._unchoked[SERVER] = server_set + (node,)
 
     def result_meta(self) -> dict[str, object]:
         kernel = self.kernel

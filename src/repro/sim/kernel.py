@@ -169,15 +169,18 @@ class TickKernel:
             if support == "none":
                 raise ConfigError(
                     f"the {policy.name} engine does not support fault "
-                    f"injection; remove the FaultPlan or use an engine "
-                    f"whose kernel path carries it"
+                    f"injection (fault_support='none'); remove the "
+                    f"FaultPlan or pick an engine from the fault parity "
+                    f"table in docs/API.md"
                 )
             if plan.crash_rate > 0.0 and support != "full":
                 raise ConfigError(
-                    f"the {policy.name} engine carries transfer loss, link "
-                    f"outages and server outage windows, but not node "
-                    f"crashes (crash_rate={plan.crash_rate}); set "
-                    f"crash_rate=0 or use an engine with full fault support"
+                    f"the {policy.name} engine (fault_support={support!r}) "
+                    f"carries transfer loss, link outages and server outage "
+                    f"windows, but not node crashes "
+                    f"(crash_rate={plan.crash_rate}); set crash_rate=0 or "
+                    f"pick a fault_support='full' engine from the fault "
+                    f"parity table in docs/API.md"
                 )
         self.fault_plan = plan
         if plan is not None:
@@ -321,13 +324,17 @@ class TickKernel:
         for node, retained in rejoins:
             absent.discard(node)
             state.enroll(node)
-            if retained:
-                state.seed(node, retained)
+            policy.restore_retained(node, retained)
             if state.masks[node] != self._full:
                 self._pool_add(node)
             policy.after_rejoin(node)
         for node in crashes:
-            inj.note_crash(self.tick, node, state.masks[node])
+            inj.note_crash(
+                self.tick,
+                node,
+                state.masks[node],
+                sample_retained=policy.crash_retention_sampler(node),
+            )
             absent.add(node)
             state.retire(node)
             self._pool_remove(node)

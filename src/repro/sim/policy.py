@@ -127,3 +127,28 @@ class TickPolicy:
 
     def after_rejoin(self, node: int) -> None:
         """Called after the kernel re-enrolls a rejoined client."""
+
+    def crash_retention_sampler(self, node: int):
+        """Optional custom sampler for what a crashing node retains.
+
+        Mask engines return ``None`` (the default): the injector samples
+        each held *block bit* independently with ``rejoin_retention`` and
+        the retained state is a mask. Engines whose per-node state is not
+        a block mask (network coding's GF(2) bases) return a callable
+        ``sample(rng, retention) -> retained`` instead; it is invoked by
+        :meth:`~repro.faults.injector.FaultInjector.note_crash` on the
+        injector's own RNG stream, *before* the node's state is cleared,
+        and whatever it returns is handed back verbatim through the
+        rejoin event and :meth:`restore_retained`.
+        """
+        return None
+
+    def restore_retained(self, node: int, retained) -> None:
+        """Re-apply a rejoining node's retained state.
+
+        The default seeds the retained block mask into the swarm state;
+        engines with non-mask retained state (coding's basis rows)
+        override this to rebuild their own structures.
+        """
+        if retained:
+            self.kernel.state.seed(node, retained)

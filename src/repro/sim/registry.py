@@ -84,9 +84,9 @@ def _coding(n: int, k: int, **kwargs: Any) -> Any:
 
 
 def _async(n: int, k: int, **kwargs: Any) -> Any:
-    from ..asynchronous.adapter import AsyncRunAdapter
+    from ..asynchronous.engine import AsyncKernelRun
 
-    return AsyncRunAdapter(n, k, **kwargs)
+    return AsyncKernelRun(n, k, **kwargs)
 
 
 ENGINES: dict[str, EngineSpec] = {
@@ -118,22 +118,22 @@ ENGINES: dict[str, EngineSpec] = {
             name="bittorrent",
             summary="BitTorrent-style tit-for-tat choking",
             mechanism="tit-for-tat (approximate barter)",
-            fault_support="links",
+            fault_support="full",
             factory=_bittorrent,
         ),
         EngineSpec(
             name="coding",
             summary="GF(2) network coding (random linear combinations)",
             mechanism="cooperative",
-            fault_support="links",
+            fault_support="full",
             factory=_coding,
         ),
         EngineSpec(
             name="async",
             summary="continuous-time asynchronous engine "
-            "(tick-quantised RunResult adapter)",
+            "(kernel-hosted event windows, one tick per unit time)",
             mechanism="cooperative",
-            fault_support="links",
+            fault_support="full",
             factory=_async,
         ),
     )

@@ -10,17 +10,23 @@ for the wrong reason also fails.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.coding import network_coding_run, verify_coding_log
 from repro.core.engine import execute_schedule
 from repro.core.errors import ScheduleViolation
-from repro.core.log import Transfer, TransferLog
+from repro.core.log import RunResult, Transfer, TransferLog
 from repro.core.mechanisms import CreditLimitedBarter
 from repro.core.verify import verify_log
+from repro.faults import FaultPlan
 from repro.randomized.barter import randomized_barter_run
+from repro.randomized.bittorrent import bittorrent_run
 from repro.schedules.hypercube import hypercube_schedule
+from repro.sim.registry import run_engine
 
 N, K = 16, 8
 
@@ -211,3 +217,146 @@ class TestMechanismMutations:
             )
         assert err.value.rule in ("credit-limit", "upload-capacity",
                                   "download-capacity")
+
+
+_CRASH_PLAN = FaultPlan(crash_rate=0.02, rejoin_delay=4, rejoin_retention=0.5)
+
+
+@lru_cache(maxsize=None)
+def _bittorrent_crash_run():
+    r = bittorrent_run(16, 6, rng=5, faults=_CRASH_PLAN, max_ticks=4000)
+    assert r.meta["crashes"] > 0
+    return r
+
+
+@lru_cache(maxsize=None)
+def _async_crash_run():
+    r = run_engine("async", 20, 8, rng=18, faults=_CRASH_PLAN, max_ticks=4000)
+    assert r.meta["crashes"] > 0
+    return r
+
+
+@lru_cache(maxsize=None)
+def _coding_crash_run():
+    # Retention 1.0 makes rows-retaining rejoins likely; scan a few seeds
+    # for one so the rejoin-rows mutation has a payload to corrupt.
+    plan = FaultPlan(crash_rate=0.03, rejoin_delay=3, rejoin_retention=1.0)
+    for seed in range(30):
+        r = network_coding_run(16, 6, rng=seed, faults=plan, max_ticks=4000)
+        payloads = [e[2] for e in r.meta.get("rejoin_events", ())]
+        if any(isinstance(p, list) and p for p in payloads):
+            return r
+    raise AssertionError("no seed produced a rows-retaining rejoin")
+
+
+class TestGraduatedEngineMutations:
+    """Crash/rejoin logs from the graduated engines round-trip through
+    their verifiers; targeted mutations are rejected with the right rule.
+
+    The verifiers must not merely accept whatever these engines emit —
+    the mutation cases prove they still have teeth against logs that
+    carry crash/rejoin event streams."""
+
+    def _events(self, r):
+        return {
+            "crash_events": r.meta.get("crash_events"),
+            "rejoin_events": r.meta.get("rejoin_events"),
+        }
+
+    def _block_mutations(self, r, n, k):
+        verify_log(
+            r.log, n, k, require_completion=r.completed, **self._events(r)
+        )
+
+        transfers = list(r.log)
+        mid = transfers[len(transfers) // 2]
+
+        # Self-transfer at an existing tick: the per-transfer shape check
+        # fires regardless of the surrounding crash/rejoin events.
+        mutated = list(transfers)
+        mutated[len(transfers) // 2] = Transfer(
+            mid.tick, mid.dst, mid.dst, mid.block
+        )
+        with pytest.raises(ScheduleViolation) as err:
+            verify_log(
+                TransferLog(sorted(mutated, key=lambda t: t.tick)),
+                n, k, require_completion=False, **self._events(r),
+            )
+        assert err.value.rule == "self-transfer"
+
+        # Duplicate delivery one tick later: the receiver already holds
+        # the block (usefulness) unless the dup overbooks a link first or
+        # an intervening crash voided sender/receiver state.
+        dup = Transfer(mid.tick + 1, mid.src, mid.dst, mid.block)
+        with pytest.raises(ScheduleViolation) as err:
+            verify_log(
+                TransferLog(sorted(transfers + [dup], key=lambda t: t.tick)),
+                n, k, require_completion=False, **self._events(r),
+            )
+        assert err.value.rule in (
+            "usefulness", "upload-capacity", "download-capacity", "causality",
+        )
+
+    def test_bittorrent_crash_log_mutations(self):
+        self._block_mutations(_bittorrent_crash_run(), 16, 6)
+
+    def test_async_crash_log_mutations(self):
+        self._block_mutations(_async_crash_run(), 20, 8)
+
+    def _coding_mutant(self, r, **meta_overrides):
+        meta = dict(r.meta)
+        meta.update(meta_overrides)
+        return RunResult(
+            n=r.n,
+            k=r.k,
+            completion_time=r.completion_time,
+            client_completions=r.client_completions,
+            log=r.log,
+            meta=meta,
+        )
+
+    def test_coding_crash_log_round_trips(self):
+        r = _coding_crash_run()
+        verify_coding_log(r, 16, 6, require_completion=r.completed)
+
+    def test_coding_zero_vector_rejected(self):
+        r = _coding_crash_run()
+        vectors = list(r.meta["coding_vectors"])
+        vectors[len(vectors) // 2] = 0
+        mutant = self._coding_mutant(r, coding_vectors=vectors)
+        with pytest.raises(ScheduleViolation) as err:
+            verify_coding_log(mutant, 16, 6, require_completion=False)
+        assert err.value.rule == "zero-vector"
+
+    def test_coding_pivot_mismatch_rejected(self):
+        r = _coding_crash_run()
+        vectors = list(r.meta["coding_vectors"])
+        i = len(vectors) // 2
+        t = list(r.log)[i]
+        vectors[i] = 1 << ((t.block + 1) % 6)
+        mutant = self._coding_mutant(r, coding_vectors=vectors)
+        with pytest.raises(ScheduleViolation) as err:
+            verify_coding_log(mutant, 16, 6, require_completion=False)
+        assert err.value.rule == "pivot-consistency"
+
+    def test_coding_misaligned_vector_stream_rejected(self):
+        r = _coding_crash_run()
+        vectors = list(r.meta["coding_vectors"])[:-1]
+        mutant = self._coding_mutant(r, coding_vectors=vectors)
+        with pytest.raises(ScheduleViolation) as err:
+            verify_coding_log(mutant, 16, 6, require_completion=False)
+        assert err.value.rule == "vector-alignment"
+
+    def test_coding_dependent_rejoin_rows_rejected(self):
+        r = _coding_crash_run()
+        rejoins = [list(e) for e in r.meta["rejoin_events"]]
+        i = next(
+            idx
+            for idx, e in enumerate(rejoins)
+            if isinstance(e[2], list) and e[2]
+        )
+        rejoins[i] = [rejoins[i][0], rejoins[i][1], rejoins[i][2] * 2]
+        mutant = self._coding_mutant(r, rejoin_events=rejoins)
+        with pytest.raises(ScheduleViolation) as err:
+            verify_coding_log(mutant, 16, 6, require_completion=False)
+        assert err.value.rule == "rejoin-rows"

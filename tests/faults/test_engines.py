@@ -187,11 +187,43 @@ class TestCrashes:
             rejoin_events=r.meta.get("rejoin_events"),
         )
 
-    def test_async_rejects_crash_plans(self):
-        with pytest.raises(ConfigError):
-            AsyncEngine(
-                8, 4, AsyncRandom(), faults=FaultPlan(crash_rate=0.1)
-            )
+    def test_async_honors_crash_plans(self):
+        plan = FaultPlan(crash_rate=0.02, rejoin_delay=5, rejoin_retention=0.5)
+        r = AsyncEngine(16, 6, AsyncRandom(), rng=17, faults=plan).run()
+        assert r.completed
+        assert r.meta["crashes"] > 0
+        assert r.meta["rejoins"] > 0
+
+    def test_async_crash_log_verifies(self):
+        from repro.sim import run_engine
+
+        plan = FaultPlan(crash_rate=0.02, rejoin_delay=5, rejoin_retention=0.5)
+        r = run_engine("async", 20, 8, rng=18, faults=plan, max_ticks=4000)
+        assert r.meta["crashes"] > 0
+        verify_log(
+            r.log, 20, 8,
+            require_completion=r.completed,
+            crash_events=r.meta.get("crash_events"),
+            rejoin_events=r.meta.get("rejoin_events"),
+        )
+
+    def test_async_crash_aborts_in_flight_transfers(self):
+        plan = FaultPlan(crash_rate=0.05, rejoin_delay=3, rejoin_retention=0.0)
+        r = AsyncEngine(20, 8, AsyncRandom(), rng=19, faults=plan).run()
+        assert r.meta["crashes"] > 0
+        # An aborted flight is neither delivered nor failed; the counter
+        # is the only trace it leaves.
+        assert r.meta["aborted_in_flight"] >= 0
+        crashed_at = {node: tick for tick, node in r.meta["crash_events"]}
+        rejoined_at: dict[int, float] = {}
+        for tick, node, _ in r.meta.get("rejoin_events", ()):
+            rejoined_at[node] = tick
+        for t in r.transfers:
+            for node in (t.src, t.dst):
+                if node in crashed_at and node not in rejoined_at:
+                    # Fail-stop nodes never move data after their crash
+                    # tick (events apply at the start of the window).
+                    assert t.end <= crashed_at[node] + 1e-9
 
 
 class TestServerOutages:
@@ -267,15 +299,52 @@ class TestAbortMetadata:
 
 
 class TestFaultPlanHonesty:
-    """Engines that cannot honor a fault axis must refuse it loudly at
-    construction (never silently ignore the plan) — and honor the axes
-    they do support, with failures in the log to prove it."""
+    """Every engine honors the full fault model (all six graduated to
+    ``fault_support="full"``), with failures — and crash/rejoin events —
+    in the log to prove it; a null plan still normalizes away."""
 
-    def test_bittorrent_rejects_crash_plans(self):
+    def test_bittorrent_honors_crash_plans(self):
+        from repro.randomized.bittorrent import bittorrent_run
+
+        plan = FaultPlan(
+            crash_rate=0.02, rejoin_delay=4, rejoin_retention=0.5
+        )
+        r = bittorrent_run(16, 6, rng=5, faults=plan, max_ticks=4000)
+        assert r.meta["crashes"] > 0
+        verify_log(
+            r.log, 16, 6,
+            require_completion=r.completed,
+            crash_events=r.meta.get("crash_events"),
+            rejoin_events=r.meta.get("rejoin_events"),
+        )
+
+    def test_bittorrent_crash_evicts_choke_state(self):
         from repro.randomized.bittorrent import BitTorrentEngine
 
-        with pytest.raises(ConfigError, match="crash"):
-            BitTorrentEngine(12, 6, faults=FaultPlan(crash_rate=0.05))
+        engine = BitTorrentEngine(12, 6, rng=6)
+        policy = engine.tick_policy
+        engine.kernel.step()  # populate the first rechoke window
+        victim = next(
+            v for v, unchoked in policy._unchoked.items() if unchoked
+        )
+        target = policy._unchoked[victim][0]
+        policy._received_window[victim][target] = 3
+        policy.after_crash(target)
+        assert target not in policy._unchoked
+        for unchoked in policy._unchoked.values():
+            assert target not in unchoked
+        assert target not in policy._received_window
+        assert target not in policy._received_window[victim]
+
+    def test_bittorrent_rejoin_reseeds_via_server(self):
+        from repro.randomized.bittorrent import BitTorrentEngine
+
+        engine = BitTorrentEngine(12, 6, rng=7)
+        policy = engine.tick_policy
+        engine.kernel.step()
+        policy.after_crash(3)
+        policy.after_rejoin(3)
+        assert 3 in policy._unchoked.get(0, ())
 
     def test_bittorrent_honors_loss_plans(self):
         from repro.randomized.bittorrent import bittorrent_run
@@ -285,11 +354,37 @@ class TestFaultPlanHonesty:
         assert r.log.failed_count > 0
         assert r.meta["failed_transfers"] == r.log.failed_count
 
-    def test_coding_rejects_crash_plans(self):
-        from repro.coding.engine import NetworkCodingEngine
+    def test_coding_honors_crash_plans(self):
+        from repro.coding import network_coding_run, verify_coding_log
 
-        with pytest.raises(ConfigError, match="crash"):
-            NetworkCodingEngine(12, 6, faults=FaultPlan(crash_rate=0.05))
+        plan = FaultPlan(
+            crash_rate=0.02, rejoin_delay=4, rejoin_retention=0.5
+        )
+        r = network_coding_run(16, 6, rng=5, faults=plan, max_ticks=4000)
+        assert r.meta["crashes"] > 0
+        verify_coding_log(r, 16, 6, require_completion=r.completed)
+
+    def test_coding_rejoin_retains_basis_rows(self):
+        # Retained state is rows of the GF(2) basis: every rejoin payload
+        # must be a list of independent vectors inside the crash-time
+        # span (verify_coding_log re-checks the subspace relation; here
+        # we check the payload shape and rank contract directly).
+        from repro.coding import Gf2Basis, network_coding_run
+
+        plan = FaultPlan(crash_rate=0.03, rejoin_delay=3, rejoin_retention=0.5)
+        r = None
+        for seed in range(30):
+            cand = network_coding_run(16, 6, rng=seed, faults=plan, max_ticks=4000)
+            payloads = [e[2] for e in cand.meta.get("rejoin_events", ())]
+            if any(isinstance(p, list) and p for p in payloads):
+                r = cand
+                break
+        assert r is not None, "no seed produced a rows-retaining rejoin"
+        for _, _, retained in r.meta["rejoin_events"]:
+            assert isinstance(retained, list)
+            rows = [int(v) for v in retained]
+            assert all(v > 0 for v in rows)
+            assert Gf2Basis(r.k, rows).rank == len(rows)
 
     def test_coding_honors_loss_plans(self):
         from repro.coding import network_coding_run
@@ -332,4 +427,4 @@ class TestFaultRunHelper:
         from repro.faults import fault_run
 
         with pytest.raises(ConfigError):
-            fault_run("bittorrent", 12, 6, FaultPlan(crash_rate=0.1), rng=1)
+            fault_run("no-such-engine", 12, 6, FaultPlan(crash_rate=0.1), rng=1)

@@ -3,6 +3,8 @@
 Each case draws a random (but seeded — failures reproduce) FaultPlan and
 drives an engine with it; whatever happens, the produced log must
 re-verify under the model rules with the run's own crash/rejoin events.
+All six registry engines are covered, including the three graduates
+(bittorrent, coding, async) across ``rejoin_retention`` in {0, 0.5, 1}.
 Selected via ``pytest -m faults``.
 """
 
@@ -12,26 +14,50 @@ import random
 
 import pytest
 
+from repro.coding import network_coding_run, verify_coding_log
 from repro.core.verify import verify_log
 from repro.faults import FaultPlan, replay_schedule
 from repro.randomized.barter import randomized_barter_run
+from repro.randomized.bittorrent import bittorrent_run
 from repro.randomized.cooperative import randomized_cooperative_run
 from repro.randomized.exchange import randomized_exchange_run
 from repro.schedules.simple import pipeline_schedule
+from repro.sim.registry import run_engine
 
 pytestmark = pytest.mark.faults
 
+RETENTIONS = (0.0, 0.5, 1.0)
 
-def _random_plan(rng: random.Random) -> FaultPlan:
+
+def _random_plan(
+    rng: random.Random, retention: float | None = None
+) -> FaultPlan:
     return FaultPlan(
         loss_rate=rng.choice([0.0, 0.05, 0.2, 0.5]),
         outage_rate=rng.choice([0.0, 0.0, 0.02]),
         outage_duration=rng.randint(1, 6),
         crash_rate=rng.choice([0.0, 0.0, 0.01, 0.05]),
         rejoin_delay=rng.choice([0, 2, 5]),
-        rejoin_retention=rng.choice([0.0, 0.25, 0.75, 1.0]),
+        rejoin_retention=(
+            retention
+            if retention is not None
+            else rng.choice([0.0, 0.25, 0.75, 1.0])
+        ),
         server_outages=rng.choice([(), ((3, 6),), ((2, 4), (9, 12))]),
         max_crashes=rng.choice([None, 2, 6]),
+    )
+
+
+def _random_crash_plan(
+    rng: random.Random, retention: float
+) -> FaultPlan:
+    """Like :func:`_random_plan` but guaranteed to arm the crash axis."""
+    return FaultPlan(
+        loss_rate=rng.choice([0.0, 0.05, 0.2]),
+        crash_rate=rng.choice([0.01, 0.03, 0.05]),
+        rejoin_delay=rng.choice([0, 2, 5]),
+        rejoin_retention=retention,
+        max_crashes=rng.choice([None, 6]),
     )
 
 
@@ -76,6 +102,38 @@ def test_fuzz_exchange(seed):
     plan = _random_plan(rng)
     r = randomized_exchange_run(12, 6, rng=seed, faults=plan, max_ticks=800)
     _verify_run(r, 12, 6)
+
+
+@pytest.mark.parametrize("retention", RETENTIONS)
+@pytest.mark.parametrize("seed", range(4))
+def test_fuzz_bittorrent(seed, retention):
+    rng = random.Random(5000 + seed)
+    plan = _random_crash_plan(rng, retention)
+    r = bittorrent_run(14, 6, rng=seed, faults=plan, max_ticks=3000)
+    _verify_run(r, 14, 6)
+
+
+@pytest.mark.parametrize("retention", RETENTIONS)
+@pytest.mark.parametrize("seed", range(4))
+def test_fuzz_coding(seed, retention):
+    rng = random.Random(6000 + seed)
+    plan = _random_crash_plan(rng, retention)
+    r = network_coding_run(14, 6, rng=seed, faults=plan, max_ticks=3000)
+    report = verify_coding_log(r, 14, 6, require_completion=False)
+    assert report["failed_transfers"] == r.log.failed_count
+    if r.completed:
+        assert r.abort is None
+
+
+@pytest.mark.parametrize("retention", RETENTIONS)
+@pytest.mark.parametrize("seed", range(4))
+def test_fuzz_async(seed, retention):
+    rng = random.Random(7000 + seed)
+    plan = _random_crash_plan(rng, retention)
+    r = run_engine(
+        "async", 14, 6, rng=seed, faults=plan, max_ticks=3000
+    )
+    _verify_run(r, 14, 6)
 
 
 @pytest.mark.parametrize("seed", range(8))

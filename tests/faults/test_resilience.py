@@ -13,7 +13,7 @@ from repro.analysis import (
 from repro.campaign import ParallelExecutor, configured
 from repro.core.errors import ConfigError
 from repro.core.log import RunResult, TransferLog
-from repro.experiments.resilience import resilience
+from repro.experiments.resilience import MECHANISMS, resilience
 from repro.experiments.scale import SCALES
 from repro.faults import FaultPlan
 from repro.randomized.cooperative import randomized_cooperative_run
@@ -93,12 +93,18 @@ class TestResilienceExperiment:
     def test_ci_rows_and_headline_shape(self):
         result = resilience(scale="ci")
         s = SCALES["ci"]
-        expected_rows = 3 * len(s.res_loss_rates) * len(s.res_crash_rates)
+        expected_rows = (
+            len(MECHANISMS) * len(s.res_loss_rates) * len(s.res_crash_rates)
+        )
         assert len(result.rows) == expected_rows
         by_mech = {
             mech: [r for r in result.rows if r["mechanism"] == mech]
-            for mech in ("cooperative", "credit", "strict")
+            for mech in MECHANISMS
         }
+        # Every registry mechanism contributes rows for the full grid.
+        assert set(by_mech) == set(MECHANISMS)
+        for rows in by_mech.values():
+            assert len(rows) == len(s.res_loss_rates) * len(s.res_crash_rates)
         # Fault-free baselines complete for every mechanism.
         for rows in by_mech.values():
             base = [r for r in rows if r["loss"] == 0 and r["crash"] == 0]

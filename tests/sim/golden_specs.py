@@ -9,10 +9,14 @@ engines were rebuilt on the shared :mod:`repro.sim` kernel; the suite in
 be byte-identical. That is the proof that the kernel refactor moved code
 without moving a single figure.
 
-Regenerate (only when a spec itself changes, never to paper over a
-behavioral diff)::
+The ``*-crash`` and ``async-*`` fixtures were pinned later, when the
+bittorrent, coding and async engines graduated to full crash/rejoin
+support (those fixtures also pin the crash/rejoin event streams).
 
-    PYTHONPATH=src python tests/sim/capture_golden.py
+Regenerate (only when a spec itself changes, never to paper over a
+behavioral diff; pass spec names to recapture a subset)::
+
+    PYTHONPATH=src python tests/sim/capture_golden.py [name ...]
 """
 
 from __future__ import annotations
@@ -20,12 +24,22 @@ from __future__ import annotations
 from repro.core.mechanisms import CreditLimitedBarter
 from repro.faults import FaultPlan, RecoveryPolicy
 from repro.overlays.random_regular import random_regular_graph
+from repro.randomized.bittorrent import bittorrent_run
 from repro.randomized.churn import ChurnEngine
 from repro.randomized.engine import RandomizedEngine
 from repro.randomized.exchange import randomized_exchange_run
 from repro.randomized.policies import RarestFirstPolicy
 
 __all__ = ["GOLDEN_SPECS"]
+
+# Shared crash plan for the graduated-engine fixtures (bittorrent,
+# coding, async): bounded hazard, half-retention rejoins.
+_CRASH_PLAN = FaultPlan(
+    crash_rate=0.02,
+    rejoin_delay=4,
+    rejoin_retention=0.5,
+    max_crashes=6,
+)
 
 
 def _randomized_cooperative():
@@ -102,6 +116,30 @@ def _exchange_faults():
     return randomized_exchange_run(14, 7, rng=23, faults=plan)
 
 
+def _bittorrent_crash():
+    return bittorrent_run(16, 6, rng=5, faults=_CRASH_PLAN, max_ticks=4000)
+
+
+def _coding_crash():
+    from repro.coding import network_coding_run
+
+    return network_coding_run(16, 6, rng=5, faults=_CRASH_PLAN, max_ticks=4000)
+
+
+def _async_kernel():
+    from repro.sim.registry import run_engine
+
+    return run_engine("async", 16, 8, rng=9)
+
+
+def _async_crash():
+    from repro.sim.registry import run_engine
+
+    return run_engine(
+        "async", 16, 8, rng=9, faults=_CRASH_PLAN, max_ticks=2000
+    )
+
+
 GOLDEN_SPECS = {
     "randomized-cooperative": _randomized_cooperative,
     "randomized-barter-rarest": _randomized_barter_rarest,
@@ -114,4 +152,8 @@ GOLDEN_SPECS = {
     "exchange": _exchange,
     "exchange-overlay": _exchange_overlay,
     "exchange-faults": _exchange_faults,
+    "bittorrent-crash": _bittorrent_crash,
+    "coding-crash": _coding_crash,
+    "async-kernel": _async_kernel,
+    "async-crash": _async_crash,
 }
