@@ -6,13 +6,14 @@ realises — must cost almost nothing on top of a plain run (< 15%
 slowdown), and a genuinely null plan must cost exactly nothing (engines
 skip building the injector entirely, and the log is bit-identical).
 
-Run with ``pytest benchmarks/bench_faults.py --benchmark-only``.
+Run with ``pytest benchmarks/bench_faults.py --benchmark-only``. The
+overhead guards persist their per-tick numbers and round timings to
+``BENCH_faults.json`` at the repo root (see :mod:`_harness`).
 """
 
 from __future__ import annotations
 
-import time
-
+from _harness import interleaved_best_of, update_bench_json
 from repro.coding import network_coding_run
 from repro.faults import FaultPlan, RecoveryPolicy, replay_schedule
 from repro.randomized.bittorrent import bittorrent_run
@@ -98,25 +99,40 @@ def _per_tick_overhead(plain_fn, armed_fn, rounds=5):
     Per tick, because the two runs follow different random trajectories
     (seeding the injector advances the engine RNG) and so finish in
     slightly different tick counts — that difference is luck, not
-    injector cost. Best-of wall times filter scheduler noise far better
-    than means for sub-second workloads, and the rounds interleave the
-    two variants so a load spike cannot land on only one of them.
+    injector cost. Timing via the shared interleaved best-of harness
+    (see :mod:`_harness` for why best-of and why interleaved).
     """
     plain_ticks = plain_fn().completion_time
     armed_ticks = armed_fn().completion_time
-    best = {"plain": float("inf"), "armed": float("inf")}
-    for _ in range(rounds):
-        for key, fn in (("plain", plain_fn), ("armed", armed_fn)):
-            start = time.perf_counter()
-            fn()
-            best[key] = min(best[key], time.perf_counter() - start)
-    return best["plain"] / plain_ticks, best["armed"] / armed_ticks
+    best = interleaved_best_of(
+        {"plain": plain_fn, "armed": armed_fn}, rounds=rounds
+    )
+    return (
+        best["plain"]["best"] / plain_ticks,
+        best["armed"]["best"] / armed_ticks,
+        best,
+    )
+
+
+def _record(section: str, plain: float, armed: float, raw: dict) -> None:
+    update_bench_json(
+        "BENCH_faults.json",
+        section,
+        {
+            "plain_us_per_tick": round(plain * 1e6, 2),
+            "armed_us_per_tick": round(armed * 1e6, 2),
+            "overhead_ratio": round(armed / plain, 4),
+            "plain_rounds_s": raw["plain"]["rounds"],
+            "armed_rounds_s": raw["armed"]["rounds"],
+        },
+    )
 
 
 def test_armed_inert_overhead_under_15_percent():
     """Direct guard on the headline number: an armed injector that never
     fires slows a run by less than 15% per tick."""
-    plain, armed = _per_tick_overhead(_plain_run, _armed_inert_run)
+    plain, armed, raw = _per_tick_overhead(_plain_run, _armed_inert_run)
+    _record(f"randomized_n{N}_k{K}", plain, armed, raw)
     assert armed < plain * 1.15, (
         f"armed-but-inert injector per-tick overhead {armed / plain - 1:.1%}"
         f" (plain {plain * 1e6:.0f}us/tick, armed {armed * 1e6:.0f}us/tick)"
@@ -187,9 +203,10 @@ def test_graduated_armed_inert_overhead_under_15_percent():
     """The armed-but-inert bound holds for every graduated engine too."""
     failures = []
     for name, run in _GRADUATED.items():
-        plain, armed = _per_tick_overhead(
+        plain, armed, raw = _per_tick_overhead(
             run, lambda run=run: run(_ARMED_INERT)
         )
+        _record(f"{name}_n64_k32", plain, armed, raw)
         if armed >= plain * 1.15:
             failures.append(
                 f"{name}: {armed / plain - 1:.1%} (plain "

@@ -41,14 +41,30 @@ class EngineRun:
     n: int
     k: int
     options: tuple[tuple[str, object], ...] = ()
+    #: Kernel backend (``"loop"`` / ``"array"`` / ``None`` = ambient
+    #: default). A dataclass field rather than an entry in ``options`` so
+    #: it always appears in the cache fingerprint: two campaigns that
+    #: differ only in backend hash to different cache keys even though
+    #: the array backend is byte-identical — a cached result must record
+    #: exactly how it was produced.
+    backend: str | None = None
 
     @classmethod
-    def configure(cls, engine: str, n: int, k: int, **options: object) -> "EngineRun":
+    def configure(
+        cls,
+        engine: str,
+        n: int,
+        k: int,
+        backend: str | None = None,
+        **options: object,
+    ) -> "EngineRun":
         """Build a factory with ``options`` baked in (keyword-friendly form)."""
-        return cls(engine, n, k, tuple(sorted(options.items())))
+        return cls(engine, n, k, tuple(sorted(options.items())), backend)
 
     def __call__(self, point: object, seed: int) -> RunResult:
         kwargs = dict(self.options)
         if isinstance(point, Mapping):
             kwargs.update(point)
+        if self.backend is not None:
+            kwargs["backend"] = self.backend
         return run_engine(self.engine, self.n, self.k, rng=seed, **kwargs)

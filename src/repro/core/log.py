@@ -25,6 +25,8 @@ from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 from typing import NamedTuple
 
+import numpy as np
+
 from .errors import ConfigError
 from .model import SERVER
 
@@ -102,6 +104,39 @@ class TransferLog:
     def record_failure(self, tick: int, src: int, dst: int, block: int) -> None:
         """Convenience wrapper around :meth:`append_failure`."""
         self.append_failure(Transfer(tick, src, dst, block))
+
+    def extend_batch(
+        self,
+        transfers: list[tuple[int, int, int, int]] = (),
+        failures: list[tuple[int, int, int, int]] = (),
+    ) -> None:
+        """Bulk-append ``(tick, src, dst, block)`` rows to both streams.
+
+        The materialisation path for deferred logging (the array backend
+        buffers raw tuples per attempt and flushes once): rows become
+        :class:`Transfer` records via a single C-level ``extend``, and the
+        per-stream tick-order invariants are enforced vectorially on the
+        whole batch instead of per append.
+        """
+        for rows, target, last_attr in (
+            (transfers, self._transfers, "_last_tick"),
+            (failures, self._failures, "_last_fail_tick"),
+        ):
+            if not rows:
+                continue
+            ticks = np.fromiter((r[0] for r in rows), np.int64, count=len(rows))
+            if ticks[0] < 1:
+                raise ConfigError(f"ticks are 1-based, got {int(ticks[0])}")
+            last = getattr(self, last_attr)
+            if ticks[0] < last:
+                raise ConfigError(
+                    f"transfers must be appended in tick order "
+                    f"({int(ticks[0])} after {last})"
+                )
+            if ticks.size > 1 and (np.diff(ticks) < 0).any():
+                raise ConfigError("batch rows are not in tick order")
+            target.extend(map(Transfer._make, rows))
+            setattr(self, last_attr, int(ticks[-1]))
 
     def __len__(self) -> int:
         return len(self._transfers)

@@ -33,7 +33,10 @@ class SwarmState:
     ``1 .. n-1`` start empty.
     """
 
-    __slots__ = ("n", "k", "masks", "_snapshot", "freq", "_incomplete", "_full")
+    __slots__ = (
+        "n", "k", "masks", "_snapshot", "freq", "_incomplete", "_full",
+        "mirror",
+    )
 
     def __init__(self, n: int, k: int) -> None:
         if n < 2:
@@ -50,6 +53,10 @@ class SwarmState:
         # array so Rarest-First selection can fancy-index it directly.
         self.freq: np.ndarray = np.ones(k, dtype=np.int64)
         self._incomplete: set[int] = set(range(1, n))
+        #: Optional ownership mirror (:class:`repro.sim.array.ArrayState`)
+        #: notified on every mutation so a packed ndarray view of the
+        #: holdings stays in sync with the bigint masks.
+        self.mirror = None
 
     # -- tick protocol -----------------------------------------------------
 
@@ -106,6 +113,8 @@ class SwarmState:
         self.freq[block] += 1
         if node != SERVER and self.masks[node] == self._full:
             self._incomplete.discard(node)
+        if self.mirror is not None:
+            self.mirror.on_receive(node, block)
         return True
 
     def seed(self, node: int, blocks: int) -> None:
@@ -133,6 +142,8 @@ class SwarmState:
             b += 1
         self.masks[node] = 0
         self._incomplete.discard(node)
+        if self.mirror is not None:
+            self.mirror.on_retire(node)
 
     def enroll(self, node: int) -> None:
         """Add a (previously absent) client with no blocks to the goal set."""

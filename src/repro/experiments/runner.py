@@ -17,6 +17,10 @@ so a repeated or interrupted invocation skips completed tasks;
 ``--resume`` is the convenience form that enables the cache at its
 default location. Results are identical at any ``--jobs`` because every
 task's seed is derived up front (see :mod:`repro.campaign`).
+
+``--backend array`` switches array-capable engines to the vectorized
+:mod:`repro.sim.array` backend — byte-identical results, faster ticks at
+large n; exported as ``REPRO_BACKEND`` so parallel workers inherit it.
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ from __future__ import annotations
 import argparse
 import inspect
 import json
+import os
 import sys
 import time
 from collections.abc import Callable, Sequence
@@ -254,7 +259,26 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="render live campaign progress (tasks/sec, ETA) on stderr",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("loop", "array"),
+        default=None,
+        help=(
+            "simulation kernel backend: 'array' switches array-capable "
+            "engines to the vectorized repro.sim.array backend "
+            "(byte-identical results); engines without array support "
+            "keep the loop. Default: REPRO_BACKEND env var, else 'loop'"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    if args.backend is not None:
+        from ..sim.registry import set_default_backend
+
+        # Env too, so ParallelExecutor worker processes (which read
+        # REPRO_BACKEND at import) inherit the choice.
+        os.environ["REPRO_BACKEND"] = args.backend
+        set_default_backend(args.backend)
 
     if args.experiment == "engines":
         print(_engine_table())

@@ -178,6 +178,7 @@ class ChurnEngine(RandomizedEngine):
         departures: dict[int, int] | None = None,
         faults=None,
         recovery=None,
+        backend: object | None = None,
     ) -> None:
         super().__init__(
             n,
@@ -191,6 +192,7 @@ class ChurnEngine(RandomizedEngine):
             keep_log=keep_log,
             faults=faults,
             recovery=recovery,
+            backend=backend,
         )
         arrivals = dict(arrivals or {})
         departures = dict(departures or {})

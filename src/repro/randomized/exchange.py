@@ -57,6 +57,11 @@ class ExchangeTickPolicy(TickPolicy):
     name = "randomized-exchange"
     fault_support = "full"
     uses_download_ledger = False
+    # Matching decisions feed back on live masks (a delivered swap
+    # changes later partners' mutual interest), so exchange keeps the
+    # per-attempt path on the array backend and gains its mirrored
+    # ownership words and deferred bulk logging.
+    supports_array = True
 
     def __init__(self, block_policy: BlockPolicy, graph: Graph) -> None:
         self.block_policy = block_policy
@@ -178,6 +183,7 @@ class ExchangeEngine:
         keep_log: bool = True,
         faults: FaultPlan | None = None,
         recovery: RecoveryPolicy | None = None,
+        backend: object | None = None,
     ) -> None:
         self.n, self.k = n, k
         self.policy = policy or RandomPolicy()
@@ -197,6 +203,7 @@ class ExchangeEngine:
             keep_log=keep_log,
             faults=faults,
             recovery=recovery,
+            backend=backend,
         )
 
     @property
@@ -231,6 +238,7 @@ def randomized_exchange_run(
     keep_log: bool = True,
     faults: FaultPlan | None = None,
     recovery: RecoveryPolicy | None = None,
+    backend: object | None = None,
 ) -> RunResult:
     """Run randomized strict-barter exchange until completion or timeout;
     see :class:`ExchangeEngine`."""
@@ -245,4 +253,5 @@ def randomized_exchange_run(
         keep_log=keep_log,
         faults=faults,
         recovery=recovery,
+        backend=backend,
     ).run()

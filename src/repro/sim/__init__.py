@@ -10,7 +10,15 @@ the contract.
 
 from .kernel import TickKernel, default_max_ticks
 from .policy import FAULT_SUPPORT_LEVELS, TickPolicy
-from .registry import ENGINES, EngineSpec, create_engine, engine_names, run_engine
+from .registry import (
+    ENGINES,
+    EngineSpec,
+    create_engine,
+    default_backend,
+    engine_names,
+    run_engine,
+    set_default_backend,
+)
 
 __all__ = [
     "ENGINES",
@@ -19,7 +27,9 @@ __all__ = [
     "TickKernel",
     "TickPolicy",
     "create_engine",
+    "default_backend",
     "default_max_ticks",
     "engine_names",
     "run_engine",
+    "set_default_backend",
 ]

@@ -1,0 +1,206 @@
+"""Batched Monte Carlo replicas over one stacked ownership tensor.
+
+The paper's headline figures are distributions — completion time of a
+randomized swarm at a given ``(n, k)``, over many seeds. Before this
+module a sweep obtained them one scalar run at a time;
+:class:`BatchRunner` runs ``S`` seed-replicas of one configuration with
+the replica index as an extra array dimension: every replica's
+:class:`~repro.sim.array.state.ArrayState` is a view into a single
+``(S, n, w)`` packed ownership tensor, so the batch ends with the whole
+ensemble's final holdings in one contiguous array and hands
+:mod:`repro.analysis` / :mod:`repro.campaign` a whole distribution per
+call.
+
+Replica seeds derive from ``(base_seed, label, replica_index)`` through
+:func:`repro.campaign.model.derive_seed` — the same derivation the
+campaign subsystem uses — so replica ``i`` of a batch is *bit-identical*
+to the scalar run with the same derived seed. That makes the validation
+contract two-sided: exact per-replica equality against scalar runs on
+the same seeds, and distributional agreement (completion-time mean/CI)
+against independent scalar replicas on disjoint seeds
+(``tests/sim/test_montecarlo.py`` checks both).
+
+Replica trajectories are independent RNG streams, so the runs execute
+sequentially — the array dimension batches *state and results*, and each
+run individually executes on the vectorized array backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ...core.errors import ConfigError
+from ...core.log import RunResult
+from .state import ArrayState
+
+__all__ = ["BatchResult", "BatchRunner"]
+
+
+@dataclass(slots=True)
+class BatchResult:
+    """Outcome of ``S`` replicas of one configuration.
+
+    ``ownership`` is the stacked final holdings — ``(S, n, k)`` bool,
+    replica-major — unpacked once from the shared word tensor.
+    ``completion_times`` is ``(S,)`` float64 with ``NaN`` for replicas
+    that did not complete.
+    """
+
+    engine: str
+    n: int
+    k: int
+    replicas: int
+    base_seed: int
+    label: str
+    seeds: tuple[int, ...]
+    results: tuple[RunResult, ...]
+    ownership: np.ndarray
+    completion_times: np.ndarray
+
+    @property
+    def completed(self) -> np.ndarray:
+        """Per-replica completion mask, ``(S,)`` bool."""
+        return ~np.isnan(self.completion_times)
+
+    @property
+    def aborts(self) -> tuple[str | None, ...]:
+        """Per-replica abort verdicts (``None`` for clean completions)."""
+        return tuple(r.abort for r in self.results)
+
+    def final_holdings(self) -> np.ndarray:
+        """Per-replica, per-node block counts, ``(S, n)`` int64."""
+        return self.ownership.sum(axis=2, dtype=np.int64)
+
+    def completion_summary(self):
+        """Completion-time distribution as an analysis
+        :class:`~repro.analysis.stats.Summary` (mean, spread, 95% CI)
+        over the completed replicas."""
+        from ...analysis.stats import summarize
+
+        values = self.completion_times[self.completed]
+        if values.size == 0:
+            raise ConfigError(
+                f"no completed replicas to summarize "
+                f"(aborts: {sorted(set(self.aborts))})"
+            )
+        return summarize([float(v) for v in values])
+
+
+class BatchRunner:
+    """Run ``S`` seed-replicas of one engine configuration as a batch.
+
+    Parameters
+    ----------
+    engine:
+        Registry name; must be an array-capable engine (randomized,
+        churn, exchange) — others raise
+        :class:`~repro.core.errors.ConfigError` naming the engine.
+    n, k, **options:
+        Forwarded to the engine factory (overlay, mechanism, faults, ...).
+    replicas:
+        Number of seed-replicas ``S``.
+    base_seed, label:
+        Replica ``i`` runs with
+        ``derive_seed(base_seed, label, i)``; ``label`` defaults to
+        ``"{engine}:{n}x{k}"``.
+    keep_log:
+        Keep full transfer logs on every replica (defaults off — batch
+        results are distribution-shaped; per-tick counts survive anyway).
+    progress:
+        Optional ``progress(replica_index, result)`` callback.
+    """
+
+    def __init__(
+        self,
+        engine: str,
+        n: int,
+        k: int,
+        *,
+        replicas: int,
+        base_seed: int = 0,
+        label: str | None = None,
+        keep_log: bool = False,
+        progress: Callable[[int, RunResult], None] | None = None,
+        **options: object,
+    ) -> None:
+        from ..registry import ENGINES
+
+        spec = ENGINES.get(engine)
+        if spec is None:
+            raise ConfigError(
+                f"unknown engine {engine!r}; registered: {', '.join(ENGINES)}"
+            )
+        if not spec.array_backend:
+            raise ConfigError(
+                f"the {engine} engine does not support the array backend; "
+                f"BatchRunner needs one of: "
+                + ", ".join(s.name for s in ENGINES.values() if s.array_backend)
+            )
+        if replicas < 1:
+            raise ConfigError(f"need at least one replica, got {replicas}")
+        self.engine = engine
+        self.n = n
+        self.k = k
+        self.replicas = replicas
+        self.base_seed = base_seed
+        self.label = label if label is not None else f"{engine}:{n}x{k}"
+        self.keep_log = keep_log
+        self.progress = progress
+        self.options = dict(options)
+
+    def run(self) -> BatchResult:
+        """Execute all replicas; returns the stacked :class:`BatchResult`."""
+        from ...campaign.model import derive_seed
+        from ..registry import create_engine
+
+        n, k, S = self.n, self.k, self.replicas
+        w = (k + 63) >> 6
+        tensor = np.zeros((S, n, w), dtype=np.uint64)
+        seeds: list[int] = []
+        results: list[RunResult] = []
+        times = np.full(S, np.nan, dtype=np.float64)
+        for i in range(S):
+            seed = derive_seed(self.base_seed, self.label, i)
+            seeds.append(seed)
+            state = ArrayState(n, k, words=tensor[i])
+            runner = create_engine(
+                self.engine,
+                n,
+                k,
+                backend=state,
+                rng=seed,
+                keep_log=self.keep_log,
+                **self.options,
+            )
+            result = runner.run()
+            results.append(result)
+            if result.completion_time is not None:
+                times[i] = result.completion_time
+            if self.progress is not None:
+                self.progress(i, result)
+        return BatchResult(
+            engine=self.engine,
+            n=n,
+            k=k,
+            replicas=S,
+            base_seed=self.base_seed,
+            label=self.label,
+            seeds=tuple(seeds),
+            results=tuple(results),
+            ownership=_unpack(tensor, k),
+            completion_times=times,
+        )
+
+
+def _unpack(tensor: np.ndarray, k: int) -> np.ndarray:
+    """Unpack an ``(S, n, w)`` word tensor to ``(S, n, k)`` bool."""
+    import sys
+
+    S, n, w = tensor.shape
+    src = tensor if sys.byteorder == "little" else tensor.astype("<u8")
+    raw = np.ascontiguousarray(src).view(np.uint8).reshape(S * n, w * 8)
+    bits = np.unpackbits(raw, axis=1, bitorder="little")[:, :k]
+    return bits.astype(bool).reshape(S, n, k)

@@ -90,6 +90,16 @@ class TickKernel:
         Optional :class:`~repro.core.mechanisms.CreditLimitedBarter`
         whose ledger the kernel charges per attempt (buffered within a
         tick: simultaneous transfers are judged at tick-start balances).
+    backend:
+        ``"loop"``/``None`` (default) for the scalar per-attempt path, or
+        ``"array"`` for the :mod:`repro.sim.array` backend — ownership
+        mirrored into packed ndarrays, deferred bulk logging, vectorized
+        tick scans for array-capable policies — with the decision RNG
+        untouched, so both backends produce byte-identical runs. An
+        :class:`~repro.sim.array.ArrayState` instance (e.g. a BatchRunner
+        replica view) is accepted in place of the string. Raises
+        :class:`~repro.core.errors.ConfigError` naming the engine when
+        the policy lacks array support.
     """
 
     # Slotted: ``attempt`` / ``_deliver_mask`` run once per transfer
@@ -102,6 +112,7 @@ class TickKernel:
         "_avail_active", "absent", "credit", "_credit_sends", "_dl_left",
         "_use_dl_ledger", "_tick_delivered", "_tick_failed", "recovery",
         "fault_plan", "faults", "_stall_window", "_judge", "_deliver",
+        "array", "_log_delivery", "_log_failure",
     )
 
     def __init__(
@@ -117,6 +128,7 @@ class TickKernel:
         faults: FaultPlan | None = None,
         recovery: RecoveryPolicy | None = None,
         credit: CreditLimitedBarter | None = None,
+        backend: object | None = None,
     ) -> None:
         self.state = SwarmState(n, k)
         self.n, self.k = n, k
@@ -202,6 +214,44 @@ class TickKernel:
         self._deliver: Callable[[int, int, int], None] = (
             deliver if deliver is not None else self._deliver_mask
         )
+
+        # Execution backend. ``"loop"`` (default) is the scalar
+        # per-attempt path; ``"array"`` mirrors ownership into packed
+        # ndarrays, defers log materialisation and lets array-capable
+        # policies vectorize their tick scans — with the decision RNG
+        # untouched, so both backends produce byte-identical runs. A
+        # preconstructed :class:`~repro.sim.array.ArrayState` (e.g. a
+        # BatchRunner replica view) is accepted in place of the string.
+        self.array = None
+        if backend is not None and backend != "loop":
+            from .array.backend import ArrayBackend
+            from .array.state import ArrayState
+
+            if isinstance(backend, ArrayState):
+                arr_state: ArrayState | None = backend
+            elif backend == "array":
+                arr_state = None
+            else:
+                raise ConfigError(
+                    f"unknown backend {backend!r}; choose 'loop' or 'array' "
+                    f"(or pass an ArrayState)"
+                )
+            if not policy.supports_array:
+                raise ConfigError(
+                    f"the {policy.name} engine does not support the array "
+                    f"backend (no batched attempt path); use "
+                    f"backend='loop' or pick an array-capable engine"
+                )
+            self.array = ArrayBackend(self, arr_state)
+        if not keep_log:
+            self._log_delivery: Callable | None = None
+            self._log_failure: Callable | None = None
+        elif self.array is not None:
+            self._log_delivery = self.array.push_delivery
+            self._log_failure = self.array.push_failure
+        else:
+            self._log_delivery = self.log.record
+            self._log_failure = self.log.record_failure
         policy.bind(self)
 
     # -- pools -------------------------------------------------------------
@@ -272,8 +322,9 @@ class TickKernel:
                     self._avail_remove(dst)
             if self.credit is not None:
                 self._credit_sends.append((src, dst))
-            if self.keep_log:
-                self.log.record_failure(self.tick, src, dst, block)
+            rec = self._log_failure
+            if rec is not None:
+                rec(self.tick, src, dst, block)
             self._tick_failed += 1
             return False
         self._deliver(src, dst, block)
@@ -284,8 +335,9 @@ class TickKernel:
                 self._avail_remove(dst)
         if self.credit is not None:
             self._credit_sends.append((src, dst))
-        if self.keep_log:
-            self.log.record(self.tick, src, dst, block)
+        rec = self._log_delivery
+        if rec is not None:
+            rec(self.tick, src, dst, block)
         self._tick_delivered += 1
         return True
 
@@ -307,6 +359,16 @@ class TickKernel:
         """Whether the server may upload this tick (outage windows)."""
         inj = self.faults
         return inj is None or not inj.server_down(self.tick)
+
+    def sync_log(self) -> None:
+        """Materialise any deferred (array-backend) log records.
+
+        The loop backend records eagerly, so this is a no-op there. The
+        run loop calls it before assembling the result; manual steppers
+        reading ``kernel.log`` mid-run should call it themselves.
+        """
+        if self.array is not None:
+            self.array.sync_log()
 
     # -- fault events ------------------------------------------------------
 
@@ -354,6 +416,8 @@ class TickKernel:
         if inj is not None and inj.tick_events_possible():
             self._apply_fault_events(inj)
         snapshot = self.state.begin_tick()
+        if self.array is not None:
+            self.array.begin_tick()
         cap = self.model.download
         self._dl_left = (
             [cap] * self.n if (self._use_dl_ledger and cap is not None) else None
@@ -428,6 +492,7 @@ class TickKernel:
                 abort = reason
                 break
 
+        self.sync_log()
         completed = self._goal_reached()
         completions = self.policy.completions()
         meta = self.policy.result_meta()

@@ -58,6 +58,15 @@ class TickPolicy:
     #: (pairwise exchange) switch it off.
     uses_download_ledger = True
 
+    #: Whether this policy can run on the array backend
+    #: (:mod:`repro.sim.array`): deliveries are plain mask bits (no
+    #: custom ``deliver``) and the policy either drives the batched
+    #: attempt machinery itself or is content with the kernel's
+    #: per-attempt path over the mirrored array state. The kernel raises
+    #: :class:`~repro.core.errors.ConfigError` naming the engine when
+    #: ``backend="array"`` is requested without it.
+    supports_array = False
+
     kernel: "TickKernel"
 
     # -- lifecycle ---------------------------------------------------------

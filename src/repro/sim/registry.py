@@ -19,6 +19,16 @@ A fault plan an engine cannot honor raises
 :class:`~repro.core.errors.ConfigError` at construction (see
 ``EngineSpec.fault_support``) instead of being silently ignored.
 
+Array-capable engines (``EngineSpec.array_backend``) additionally accept
+``backend="array"`` — the :mod:`repro.sim.array` vectorized backend,
+byte-identical to the default loop. The ambient default is ``"loop"``;
+:func:`set_default_backend` or the ``REPRO_BACKEND`` environment variable
+(read once at import, so parallel-executor workers inherit it) switch it
+swarm-wide, in which case array-capable engines pick the array backend up
+*softly* — engines without array support keep the loop. Passing
+``backend=`` explicitly always wins, and an *explicit* ``"array"`` on an
+unsupporting engine raises ``ConfigError`` naming the engine.
+
 Engine modules are imported lazily inside each factory: the registry is
 imported by :mod:`repro.sim`, which the engines themselves import for the
 kernel, and laziness breaks that cycle.
@@ -26,13 +36,22 @@ kernel, and laziness breaks that cycle.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Any, Callable
 
 from ..core.errors import ConfigError
 from ..core.log import RunResult
 
-__all__ = ["ENGINES", "EngineSpec", "create_engine", "engine_names", "run_engine"]
+__all__ = [
+    "ENGINES",
+    "EngineSpec",
+    "create_engine",
+    "default_backend",
+    "engine_names",
+    "run_engine",
+    "set_default_backend",
+]
 
 
 @dataclass(frozen=True)
@@ -51,6 +70,9 @@ class EngineSpec:
     #: ``factory(n, k, **kwargs)`` returning an object with
     #: ``run(progress=None) -> RunResult``.
     factory: Callable[..., Any]
+    #: Whether the engine accepts ``backend="array"``
+    #: (:mod:`repro.sim.array`); others reject it with ``ConfigError``.
+    array_backend: bool = False
 
 
 def _randomized(n: int, k: int, **kwargs: Any) -> Any:
@@ -99,6 +121,7 @@ ENGINES: dict[str, EngineSpec] = {
             mechanism="cooperative / credit-limited barter",
             fault_support="full",
             factory=_randomized,
+            array_backend=True,
         ),
         EngineSpec(
             name="churn",
@@ -106,6 +129,7 @@ ENGINES: dict[str, EngineSpec] = {
             mechanism="cooperative / credit-limited barter",
             fault_support="full",
             factory=_churn,
+            array_backend=True,
         ),
         EngineSpec(
             name="exchange",
@@ -113,6 +137,7 @@ ENGINES: dict[str, EngineSpec] = {
             mechanism="strict barter",
             fault_support="full",
             factory=_exchange,
+            array_backend=True,
         ),
         EngineSpec(
             name="bittorrent",
@@ -145,14 +170,57 @@ def engine_names() -> list[str]:
     return list(ENGINES)
 
 
+# Ambient execution backend, applied *softly*: array-capable engines pick
+# it up as their default, everyone else keeps the loop. Seeded from the
+# environment once at import so ParallelExecutor worker processes inherit
+# the parent's choice.
+_DEFAULT_BACKEND = os.environ.get("REPRO_BACKEND") or "loop"
+
+
+def default_backend() -> str:
+    """The ambient backend name (``"loop"`` unless switched)."""
+    return _DEFAULT_BACKEND
+
+
+def set_default_backend(backend: str) -> str:
+    """Set the ambient backend (``"loop"`` or ``"array"``); returns the
+    previous value. The CLI's ``--backend`` flag lands here."""
+    global _DEFAULT_BACKEND
+    if backend not in ("loop", "array"):
+        raise ConfigError(
+            f"unknown backend {backend!r}; choose 'loop' or 'array'"
+        )
+    previous = _DEFAULT_BACKEND
+    _DEFAULT_BACKEND = backend
+    return previous
+
+
 def create_engine(name: str, n: int, k: int, **kwargs: Any) -> Any:
     """Build the named engine (unstarted); raises ``ConfigError`` for an
-    unknown name or options the engine rejects."""
+    unknown name or options the engine rejects.
+
+    ``backend=`` is resolved here: ``None`` means the ambient default
+    (which only array-capable engines follow); an explicit value is
+    checked against ``EngineSpec.array_backend`` so the error names the
+    engine rather than surfacing as an unexpected-keyword ``TypeError``.
+    """
     spec = ENGINES.get(name)
     if spec is None:
         raise ConfigError(
             f"unknown engine {name!r}; registered: {', '.join(ENGINES)}"
         )
+    backend = kwargs.pop("backend", None)
+    if backend is None and _DEFAULT_BACKEND != "loop" and spec.array_backend:
+        backend = _DEFAULT_BACKEND
+    if backend is not None and backend != "loop":
+        if not spec.array_backend:
+            capable = ", ".join(s.name for s in ENGINES.values() if s.array_backend)
+            raise ConfigError(
+                f"the {name} engine does not support the array backend "
+                f"(no batched attempt path); use backend='loop' or one "
+                f"of: {capable}"
+            )
+        kwargs["backend"] = backend
     return spec.factory(n, k, **kwargs)
 
 

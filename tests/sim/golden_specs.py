@@ -1,7 +1,10 @@
 """Pinned-seed run specifications for the golden-log conformance suite.
 
 Each spec builds one engine run through the *public* construction API and
-returns its :class:`~repro.core.log.RunResult`. The JSON fixtures under
+returns its :class:`~repro.core.log.RunResult`; extra keyword arguments
+are forwarded to the engine constructor, which is how the array-backend
+suite (``test_array_golden.py``) replays the same pinned runs with
+``backend="array"``. The JSON fixtures under
 ``tests/sim/golden/`` were captured from these exact specs **before** the
 engines were rebuilt on the shared :mod:`repro.sim` kernel; the suite in
 ``test_golden_logs.py`` replays every spec and requires the transfer log
@@ -30,7 +33,7 @@ from repro.randomized.engine import RandomizedEngine
 from repro.randomized.exchange import randomized_exchange_run
 from repro.randomized.policies import RarestFirstPolicy
 
-__all__ = ["GOLDEN_SPECS"]
+__all__ = ["ARRAY_CAPABLE_SPECS", "GOLDEN_SPECS"]
 
 # Shared crash plan for the graduated-engine fixtures (bittorrent,
 # coding, async): bounded hazard, half-retention rejoins.
@@ -42,36 +45,37 @@ _CRASH_PLAN = FaultPlan(
 )
 
 
-def _randomized_cooperative():
-    return RandomizedEngine(24, 12, rng=42).run()
+def _randomized_cooperative(**kw):
+    return RandomizedEngine(24, 12, rng=42, **kw).run()
 
 
-def _randomized_barter_rarest():
+def _randomized_barter_rarest(**kw):
     return RandomizedEngine(
         20,
         10,
         mechanism=CreditLimitedBarter(2),
         policy=RarestFirstPolicy(),
         rng=7,
+        **kw,
     ).run()
 
 
-def _randomized_overlay_throttle():
+def _randomized_overlay_throttle(**kw):
     graph = random_regular_graph(18, 6, rng=0)
     return RandomizedEngine(
-        18, 9, overlay=graph, throttle={2: 0.5, 5: 0.25}, rng=13
+        18, 9, overlay=graph, throttle={2: 0.5, 5: 0.25}, rng=13, **kw
     ).run()
 
 
-def _randomized_selfish_barter():
+def _randomized_selfish_barter(**kw):
     # Free-riders under a tight credit limit: exercises the starve /
     # deadlock verdict path.
     return RandomizedEngine(
-        12, 6, mechanism=CreditLimitedBarter(1), selfish={3}, rng=3
+        12, 6, mechanism=CreditLimitedBarter(1), selfish={3}, rng=3, **kw
     ).run()
 
 
-def _randomized_faults():
+def _randomized_faults(**kw):
     plan = FaultPlan(
         loss_rate=0.1,
         crash_rate=0.01,
@@ -80,65 +84,82 @@ def _randomized_faults():
         max_crashes=3,
     )
     return RandomizedEngine(
-        20, 10, rng=11, faults=plan, recovery=RecoveryPolicy(reseed=True)
+        20, 10, rng=11, faults=plan, recovery=RecoveryPolicy(reseed=True), **kw
     ).run()
 
 
-def _randomized_server_outage():
+def _randomized_server_outage(**kw):
     plan = FaultPlan(server_outages=((2, 5),))
-    return RandomizedEngine(16, 8, rng=17, faults=plan).run()
+    return RandomizedEngine(16, 8, rng=17, faults=plan, **kw).run()
 
 
-def _churn():
+def _churn(**kw):
     return ChurnEngine(
-        16, 8, arrivals={3: 4, 5: 9}, departures={2: 6}, rng=5
+        16, 8, arrivals={3: 4, 5: 9}, departures={2: 6}, rng=5, **kw
     ).run()
 
 
-def _churn_faults():
+def _churn_faults(**kw):
     plan = FaultPlan(loss_rate=0.15)
     return ChurnEngine(
-        14, 7, arrivals={4: 6}, departures={3: 5}, rng=21, faults=plan
+        14, 7, arrivals={4: 6}, departures={3: 5}, rng=21, faults=plan, **kw
     ).run()
 
 
-def _exchange():
-    return randomized_exchange_run(16, 8, rng=9)
+def _exchange(**kw):
+    return randomized_exchange_run(16, 8, rng=9, **kw)
 
 
-def _exchange_overlay():
+def _exchange_overlay(**kw):
     graph = random_regular_graph(16, 5, rng=1)
-    return randomized_exchange_run(16, 8, overlay=graph, rng=19)
+    return randomized_exchange_run(16, 8, overlay=graph, rng=19, **kw)
 
 
-def _exchange_faults():
+def _exchange_faults(**kw):
     plan = FaultPlan(loss_rate=0.1, outage_rate=0.02, outage_duration=3)
-    return randomized_exchange_run(14, 7, rng=23, faults=plan)
+    return randomized_exchange_run(14, 7, rng=23, faults=plan, **kw)
 
 
-def _bittorrent_crash():
-    return bittorrent_run(16, 6, rng=5, faults=_CRASH_PLAN, max_ticks=4000)
+def _bittorrent_crash(**kw):
+    return bittorrent_run(16, 6, rng=5, faults=_CRASH_PLAN, max_ticks=4000, **kw)
 
 
-def _coding_crash():
+def _coding_crash(**kw):
     from repro.coding import network_coding_run
 
-    return network_coding_run(16, 6, rng=5, faults=_CRASH_PLAN, max_ticks=4000)
+    return network_coding_run(16, 6, rng=5, faults=_CRASH_PLAN, max_ticks=4000, **kw)
 
 
-def _async_kernel():
+def _async_kernel(**kw):
     from repro.sim.registry import run_engine
 
-    return run_engine("async", 16, 8, rng=9)
+    return run_engine("async", 16, 8, rng=9, **kw)
 
 
-def _async_crash():
+def _async_crash(**kw):
     from repro.sim.registry import run_engine
 
     return run_engine(
-        "async", 16, 8, rng=9, faults=_CRASH_PLAN, max_ticks=2000
+        "async", 16, 8, rng=9, faults=_CRASH_PLAN, max_ticks=2000, **kw
     )
 
+
+# Fixtures whose engines accept ``backend="array"`` (the randomized,
+# churn and exchange families); ``test_array_golden.py`` replays exactly
+# these against the same pinned JSON.
+ARRAY_CAPABLE_SPECS = (
+    "randomized-cooperative",
+    "randomized-barter-rarest",
+    "randomized-overlay-throttle",
+    "randomized-selfish-barter",
+    "randomized-faults",
+    "randomized-server-outage",
+    "churn",
+    "churn-faults",
+    "exchange",
+    "exchange-overlay",
+    "exchange-faults",
+)
 
 GOLDEN_SPECS = {
     "randomized-cooperative": _randomized_cooperative,
