@@ -1,6 +1,17 @@
 """Analysis utilities: replicated sweeps, statistics, regression, traces."""
 
 from .efficiency import EfficiencyTrace, efficiency_trace, window_means
+from .opensys import (
+    arrival_throughput,
+    mean_swarm_size,
+    peak_swarm_size,
+    percentile,
+    seed_capacity_share,
+    service_throughput,
+    sojourn_percentiles,
+    sojourn_times,
+    swarm_size_series,
+)
 from .progress import (
     completion_cdf,
     median_completion,
@@ -23,18 +34,27 @@ __all__ = [
     "Summary",
     "SweepPoint",
     "abort_breakdown",
+    "arrival_throughput",
     "completion_cdf",
     "completion_probability",
     "derive_seed",
     "efficiency_trace",
     "fit_completion_model",
     "mean",
+    "mean_swarm_size",
     "median_completion",
     "overhead_ratio",
+    "peak_swarm_size",
     "per_node_progress",
+    "percentile",
     "sample_std",
+    "seed_capacity_share",
+    "service_throughput",
+    "sojourn_percentiles",
+    "sojourn_times",
     "summarize",
     "swarm_progress",
+    "swarm_size_series",
     "sweep",
     "wasted_upload_fraction",
     "window_means",

@@ -1,0 +1,147 @@
+"""Open-system metrics: sojourn times, swarm-size series, throughput.
+
+A closed batch has one headline number (the completion tick); an open
+system does not complete — it *serves*. These helpers read the
+membership telemetry a workload-bearing run records in ``meta`` (see
+:class:`~repro.sim.membership.MembershipRuntime.telemetry`) and turn it
+into the quantities the ``open-system`` experiment reports:
+
+* **sojourn time** — join tick → completion tick per client, the
+  open-system replacement for completion time (a flash-crowd arrival
+  that waits out a barter stall shows up here, not in any batch metric);
+* **swarm size / seed count over time** — capacity supply and demand;
+* **arrival / service throughput** — clients per tick in and out;
+* **seed-capacity share** — the fraction of present nodes that are
+  seeds, the supply-side lever ``seed_holdover`` turns.
+
+Results that ride through the JSON result cache come back with string
+dict keys; every reader here coerces, so cached and fresh results
+aggregate identically.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+from ..core.errors import ConfigError
+from ..core.log import RunResult
+
+__all__ = [
+    "arrival_throughput",
+    "mean_swarm_size",
+    "peak_swarm_size",
+    "percentile",
+    "seed_capacity_share",
+    "service_throughput",
+    "sojourn_percentiles",
+    "sojourn_times",
+    "swarm_size_series",
+]
+
+
+def _int_dict(raw: object) -> dict[int, int]:
+    """Coerce a meta dict whose keys may be strings (JSON cache)."""
+    if not raw:
+        return {}
+    return {int(key): int(value) for key, value in raw.items()}  # type: ignore[union-attr]
+
+
+def sojourn_times(result: RunResult) -> dict[int, int]:
+    """Per-client sojourn: ticks from join to completion.
+
+    Clients present from the start (join tick 0) contribute their
+    completion tick — the closed-batch semantics — so a null-workload
+    comparison stays apples-to-apples. Clients that never completed
+    (still downloading, napping, or starved) are absent; measure them
+    via ``arrived`` vs ``len(sojourn_times(...))``.
+    """
+    joined = _int_dict(result.meta.get("joined_at"))
+    out: dict[int, int] = {}
+    for client, tick in result.client_completions.items():
+        node = int(client)
+        out[node] = int(tick) - joined.get(node, 0)
+    return out
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (0..1) with linear interpolation."""
+    if not values:
+        raise ConfigError("cannot take a percentile of no values")
+    if not 0.0 <= q <= 1.0:
+        raise ConfigError(f"quantile must be in [0, 1], got {q}")
+    ordered = sorted(values)
+    position = (len(ordered) - 1) * q
+    low = math.floor(position)
+    high = math.ceil(position)
+    if low == high:
+        return float(ordered[low])
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+def sojourn_percentiles(
+    results: Iterable[RunResult], quantiles: Sequence[float] = (0.5, 0.95)
+) -> dict[float, float]:
+    """Pooled sojourn-time percentiles across replicated runs."""
+    pooled: list[float] = []
+    for result in results:
+        pooled.extend(sojourn_times(result).values())
+    if not pooled:
+        return {}
+    return {q: percentile(pooled, q) for q in quantiles}
+
+
+def swarm_size_series(result: RunResult) -> list[int]:
+    """Present clients at the end of each tick (tick 1 first)."""
+    return [int(v) for v in result.meta.get("swarm_size_per_tick", ())]
+
+
+def seeds_series(result: RunResult) -> list[int]:
+    """Present *complete* clients at the end of each tick."""
+    return [int(v) for v in result.meta.get("seeds_per_tick", ())]
+
+
+def mean_swarm_size(result: RunResult) -> float | None:
+    """Time-averaged swarm size, or ``None`` without the series."""
+    series = swarm_size_series(result)
+    if not series:
+        return None
+    return sum(series) / len(series)
+
+
+def peak_swarm_size(result: RunResult) -> int | None:
+    """Largest per-tick swarm size, or ``None`` without the series."""
+    series = swarm_size_series(result)
+    return max(series) if series else None
+
+
+def arrival_throughput(result: RunResult) -> float | None:
+    """Clients that joined per tick over the run's duration."""
+    series = swarm_size_series(result)
+    if not series:
+        return None
+    arrived = int(result.meta.get("arrived", 0))
+    return arrived / len(series)
+
+
+def service_throughput(result: RunResult) -> float | None:
+    """Clients that *completed* per tick over the run's duration."""
+    series = swarm_size_series(result)
+    if not series:
+        return None
+    return len(result.client_completions) / len(series)
+
+
+def seed_capacity_share(result: RunResult) -> float | None:
+    """Fraction of present-node-ticks spent as a seed.
+
+    ``sum(seeds) / sum(swarm size)`` over the run: 0 means demand-only
+    (nobody ever seeds), values near 1 mean a seed-rich steady state.
+    """
+    sizes = swarm_size_series(result)
+    seeds = seeds_series(result)
+    total = sum(sizes)
+    if not total:
+        return None
+    return sum(seeds) / total

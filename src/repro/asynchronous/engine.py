@@ -104,6 +104,7 @@ def _build_kernel(
     keep_log: bool,
     faults: FaultPlan | None,
     recovery: RecoveryPolicy | None,
+    workload=None,
 ) -> tuple[AsyncTickPolicy, TickKernel]:
     if n < 2:
         raise ConfigError(f"need a server and at least one client, got n={n}")
@@ -124,6 +125,7 @@ def _build_kernel(
         keep_log=keep_log,
         faults=faults,
         recovery=recovery,
+        workload=workload,
     )
     return policy, kernel
 
@@ -257,6 +259,7 @@ class AsyncKernelRun:
         upload_rates: Sequence[float] | None = None,
         download_rates: Sequence[float] | None = None,
         parallel_downloads: int = 1,
+        workload=None,
     ) -> None:
         from .strategies import AsyncRandom
 
@@ -273,6 +276,7 @@ class AsyncKernelRun:
             keep_log=keep_log,
             faults=faults,
             recovery=recovery,
+            workload=workload,
         )
 
     def run(self, progress: Callable[[int, int], None] | None = None) -> RunResult:

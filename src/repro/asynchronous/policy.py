@@ -82,6 +82,9 @@ class AsyncTickPolicy(TickPolicy):
     # Downlink slots are continuous-time state (``parallel_downloads``
     # concurrent in-flight transfers), managed here, not per-tick.
     uses_download_ledger = False
+    # Arrivals become idle-eligible like rejoiners; departures abort
+    # in-flight transfers like crashes. Events land on window starts.
+    membership_support = True
 
     def __init__(
         self,
@@ -272,11 +275,14 @@ class AsyncTickPolicy(TickPolicy):
 
     def post_tick(self, delivered: int, failed: int) -> str | None:
         """A long run of fruitless phase hops is a genuine stall — unless
-        a crashed node is still scheduled to return, in which case the
-        budget resets and the kernel's own fault stall window governs."""
+        a crashed node is still scheduled to return (or the workload has
+        arrivals, downtime returns or departures pending), in which case
+        the budget resets and the kernel's own guards govern."""
         if self._hops_exhausted:
             faults = self.kernel.faults
-            if faults is not None and faults.pending_rejoins():
+            if (faults is not None and faults.pending_rejoins()) or (
+                self.kernel.membership_events_pending()
+            ):
                 self._hops_exhausted = False
                 self._silent_hops = 0
                 return None

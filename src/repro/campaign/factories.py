@@ -48,6 +48,13 @@ class EngineRun:
     #: the array backend is byte-identical — a cached result must record
     #: exactly how it was produced.
     backend: str | None = None
+    #: Open-system workload (a :class:`~repro.workloads.WorkloadSpec` or
+    #: ``None`` for the closed batch). Like ``backend``, a dedicated
+    #: field instead of an ``options`` entry so it always shows up in
+    #: the repr fingerprint: a cached closed-batch result must never be
+    #: served for the same engine under Poisson arrivals, and the spec's
+    #: frozen-dataclass repr pins every arrival/availability parameter.
+    workload: object | None = None
 
     @classmethod
     def configure(
@@ -56,10 +63,11 @@ class EngineRun:
         n: int,
         k: int,
         backend: str | None = None,
+        workload: object | None = None,
         **options: object,
     ) -> "EngineRun":
         """Build a factory with ``options`` baked in (keyword-friendly form)."""
-        return cls(engine, n, k, tuple(sorted(options.items())), backend)
+        return cls(engine, n, k, tuple(sorted(options.items())), backend, workload)
 
     def __call__(self, point: object, seed: int) -> RunResult:
         kwargs = dict(self.options)
@@ -67,4 +75,6 @@ class EngineRun:
             kwargs.update(point)
         if self.backend is not None:
             kwargs["backend"] = self.backend
+        if self.workload is not None:
+            kwargs["workload"] = self.workload
         return run_engine(self.engine, self.n, self.k, rng=seed, **kwargs)

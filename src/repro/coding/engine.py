@@ -63,6 +63,7 @@ class CodingTickPolicy(TickPolicy):
 
     name = "network-coding"
     fault_support = "full"
+    membership_support = True
 
     def __init__(self, k: int, n: int, graph: Graph, field: str) -> None:
         self.field = field
@@ -217,6 +218,24 @@ class CodingTickPolicy(TickPolicy):
             else:
                 self._incomplete.add(node)
 
+    # -- membership (open-system workloads) --------------------------------
+
+    def node_complete(self, node: int) -> bool:
+        """Completion is basis rank, not a block mask."""
+        return self.bases[node].is_full()
+
+    def capture_retained(self, node: int):
+        """A nap keeps the whole basis (rows in canonical order), unlike
+        a crash's sampled subset; :meth:`restore_retained` rebuilds it
+        verbatim on return."""
+        return tuple(self.bases[node].basis_rows())
+
+    def after_arrival(self, node: int) -> None:
+        """A fresh arrival starts with an empty basis and belongs in the
+        goal set (it may have been purged if this id was re-planned)."""
+        self.bases[node] = Gf2Basis(self.kernel.k)
+        self._incomplete.add(node)
+
     def result_meta(self) -> dict[str, object]:
         kernel = self.kernel
         meta: dict[str, object] = {
@@ -250,6 +269,7 @@ class NetworkCodingEngine:
         keep_log: bool = True,
         faults: FaultPlan | None = None,
         recovery: RecoveryPolicy | None = None,
+        workload=None,
     ) -> None:
         if n < 2:
             raise ConfigError(f"need a server and at least one client, got n={n}")
@@ -276,6 +296,7 @@ class NetworkCodingEngine:
             keep_log=keep_log,
             faults=faults,
             recovery=recovery,
+            workload=workload,
         )
 
     @property

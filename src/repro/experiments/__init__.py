@@ -39,6 +39,7 @@ from .figures import (
     figure6,
     figure7,
 )
+from .open_system import open_system
 from .resilience import resilience
 from .runner import EXPERIMENTS, main
 from .scale import SCALES, Scale, resolve_scale
@@ -72,6 +73,7 @@ __all__ = [
     "figure6",
     "figure7",
     "main",
+    "open_system",
     "price_table",
     "resilience",
     "resolve_scale",

@@ -59,6 +59,7 @@ from .extensions import (
     extension_multiserver,
 )
 from .figures import FigureResult, completion_fit, figure3, figure4, figure5, figure6, figure7
+from .open_system import open_system
 from .resilience import resilience
 from .scale import SCALES
 from .tables import price_table, schedule_table
@@ -90,6 +91,7 @@ EXPERIMENTS: dict[str, Callable[..., FigureResult]] = {
     "ext-coding": extension_coding,
     "ext-incentives": extension_incentives,
     "resilience": resilience,
+    "open-system": open_system,
 }
 
 DEFAULT_CACHE_DIR = ".repro-campaign-cache"

@@ -71,6 +71,26 @@ class Scale:
     res_retention: float = 0.25
     res_max_crashes: int | None = None
     res_max_ticks: int = 600
+    # Open-system sweep (repro.workloads): mechanism x arrival-rate x
+    # scenario grid. ``os_rates`` is the Poisson arrival-rate axis
+    # (clients per tick); the flash scenario adds a crowd of
+    # ``os_flash_size`` on top of the same background rate, and the
+    # diurnal scenario puts half the swarm on an on/off availability
+    # cycle. ``os_initial`` is the fraction of clients present at tick 0;
+    # the rest form the arrival pool.
+    os_n: int = 24
+    os_k: int = 8
+    os_credit: int = 2
+    os_initial: float = 0.25
+    os_rates: tuple[float, ...] = (0.2, 0.6)
+    os_arrival_stop: int = 30
+    os_flash_tick: int = 8
+    os_flash_size: int = 8
+    os_flash_width: int = 2
+    os_holdover: int = 4
+    os_period: int = 12
+    os_uptime: float = 0.75
+    os_max_ticks: int = 400
 
 
 SCALES: dict[str, Scale] = {
@@ -102,6 +122,19 @@ SCALES: dict[str, Scale] = {
         res_retention=0.25,
         res_max_crashes=None,
         res_max_ticks=6000,
+        os_n=256,
+        os_k=128,
+        os_credit=2,
+        os_initial=0.25,
+        os_rates=(0.25, 0.5, 1.0, 2.0),
+        os_arrival_stop=300,
+        os_flash_tick=40,
+        os_flash_size=96,
+        os_flash_width=5,
+        os_holdover=10,
+        os_period=40,
+        os_uptime=0.7,
+        os_max_ticks=6000,
     ),
     "xl": Scale(
         name="xl",
@@ -131,6 +164,19 @@ SCALES: dict[str, Scale] = {
         res_retention=0.25,
         res_max_crashes=None,
         res_max_ticks=3000,
+        os_n=128,
+        os_k=64,
+        os_credit=2,
+        os_initial=0.25,
+        os_rates=(0.25, 0.5, 1.0, 2.0),
+        os_arrival_stop=150,
+        os_flash_tick=25,
+        os_flash_size=48,
+        os_flash_width=4,
+        os_holdover=8,
+        os_period=30,
+        os_uptime=0.7,
+        os_max_ticks=3000,
     ),
     "lite": Scale(
         name="lite",
@@ -160,6 +206,19 @@ SCALES: dict[str, Scale] = {
         res_retention=0.25,
         res_max_crashes=None,
         res_max_ticks=1500,
+        os_n=64,
+        os_k=32,
+        os_credit=2,
+        os_initial=0.25,
+        os_rates=(0.2, 0.5, 1.0),
+        os_arrival_stop=80,
+        os_flash_tick=15,
+        os_flash_size=24,
+        os_flash_width=3,
+        os_holdover=6,
+        os_period=20,
+        os_uptime=0.7,
+        os_max_ticks=1500,
     ),
     "ci": Scale(
         name="ci",
@@ -189,6 +248,19 @@ SCALES: dict[str, Scale] = {
         res_retention=0.25,
         res_max_crashes=None,
         res_max_ticks=600,
+        os_n=24,
+        os_k=8,
+        os_credit=2,
+        os_initial=0.25,
+        os_rates=(0.2, 0.6),
+        os_arrival_stop=30,
+        os_flash_tick=8,
+        os_flash_size=8,
+        os_flash_width=2,
+        os_holdover=4,
+        os_period=12,
+        os_uptime=0.75,
+        os_max_ticks=400,
     ),
 }
 
@@ -213,6 +285,9 @@ def sweep_task_counts(scale: str | Scale | None = None) -> dict[str, int]:
         "fig7": 2 * len(s.fig67_degrees) * r,
         # Resilience: three mechanisms over the full loss x crash grid.
         "resilience": 3 * len(s.res_loss_rates) * len(s.res_crash_rates) * r,
+        # Open system: six mechanisms x arrival rates x three scenarios
+        # (flash / steady / diurnal).
+        "open-system": 6 * len(s.os_rates) * 3 * r,
     }
 
 

@@ -51,6 +51,9 @@ class BitTorrentTickPolicy(TickPolicy):
 
     name = "bittorrent"
     fault_support = "full"
+    # Arrivals ride the rejoin bootstrap (server-side optimistic
+    # unchoke); departures ride the crash eviction.
+    membership_support = True
 
     def __init__(
         self,
@@ -168,8 +171,13 @@ class BitTorrentTickPolicy(TickPolicy):
     def post_tick(self, delivered: int, failed: int) -> str | None:
         """Stalls cannot be proven permanent here (rechoking
         re-randomizes), so there is no deadlock verdict — but an
-        all-windows-silent swarm aborts as a stall."""
+        all-windows-silent swarm aborts as a stall. A silent wait for
+        scheduled workload arrivals or downtime returns is a lull, not
+        a stall, so the window count holds off while events are pending."""
         if delivered == 0 and self.kernel.tick % self.rechoke_period == 0:
+            if self.kernel.membership_events_pending():
+                self._silent_windows = 0
+                return None
             self._silent_windows += 1
             if self._silent_windows >= 20:
                 return "stall"
@@ -246,6 +254,7 @@ class BitTorrentEngine:
         per_node_unchoke: dict[int, int] | None = None,
         faults: FaultPlan | None = None,
         recovery: RecoveryPolicy | None = None,
+        workload=None,
     ) -> None:
         if unchoke_slots < 1:
             raise ConfigError(f"need at least one unchoke slot, got {unchoke_slots}")
@@ -288,6 +297,7 @@ class BitTorrentEngine:
             keep_log=keep_log,
             faults=faults,
             recovery=recovery,
+            workload=workload,
         )
 
     @property

@@ -158,6 +158,13 @@ class ChurnEngine(RandomizedEngine):
     departures:
         Mapping ``client -> tick`` at which it leaves (start of tick).
         A client may both arrive and depart; it must arrive first.
+
+    Ticks are 1-based (tick 0 is the initial state, so a tick-0 arrival
+    is refused). An arrival scheduled after ``max_ticks`` is refused too
+    — it could never join and the run would burn its whole budget
+    waiting. A *departure* after ``max_ticks`` is allowed and simply
+    never happens (the run ends first); it still counts as an upcoming
+    departure for the deadlock proof.
     """
 
     _tick_policy_cls = ChurnTickPolicy
@@ -179,6 +186,7 @@ class ChurnEngine(RandomizedEngine):
         faults=None,
         recovery=None,
         backend: object | None = None,
+        workload=None,
     ) -> None:
         super().__init__(
             n,
@@ -193,6 +201,7 @@ class ChurnEngine(RandomizedEngine):
             faults=faults,
             recovery=recovery,
             backend=backend,
+            workload=workload,
         )
         arrivals = dict(arrivals or {})
         departures = dict(departures or {})
@@ -204,6 +213,16 @@ class ChurnEngine(RandomizedEngine):
                     raise ConfigError(f"{label} for unknown client {node}")
                 if tick < 1:
                     raise ConfigError(f"{label} ticks are 1-based, got {tick}")
+        for node, tick in arrivals.items():
+            # An arrival past the tick guard can never join: the run
+            # would wait out the goal until max_ticks and abort. Refuse
+            # it up front rather than silently burning the whole budget.
+            if tick > self.kernel.max_ticks:
+                raise ConfigError(
+                    f"client {node} arrives at tick {tick}, after the run's "
+                    f"max_ticks ({self.kernel.max_ticks}); it could never "
+                    f"join — raise max_ticks or move the arrival"
+                )
         for node, tick in departures.items():
             if node in arrivals and arrivals[node] >= tick:
                 raise ConfigError(

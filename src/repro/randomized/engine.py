@@ -68,6 +68,7 @@ class RandomizedTickPolicy(TickPolicy):
     name = "randomized"
     fault_support = "full"
     supports_array = True
+    membership_support = True
 
     def __init__(
         self,
@@ -701,6 +702,7 @@ class RandomizedEngine:
         faults: FaultPlan | None = None,
         recovery: RecoveryPolicy | None = None,
         backend: object | None = None,
+        workload=None,
     ) -> None:
         self.n, self.k = n, k
         self.policy = policy or RandomPolicy()
@@ -747,6 +749,7 @@ class RandomizedEngine:
             recovery=recovery,
             credit=credit,
             backend=backend,
+            workload=workload,
         )
 
     def _build_tick_policy(

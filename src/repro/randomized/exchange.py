@@ -62,6 +62,7 @@ class ExchangeTickPolicy(TickPolicy):
     # per-attempt path on the array backend and gains its mirrored
     # ownership words and deferred bulk logging.
     supports_array = True
+    membership_support = True
 
     def __init__(self, block_policy: BlockPolicy, graph: Graph) -> None:
         self.block_policy = block_policy
@@ -184,6 +185,7 @@ class ExchangeEngine:
         faults: FaultPlan | None = None,
         recovery: RecoveryPolicy | None = None,
         backend: object | None = None,
+        workload=None,
     ) -> None:
         self.n, self.k = n, k
         self.policy = policy or RandomPolicy()
@@ -204,6 +206,7 @@ class ExchangeEngine:
             faults=faults,
             recovery=recovery,
             backend=backend,
+            workload=workload,
         )
 
     @property

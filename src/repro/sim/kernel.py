@@ -46,6 +46,9 @@ from ..faults.injector import FaultInjector
 from ..faults.plan import FaultPlan
 from ..faults.recovery import RecoveryPolicy
 from ..overlays.graph import Graph
+from ..workloads.compiler import compile_workload
+from ..workloads.spec import WorkloadSpec
+from .membership import MembershipRuntime
 from .policy import FAULT_SUPPORT_LEVELS, TickPolicy
 
 __all__ = ["TickKernel", "default_max_ticks"]
@@ -100,6 +103,16 @@ class TickKernel:
         replica view) is accepted in place of the string. Raises
         :class:`~repro.core.errors.ConfigError` naming the engine when
         the policy lacks array support.
+    workload:
+        Optional :class:`~repro.workloads.spec.WorkloadSpec`. A null
+        spec is normalised to "no workload" (bit-identical runs); a
+        non-null spec needs ``policy.membership_support`` or
+        construction raises :class:`~repro.core.errors.ConfigError` —
+        the ``fault_support`` honesty contract, applied to arrivals.
+        The spec is compiled once per run with a seed drawn from the
+        decision stream (after the fault injector's, so fault telemetry
+        is unchanged by attaching a workload) and executed by
+        :class:`~repro.sim.membership.MembershipRuntime`.
     """
 
     # Slotted: ``attempt`` / ``_deliver_mask`` run once per transfer
@@ -112,7 +125,7 @@ class TickKernel:
         "_avail_active", "absent", "credit", "_credit_sends", "_dl_left",
         "_use_dl_ledger", "_tick_delivered", "_tick_failed", "recovery",
         "fault_plan", "faults", "_stall_window", "_judge", "_deliver",
-        "array", "_log_delivery", "_log_failure",
+        "array", "_log_delivery", "_log_failure", "workload", "_membership",
     )
 
     def __init__(
@@ -129,6 +142,7 @@ class TickKernel:
         recovery: RecoveryPolicy | None = None,
         credit: CreditLimitedBarter | None = None,
         backend: object | None = None,
+        workload: WorkloadSpec | None = None,
     ) -> None:
         self.state = SwarmState(n, k)
         self.n, self.k = n, k
@@ -253,6 +267,31 @@ class TickKernel:
             self._log_delivery = self.log.record
             self._log_failure = self.log.record_failure
         policy.bind(self)
+
+        # Open-system workload. Mirrors the fault-plan contract: a null
+        # spec is normalised away (no membership runtime, no extra RNG
+        # draw — bit-identical to a plain run), and a non-null spec on a
+        # policy without membership support is refused loudly. The
+        # compile seed is drawn *after* the fault injector's, so
+        # attaching a workload never shifts fault randomness.
+        spec = workload if workload is not None and not workload.is_null else None
+        self.workload = spec
+        if spec is not None:
+            if not policy.membership_support:
+                raise ConfigError(
+                    f"the {policy.name} engine does not support open-system "
+                    f"workloads (membership_support=False); remove the "
+                    f"WorkloadSpec or pick a membership-capable engine "
+                    f"from the registry table (repro-experiments engines)"
+                )
+            compiled = compile_workload(
+                spec, n, seed=self.rng.getrandbits(63), horizon=self.max_ticks
+            )
+            self._membership: MembershipRuntime | None = MembershipRuntime(
+                self, compiled
+            )
+        else:
+            self._membership = None
 
     # -- pools -------------------------------------------------------------
 
@@ -411,6 +450,9 @@ class TickKernel:
         """
         self.tick += 1
         policy = self.policy
+        membership = self._membership
+        if membership is not None:
+            membership.begin_tick(self.tick)
         policy.pre_tick(self.tick)
         inj = self.faults
         if inj is not None and inj.tick_events_possible():
@@ -434,6 +476,8 @@ class TickKernel:
             for src, dst in self._credit_sends:
                 note(src, dst)
             self._credit_sends.clear()
+        if membership is not None:
+            membership.end_tick(self.tick)
         made = self._tick_delivered
         self.uploads_per_tick.append(made)
         self.failures_per_tick.append(self._tick_failed)
@@ -444,13 +488,26 @@ class TickKernel:
         return (
             policy.all_complete()
             and (self.faults is None or not self.faults.pending_rejoins())
+            and (self._membership is None or self._membership.goal_ok())
             and policy.goal_extra()
         )
 
     def _zero_tick_conclusive(self) -> bool:
         if not self.policy.zero_tick_conclusive():
             return False
+        if self._membership is not None and self._membership.events_pending():
+            # A future arrival, return from downtime, or departure can
+            # revive the swarm or change the goal — not a deadlock yet.
+            return False
         return self.faults is None or self.faults.zero_attempt_conclusive(self.tick)
+
+    def membership_events_pending(self) -> bool:
+        """Whether the workload still has scheduled membership events
+        (arrivals, downtime returns, departures); always ``False``
+        without a workload. Policies' stall heuristics consult this the
+        way they consult ``faults.pending_rejoins()``."""
+        membership = self._membership
+        return membership is not None and membership.events_pending()
 
     # -- whole run ---------------------------------------------------------
 
@@ -480,7 +537,12 @@ class TickKernel:
                 deadlocked = True
                 break
             if inj is not None:
-                idle = idle + 1 if made == 0 else 0
+                # A quiet gap while the workload still has arrivals or
+                # returns scheduled is a lull, not a stall.
+                if made == 0 and not self.membership_events_pending():
+                    idle += 1
+                else:
+                    idle = 0
                 if idle >= self._stall_window:
                     # No delivery for a whole window: not provably
                     # permanent (faults are stochastic), but hopeless
@@ -496,6 +558,14 @@ class TickKernel:
         completed = self._goal_reached()
         completions = self.policy.completions()
         meta = self.policy.result_meta()
+        membership = self._membership
+        if membership is not None:
+            # Membership tracks completion ticks directly (they must
+            # survive ``keep_log=False`` and departures), and the
+            # open-system telemetry rides in the metadata.
+            completions = membership.completed_ticks()
+            meta["workload"] = self.workload.describe()
+            meta.update(membership.telemetry())
         meta["deadlocked"] = deadlocked
         if deadlocked:
             abort = "deadlock"

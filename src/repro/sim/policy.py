@@ -67,6 +67,14 @@ class TickPolicy:
     #: ``backend="array"`` is requested without it.
     supports_array = False
 
+    #: Whether this policy can host an open-system workload
+    #: (:class:`~repro.workloads.spec.WorkloadSpec` arrivals, downtime
+    #: and departures via :class:`~repro.sim.membership.MembershipRuntime`).
+    #: The kernel refuses (``ConfigError``) a non-null workload on a
+    #: policy without it — the same honesty contract as
+    #: ``fault_support``, so workloads are never silently ignored.
+    membership_support = False
+
     kernel: "TickKernel"
 
     # -- lifecycle ---------------------------------------------------------
@@ -161,3 +169,43 @@ class TickPolicy:
         """
         if retained:
             self.kernel.state.seed(node, retained)
+
+    # -- membership hooks (open-system workloads) --------------------------
+
+    def node_complete(self, node: int) -> bool:
+        """Whether ``node`` holds the complete file right now.
+
+        The membership runtime's completion scan; mask engines read the
+        swarm state, engines with other content structures (coding's
+        bases) override.
+        """
+        return self.kernel.state.masks[node] == self.kernel._full
+
+    def capture_retained(self, node: int):
+        """Snapshot what ``node`` keeps across an availability nap.
+
+        Called *before* the node is retired; the value is handed back
+        verbatim through :meth:`restore_retained` when it returns. A
+        nap, unlike a crash, loses nothing — the default keeps the
+        whole block mask.
+        """
+        return self.kernel.state.masks[node]
+
+    def after_arrival(self, node: int) -> None:
+        """Called after the kernel enrolls a fresh workload arrival.
+
+        The default reuses :meth:`after_rejoin`: engines already treat
+        a rejoiner with nothing retained as a fresh bootstrap
+        (BitTorrent grants the server-side optimistic unchoke, async
+        marks the node idle-eligible).
+        """
+        self.after_rejoin(node)
+
+    def after_departure(self, node: int) -> None:
+        """Called after the kernel retires a workload departure.
+
+        The default reuses :meth:`after_crash`: a departure leaves the
+        swarm through the same door a crash does (its copies vanish),
+        it just never comes back.
+        """
+        self.after_crash(node)

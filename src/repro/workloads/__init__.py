@@ -1,0 +1,41 @@
+"""Open-system workloads: who shows up, when, and for how long.
+
+The paper studies a *closed batch* — every client present at tick 0,
+one headline completion tick — but the "price of barter" question
+matters most in the open systems real swarms live in: Poisson arrival
+streams, flash crowds, diurnal availability, seeds that linger a while
+and leave. This package is the declarative description of that world:
+
+* :class:`~repro.workloads.spec.WorkloadSpec` — a pure, hashable,
+  cache-fingerprintable description of the arrival process (Poisson
+  rate, flash-crowd spikes, explicit traces), per-node availability
+  profiles (diurnal on/off cycles), and steady-state departure behavior
+  (leave after completing, optionally lingering as a seed);
+* :mod:`~repro.workloads.rng` — namespaced child RNG streams, so every
+  stochastic ingredient draws from its own deterministic stream and
+  traces are reproducible per seed and independent across namespaces;
+* :func:`~repro.workloads.compiler.compile_workload` — lowers a spec
+  into the per-run artifacts the kernel executes: an arrival schedule,
+  per-node downtime windows, and departure rules.
+
+Execution lives in :mod:`repro.sim.membership`: every registry engine
+accepts ``workload=WorkloadSpec(...)`` and the kernel realises the
+compiled timeline through the same hooks that carry fault crash/rejoin
+events. A null spec (``WorkloadSpec()``) is normalised away, leaving
+runs bit-identical to ones without the argument — the same contract as
+:class:`~repro.faults.plan.FaultPlan`.
+"""
+
+from .compiler import CompiledWorkload, compile_workload
+from .rng import child_rng, child_seed
+from .spec import AvailabilityProfile, FlashCrowd, WorkloadSpec
+
+__all__ = [
+    "AvailabilityProfile",
+    "CompiledWorkload",
+    "FlashCrowd",
+    "WorkloadSpec",
+    "child_rng",
+    "child_seed",
+    "compile_workload",
+]

@@ -1,0 +1,106 @@
+"""Unit tests for the open-system metrics in repro.analysis.opensys."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.opensys import (
+    arrival_throughput,
+    mean_swarm_size,
+    peak_swarm_size,
+    percentile,
+    seed_capacity_share,
+    service_throughput,
+    sojourn_percentiles,
+    sojourn_times,
+    swarm_size_series,
+)
+from repro.core.errors import ConfigError
+from repro.core.log import RunResult, TransferLog
+
+
+def make_result(completions, meta) -> RunResult:
+    return RunResult(
+        n=8,
+        k=4,
+        completion_time=max(completions.values()) if completions else None,
+        client_completions=dict(completions),
+        log=TransferLog(),
+        meta=meta,
+    )
+
+
+OPEN = make_result(
+    {1: 6, 2: 8, 3: 15},
+    {
+        "arrived": 4,
+        "joined_at": {1: 0, 2: 0, 3: 10, 4: 12},
+        "swarm_size_per_tick": [2, 2, 2, 2, 2, 2, 2, 2, 2, 3, 3, 4, 4, 4, 4],
+        "seeds_per_tick": [0, 0, 0, 0, 0, 1, 1, 2, 2, 2, 2, 2, 2, 2, 3],
+    },
+)
+
+
+class TestSojourn:
+    def test_sojourn_is_completion_minus_join(self):
+        assert sojourn_times(OPEN) == {1: 6, 2: 8, 3: 5}
+
+    def test_string_keys_from_json_cache_coerced(self):
+        cached = make_result(
+            {"1": 6, "2": 8}, {"joined_at": {"1": 0, "2": 3}}
+        )
+        assert sojourn_times(cached) == {1: 6, 2: 5}
+
+    def test_closed_batch_sojourn_is_completion_tick(self):
+        closed = make_result({1: 6, 2: 8}, {})
+        assert sojourn_times(closed) == {1: 6, 2: 8}
+
+    def test_pooled_percentiles(self):
+        pooled = sojourn_percentiles([OPEN, OPEN], quantiles=(0.5,))
+        assert pooled == {0.5: 6.0}
+
+    def test_empty_pool_gives_empty_dict(self):
+        assert sojourn_percentiles([make_result({}, {})]) == {}
+
+
+class TestPercentile:
+    def test_interpolates(self):
+        assert percentile([1, 2, 3, 4], 0.5) == 2.5
+        assert percentile([1, 2, 3], 0.5) == 2.0
+        assert percentile([1, 2, 3], 0.0) == 1.0
+        assert percentile([1, 2, 3], 1.0) == 3.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            percentile([], 0.5)
+
+    def test_rejects_out_of_range_quantile(self):
+        with pytest.raises(ConfigError):
+            percentile([1.0], 1.5)
+
+
+class TestSwarmSeries:
+    def test_series_and_aggregates(self):
+        assert swarm_size_series(OPEN)[:3] == [2, 2, 2]
+        assert peak_swarm_size(OPEN) == 4
+        assert mean_swarm_size(OPEN) == pytest.approx(
+            sum([2] * 9 + [3, 3] + [4] * 4) / 15
+        )
+
+    def test_absent_series_gives_none(self):
+        closed = make_result({1: 6}, {})
+        assert swarm_size_series(closed) == []
+        assert mean_swarm_size(closed) is None
+        assert peak_swarm_size(closed) is None
+        assert arrival_throughput(closed) is None
+        assert service_throughput(closed) is None
+        assert seed_capacity_share(closed) is None
+
+    def test_throughputs(self):
+        assert arrival_throughput(OPEN) == pytest.approx(4 / 15)
+        assert service_throughput(OPEN) == pytest.approx(3 / 15)
+
+    def test_seed_capacity_share(self):
+        sizes = sum([2] * 9 + [3, 3] + [4] * 4)
+        seeds = sum([0, 0, 0, 0, 0, 1, 1, 2, 2, 2, 2, 2, 2, 2, 3])
+        assert seed_capacity_share(OPEN) == pytest.approx(seeds / sizes)

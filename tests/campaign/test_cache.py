@@ -190,3 +190,46 @@ class TestResultCache:
         cache.put(job, result)
         restored = cache.get(job)
         assert isinstance(restored.meta["policy"], str)
+
+
+class TestWorkloadFingerprint:
+    """EngineRun's workload field must reach the cache fingerprint: a
+    cached closed-batch result must never be served for an open-system
+    sweep of the same engine (and vice versa)."""
+
+    def _factories(self):
+        from repro.campaign.factories import EngineRun
+        from repro.workloads import WorkloadSpec
+
+        closed = EngineRun.configure("randomized", 8, 4)
+        spec = WorkloadSpec(initial_fraction=0.5, arrival_rate=0.3)
+        open_ = EngineRun.configure("randomized", 8, 4, workload=spec)
+        return closed, open_, spec
+
+    def test_fingerprints_differ(self):
+        closed, open_, _ = self._factories()
+        assert fn_fingerprint(closed) != fn_fingerprint(open_)
+
+    def test_cache_keys_differ(self):
+        closed, open_, _ = self._factories()
+        assert cache_key("exp", 10, 42, fn=closed, salt="s") != cache_key(
+            "exp", 10, 42, fn=open_, salt="s"
+        )
+
+    def test_spec_parameters_enter_the_fingerprint(self):
+        from repro.campaign.factories import EngineRun
+        from repro.workloads import WorkloadSpec
+
+        a = EngineRun.configure(
+            "randomized", 8, 4, workload=WorkloadSpec(arrival_rate=0.3)
+        )
+        b = EngineRun.configure(
+            "randomized", 8, 4, workload=WorkloadSpec(arrival_rate=0.4)
+        )
+        assert fn_fingerprint(a) != fn_fingerprint(b)
+
+    def test_workload_passed_through_to_the_engine(self):
+        _, open_, spec = self._factories()
+        result = open_({}, 5)
+        assert result.meta["workload"] == spec.describe()
+        assert "joined_at" in result.meta

@@ -31,7 +31,7 @@ class TestCli:
             "ablation-estimated-rarest", "ablation-rotation",
             "ext-multiserver", "ext-asynchrony", "ext-bittorrent",
             "ext-freerider", "ext-embedding", "ext-churn", "ext-triangular", "ext-coding", "ext-incentives",
-            "resilience",
+            "resilience", "open-system",
         }
         assert set(EXPERIMENTS) == expected
 

@@ -41,6 +41,7 @@ class TestTaskCounts:
             "fig6": 28,
             "fig7": 28,
             "resilience": 36,
+            "open-system": 72,
         }
 
     def test_xl_task_counts(self):
@@ -52,6 +53,7 @@ class TestTaskCounts:
             "fig6": 72,
             "fig7": 72,
             "resilience": 144,
+            "open-system": 288,
         }
 
     def test_xl_offers_enough_parallel_width(self):

@@ -32,6 +32,51 @@ class TestChurnValidation:
             ChurnEngine(8, 4, arrivals={1: 5}, departures={1: 5})
 
 
+class TestChurnEdgeCases:
+    """Regression tests for the churn table's corner cases: each is
+    either refused with a clear ConfigError or has one documented
+    behavior (see the ChurnEngine docstring)."""
+
+    def test_tick_zero_arrival_refused(self):
+        # Tick 0 is the initial state: a client "arriving" there is
+        # really an initial-cohort member and the table must say so.
+        with pytest.raises(ConfigError, match="1-based"):
+            ChurnEngine(8, 4, arrivals={2: 0})
+
+    def test_tick_zero_departure_refused(self):
+        with pytest.raises(ConfigError, match="1-based"):
+            ChurnEngine(8, 4, departures={2: 0})
+
+    def test_arrival_after_max_ticks_refused(self):
+        # It could never join; the run would burn its whole tick budget
+        # waiting for the goal to close.
+        with pytest.raises(ConfigError, match="max_ticks"):
+            ChurnEngine(8, 4, arrivals={2: 501}, max_ticks=500)
+
+    def test_arrival_exactly_at_max_ticks_allowed(self):
+        engine = ChurnEngine(8, 4, arrivals={2: 500}, max_ticks=500)
+        assert engine.arrivals == {2: 500}
+
+    def test_departure_after_max_ticks_never_happens(self):
+        # Documented behavior: the run ends first, so the client simply
+        # stays — and completes like everyone else.
+        r = churn_run(8, 4, departures={2: 400}, rng=0, max_ticks=200)
+        assert r.completed
+        assert 2 in r.client_completions
+
+    def test_depart_same_tick_as_arrival_refused(self):
+        with pytest.raises(ConfigError, match="before or at"):
+            ChurnEngine(8, 4, arrivals={2: 7}, departures={2: 7})
+
+    def test_departure_without_arrival_leaves_initial_cohort(self):
+        # Documented behavior: a client with no arrival entry is present
+        # from tick 0, so its departure just removes an initial member.
+        r = churn_run(8, 4, departures={2: 3}, rng=0)
+        engine_departed = r.meta["departed"]
+        assert 2 in engine_departed
+        assert 2 not in r.client_completions
+
+
 class TestArrivals:
     def test_late_arrival_completes(self):
         r = churn_run(16, 8, arrivals={3: 20}, rng=0)

@@ -1,0 +1,98 @@
+"""Statistical sanity of the workload generator (seeded, non-flaky).
+
+Every assertion here uses pinned seeds and tolerances wide enough that
+the checks are deterministic — they guard against systematic generator
+bugs (wrong Poisson method, off-by-one windows), not sampling noise.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.workloads import (
+    AvailabilityProfile,
+    FlashCrowd,
+    WorkloadSpec,
+    compile_workload,
+)
+
+
+class TestPoissonRate:
+    def test_empirical_rate_matches_lambda(self):
+        # 2000 ticks at rate 0.8: expected 1600 arrivals, sd ~40 (2.5%),
+        # so a 5% tolerance holds for any reasonable seed and these
+        # three are pinned.
+        spec = WorkloadSpec(initial_fraction=0.0, arrival_rate=0.8)
+        for seed in (1, 7, 123):
+            c = compile_workload(spec, 5001, seed=seed, horizon=2000)
+            rate = len(c.arrivals) / 2000
+            assert abs(rate - 0.8) / 0.8 < 0.05, (seed, rate)
+
+    def test_rate_window_respected(self):
+        spec = WorkloadSpec(
+            initial_fraction=0.0,
+            arrival_rate=2.0,
+            arrival_start=10,
+            arrival_stop=20,
+        )
+        c = compile_workload(spec, 201, seed=5, horizon=100)
+        ticks = [t for _, t in c.arrivals]
+        assert ticks
+        assert min(ticks) >= 10
+        assert max(ticks) <= 20
+
+    def test_burstiness_not_uniform(self):
+        # Poisson arrivals must vary per tick (a uniform one-per-tick
+        # generator would be a wrong implementation with the right mean).
+        spec = WorkloadSpec(initial_fraction=0.0, arrival_rate=1.0)
+        c = compile_workload(spec, 2001, seed=11, horizon=500)
+        per_tick = Counter(t for _, t in c.arrivals)
+        assert len(set(per_tick.values()) | {0}) > 2
+
+
+class TestFlashCrowd:
+    def test_crowd_lands_inside_its_window(self):
+        spec = WorkloadSpec(
+            initial_fraction=0.0, flash_crowds=(FlashCrowd(50, 100, 4),)
+        )
+        c = compile_workload(spec, 201, seed=9, horizon=400)
+        per_tick = Counter(t for _, t in c.arrivals)
+        assert sum(per_tick.values()) == 100
+        assert per_tick == {50: 25, 51: 25, 52: 25, 53: 25}
+
+
+class TestAvailabilityShares:
+    def test_assignment_fraction_near_share(self):
+        spec = WorkloadSpec(
+            availability=(AvailabilityProfile("flaky", 0.5, 10, 0.8),)
+        )
+        c = compile_workload(spec, 2001, seed=3, horizon=50)
+        fraction = len(c.profile_of) / 2000
+        # 2000 Bernoulli(0.5) draws: sd ~1.1%, 5% tolerance is safe.
+        assert abs(fraction - 0.5) < 0.05, fraction
+
+    def test_downtime_fraction_near_uptime_complement(self):
+        spec = WorkloadSpec(
+            availability=(AvailabilityProfile("flaky", 1.0, 10, 0.8),)
+        )
+        horizon = 200
+        c = compile_workload(spec, 101, seed=3, horizon=horizon)
+        total_off = sum(
+            end - start + 1
+            for _, windows in c.downtime
+            for start, end in windows
+        )
+        fraction = total_off / (100 * horizon)
+        # offline = round(10 * 0.2) = 2 ticks per 10-tick cycle; edge
+        # clipping at the horizon makes it slightly lumpy per node.
+        assert abs(fraction - 0.2) < 0.03, fraction
+
+    def test_phases_are_staggered(self):
+        spec = WorkloadSpec(
+            availability=(AvailabilityProfile("flaky", 1.0, 10, 0.8),)
+        )
+        c = compile_workload(spec, 101, seed=3, horizon=200)
+        first_starts = {windows[0][0] for _, windows in c.downtime}
+        # Per-node phases: the first window must not start at the same
+        # tick for everyone (that would be a synchronized blackout).
+        assert len(first_starts) > 3
