@@ -208,8 +208,13 @@ class AsyncTickPolicy(TickPolicy):
         return best
 
     def _retry_idle(self) -> bool:
+        # Sorted: small-int sets happen to iterate ascending (every value
+        # sits in its home slot), but that is an implementation accident;
+        # the retry order feeds strategy RNG draws, so it must be a
+        # function of the set's *content* for checkpoint restore to
+        # continue bit-identically.
         started = False
-        for node in list(self._idle):
+        for node in sorted(self._idle):
             if self._try_start(node):
                 self._idle.discard(node)
                 started = True
@@ -293,6 +298,66 @@ class AsyncTickPolicy(TickPolicy):
         """Phase-based strategies can idle a whole window yet have work
         at the next phase; a zero-attempt tick proves nothing."""
         return False
+
+    # -- checkpoint --------------------------------------------------------
+
+    def capture_state(self) -> dict[str, object]:
+        """Everything mutable across windows, including the event heap
+        *in array order*: ties on ``(end, seq)`` cannot occur (``seq`` is
+        unique) but the heap's internal layout still determines nothing
+        observable only because pops are total-ordered — capturing the
+        list verbatim and restoring it without re-heapifying is the one
+        representation that is correct without that argument."""
+        state: dict[str, object] = {
+            "now": self.now,
+            "transfers": [list(t) for t in self.transfers],
+            "failed": [list(t) for t in self.failed],
+            "float_completions": sorted(self.float_completions.items()),
+            "aborted_in_flight": self.aborted_in_flight,
+            "downlink_busy": list(self._downlink_busy),
+            "uplink_busy": list(self._uplink_busy),
+            "inbound": sorted([d, b] for d, b in self._inbound),
+            "events": [
+                [end, seq, list(transfer)]
+                for end, seq, transfer in self._events
+            ],
+            "event_seq": self._event_seq,
+            "idle": sorted(self._idle),
+            "silent_hops": self._silent_hops,
+            "hops_exhausted": self._hops_exhausted,
+            "started": self._started,
+        }
+        capture = getattr(self.strategy, "capture_state", None)
+        if capture is not None:
+            state["strategy"] = capture()
+        return state
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        self.now = state["now"]
+        self.transfers = [AsyncTransfer._make(t) for t in state["transfers"]]
+        self.failed = [AsyncTransfer._make(t) for t in state["failed"]]
+        self.float_completions = {
+            int(node): t for node, t in state["float_completions"]
+        }
+        self.aborted_in_flight = state["aborted_in_flight"]
+        self._downlink_busy = [int(v) for v in state["downlink_busy"]]
+        self._uplink_busy = [bool(v) for v in state["uplink_busy"]]
+        self._inbound = {(int(d), int(b)) for d, b in state["inbound"]}
+        # Verbatim — already a valid heap; re-heapifying could reorder
+        # equal-priority entries (none exist today, but the invariant is
+        # cheap to keep exact).
+        self._events = [
+            (end, seq, AsyncTransfer._make(transfer))
+            for end, seq, transfer in state["events"]
+        ]
+        self._event_seq = state["event_seq"]
+        self._idle = set(state["idle"])
+        self._silent_hops = state["silent_hops"]
+        self._hops_exhausted = state["hops_exhausted"]
+        self._started = state["started"]
+        restore = getattr(self.strategy, "restore_state", None)
+        if restore is not None:
+            restore(state.get("strategy", {}))
 
     # -- crash/rejoin ------------------------------------------------------
 

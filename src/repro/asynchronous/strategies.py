@@ -97,6 +97,16 @@ class AsyncHypercube:
             return None
         return dst, useful.bit_length() - 1  # highest-index block
 
+    # -- checkpoint --------------------------------------------------------
+
+    def capture_state(self) -> dict[str, object]:
+        """Only the server's introduction cursor mutates after
+        construction (layout and link tables are pure functions of n)."""
+        return {"server_next": self._server_next}
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        self._server_next = int(state["server_next"])
+
 
 class _AsyncRandomBase:
     """Shared neighbor selection for the randomized async strategies."""
@@ -158,3 +168,15 @@ class AsyncRarest(_AsyncRandomBase):
             self._freq[transfer.block] += 1
         self._seen = len(engine.transfers)
         return rarest_set_bit(useful, self._freq, engine.rng)
+
+    # -- checkpoint --------------------------------------------------------
+
+    def capture_state(self) -> dict[str, object]:
+        """Nothing to carry: the tracker is a pure fold over the engine's
+        (checkpointed) transfer list, so resetting to the lazy initial
+        state replays it exactly on the next decision."""
+        return {}
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        self._freq = None
+        self._seen = 0

@@ -18,6 +18,11 @@ The execution subsystem behind every sweep, figure and benchmark:
   engines by name;
 * :mod:`repro.campaign.telemetry` — :class:`CampaignStats` progress
   counters (tasks/sec, ETA) delivered through a callback hook;
+* :mod:`repro.campaign.checkpointing` — :class:`CheckpointSpec` /
+  :class:`JobCheckpoint`, the preemption-tolerance layer: workers
+  write periodic kernel checkpoints (:mod:`repro.checkpoint`) and
+  heartbeats; crashed, killed or watchdog-reaped workers' jobs resume
+  bit-identically from their last checkpoint;
 * :mod:`repro.campaign.context` — ambient :func:`configured` executor /
   cache that :func:`repro.analysis.sweeps.sweep` picks up.
 
@@ -38,6 +43,7 @@ from .cache import (
     default_salt,
     fn_fingerprint,
 )
+from .checkpointing import CheckpointSpec, HeartbeatWriter, JobCheckpoint
 from .context import CampaignConfig, configured, current_config
 from .executors import Executor, ParallelExecutor, SerialExecutor
 from .factories import EngineRun
@@ -50,10 +56,13 @@ __all__ = [
     "CampaignConfig",
     "CampaignError",
     "CampaignStats",
+    "CheckpointSpec",
     "ConsoleProgress",
     "EngineRun",
     "Executor",
+    "HeartbeatWriter",
     "Job",
+    "JobCheckpoint",
     "ParallelExecutor",
     "ResultCache",
     "SerialExecutor",

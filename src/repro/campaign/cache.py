@@ -17,9 +17,12 @@ entries; the ``REPRO_CACHE_SALT`` environment variable or a per-cache
 ``salt`` argument layers extra, user-controlled invalidation on top.
 
 The store is a single append-only ``results.jsonl`` (one writer — the
-executor's coordinating process — so no locking is needed). Loading
-tolerates a truncated final line, which is exactly what an interrupted
-run leaves behind.
+executor's coordinating process — so no locking is needed). Each record
+is appended as one complete line and flushed before the in-memory index
+is updated, so a crash can only ever tear the *final* line. Loading
+detects that torn tail, warns (the affected task simply re-executes) and
+keeps everything before it; garbage on any earlier line is warned about
+with its line number, since that is corruption, not a crash artifact.
 
 Cached :class:`~repro.core.log.RunResult` objects carry completion
 statistics and metadata but an **empty transfer log** — logs are the one
@@ -32,6 +35,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import warnings
 from pathlib import Path
 
 from ..core.log import RunResult, TransferLog
@@ -130,18 +134,37 @@ class ResultCache:
         if not self.path.exists():
             return
         with self.path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    # Truncated tail of an interrupted run; everything
-                    # before it is intact.
-                    continue
-                if isinstance(record, dict) and "key" in record:
-                    self._index[record["key"]] = record
+            lines = handle.readlines()
+        for number, line in enumerate(lines, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                record = json.loads(stripped)
+            except json.JSONDecodeError:
+                if number == len(lines):
+                    # The torn tail a crash-interrupted appender leaves
+                    # behind (put() flushes after every full line, so
+                    # only the final line can be partial). The entry is
+                    # lost — that task simply re-executes — but say so
+                    # instead of silently shrinking the cache.
+                    warnings.warn(
+                        f"result cache {self.path} ends in a truncated "
+                        f"record (interrupted run?); dropping it — the "
+                        f"affected task will re-execute",
+                        stacklevel=3,
+                    )
+                else:
+                    # Garbage *before* the tail is not a crash artifact;
+                    # name the line so the corruption is investigable.
+                    warnings.warn(
+                        f"result cache {self.path} line {number} is not "
+                        f"valid JSON; skipping it",
+                        stacklevel=3,
+                    )
+                continue
+            if isinstance(record, dict) and "key" in record:
+                self._index[record["key"]] = record
 
     def __len__(self) -> int:
         return len(self._index)

@@ -25,6 +25,20 @@ handled without losing the campaign:
   plausibly lost an execution to the crash are charged against their
   ``retries`` budget, so still-queued tasks retry for free.
 
+Both executors additionally accept a
+:class:`~repro.campaign.checkpointing.CheckpointSpec`: run factories
+that implement the checkpoint protocol (``supports_checkpoint = True``,
+e.g. :class:`~repro.campaign.factories.EngineRun`) then write periodic
+kernel checkpoints, and a retried task resumes **bit-identically** from
+its last checkpoint instead of starting over (``TaskOutcome.
+resumed_from_tick`` records where). The parallel executor can also arm a
+watchdog (``stale_after``): workers heartbeat once per tick, and a
+worker whose heartbeat goes stale — wedged in uninterruptible state, or
+preempted without a signal — is killed, which breaks the pool and routes
+its task through the same resume-aware retry path. Retry *budget*
+semantics are unchanged with or without checkpoints; a checkpoint only
+changes where a retry starts.
+
 Determinism: seeds are derived before submission and results are slotted
 by job index, so the outcome list — and any aggregate computed from it —
 is identical whatever order workers finish in.
@@ -32,10 +46,14 @@ is identical whatever order workers finish in.
 
 from __future__ import annotations
 
+import glob
 import multiprocessing
 import os
+import signal
+import threading
+import time
 from abc import ABC, abstractmethod
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable
 from concurrent.futures import ProcessPoolExecutor as _PoolExecutor
 from concurrent.futures import as_completed
 from concurrent.futures.process import BrokenProcessPool
@@ -43,6 +61,7 @@ from concurrent.futures.process import BrokenProcessPool
 from ..core.errors import ConfigError
 from ..core.log import RunResult
 from .cache import ResultCache
+from .checkpointing import CheckpointSpec, JobCheckpoint, read_heartbeat
 from .model import Campaign, Job, TaskOutcome, as_campaign
 from .telemetry import CampaignStats, ProgressCallback
 
@@ -57,8 +76,31 @@ class Executor(ABC):
     report how many tasks executed versus hit the cache.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, checkpoint: CheckpointSpec | None = None) -> None:
         self.last_stats: CampaignStats | None = None
+        self.checkpoint = checkpoint
+
+    def _job_checkpoint(
+        self, campaign: Campaign, job: Job
+    ) -> JobCheckpoint | None:
+        """The job's checkpoint file assignment, or ``None`` when the
+        executor has no spec or the factory doesn't speak the protocol.
+        Files are named by the job's cache key, so a resubmitted or
+        re-invoked job finds exactly its own checkpoint."""
+        spec = self.checkpoint
+        if spec is None or not getattr(job.fn, "supports_checkpoint", False):
+            return None
+        from .cache import cache_key
+
+        key = cache_key(
+            job.experiment,
+            job.point,
+            job.seed,
+            replicate=job.replicate,
+            salt=campaign.salt,
+            fn=job.fn,
+        )
+        return spec.for_job(key)
 
     def run(
         self,
@@ -132,11 +174,29 @@ class SerialExecutor(Executor):
     def _execute(self, campaign, pending, outcomes, stats, cache, progress):
         for i in pending:
             job = campaign.jobs[i]
-            result = job.fn(job.point, job.seed)
+            ckpt = self._job_checkpoint(campaign, job)
+            if ckpt is not None:
+                result = job.fn(job.point, job.seed, checkpoint=ckpt)
+            else:
+                result = job.fn(job.point, job.seed)
             self._complete(
-                campaign, i, TaskOutcome(job=job, result=result),
+                campaign,
+                i,
+                TaskOutcome(
+                    job=job,
+                    result=result,
+                    resumed_from_tick=_resumed_tick(result),
+                ),
                 outcomes, stats, cache, progress,
             )
+
+
+def _resumed_tick(result: RunResult | None) -> int | None:
+    """The checkpoint tick a run resumed from, if its factory noted one."""
+    if result is None:
+        return None
+    tick = result.meta.get("resumed_from_tick")
+    return int(tick) if tick is not None else None
 
 
 class _TaskTimeout(Exception):
@@ -147,7 +207,11 @@ _NO_RESULT = object()
 
 
 def _execute_task(
-    fn, point: object, seed: int, timeout: float | None
+    fn,
+    point: object,
+    seed: int,
+    timeout: float | None,
+    checkpoint: JobCheckpoint | None = None,
 ) -> tuple[str, RunResult | str]:
     """Worker entry point: run one task, never let an exception escape.
 
@@ -176,7 +240,10 @@ def _execute_task(
             previous = signal.signal(signal.SIGALRM, _on_alarm)
             signal.setitimer(signal.ITIMER_REAL, timeout)
         try:
-            result = fn(point, seed)
+            if checkpoint is not None:
+                result = fn(point, seed, checkpoint=checkpoint)
+            else:
+                result = fn(point, seed)
         finally:
             if use_alarm:
                 signal.setitimer(signal.ITIMER_REAL, 0.0)
@@ -213,6 +280,17 @@ class ParallelExecutor(Executor):
     mp_context:
         Optional :mod:`multiprocessing` start-method name (``"fork"``,
         ``"spawn"``, ``"forkserver"``); default is the platform default.
+    checkpoint:
+        Optional :class:`~repro.campaign.checkpointing.CheckpointSpec`.
+        Checkpoint-capable run factories then write periodic kernel
+        checkpoints and retried tasks resume from them (bit-identically)
+        instead of starting over. The retry *budget* is unchanged.
+    stale_after:
+        Optional heartbeat staleness threshold in seconds; requires
+        ``checkpoint``. A watchdog thread kills any pool worker whose
+        job heartbeat is older than this — a wedged or silently
+        preempted worker — turning it into an ordinary broken-pool
+        retry, which then resumes from the last checkpoint.
     """
 
     def __init__(
@@ -222,8 +300,10 @@ class ParallelExecutor(Executor):
         timeout: float | None = None,
         retries: int = 1,
         mp_context: str | None = None,
+        checkpoint: CheckpointSpec | None = None,
+        stale_after: float | None = None,
     ) -> None:
-        super().__init__()
+        super().__init__(checkpoint=checkpoint)
         if jobs is not None and jobs < 1:
             raise ConfigError(f"need at least one worker, got {jobs}")
         if timeout is not None and timeout <= 0:
@@ -232,10 +312,21 @@ class ParallelExecutor(Executor):
             raise ConfigError(f"timeout must be positive, got {timeout}")
         if retries < 0:
             raise ConfigError(f"retries must be >= 0, got {retries}")
+        if stale_after is not None:
+            if stale_after <= 0:
+                raise ConfigError(
+                    f"stale_after must be positive, got {stale_after}"
+                )
+            if checkpoint is None:
+                raise ConfigError(
+                    "stale_after needs checkpoint=: the watchdog reads "
+                    "heartbeat files from the checkpoint directory"
+                )
         self.jobs = jobs or os.cpu_count() or 1
         self.timeout = timeout
         self.retries = retries
         self.mp_context = mp_context
+        self.stale_after = stale_after
 
     def _pool(self, width: int) -> _PoolExecutor:
         context = (
@@ -253,6 +344,14 @@ class ParallelExecutor(Executor):
             crashed = False
             width = min(self.jobs, len(remaining))
             pool = self._pool(width)
+            watchdog = None
+            if self.stale_after is not None:
+                watchdog = _Watchdog(
+                    self.checkpoint.root,
+                    self.stale_after,
+                    lambda: set(pool._processes or ()),
+                )
+                watchdog.start()
             try:
                 futures = {}
                 try:
@@ -260,7 +359,12 @@ class ParallelExecutor(Executor):
                         job = jobs[i]
                         futures[
                             pool.submit(
-                                _execute_task, job.fn, job.point, job.seed, self.timeout
+                                _execute_task,
+                                job.fn,
+                                job.point,
+                                job.seed,
+                                self.timeout,
+                                self._job_checkpoint(campaign, job),
                             )
                         ] = i
                     for future in as_completed(futures):
@@ -277,7 +381,10 @@ class ParallelExecutor(Executor):
                         job = jobs[i]
                         if status == "ok":
                             outcome = TaskOutcome(
-                                job=job, result=payload, attempts=attempts[i]
+                                job=job,
+                                result=payload,
+                                attempts=attempts[i],
+                                resumed_from_tick=_resumed_tick(payload),
                             )
                         else:
                             outcome = TaskOutcome(
@@ -292,6 +399,8 @@ class ParallelExecutor(Executor):
                 except BrokenProcessPool:
                     crashed = True
             finally:
+                if watchdog is not None:
+                    watchdog.stop()
                 pool.shutdown(wait=False, cancel_futures=True)
             remaining = [i for i in remaining if outcomes[i] is None]
             if not crashed or not remaining:
@@ -325,3 +434,69 @@ class ParallelExecutor(Executor):
                     remaining.remove(i)
                 elif i in suspects:
                     stats.retried += 1
+
+
+class _Watchdog(threading.Thread):
+    """Kill pool workers whose job heartbeat went stale.
+
+    Workers running a checkpoint-armed job write ``{pid, tick, time}``
+    heartbeats (see :class:`~repro.campaign.checkpointing.
+    HeartbeatWriter`) once per tick. This thread scans the checkpoint
+    directory and SIGKILLs any *current pool worker* whose latest beat
+    is older than ``stale_after`` — a worker wedged in uninterruptible
+    work (where the in-worker ``SIGALRM`` timeout can't fire) or
+    preempted without dying. The kill breaks the process pool, which is
+    exactly the executor's already-handled crash path: harvest, rebuild,
+    resubmit — and the resubmitted job resumes from its checkpoint.
+
+    Only pids that are live members of the pool are ever signalled; a
+    stale file whose pid has moved on (finished job, recycled pid) is
+    ignored and cleaned up by the next run of that job.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        stale_after: float,
+        live_pids: Callable[[], set[int]],
+    ) -> None:
+        super().__init__(name="campaign-watchdog", daemon=True)
+        self.root = root
+        self.stale_after = stale_after
+        self.live_pids = live_pids
+        self.killed: list[int] = []
+        self._halt = threading.Event()
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=5.0)
+
+    def run(self) -> None:  # pragma: no branch - loop exit via event
+        period = min(1.0, self.stale_after / 4)
+        while not self._halt.wait(period):
+            self.sweep()
+
+    def sweep(self) -> None:
+        """One staleness scan; exposed for deterministic tests."""
+        now = time.time()
+        for path in glob.glob(os.path.join(self.root, "*.hb")):
+            beat = read_heartbeat(path)
+            if beat is None:
+                continue
+            wrote = beat.get("time")
+            pid = beat.get("pid")
+            if not isinstance(wrote, (int, float)) or not isinstance(pid, int):
+                continue
+            if now - wrote <= self.stale_after or pid not in self.live_pids():
+                continue
+            try:
+                os.kill(pid, getattr(signal, "SIGKILL", signal.SIGTERM))
+            except OSError:  # already gone
+                continue
+            self.killed.append(pid)
+            # Consume the beat so the next sweep doesn't re-signal the
+            # (now recycled) worker slot before the job restarts.
+            try:
+                os.remove(path)
+            except OSError:
+                pass

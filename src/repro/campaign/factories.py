@@ -19,11 +19,15 @@ the hand-written experiment factories do.
 
 from __future__ import annotations
 
+import os
+import warnings
 from collections.abc import Mapping
 from dataclasses import dataclass
 
+from ..core.errors import CheckpointError
 from ..core.log import RunResult
-from ..sim.registry import run_engine
+from ..sim.registry import create_engine, run_engine
+from .checkpointing import HeartbeatWriter, JobCheckpoint
 
 __all__ = ["EngineRun"]
 
@@ -69,7 +73,14 @@ class EngineRun:
         """Build a factory with ``options`` baked in (keyword-friendly form)."""
         return cls(engine, n, k, tuple(sorted(options.items())), backend, workload)
 
-    def __call__(self, point: object, seed: int) -> RunResult:
+    #: Checkpoint protocol marker (see :mod:`repro.campaign.checkpointing`):
+    #: executors with an armed :class:`CheckpointSpec` pass
+    #: ``checkpoint=JobCheckpoint`` only to factories that declare it. A
+    #: class attribute, not a dataclass field — the repr *is* the cache
+    #: fingerprint, and checkpointing never changes a run's outcome.
+    supports_checkpoint = True
+
+    def _engine_kwargs(self, point: object) -> dict[str, object]:
         kwargs = dict(self.options)
         if isinstance(point, Mapping):
             kwargs.update(point)
@@ -77,4 +88,63 @@ class EngineRun:
             kwargs["backend"] = self.backend
         if self.workload is not None:
             kwargs["workload"] = self.workload
-        return run_engine(self.engine, self.n, self.k, rng=seed, **kwargs)
+        return kwargs
+
+    def __call__(
+        self,
+        point: object,
+        seed: int,
+        checkpoint: JobCheckpoint | None = None,
+    ) -> RunResult:
+        kwargs = self._engine_kwargs(point)
+        if checkpoint is None:
+            return run_engine(self.engine, self.n, self.k, rng=seed, **kwargs)
+
+        def build():
+            return create_engine(self.engine, self.n, self.k, rng=seed, **kwargs)
+
+        engine = None
+        resumed_from: int | None = None
+        if os.path.exists(checkpoint.path):
+            from ..checkpoint import resume_engine
+
+            try:
+                engine = resume_engine(checkpoint.path, build)
+            except CheckpointError as exc:
+                # A stale or torn checkpoint must never fail the job —
+                # worst case the task starts over, exactly as if the
+                # checkpoint had not been written yet.
+                warnings.warn(
+                    f"ignoring unusable checkpoint {checkpoint.path}: {exc}",
+                    stacklevel=2,
+                )
+            else:
+                resumed_from = getattr(engine, "kernel", engine).tick
+        if engine is None:
+            engine = build()
+        kernel = getattr(engine, "kernel", engine)
+        kernel.arm_checkpoints(
+            checkpoint.interval,
+            path=checkpoint.path,
+            heartbeat=HeartbeatWriter(checkpoint.heartbeat),
+        )
+        try:
+            result = engine.run()
+        finally:
+            # The heartbeat is only meaningful while this process is
+            # alive; a stale one would point the watchdog at a pid that
+            # may be running a different job by now.
+            _remove_quietly(checkpoint.heartbeat)
+        if resumed_from is not None:
+            result.meta["resumed_from_tick"] = resumed_from
+        # The run finished: its checkpoint is spent. (On a crash this
+        # line never executes, which is the point.)
+        _remove_quietly(checkpoint.path)
+        return result
+
+
+def _remove_quietly(path: str) -> None:
+    try:
+        os.remove(path)
+    except OSError:
+        pass

@@ -74,6 +74,9 @@ class TaskOutcome:
     ``source`` is ``"executed"`` for freshly run tasks and ``"cache"``
     for results served from a :class:`~repro.campaign.cache.ResultCache`.
     ``attempts`` counts executions including retries after worker crashes.
+    ``resumed_from_tick`` is the checkpoint tick a preempted execution
+    picked up from (``None`` when the run started fresh) — see
+    :mod:`repro.campaign.checkpointing`.
     """
 
     job: Job
@@ -81,6 +84,7 @@ class TaskOutcome:
     error: str | None = None
     source: str = "executed"
     attempts: int = 1
+    resumed_from_tick: int | None = None
 
     @property
     def ok(self) -> bool:

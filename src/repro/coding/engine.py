@@ -236,6 +236,33 @@ class CodingTickPolicy(TickPolicy):
         self.bases[node] = Gf2Basis(self.kernel.k)
         self._incomplete.add(node)
 
+    # -- checkpoint --------------------------------------------------------
+
+    def capture_state(self) -> dict[str, object]:
+        """Per-node bases are captured in exact ``_rows`` insertion order
+        (see :meth:`~repro.coding.gf2.Gf2Basis.capture_rows` — the order
+        feeds ``random_member``'s coefficient draw), alongside the
+        completion bookkeeping and the keep_log-gated vector streams."""
+        return {
+            "bases": [basis.capture_rows() for basis in self.bases],
+            "redundant": self.redundant,
+            "incomplete": sorted(self._incomplete),
+            "completions": [list(p) for p in sorted(self._completions.items())],
+            "coding_vectors": list(self.coding_vectors),
+            "coding_failed_vectors": list(self.coding_failed_vectors),
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        k = self.kernel.k
+        self.bases = [Gf2Basis.restore_rows(k, rows) for rows in state["bases"]]
+        self.redundant = state["redundant"]
+        self._incomplete = set(state["incomplete"])
+        self._completions = {node: tick for node, tick in state["completions"]}
+        self.coding_vectors = [int(v) for v in state["coding_vectors"]]
+        self.coding_failed_vectors = [
+            int(v) for v in state["coding_failed_vectors"]
+        ]
+
     def result_meta(self) -> dict[str, object]:
         kernel = self.kernel
         meta: dict[str, object] = {

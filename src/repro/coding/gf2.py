@@ -125,6 +125,24 @@ class Gf2Basis:
             if any_bit and out:
                 return out
 
+    def capture_rows(self) -> list[list[int]]:
+        """``[pivot, row]`` pairs in dict insertion order (checkpointing).
+
+        The insertion order matters: :meth:`random_member` iterates rows
+        in it when assigning coefficient bits, so a restored basis must
+        reproduce the order — not just the span — to keep the draw
+        sequence byte-identical. (``basis_rows`` is the canonical
+        pivot-descending view and loses exactly this information.)
+        """
+        return [[pivot, row] for pivot, row in self._rows.items()]
+
+    @classmethod
+    def restore_rows(cls, k: int, rows: Iterable[Iterable[int]]) -> "Gf2Basis":
+        """Rebuild a basis from :meth:`capture_rows` output verbatim."""
+        basis = cls(k)
+        basis._rows = {pivot: row for pivot, row in rows}
+        return basis
+
     def basis_rows(self) -> list[int]:
         """The reduced basis rows, pivot-descending."""
         return [self._rows[p] for p in sorted(self._rows, reverse=True)]

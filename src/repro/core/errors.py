@@ -19,6 +19,15 @@ class ConfigError(ReproError, ValueError):
     """An invalid parameter combination was supplied to a constructor."""
 
 
+class CheckpointError(ReproError):
+    """A checkpoint document could not be read, verified, or restored.
+
+    Raised for missing/corrupt files (integrity digest mismatch, torn
+    JSON), unknown format versions, and configuration-fingerprint
+    mismatches between a checkpoint and the kernel it is restored into.
+    """
+
+
 class ScheduleViolation(ReproError):
     """A transfer log violates the bandwidth model or a barter mechanism.
 

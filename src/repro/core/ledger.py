@@ -85,6 +85,14 @@ class CreditLedger:
                 debt += v
         return debt
 
+    def capture_state(self) -> list[list[int]]:
+        """Balances as JSON-shaped ``[a, b, net]`` rows (checkpointing)."""
+        return [[a, b, net] for (a, b), net in sorted(self._net.items())]
+
+    def restore_state(self, rows) -> None:
+        """Restore :meth:`capture_state` output in place."""
+        self._net = {(a, b): net for a, b, net in rows}
+
     def pairs(self) -> dict[tuple[int, int], int]:
         """Snapshot of all non-zero balances, keyed by ordered pair (a < b)."""
         return dict(self._net)

@@ -145,6 +145,29 @@ class SwarmState:
         if self.mirror is not None:
             self.mirror.on_retire(node)
 
+    def restore_masks(self, masks, incomplete) -> None:
+        """Reset holdings wholesale from a checkpoint (tick boundary).
+
+        ``incomplete`` is authoritative and is *not* derivable from the
+        masks: an absent node and a fresh arrival both hold nothing, but
+        only the latter is in the goal set. Holder counts are derived
+        (``freq[b]`` = nodes whose mask has bit ``b``) and recomputed;
+        the snapshot is reset to the live masks, exactly its state at a
+        tick boundary. The array mirror, when any, is re-synced by its
+        owner (``ArrayState.attach``) after this returns.
+        """
+        self.masks[:] = [int(mask) for mask in masks]
+        self._snapshot = list(self.masks)
+        self._incomplete = set(incomplete)
+        self.freq[:] = 0
+        for mask in self.masks:
+            block = 0
+            while mask:
+                if mask & 1:
+                    self.freq[block] += 1
+                mask >>= 1
+                block += 1
+
     def enroll(self, node: int) -> None:
         """Add a (previously absent) client with no blocks to the goal set."""
         if node == SERVER:

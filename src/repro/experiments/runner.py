@@ -21,6 +21,13 @@ task's seed is derived up front (see :mod:`repro.campaign`).
 ``--backend array`` switches array-capable engines to the vectorized
 :mod:`repro.sim.array` backend — byte-identical results, faster ticks at
 large n; exported as ``REPRO_BACKEND`` so parallel workers inherit it.
+
+Preemption tolerance: ``--checkpoint-interval N`` makes every
+checkpoint-capable task write a kernel checkpoint every ``N`` ticks (plus
+a heartbeat), so a killed worker's retry resumes mid-run instead of
+starting over; ``--resume-run DIR`` points at a previous invocation's
+checkpoint directory to pick up its surviving checkpoints. Task results
+are bit-identical either way (see :mod:`repro.checkpoint`).
 """
 
 from __future__ import annotations
@@ -34,12 +41,14 @@ import time
 from collections.abc import Callable, Sequence
 
 from ..campaign import (
+    CheckpointSpec,
     ConsoleProgress,
     ParallelExecutor,
     ResultCache,
     SerialExecutor,
     configured,
 )
+from ..campaign.checkpointing import DEFAULT_INTERVAL
 from .ablations import (
     ablation_efficiency,
     ablation_estimated_rarest,
@@ -64,7 +73,12 @@ from .resilience import resilience
 from .scale import SCALES
 from .tables import price_table, schedule_table
 
-__all__ = ["main", "EXPERIMENTS", "DEFAULT_CACHE_DIR"]
+__all__ = [
+    "main",
+    "EXPERIMENTS",
+    "DEFAULT_CACHE_DIR",
+    "DEFAULT_CHECKPOINT_DIR",
+]
 
 EXPERIMENTS: dict[str, Callable[..., FigureResult]] = {
     "fig1": figure1,
@@ -95,6 +109,7 @@ EXPERIMENTS: dict[str, Callable[..., FigureResult]] = {
 }
 
 DEFAULT_CACHE_DIR = ".repro-campaign-cache"
+DEFAULT_CHECKPOINT_DIR = ".repro-campaign-checkpoints"
 
 
 def _to_jsonable(result: FigureResult) -> dict[str, object]:
@@ -247,6 +262,28 @@ def main(argv: Sequence[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "write a kernel checkpoint (and heartbeat) every N ticks for "
+            "each checkpoint-capable task, so killed workers resume "
+            f"mid-run; stored under {DEFAULT_CHECKPOINT_DIR!r} unless "
+            "--resume-run names a directory"
+        ),
+    )
+    parser.add_argument(
+        "--resume-run",
+        metavar="DIR",
+        default=None,
+        help=(
+            "checkpoint directory of a previous invocation; surviving "
+            "per-task checkpoints there are resumed from (implies "
+            f"--checkpoint-interval {DEFAULT_INTERVAL} when not given)"
+        ),
+    )
+    parser.add_argument(
         "--seed",
         type=int,
         default=None,
@@ -288,8 +325,21 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.jobs < 1:
         parser.error(f"argument --jobs: must be >= 1, got {args.jobs}")
+    if args.checkpoint_interval is not None and args.checkpoint_interval < 1:
+        parser.error(
+            "argument --checkpoint-interval: must be >= 1, "
+            f"got {args.checkpoint_interval}"
+        )
+    checkpoint = None
+    if args.checkpoint_interval is not None or args.resume_run is not None:
+        checkpoint = CheckpointSpec(
+            args.resume_run or DEFAULT_CHECKPOINT_DIR,
+            interval=args.checkpoint_interval or DEFAULT_INTERVAL,
+        )
     executor = (
-        ParallelExecutor(jobs=args.jobs) if args.jobs > 1 else SerialExecutor()
+        ParallelExecutor(jobs=args.jobs, checkpoint=checkpoint)
+        if args.jobs > 1
+        else SerialExecutor(checkpoint=checkpoint)
     )
     cache_dir = args.cache_dir or (DEFAULT_CACHE_DIR if args.resume else None)
     cache = ResultCache(cache_dir) if cache_dir else None

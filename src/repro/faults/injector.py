@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import random
 
+from ..checkpoint import rng_state_from_json, rng_state_to_json
 from ..core.errors import ConfigError
 from ..core.model import SERVER
 from .plan import FaultPlan
@@ -248,6 +249,63 @@ class FaultInjector:
             and not self._rejoin_at
             and not self.server_down(tick)
         )
+
+    # -- checkpoint --------------------------------------------------------
+
+    def capture_state(self) -> dict[str, object]:
+        """Snapshot the fault stream for a tick-boundary checkpoint.
+
+        Everything per-run and mutable: the RNG state, the telemetry
+        counters, the armed latches (dark links, scheduled rejoins and
+        their retained state) and the event history. The plan itself is
+        construction-time configuration and is not captured.
+        """
+        return {
+            "rng": rng_state_to_json(self.rng.getstate()),
+            "attempts": self.attempts,
+            "failures": self.failures,
+            "crashes": self.crashes,
+            "rejoins": self.rejoins,
+            "link_down_until": [
+                [src, dst, until]
+                for (src, dst), until in sorted(self._link_down_until.items())
+            ],
+            "rejoin_at": [
+                [node, due] for node, due in sorted(self._rejoin_at.items())
+            ],
+            "retained": [
+                [node, list(r) if isinstance(r, tuple) else r]
+                for node, r in sorted(self._retained.items())
+            ],
+            "crash_log": [list(event) for event in self.crash_log],
+            "rejoin_log": [
+                [tick, node, list(r) if isinstance(r, tuple) else r]
+                for tick, node, r in self.rejoin_log
+            ],
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        """Restore :meth:`capture_state` output in place.
+
+        ``setstate`` mutates the existing ``Random`` object, so the
+        cached ``_rand`` bound method stays valid. Retained values that
+        were tuples (coding basis rows) come back as lists; every
+        consumer (``events()``, ``restore_retained``) accepts either.
+        """
+        self.rng.setstate(rng_state_from_json(state["rng"]))
+        self.attempts = state["attempts"]
+        self.failures = state["failures"]
+        self.crashes = state["crashes"]
+        self.rejoins = state["rejoins"]
+        self._link_down_until = {
+            (src, dst): until for src, dst, until in state["link_down_until"]
+        }
+        self._rejoin_at = {node: due for node, due in state["rejoin_at"]}
+        self._retained = {node: value for node, value in state["retained"]}
+        self.crash_log = [tuple(event) for event in state["crash_log"]]
+        self.rejoin_log = [
+            (tick, node, retained) for tick, node, retained in state["rejoin_log"]
+        ]
 
     def telemetry(self) -> dict[str, int]:
         """Counters for run metadata."""

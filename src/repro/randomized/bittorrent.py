@@ -220,6 +220,36 @@ class BitTorrentTickPolicy(TickPolicy):
         if node not in server_set:
             self._unchoked[SERVER] = server_set + (node,)
 
+    # -- checkpoint --------------------------------------------------------
+
+    def capture_state(self) -> dict[str, object]:
+        """Choking state: the live unchoke sets (tuple order feeds the
+        uniform receiver draw, so it is captured verbatim), the current
+        window's receipt counts, and the silent-window stall counter."""
+        return {
+            "received_window": [
+                [node, [[src, count] for src, count in sorted(window.items())]]
+                for node, window in sorted(self._received_window.items())
+            ],
+            "unchoked": [
+                [node, list(unchoked)]
+                for node, unchoked in sorted(self._unchoked.items())
+            ],
+            "silent_windows": self._silent_windows,
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        window = defaultdict(lambda: defaultdict(int))
+        for node, rows in state["received_window"]:
+            inner = window[node]
+            for src, count in rows:
+                inner[src] = count
+        self._received_window = window
+        self._unchoked = {
+            node: tuple(unchoked) for node, unchoked in state["unchoked"]
+        }
+        self._silent_windows = state["silent_windows"]
+
     def result_meta(self) -> dict[str, object]:
         kernel = self.kernel
         return {

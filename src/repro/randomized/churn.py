@@ -123,6 +123,22 @@ class ChurnTickPolicy(RandomizedTickPolicy):
             if c not in self.departed and c not in absent
         }
 
+    # -- checkpoint --------------------------------------------------------
+
+    def capture_state(self) -> dict[str, object]:
+        """The churn tables themselves are construction-time configuration
+        (``configure_churn`` replays them); only the consumed position —
+        how many arrivals remain, who already left — must travel."""
+        state = super().capture_state()
+        state["pending_arrivals"] = self._pending_arrivals
+        state["departed"] = sorted(self.departed)
+        return state
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        super().restore_state(state)
+        self._pending_arrivals = state["pending_arrivals"]
+        self.departed = set(state["departed"])
+
     def result_meta(self) -> dict[str, object]:
         kernel = self.kernel
         return {

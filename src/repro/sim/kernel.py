@@ -37,7 +37,8 @@ from __future__ import annotations
 import random
 from typing import Callable
 
-from ..core.errors import ConfigError
+from ..checkpoint import rng_state_from_json, rng_state_to_json
+from ..core.errors import CheckpointError, ConfigError
 from ..core.log import RunResult, TransferLog
 from ..core.mechanisms import CreditLimitedBarter
 from ..core.model import BandwidthModel
@@ -126,6 +127,8 @@ class TickKernel:
         "_use_dl_ledger", "_tick_delivered", "_tick_failed", "recovery",
         "fault_plan", "faults", "_stall_window", "_judge", "_deliver",
         "array", "_log_delivery", "_log_failure", "workload", "_membership",
+        "_mid_tick", "_stall_idle", "_ckpt_interval", "_ckpt_hook",
+        "_heartbeat",
     )
 
     def __init__(
@@ -179,6 +182,14 @@ class TickKernel:
         self._use_dl_ledger = policy.uses_download_ledger
         self._tick_delivered = 0
         self._tick_failed = 0
+        # Checkpointing: boundary guard, persisted stall counter (part of
+        # the run verdict state, so it must survive a restore), and the
+        # optional armed writer/heartbeat (see arm_checkpoints).
+        self._mid_tick = False
+        self._stall_idle = 0
+        self._ckpt_interval = 0
+        self._ckpt_hook: Callable[[dict], None] | None = None
+        self._heartbeat: Callable[[int], None] | None = None
 
         # Fault injection. A null plan is normalised away so that
         # ``faults=FaultPlan()`` costs nothing — no injector, no extra
@@ -449,6 +460,7 @@ class TickKernel:
         Failed attempts are counted separately in ``failures_per_tick``.
         """
         self.tick += 1
+        self._mid_tick = True
         policy = self.policy
         membership = self._membership
         if membership is not None:
@@ -481,6 +493,7 @@ class TickKernel:
         made = self._tick_delivered
         self.uploads_per_tick.append(made)
         self.failures_per_tick.append(self._tick_failed)
+        self._mid_tick = False
         return made
 
     def _goal_reached(self) -> bool:
@@ -509,6 +522,173 @@ class TickKernel:
         membership = self._membership
         return membership is not None and membership.events_pending()
 
+    # -- checkpoint / restore ----------------------------------------------
+
+    def _config_fingerprint(self) -> dict[str, object]:
+        """Shape of this run, validated on restore. The execution backend
+        is deliberately absent: loop and array runs are byte-identical,
+        so resuming across backends is legal (and tested)."""
+        return {
+            "n": self.n,
+            "k": self.k,
+            "policy": self.policy.name,
+            "max_ticks": self.max_ticks,
+            "keep_log": self.keep_log,
+            "credit": self.credit is not None,
+            "faults": self.faults is not None,
+            "workload": self._membership is not None,
+        }
+
+    def checkpoint(self) -> dict[str, object]:
+        """Capture the complete tick-boundary state as a JSON-shaped dict.
+
+        Pass the result to :func:`repro.checkpoint.save_checkpoint` (or
+        an armed sink — see :meth:`arm_checkpoints`). Tick-boundary-only:
+        raises :class:`~repro.core.errors.ConfigError` when called from
+        inside :meth:`step` (policy hooks, fault events, progress
+        callbacks fired mid-tick), because intra-tick scratch state
+        (download ledger, live receiver pool, buffered credit sends) is
+        deliberately not serialized.
+        """
+        if self._mid_tick:
+            raise ConfigError(
+                "checkpoints are tick-boundary-only: checkpoint() cannot "
+                "be called from inside step() — wait for the tick to "
+                "finish (or use arm_checkpoints, which writes between "
+                "ticks)"
+            )
+        self.sync_log()
+        state = self.state
+        payload: dict[str, object] = {
+            "config": self._config_fingerprint(),
+            "tick": self.tick,
+            "rng": rng_state_to_json(self.rng.getstate()),
+            "masks": list(state.masks),
+            "incomplete": sorted(state._incomplete),
+            "pool": list(self._pool),
+            "absent": sorted(self.absent),
+            "uploads_per_tick": list(self.uploads_per_tick),
+            "failures_per_tick": list(self.failures_per_tick),
+            "stall_idle": self._stall_idle,
+            "policy": self.policy.capture_state(),
+        }
+        if self.credit is not None:
+            payload["credit"] = self.credit.ledger.capture_state()
+        if self.keep_log:
+            payload["log"] = {
+                "transfers": [list(t) for t in self.log],
+                "failures": [list(t) for t in self.log.failures],
+            }
+        if self.faults is not None:
+            payload["faults"] = self.faults.capture_state()
+        if self._membership is not None:
+            payload["membership"] = self._membership.capture_state()
+        return payload
+
+    def restore_checkpoint(self, document: dict[str, object]) -> None:
+        """Restore a :meth:`checkpoint` document into this kernel.
+
+        The kernel must be freshly constructed with the same arguments as
+        the checkpointed run (construction replays the derived-stream
+        seeding draws; the captured RNG states then overwrite them) and
+        must not have stepped yet. The continuation is bit-identical to
+        the uninterrupted run — the golden sweep suite enforces it.
+        """
+        if self.tick != 0:
+            raise CheckpointError(
+                f"restore_checkpoint needs a freshly constructed kernel; "
+                f"this one is at tick {self.tick}"
+            )
+        config = document.get("config")
+        expected = self._config_fingerprint()
+        if config != expected:
+            raise CheckpointError(
+                f"checkpoint was taken from a differently-configured run: "
+                f"checkpoint {config!r} != kernel {expected!r}"
+            )
+        self.tick = document["tick"]
+        self.rng.setstate(rng_state_from_json(document["rng"]))
+        self.state.restore_masks(document["masks"], document["incomplete"])
+        self._pool = [int(v) for v in document["pool"]]
+        self._pool_pos = {v: i for i, v in enumerate(self._pool)}
+        self.absent = set(document["absent"])
+        self.uploads_per_tick = list(document["uploads_per_tick"])
+        self.failures_per_tick = list(document["failures_per_tick"])
+        self._stall_idle = document["stall_idle"]
+        # Intra-tick scratch is dead at a tick boundary; reset, don't load.
+        self._dl_left = None
+        self._avail = []
+        self._avail_pos = {}
+        self._avail_active = False
+        self._credit_sends = []
+        self._tick_delivered = 0
+        self._tick_failed = 0
+        if self.credit is not None:
+            self.credit.ledger.restore_state(document["credit"])
+        if self.keep_log:
+            log_doc = document["log"]
+            log = TransferLog()
+            log.extend_batch(
+                [tuple(row) for row in log_doc["transfers"]],
+                [tuple(row) for row in log_doc["failures"]],
+            )
+            self.log = log
+            if self.array is not None:
+                # Deferred buffers restart empty; sync_log targets
+                # kernel.log dynamically, so no rebinding is needed.
+                self.array._deliveries.clear()
+                self.array._failures.clear()
+            else:
+                self._log_delivery = log.record
+                self._log_failure = log.record_failure
+        if self.array is not None:
+            # Rebuild the packed word mirror from the restored masks and
+            # re-register it on the swarm state.
+            self.array.state.attach(self.state)
+            self.array.pool_active = False
+        if self.faults is not None:
+            self.faults.restore_state(document["faults"])
+        if self._membership is not None:
+            self._membership.restore_state(document["membership"])
+        self.policy.restore_state(document["policy"])
+
+    def arm_checkpoints(
+        self,
+        interval: int,
+        *,
+        path: str | None = None,
+        sink: Callable[[dict], None] | None = None,
+        heartbeat: Callable[[int], None] | None = None,
+    ) -> None:
+        """Write a checkpoint every ``interval`` ticks during :meth:`run`.
+
+        Exactly one of ``path`` (atomic file writes through
+        :func:`repro.checkpoint.save_checkpoint`, each overwriting the
+        last) or ``sink`` (called with the payload dict) must be given.
+        ``heartbeat``, when set, is called as ``heartbeat(tick)`` after
+        *every* tick — the campaign layer points it at a liveness file
+        its watchdog reads. Checkpoints are written only after all of the
+        tick's verdict checks pass, so a checkpoint never shadows a
+        same-tick goal/deadlock/stall/abort outcome.
+        """
+        if interval < 1:
+            raise ConfigError(
+                f"checkpoint interval must be >= 1 tick, got {interval}"
+            )
+        if (path is None) == (sink is None):
+            raise ConfigError(
+                "arm_checkpoints needs exactly one of path= or sink="
+            )
+        if path is not None:
+            from ..checkpoint import save_checkpoint
+
+            def sink(payload: dict, _path=path) -> None:  # noqa: F811
+                save_checkpoint(_path, payload)
+
+        self._ckpt_interval = int(interval)
+        self._ckpt_hook = sink
+        self._heartbeat = heartbeat
+
     # -- whole run ---------------------------------------------------------
 
     def run(self, progress: Callable[[int, int], None] | None = None) -> RunResult:
@@ -522,11 +702,13 @@ class TickKernel:
         inj = self.faults
         deadlocked = False
         abort: str | None = None
-        idle = 0
         while self.tick < self.max_ticks and not self._goal_reached():
             made = self.step()
             if progress is not None:
                 progress(self.tick, made)
+            heartbeat = self._heartbeat
+            if heartbeat is not None:
+                heartbeat(self.tick)
             if self._goal_reached():
                 # Checked *before* the deadlock guard: a tick can make
                 # zero transfers and still reach the goal (a departure
@@ -538,12 +720,15 @@ class TickKernel:
                 break
             if inj is not None:
                 # A quiet gap while the workload still has arrivals or
-                # returns scheduled is a lull, not a stall.
+                # returns scheduled is a lull, not a stall. The counter
+                # is a kernel attribute (not a loop local) so a
+                # checkpoint carries it and a resumed run issues the
+                # stall verdict on the same tick.
                 if made == 0 and not self.membership_events_pending():
-                    idle += 1
+                    self._stall_idle += 1
                 else:
-                    idle = 0
-                if idle >= self._stall_window:
+                    self._stall_idle = 0
+                if self._stall_idle >= self._stall_window:
                     # No delivery for a whole window: not provably
                     # permanent (faults are stochastic), but hopeless
                     # enough that the recovery policy gives up.
@@ -553,6 +738,13 @@ class TickKernel:
             if reason is not None:
                 abort = reason
                 break
+            # Armed checkpoints are written here — after every verdict
+            # check has passed — so "checkpoint at tick T" means exactly
+            # "the boundary state given the run continues"; a resumed run
+            # re-enters at the loop condition just like this one does.
+            hook = self._ckpt_hook
+            if hook is not None and self.tick % self._ckpt_interval == 0:
+                hook(self.checkpoint())
 
         self.sync_log()
         completed = self._goal_reached()

@@ -182,7 +182,11 @@ class MembershipRuntime:
         """Completion scan + telemetry series, after the tick's uploads."""
         kernel = self.kernel
         policy = kernel.policy
-        newly_complete = [v for v in self._watch if policy.node_complete(v)]
+        # Sorted: the scan order decides the order completers join the
+        # same departure tick (and therefore later retire/pool order),
+        # which must be a function of *content* — not of set insertion
+        # history — for checkpoint restore to continue bit-identically.
+        newly_complete = [v for v in sorted(self._watch) if policy.node_complete(v)]
         for node in newly_complete:
             self._watch.discard(node)
             self.completed_at[node] = tick
@@ -218,6 +222,66 @@ class MembershipRuntime:
             or self._pending_online
             or self._pending_departures
         )
+
+    # -- checkpoint --------------------------------------------------------
+
+    def capture_state(self) -> dict[str, object]:
+        """Snapshot the timeline position for a tick-boundary checkpoint.
+
+        The compiled workload itself is reconstructed by construction
+        replay (same spec, same seed draw); what must travel is the
+        *consumed* position: remaining event tables (``begin_tick`` pops
+        destructively), napping nodes' retained state, the watch set,
+        pending-event counters and the telemetry series.
+        """
+        def table(mapping: dict[int, list[int]]) -> list[list]:
+            return [[tick, list(nodes)] for tick, nodes in sorted(mapping.items())]
+
+        return {
+            "joined_at": [list(p) for p in sorted(self.joined_at.items())],
+            "completed_at": [list(p) for p in sorted(self.completed_at.items())],
+            "departed_at": [list(p) for p in sorted(self.departed_at.items())],
+            "swarm_size_per_tick": list(self.swarm_size_per_tick),
+            "seeds_per_tick": list(self.seeds_per_tick),
+            "arrive_at": table(self._arrive_at),
+            "offline_at": table(self._offline_at),
+            "online_at": table(self._online_at),
+            "depart_at": table(self._depart_at),
+            "offline": [
+                [node, list(r) if isinstance(r, tuple) else r]
+                for node, r in sorted(self._offline.items())
+            ],
+            "offline_returning": sorted(self._offline_returning),
+            "watch": sorted(self._watch),
+            "present_seeds": self._present_seeds,
+            "pending_arrivals": self._pending_arrivals,
+            "pending_online": self._pending_online,
+            "pending_departures": self._pending_departures,
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        """Restore :meth:`capture_state` output in place (construction
+        already rebuilt the full tables; this rewinds them to the
+        checkpoint's consumed position)."""
+        def untable(rows) -> dict[int, list[int]]:
+            return {tick: list(nodes) for tick, nodes in rows}
+
+        self.joined_at = {node: tick for node, tick in state["joined_at"]}
+        self.completed_at = {node: tick for node, tick in state["completed_at"]}
+        self.departed_at = {node: tick for node, tick in state["departed_at"]}
+        self.swarm_size_per_tick = list(state["swarm_size_per_tick"])
+        self.seeds_per_tick = list(state["seeds_per_tick"])
+        self._arrive_at = untable(state["arrive_at"])
+        self._offline_at = untable(state["offline_at"])
+        self._online_at = untable(state["online_at"])
+        self._depart_at = untable(state["depart_at"])
+        self._offline = {node: value for node, value in state["offline"]}
+        self._offline_returning = set(state["offline_returning"])
+        self._watch = set(state["watch"])
+        self._present_seeds = state["present_seeds"]
+        self._pending_arrivals = state["pending_arrivals"]
+        self._pending_online = state["pending_online"]
+        self._pending_departures = state["pending_departures"]
 
     # -- result assembly ---------------------------------------------------
 

@@ -137,6 +137,36 @@ class TickPolicy:
         verdict and fault-telemetry keys on top."""
         return {"algorithm": self.name}
 
+    # -- checkpoint hooks --------------------------------------------------
+
+    def capture_state(self) -> dict[str, object]:
+        """Engine-side mutable state for a tick-boundary checkpoint.
+
+        Returns a JSON-shaped dict (lists/dicts/str/int/float/bool/None
+        only; encode non-str dict keys as item lists) containing every
+        policy attribute that evolves across ticks and cannot be replayed
+        by reconstructing the engine with the same arguments. The default
+        captures nothing — correct for stateless-per-tick policies (the
+        plain randomized sampler, pairwise exchange), whose cross-tick
+        state lives entirely in the kernel.
+
+        Contract: after ``restore_state(capture_state())`` on a freshly
+        constructed twin, the continuation must be bit-identical — the
+        golden sweep in ``tests/sim/test_checkpoint_resume.py`` enforces
+        this for every registry engine.
+        """
+        return {}
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        """Restore :meth:`capture_state` output into this policy.
+
+        Called after the kernel's own state (masks, pools, RNG streams,
+        fault latches, membership timeline) has been restored, on a
+        policy constructed with the same arguments as the checkpointed
+        one. JSON round-tripping turns tuples into lists; overrides must
+        re-tuple where identity of draws depends on it.
+        """
+
     # -- fault-event hooks -------------------------------------------------
 
     def after_crash(self, node: int) -> None:

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import pytest
+
 from repro.campaign.cache import (
     ResultCache,
     cache_key,
@@ -171,16 +173,34 @@ class TestResultCache:
         assert cache.get(full) is None
 
     def test_tolerates_truncated_tail(self, tmp_path):
-        # An interrupted run leaves a half-written final line; everything
-        # before it must still load.
+        # An interrupted (or SIGKILLed) run leaves a half-written final
+        # line; everything before it must still load, and the torn tail
+        # must be surfaced as a warning, not silently dropped.
         cache = ResultCache(tmp_path)
         job = make_job()
         cache.put(job, make_result())
         with cache.path.open("a", encoding="utf-8") as handle:
             handle.write('{"key": "deadbeef", "result": {"n"')
-        reopened = ResultCache(tmp_path)
+        with pytest.warns(UserWarning, match="truncated record"):
+            reopened = ResultCache(tmp_path)
         assert len(reopened) == 1
         assert reopened.get(job) is not None
+
+    def test_warns_on_mid_file_garbage_with_line_number(self, tmp_path):
+        # Append-then-flush guarantees only the *final* line can be torn
+        # by a crash; a bad line earlier in the file is corruption and is
+        # reported with its position while intact records still load.
+        cache = ResultCache(tmp_path)
+        first, second = make_job(point=1), make_job(point=2)
+        cache.put(first, make_result())
+        lines = cache.path.read_text(encoding="utf-8")
+        cache.path.write_text(lines + "not json\n", encoding="utf-8")
+        cache.put(second, make_result())
+        with pytest.warns(UserWarning, match="line 2 is not valid JSON"):
+            reopened = ResultCache(tmp_path)
+        assert len(reopened) == 2
+        assert reopened.get(first) is not None
+        assert reopened.get(second) is not None
 
     def test_unpicklable_meta_stringified(self, tmp_path):
         cache = ResultCache(tmp_path)

@@ -1,0 +1,274 @@
+"""Preemption-tolerant campaigns: checkpoint specs, heartbeats, watchdog,
+and checkpoint-aware retry in both executors.
+
+Run factories live at module level so the process pool can pickle them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro.campaign import (
+    Campaign,
+    CheckpointSpec,
+    EngineRun,
+    HeartbeatWriter,
+    JobCheckpoint,
+    ParallelExecutor,
+    SerialExecutor,
+)
+from repro.campaign.checkpointing import read_heartbeat
+from repro.campaign.executors import _Watchdog
+from repro.checkpoint import resume_engine, save_checkpoint
+from repro.core.errors import ConfigError
+from repro.core.log import RunResult
+from repro.sim.registry import create_engine, run_engine
+
+
+def _fingerprint(result: RunResult) -> tuple:
+    return (
+        result.completion_time,
+        result.client_completions,
+        list(result.log),
+        list(result.log.failures),
+    )
+
+
+@dataclass(frozen=True)
+class PreemptedRun:
+    """Checkpoint-protocol factory that is hard-killed mid-run once.
+
+    The first execution (no marker file yet) dies via ``os._exit`` at
+    ``die_at`` ticks — a worker preemption, no Python cleanup — leaving
+    its last armed checkpoint behind. Later executions run to completion,
+    resuming from that checkpoint when the executor hands one over.
+    """
+
+    n: int
+    k: int
+    die_at: int
+    marker: str
+
+    supports_checkpoint = True
+
+    def _build(self, seed: int):
+        return create_engine("randomized", self.n, self.k, rng=seed)
+
+    def __call__(
+        self, point: object, seed: int, checkpoint: JobCheckpoint | None = None
+    ) -> RunResult:
+        if checkpoint is None:
+            return run_engine("randomized", self.n, self.k, rng=seed)
+        first = not os.path.exists(self.marker)
+        if first:
+            with open(self.marker, "w", encoding="utf-8") as handle:
+                handle.write("preempted")
+        engine = None
+        resumed_from = None
+        if os.path.exists(checkpoint.path):
+            engine = resume_engine(checkpoint.path, lambda: self._build(seed))
+            resumed_from = engine.kernel.tick
+        if engine is None:
+            engine = self._build(seed)
+        engine.kernel.arm_checkpoints(
+            checkpoint.interval,
+            path=checkpoint.path,
+            heartbeat=HeartbeatWriter(checkpoint.heartbeat),
+        )
+
+        def preempt(tick: int, made: int) -> None:
+            if first and tick >= self.die_at:
+                os._exit(17)
+
+        result = engine.kernel.run(preempt)
+        if resumed_from is not None:
+            result.meta["resumed_from_tick"] = resumed_from
+        return result
+
+
+class TestCheckpointSpec:
+    def test_rejects_zero_interval(self):
+        with pytest.raises(ConfigError, match="interval"):
+            CheckpointSpec("ckpts", interval=0)
+
+    def test_stale_after_requires_checkpoint(self):
+        with pytest.raises(ConfigError, match="checkpoint"):
+            ParallelExecutor(jobs=1, stale_after=5.0)
+        with pytest.raises(ConfigError, match="stale_after"):
+            ParallelExecutor(
+                jobs=1, checkpoint=CheckpointSpec("c"), stale_after=-1.0
+            )
+
+    def test_plain_factories_get_no_checkpoint(self, tmp_path):
+        executor = SerialExecutor(checkpoint=CheckpointSpec(str(tmp_path)))
+        campaign = Campaign.from_sweep(
+            "plain", [0], lambda point, seed: None, 1, base_seed=0
+        )
+        assert executor._job_checkpoint(campaign, campaign.jobs[0]) is None
+
+
+class TestSerialResume:
+    def _campaign(self, factory):
+        return Campaign.from_sweep("ckpt", [None], factory, 1, base_seed=3)
+
+    def test_resumes_from_seeded_checkpoint_and_cleans_up(self, tmp_path):
+        factory = EngineRun.configure("randomized", 16, 8)
+        campaign = self._campaign(factory)
+        job = campaign.jobs[0]
+        baseline = factory(job.point, job.seed)
+
+        spec = CheckpointSpec(str(tmp_path / "ckpts"), interval=1)
+        executor = SerialExecutor(checkpoint=spec)
+        assigned = executor._job_checkpoint(campaign, job)
+
+        # Fabricate a preempted first attempt: run the same engine to a
+        # mid-run boundary and leave its checkpoint where the job's
+        # retry will look.
+        payloads = {}
+        engine = create_engine("randomized", 16, 8, rng=job.seed)
+        engine.kernel.arm_checkpoints(
+            1, sink=lambda p: payloads.setdefault(p["tick"], p)
+        )
+        engine.run()
+        mid = sorted(payloads)[len(payloads) // 2]
+        save_checkpoint(assigned.path, payloads[mid])
+
+        [outcome] = executor.run(campaign)
+        assert outcome.ok
+        assert outcome.resumed_from_tick == mid
+        assert outcome.result.meta["resumed_from_tick"] == mid
+        assert _fingerprint(outcome.result) == _fingerprint(baseline)
+        # Spent checkpoint and heartbeat are gone after success.
+        assert not os.path.exists(assigned.path)
+        assert not os.path.exists(assigned.heartbeat)
+
+    def test_fresh_run_records_no_resume(self, tmp_path):
+        factory = EngineRun.configure("randomized", 12, 6)
+        campaign = self._campaign(factory)
+        executor = SerialExecutor(
+            checkpoint=CheckpointSpec(str(tmp_path), interval=2)
+        )
+        [outcome] = executor.run(campaign)
+        assert outcome.ok and outcome.resumed_from_tick is None
+        assert "resumed_from_tick" not in outcome.result.meta
+        assert _fingerprint(outcome.result) == _fingerprint(
+            factory(campaign.jobs[0].point, campaign.jobs[0].seed)
+        )
+
+    def test_corrupt_checkpoint_falls_back_to_fresh_run(self, tmp_path):
+        factory = EngineRun.configure("randomized", 12, 6)
+        campaign = self._campaign(factory)
+        executor = SerialExecutor(
+            checkpoint=CheckpointSpec(str(tmp_path), interval=2)
+        )
+        assigned = executor._job_checkpoint(campaign, campaign.jobs[0])
+        os.makedirs(os.path.dirname(assigned.path), exist_ok=True)
+        with open(assigned.path, "w", encoding="utf-8") as handle:
+            handle.write('{"format": "repro/checkpoint/v1", "digest": "no"}')
+        with pytest.warns(UserWarning, match="unusable checkpoint"):
+            [outcome] = executor.run(campaign)
+        assert outcome.ok and outcome.resumed_from_tick is None
+
+
+class TestParallelPreemption:
+    def test_killed_worker_resumes_from_checkpoint(self, tmp_path):
+        factory = PreemptedRun(
+            n=16, k=8, die_at=6, marker=str(tmp_path / "marker")
+        )
+        campaign = Campaign.from_sweep("preempt", [None], factory, 1, base_seed=5)
+        job = campaign.jobs[0]
+        baseline = run_engine("randomized", 16, 8, rng=job.seed)
+
+        executor = ParallelExecutor(
+            jobs=1,
+            retries=2,
+            checkpoint=CheckpointSpec(str(tmp_path / "ckpts"), interval=1),
+        )
+        [outcome] = executor.run(campaign)
+        assert outcome.ok
+        assert outcome.attempts == 2
+        assert executor.last_stats.retried == 1
+        # The retry picked up mid-run (the preemption hit at tick 6, so
+        # the armed interval-1 checkpoint from tick 5 was on disk) and
+        # still reproduced the uninterrupted run byte for byte.
+        assert outcome.resumed_from_tick == factory.die_at - 1
+        assert _fingerprint(outcome.result) == _fingerprint(baseline)
+
+    def test_retry_budget_still_applies(self, tmp_path):
+        factory = PreemptedRun(
+            n=16, k=8, die_at=6, marker=str(tmp_path / "marker")
+        )
+        campaign = Campaign.from_sweep("budget", [None], factory, 1, base_seed=5)
+        executor = ParallelExecutor(
+            jobs=1,
+            retries=0,
+            checkpoint=CheckpointSpec(str(tmp_path / "ckpts"), interval=1),
+        )
+        [outcome] = executor.run(campaign)
+        assert not outcome.ok
+        assert "crashed" in outcome.error
+
+
+class TestHeartbeat:
+    def test_writer_rate_limits_and_roundtrips(self, tmp_path):
+        path = str(tmp_path / "job.hb")
+        writer = HeartbeatWriter(path, min_period=60.0)
+        writer(3)
+        beat = read_heartbeat(path)
+        assert beat["pid"] == os.getpid() and beat["tick"] == 3
+        writer(4)  # inside the rate window: not written
+        assert read_heartbeat(path)["tick"] == 3
+
+    def test_read_tolerates_missing_and_torn_files(self, tmp_path):
+        assert read_heartbeat(str(tmp_path / "absent.hb")) is None
+        torn = tmp_path / "torn.hb"
+        torn.write_text('{"pid": 12')
+        assert read_heartbeat(str(torn)) is None
+
+
+class TestWatchdog:
+    def _stale_beat(self, root, pid, age: float) -> str:
+        path = os.path.join(root, "job.hb")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"pid": pid, "tick": 9, "time": time.time() - age}, handle)
+        return path
+
+    def test_kills_stale_pool_worker(self, tmp_path):
+        victim = subprocess.Popen([sys.executable, "-c", "import time; time.sleep(60)"])
+        try:
+            path = self._stale_beat(str(tmp_path), victim.pid, age=120.0)
+            dog = _Watchdog(str(tmp_path), 10.0, lambda: {victim.pid})
+            dog.sweep()
+            assert dog.killed == [victim.pid]
+            assert not os.path.exists(path)
+            assert victim.wait(timeout=10) != 0
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+                victim.wait()
+
+    def test_spares_fresh_and_foreign_heartbeats(self, tmp_path):
+        victim = subprocess.Popen([sys.executable, "-c", "import time; time.sleep(60)"])
+        try:
+            # Fresh beat: not stale, no kill.
+            path = self._stale_beat(str(tmp_path), victim.pid, age=0.0)
+            dog = _Watchdog(str(tmp_path), 10.0, lambda: {victim.pid})
+            dog.sweep()
+            assert dog.killed == [] and victim.poll() is None
+            # Stale beat, but the pid is not a live pool member (finished
+            # job, recycled pid): no kill either.
+            self._stale_beat(str(tmp_path), victim.pid, age=120.0)
+            dog = _Watchdog(str(tmp_path), 10.0, lambda: set())
+            dog.sweep()
+            assert dog.killed == [] and victim.poll() is None
+            assert os.path.exists(path)
+        finally:
+            victim.kill()
+            victim.wait()

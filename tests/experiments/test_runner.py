@@ -6,9 +6,15 @@ import json
 
 import pytest
 
+from repro.campaign import current_config
+from repro.campaign.checkpointing import DEFAULT_INTERVAL
 from repro.experiments import runner as runner_module
 from repro.experiments.figures import FigureResult
-from repro.experiments.runner import EXPERIMENTS, main
+from repro.experiments.runner import (
+    DEFAULT_CHECKPOINT_DIR,
+    EXPERIMENTS,
+    main,
+)
 
 
 def stub_result(name: str) -> FigureResult:
@@ -88,6 +94,60 @@ class TestSeedFlag:
 
         monkeypatch.setattr(runner_module, "EXPERIMENTS", {"seedless": seedless})
         assert main(["seedless", "--seed", "99", "--no-plot"]) == 0
+
+
+class TestCheckpointFlags:
+    def _spy(self, monkeypatch):
+        seen = {}
+
+        def fake(scale=None):
+            seen["checkpoint"] = current_config().executor.checkpoint
+            return stub_result("fake")
+
+        monkeypatch.setattr(runner_module, "EXPERIMENTS", {"fake": fake})
+        return seen
+
+    def test_off_by_default(self, monkeypatch, capsys):
+        seen = self._spy(monkeypatch)
+        assert main(["fake", "--no-plot"]) == 0
+        assert seen["checkpoint"] is None
+
+    def test_interval_enables_default_directory(self, monkeypatch, capsys):
+        seen = self._spy(monkeypatch)
+        assert main(["fake", "--no-plot", "--checkpoint-interval", "25"]) == 0
+        spec = seen["checkpoint"]
+        assert spec.interval == 25
+        assert spec.root == DEFAULT_CHECKPOINT_DIR
+
+    def test_resume_run_implies_default_interval(
+        self, monkeypatch, capsys, tmp_path
+    ):
+        seen = self._spy(monkeypatch)
+        target = str(tmp_path / "ckpts")
+        assert main(["fake", "--no-plot", "--resume-run", target]) == 0
+        spec = seen["checkpoint"]
+        assert spec.root == target
+        assert spec.interval == DEFAULT_INTERVAL
+
+    def test_both_flags_compose(self, monkeypatch, capsys, tmp_path):
+        seen = self._spy(monkeypatch)
+        target = str(tmp_path / "ckpts")
+        assert (
+            main(
+                [
+                    "fake", "--no-plot",
+                    "--checkpoint-interval", "7",
+                    "--resume-run", target,
+                ]
+            )
+            == 0
+        )
+        assert seen["checkpoint"].root == target
+        assert seen["checkpoint"].interval == 7
+
+    def test_rejects_nonpositive_interval(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["price", "--checkpoint-interval", "0"])
 
 
 class TestRunAll:

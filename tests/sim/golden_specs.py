@@ -16,6 +16,13 @@ The ``*-crash`` and ``async-*`` fixtures were pinned later, when the
 bittorrent, coding and async engines graduated to full crash/rejoin
 support (those fixtures also pin the crash/rejoin event streams).
 
+``GOLDEN_ENGINE_FACTORIES`` exposes the same pinned configurations as
+*unstarted* engines — construction separated from ``.run()`` — which is
+what the checkpoint/resume sweep (``test_checkpoint_resume.py``) needs:
+it arms checkpoints on one engine, then rebuilds identically-configured
+twins to restore into mid-run. ``GOLDEN_SPECS`` is derived from the
+factories, so both views can never drift apart.
+
 Regenerate (only when a spec itself changes, never to paper over a
 behavioral diff; pass spec names to recapture a subset)::
 
@@ -27,13 +34,13 @@ from __future__ import annotations
 from repro.core.mechanisms import CreditLimitedBarter
 from repro.faults import FaultPlan, RecoveryPolicy
 from repro.overlays.random_regular import random_regular_graph
-from repro.randomized.bittorrent import bittorrent_run
+from repro.randomized.bittorrent import BitTorrentEngine
 from repro.randomized.churn import ChurnEngine
 from repro.randomized.engine import RandomizedEngine
-from repro.randomized.exchange import randomized_exchange_run
+from repro.randomized.exchange import ExchangeEngine
 from repro.randomized.policies import RarestFirstPolicy
 
-__all__ = ["ARRAY_CAPABLE_SPECS", "GOLDEN_SPECS"]
+__all__ = ["ARRAY_CAPABLE_SPECS", "GOLDEN_ENGINE_FACTORIES", "GOLDEN_SPECS"]
 
 # Shared crash plan for the graduated-engine fixtures (bittorrent,
 # coding, async): bounded hazard, half-retention rejoins.
@@ -46,7 +53,7 @@ _CRASH_PLAN = FaultPlan(
 
 
 def _randomized_cooperative(**kw):
-    return RandomizedEngine(24, 12, rng=42, **kw).run()
+    return RandomizedEngine(24, 12, rng=42, **kw)
 
 
 def _randomized_barter_rarest(**kw):
@@ -57,14 +64,14 @@ def _randomized_barter_rarest(**kw):
         policy=RarestFirstPolicy(),
         rng=7,
         **kw,
-    ).run()
+    )
 
 
 def _randomized_overlay_throttle(**kw):
     graph = random_regular_graph(18, 6, rng=0)
     return RandomizedEngine(
         18, 9, overlay=graph, throttle={2: 0.5, 5: 0.25}, rng=13, **kw
-    ).run()
+    )
 
 
 def _randomized_selfish_barter(**kw):
@@ -72,7 +79,7 @@ def _randomized_selfish_barter(**kw):
     # deadlock verdict path.
     return RandomizedEngine(
         12, 6, mechanism=CreditLimitedBarter(1), selfish={3}, rng=3, **kw
-    ).run()
+    )
 
 
 def _randomized_faults(**kw):
@@ -85,61 +92,63 @@ def _randomized_faults(**kw):
     )
     return RandomizedEngine(
         20, 10, rng=11, faults=plan, recovery=RecoveryPolicy(reseed=True), **kw
-    ).run()
+    )
 
 
 def _randomized_server_outage(**kw):
     plan = FaultPlan(server_outages=((2, 5),))
-    return RandomizedEngine(16, 8, rng=17, faults=plan, **kw).run()
+    return RandomizedEngine(16, 8, rng=17, faults=plan, **kw)
 
 
 def _churn(**kw):
     return ChurnEngine(
         16, 8, arrivals={3: 4, 5: 9}, departures={2: 6}, rng=5, **kw
-    ).run()
+    )
 
 
 def _churn_faults(**kw):
     plan = FaultPlan(loss_rate=0.15)
     return ChurnEngine(
         14, 7, arrivals={4: 6}, departures={3: 5}, rng=21, faults=plan, **kw
-    ).run()
+    )
 
 
 def _exchange(**kw):
-    return randomized_exchange_run(16, 8, rng=9, **kw)
+    return ExchangeEngine(16, 8, rng=9, **kw)
 
 
 def _exchange_overlay(**kw):
     graph = random_regular_graph(16, 5, rng=1)
-    return randomized_exchange_run(16, 8, overlay=graph, rng=19, **kw)
+    return ExchangeEngine(16, 8, overlay=graph, rng=19, **kw)
 
 
 def _exchange_faults(**kw):
     plan = FaultPlan(loss_rate=0.1, outage_rate=0.02, outage_duration=3)
-    return randomized_exchange_run(14, 7, rng=23, faults=plan, **kw)
+    return ExchangeEngine(14, 7, rng=23, faults=plan, **kw)
 
 
 def _bittorrent_crash(**kw):
-    return bittorrent_run(16, 6, rng=5, faults=_CRASH_PLAN, max_ticks=4000, **kw)
+    return BitTorrentEngine(16, 6, rng=5, faults=_CRASH_PLAN, max_ticks=4000, **kw)
 
 
 def _coding_crash(**kw):
-    from repro.coding import network_coding_run
+    from repro.coding.engine import NetworkCodingEngine
 
-    return network_coding_run(16, 6, rng=5, faults=_CRASH_PLAN, max_ticks=4000, **kw)
+    return NetworkCodingEngine(
+        16, 6, rng=5, faults=_CRASH_PLAN, max_ticks=4000, **kw
+    )
 
 
 def _async_kernel(**kw):
-    from repro.sim.registry import run_engine
+    from repro.sim.registry import create_engine
 
-    return run_engine("async", 16, 8, rng=9, **kw)
+    return create_engine("async", 16, 8, rng=9, **kw)
 
 
 def _async_crash(**kw):
-    from repro.sim.registry import run_engine
+    from repro.sim.registry import create_engine
 
-    return run_engine(
+    return create_engine(
         "async", 16, 8, rng=9, faults=_CRASH_PLAN, max_ticks=2000, **kw
     )
 
@@ -161,7 +170,8 @@ ARRAY_CAPABLE_SPECS = (
     "exchange-faults",
 )
 
-GOLDEN_SPECS = {
+#: name -> factory(**kw) returning the pinned engine, *unstarted*.
+GOLDEN_ENGINE_FACTORIES = {
     "randomized-cooperative": _randomized_cooperative,
     "randomized-barter-rarest": _randomized_barter_rarest,
     "randomized-overlay-throttle": _randomized_overlay_throttle,
@@ -177,4 +187,17 @@ GOLDEN_SPECS = {
     "coding-crash": _coding_crash,
     "async-kernel": _async_kernel,
     "async-crash": _async_crash,
+}
+
+
+def _runner(factory):
+    def spec(**kw):
+        return factory(**kw).run()
+
+    return spec
+
+
+#: name -> spec(**kw) constructing *and running* the pinned engine.
+GOLDEN_SPECS = {
+    name: _runner(factory) for name, factory in GOLDEN_ENGINE_FACTORIES.items()
 }
