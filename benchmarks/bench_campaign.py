@@ -1,0 +1,164 @@
+"""End-to-end campaign throughput: batched replicas vs job-per-run.
+
+The batched execution path (:class:`~repro.campaign.factories.
+BatchEngineRun` inside a :class:`~repro.campaign.executors.
+ParallelExecutor`) wins on three fronts at once: replicas share one
+vectorized :class:`~repro.sim.array.montecarlo.BatchRunner` tensor, the
+engines skip per-transfer log accumulation, and workers ship compact
+columnar summaries instead of pickling whole
+:class:`~repro.core.log.TransferLog` objects through the pool. This
+benchmark times complete ``sweep()`` calls — pool dispatch, execution,
+result transport and aggregation — on the largest point of the ``xl``
+fit grid (n = 512, k = 256, randomized engine) and reports end-to-end
+**runs/sec** for three variants:
+
+* ``job_per_run`` — the status-quo scalar path with engine-default
+  options (``keep_log=True``): every worker accumulates and pickles a
+  full transfer log per run;
+* ``job_per_run_nolog`` — the scalar path hand-tuned with
+  ``keep_log=False`` (what the figure factories do), isolating how much
+  of the win is log avoidance vs batching;
+* ``batched`` — ``replicas_per_batch`` = all replicates through
+  :class:`BatchEngineRun`.
+
+Acceptance gate: at full scale the batched path must sustain **>= 2x**
+the runs/sec of the default job-per-run path (interleaved best-of
+rounds, identical seeds). Numbers are persisted to
+``BENCH_campaign.json`` at the repo root so the trajectory is tracked
+across PRs.
+
+``REPRO_BENCH_CAMPAIGN_N`` / ``_REPLICAS`` / ``_ROUNDS`` shrink the
+scale for CI smoke runs; there the 2x assertion is replaced by the
+``REPRO_BENCH_CAMPAIGN_MIN`` floor (at toy scales the array backend's
+vectorization cannot pay off — the gate would be meaningless).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from _harness import interleaved_best_of, update_bench_json
+from repro.analysis.sweeps import sweep
+from repro.campaign import BatchEngineRun, EngineRun, ParallelExecutor
+
+N = int(os.environ.get("REPRO_BENCH_CAMPAIGN_N", "512"))
+K = N // 2
+REPLICATES = int(os.environ.get("REPRO_BENCH_CAMPAIGN_REPLICAS", "4"))
+ROUNDS = int(os.environ.get("REPRO_BENCH_CAMPAIGN_ROUNDS", "2"))
+FULL_SCALE = N >= 512
+POINTS = [{}]
+BASE_SEED = 17
+
+
+def _timed_sweep(factory, **kwargs) -> float:
+    """Self-timed sample: one complete sweep through a fresh pool."""
+    executor = ParallelExecutor(jobs=1)
+    start = time.perf_counter()
+    sweep(
+        POINTS,
+        factory,
+        replicates=REPLICATES,
+        base_seed=BASE_SEED,
+        executor=executor,
+        experiment="bench-campaign",
+        **kwargs,
+    )
+    return time.perf_counter() - start
+
+
+def _job_per_run() -> float:
+    return _timed_sweep(EngineRun.configure("randomized", N, K))
+
+
+def _job_per_run_nolog() -> float:
+    return _timed_sweep(
+        EngineRun.configure("randomized", N, K, keep_log=False)
+    )
+
+
+def _batched() -> float:
+    return _timed_sweep(
+        BatchEngineRun.configure("randomized", N, K),
+        replicas_per_batch=REPLICATES,
+    )
+
+
+def test_batched_sweep_matches_job_per_run():
+    """The throughput win must not change a single aggregate."""
+    scalar = sweep(
+        POINTS,
+        EngineRun.configure("randomized", 64, 32, keep_log=False),
+        replicates=3,
+        base_seed=BASE_SEED,
+    )
+    batched = sweep(
+        POINTS,
+        BatchEngineRun.configure("randomized", 64, 32),
+        replicates=3,
+        base_seed=BASE_SEED,
+        replicas_per_batch=3,
+        experiment="EngineRun",
+    )
+    for a, b in zip(scalar, batched):
+        assert a.completion.mean == b.completion.mean
+        assert a.completion.ci95 == b.completion.ci95
+        assert a.timeouts == b.timeouts
+        assert a.mean_client_completion == b.mean_client_completion
+
+
+@pytest.mark.slow
+def test_batched_campaign_throughput():
+    """Acceptance gate: batched >= 2x end-to-end runs/sec over the
+    default job-per-run path at full xl scale (n = 512)."""
+    results = interleaved_best_of(
+        {
+            "job_per_run": _job_per_run,
+            "job_per_run_nolog": _job_per_run_nolog,
+            "batched": _batched,
+        },
+        rounds=ROUNDS,
+    )
+    total_runs = len(POINTS) * REPLICATES
+
+    def runs_per_sec(name: str) -> float:
+        return total_runs / results[name]["best"]
+
+    speedup = runs_per_sec("batched") / runs_per_sec("job_per_run")
+    speedup_vs_nolog = runs_per_sec("batched") / runs_per_sec(
+        "job_per_run_nolog"
+    )
+    update_bench_json(
+        "BENCH_campaign.json",
+        "campaign_throughput",
+        {
+            "n": N,
+            "k": K,
+            "replicates": REPLICATES,
+            "points": len(POINTS),
+            "rounds": ROUNDS,
+            "engine": "randomized",
+            "runs_per_sec": {
+                name: runs_per_sec(name) for name in results
+            },
+            "best_seconds": {
+                name: results[name]["best"] for name in results
+            },
+            "speedup_vs_job_per_run": speedup,
+            "speedup_vs_job_per_run_nolog": speedup_vs_nolog,
+            "gate": "batched >= 2x job_per_run runs/sec at full scale",
+        },
+    )
+    floor = os.environ.get("REPRO_BENCH_CAMPAIGN_MIN")
+    if floor is not None:
+        assert speedup >= float(floor), (
+            f"batched speedup {speedup:.2f}x under configured floor "
+            f"{float(floor):.2f}x"
+        )
+    if FULL_SCALE:
+        assert speedup >= 2.0, (
+            f"batched path only {speedup:.2f}x the job-per-run path "
+            f"(needs >= 2x at n={N})"
+        )

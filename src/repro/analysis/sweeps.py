@@ -30,7 +30,13 @@ from dataclasses import dataclass, field
 from ..campaign.cache import ResultCache
 from ..campaign.context import current_config
 from ..campaign.executors import Executor, SerialExecutor
-from ..campaign.model import Campaign, CampaignError, TaskOutcome, derive_seed
+from ..campaign.model import (
+    BatchOutcome,
+    Campaign,
+    CampaignError,
+    TaskOutcome,
+    derive_seed,
+)
 from ..core.errors import ConfigError
 from ..core.log import RunResult
 from .stats import Summary, summarize
@@ -80,6 +86,7 @@ def sweep(
     executor: Executor | None = None,
     cache: ResultCache | None = None,
     experiment: str | None = None,
+    replicas_per_batch: int | None = None,
 ) -> list[SweepPoint]:
     """Run ``replicates`` seeded runs per point and aggregate.
 
@@ -110,6 +117,18 @@ def sweep(
     experiment:
         Campaign name used in cache keys; defaults to the factory's
         ``__qualname__``. Set it whenever the factory name is ambiguous.
+    replicas_per_batch:
+        When set (explicitly or via the ambient
+        :class:`~repro.campaign.context.CampaignConfig`), the sweep runs
+        on the **batched path**: each point's replicates are chunked
+        into :class:`~repro.campaign.model.BatchJob` units of at most
+        this many seeds, executed whole inside one worker, returning
+        columnar summaries that are folded *incrementally* — a
+        10^4-run sweep never holds all results in memory. Factories
+        without ``supports_batch`` are wrapped in
+        :class:`~repro.campaign.factories.BatchedRuns` automatically.
+        Seeds (and therefore every aggregate) are identical to the
+        job-per-run path.
     """
     if replicates < 1:
         raise ConfigError(f"need at least one replicate, got {replicates}")
@@ -119,6 +138,22 @@ def sweep(
         executor = config.executor or SerialExecutor()
     if cache is None:
         cache = config.cache
+    if replicas_per_batch is None:
+        replicas_per_batch = config.replicas_per_batch
+    if replicas_per_batch is not None:
+        return _batched_sweep(
+            points,
+            run_factory,
+            replicates,
+            base_seed,
+            keep_results,
+            progress,
+            executor=executor,
+            cache=cache,
+            experiment=_experiment_name(run_factory, experiment),
+            replicas_per_batch=replicas_per_batch,
+            ambient_progress=config.progress,
+        )
 
     campaign = Campaign.from_sweep(
         _experiment_name(run_factory, experiment),
@@ -172,6 +207,124 @@ def sweep(
                     sum(client_means) / len(client_means) if client_means else None
                 ),
                 results=kept,
+            )
+        )
+    return out
+
+
+def _batched_sweep(
+    points: list[object],
+    run_factory,
+    replicates: int,
+    base_seed: int,
+    keep_results: bool,
+    progress,
+    *,
+    executor: Executor,
+    cache: ResultCache | None,
+    experiment: str,
+    replicas_per_batch: int,
+    ambient_progress,
+) -> list[SweepPoint]:
+    """The batched execution path of :func:`sweep`: replica batches as
+    the unit of work, summaries folded as batches complete.
+
+    Aggregation is *streaming*: each batch outcome is folded into
+    per-(point, replicate) slots the moment it completes and then
+    released, so peak memory is one batch's summaries plus the slot
+    arrays — never the whole sweep. Slots are keyed by the
+    campaign-global replicate index, so the fold order is replicate
+    order regardless of batch completion order and every floating-point
+    aggregate is **bit-identical** to the job-per-run path's.
+    """
+    from ..campaign.factories import BatchedRuns
+
+    factory = (
+        run_factory
+        if getattr(run_factory, "supports_batch", False)
+        else BatchedRuns(run_factory)
+    )
+    campaign = Campaign.from_batched_sweep(
+        experiment,
+        points,
+        factory,
+        replicates,
+        base_seed,
+        replicas_per_batch,
+    )
+    batches_per_point = -(-replicates // replicas_per_batch)
+    point_of_job = {
+        id(job): j // batches_per_point
+        for j, job in enumerate(campaign.jobs)
+    }
+
+    # One slot per (point, replicate): the streaming accumulators.
+    times: list[list[float | None]] = [
+        [None] * replicates for _ in points
+    ]
+    client_means: list[list[float | None]] = [
+        [None] * replicates for _ in points
+    ]
+    aborted = [[False] * replicates for _ in points]
+    kept: list[list[RunResult | None]] | None = (
+        [[None] * replicates for _ in points] if keep_results else None
+    )
+
+    def on_task(stats, outcome) -> None:
+        if ambient_progress is not None:
+            ambient_progress(stats, outcome)
+        if not isinstance(outcome, BatchOutcome):
+            return
+        if not outcome.ok or outcome.summaries is None:
+            return
+        p = point_of_job[id(outcome.job)]
+        for summary in outcome.summaries:
+            r = summary.replicate
+            if progress is not None:
+                progress(outcome.job.point, r, summary.as_result())
+            if summary.completed:
+                times[p][r] = float(summary.completion_time)
+                mc = summary.mean_completion
+                if mc is not None:
+                    client_means[p][r] = mc
+            else:
+                aborted[p][r] = True
+            if kept is not None:
+                kept[p][r] = summary.as_result()
+        outcome.release()
+
+    outcomes = executor.run(campaign, cache=cache, progress=on_task)
+    failures = [o for o in outcomes if not o.ok]
+    if failures:
+        first = failures[0]
+        raise CampaignError(
+            f"{len(failures)}/{len(outcomes)} batches failed in campaign "
+            f"{campaign.name!r}; first: point={first.job.point!r} "
+            f"replicates={first.job.replicates}: {first.error}"
+        )
+
+    out: list[SweepPoint] = []
+    for p, point in enumerate(points):
+        # Filtering the replicate-ordered slots reproduces the scalar
+        # path's append order exactly — same floats, same sums.
+        point_times = [t for t in times[p] if t is not None]
+        point_means = [c for c in client_means[p] if c is not None]
+        out.append(
+            SweepPoint(
+                label=point,
+                completion=summarize(point_times) if point_times else None,
+                timeouts=sum(aborted[p]),
+                runs=replicates,
+                mean_client_completion=(
+                    sum(point_means) / len(point_means)
+                    if point_means
+                    else None
+                ),
+                results=(
+                    [r for r in kept[p] if r is not None]
+                    if kept is not None
+                    else []
+                ),
             )
         )
     return out

@@ -15,7 +15,13 @@ The execution subsystem behind every sweep, figure and benchmark:
   interrupted runs resume;
 * :mod:`repro.campaign.factories` — :class:`EngineRun`, the generic
   picklable run factory that constructs :mod:`repro.sim` registry
-  engines by name;
+  engines by name; :class:`BatchEngineRun` / :class:`BatchedRuns`, its
+  batched counterparts that execute whole replica batches inside one
+  worker (vectorized via :class:`~repro.sim.array.montecarlo.
+  BatchRunner` where the engine supports it);
+* :mod:`repro.campaign.summaries` — :class:`ReplicaSummary` /
+  :class:`SummaryBatch`, the compact columnar per-replica results the
+  batched path ships instead of pickled transfer logs;
 * :mod:`repro.campaign.telemetry` — :class:`CampaignStats` progress
   counters (tasks/sec, ETA) delivered through a callback hook;
 * :mod:`repro.campaign.checkpointing` — :class:`CheckpointSpec` /
@@ -46,12 +52,25 @@ from .cache import (
 from .checkpointing import CheckpointSpec, HeartbeatWriter, JobCheckpoint
 from .context import CampaignConfig, configured, current_config
 from .executors import Executor, ParallelExecutor, SerialExecutor
-from .factories import EngineRun
-from .model import Campaign, CampaignError, Job, TaskOutcome, derive_seed
+from .factories import BatchedRuns, BatchEngineRun, EngineRun
+from .model import (
+    BatchJob,
+    BatchOutcome,
+    Campaign,
+    CampaignError,
+    Job,
+    TaskOutcome,
+    derive_seed,
+)
+from .summaries import ReplicaSummary, SummaryBatch, summarize_result
 from .telemetry import CampaignStats, ConsoleProgress
 
 __all__ = [
     "CODE_VERSION",
+    "BatchEngineRun",
+    "BatchJob",
+    "BatchOutcome",
+    "BatchedRuns",
     "Campaign",
     "CampaignConfig",
     "CampaignError",
@@ -64,8 +83,10 @@ __all__ = [
     "Job",
     "JobCheckpoint",
     "ParallelExecutor",
+    "ReplicaSummary",
     "ResultCache",
     "SerialExecutor",
+    "SummaryBatch",
     "TaskOutcome",
     "cache_key",
     "configured",
@@ -73,4 +94,5 @@ __all__ = [
     "default_salt",
     "derive_seed",
     "fn_fingerprint",
+    "summarize_result",
 ]

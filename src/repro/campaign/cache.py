@@ -24,10 +24,22 @@ detects that torn tail, warns (the affected task simply re-executes) and
 keeps everything before it; garbage on any earlier line is warned about
 with its line number, since that is corruption, not a crash artifact.
 
-Cached :class:`~repro.core.log.RunResult` objects carry completion
-statistics and metadata but an **empty transfer log** — logs are the one
-thing deliberately not persisted (they dwarf everything else and no sweep
-aggregate needs them).
+The in-memory index is **lazy**: opening a cache scans the file once but
+keeps only ``key -> byte offset``, and :meth:`ResultCache.get` seeks and
+decodes a single line on demand — a multi-gigabyte Monte Carlo cache
+costs the coordinator one small dict, not every payload. (Offsets stay
+valid forever because the file is append-only.) The format on disk is
+unchanged, so existing tooling that reads ``results.jsonl`` line-wise
+keeps working.
+
+Two record kinds share the file: ``"result"`` rows (one scalar task's
+:class:`~repro.core.log.RunResult`) and ``"summary"`` rows (one *batch
+replica*'s :class:`~repro.campaign.summaries.ReplicaSummary`, keyed per
+replicate so an interrupted batched sweep resumes at replica
+granularity). Cached results carry completion statistics and metadata
+but an **empty transfer log** — logs are the one thing deliberately not
+persisted (they dwarf everything else and no sweep aggregate needs
+them); summaries never had one.
 """
 
 from __future__ import annotations
@@ -39,7 +51,8 @@ import warnings
 from pathlib import Path
 
 from ..core.log import RunResult, TransferLog
-from .model import Job
+from .model import BatchJob, Job
+from .summaries import ReplicaSummary
 
 __all__ = [
     "CODE_VERSION",
@@ -120,29 +133,43 @@ def _jsonable(value: object) -> object:
 
 
 class ResultCache:
-    """JSONL-backed result store, loaded fully into memory on open."""
+    """JSONL-backed result store with a lazy ``key -> offset`` index."""
 
     def __init__(self, root: str | Path, *, salt: str = "") -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.path = self.root / "results.jsonl"
         self.salt = salt or default_salt()
-        self._index: dict[str, dict[str, object]] = {}
+        #: Byte offset of each key's (latest) record; payloads load on
+        #: demand in :meth:`_fetch`, never wholesale.
+        self._index: dict[str, int] = {}
         self._load()
 
     def _load(self) -> None:
         if not self.path.exists():
             return
-        with self.path.open("r", encoding="utf-8") as handle:
-            lines = handle.readlines()
-        for number, line in enumerate(lines, start=1):
-            stripped = line.strip()
-            if not stripped:
-                continue
-            try:
-                record = json.loads(stripped)
-            except json.JSONDecodeError:
-                if number == len(lines):
+        offsets: list[tuple[int, int, str | None]] = []
+        with self.path.open("rb") as handle:
+            offset = handle.tell()
+            number = 0
+            for raw in handle:
+                number += 1
+                line_offset = offset
+                offset += len(raw)
+                stripped = raw.strip()
+                if not stripped:
+                    continue
+                try:
+                    record = json.loads(stripped)
+                except json.JSONDecodeError:
+                    offsets.append((number, line_offset, None))
+                    continue
+                if isinstance(record, dict) and "key" in record:
+                    offsets.append((number, line_offset, record["key"]))
+        total = number
+        for number, line_offset, key in offsets:
+            if key is None:
+                if number == total:
                     # The torn tail a crash-interrupted appender leaves
                     # behind (put() flushes after every full line, so
                     # only the final line can be partial). The entry is
@@ -163,8 +190,26 @@ class ResultCache:
                         stacklevel=3,
                     )
                 continue
-            if isinstance(record, dict) and "key" in record:
-                self._index[record["key"]] = record
+            self._index[key] = line_offset
+
+    def _fetch(self, key: str) -> dict[str, object] | None:
+        """Load one record by key (a seek and a single-line read)."""
+        offset = self._index.get(key)
+        if offset is None:
+            return None
+        with self.path.open("rb") as handle:
+            handle.seek(offset)
+            record = json.loads(handle.readline())
+        return record if isinstance(record, dict) else None
+
+    def _append(self, key: str, record: dict[str, object]) -> None:
+        """Append one record, flushed, and index its offset."""
+        line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        with self.path.open("ab") as handle:
+            offset = handle.seek(0, os.SEEK_END)
+            handle.write(line)
+            handle.flush()
+        self._index[key] = offset
 
     def __len__(self) -> int:
         return len(self._index)
@@ -180,10 +225,29 @@ class ResultCache:
             fn=job.fn,
         )
 
+    def replica_key(
+        self, job: BatchJob, replicate: int, seed: int, salt: str = ""
+    ) -> str:
+        """Cache key of one *replica* of a batch job.
+
+        Keyed exactly like a scalar job — per (point, replicate, seed) —
+        so batch results resume at replica granularity: re-chunking the
+        same sweep with a different ``replicas_per_batch`` still hits
+        every replica that ever completed.
+        """
+        return cache_key(
+            job.experiment,
+            job.point,
+            seed,
+            replicate=replicate,
+            salt=salt or self.salt,
+            fn=job.fn,
+        )
+
     def get(self, job: Job, salt: str = "") -> RunResult | None:
         """Cached result for ``job``, or ``None`` on a miss."""
-        record = self._index.get(self.key_for(job, salt))
-        if record is None:
+        record = self._fetch(self.key_for(job, salt))
+        if record is None or "result" not in record:
             return None
         return self._decode_result(record["result"])
 
@@ -191,19 +255,45 @@ class ResultCache:
         """Persist one result; flushed immediately so interrupts lose at
         most the task in flight."""
         key = self.key_for(job, salt)
-        record = {
-            "key": key,
-            "experiment": job.experiment,
-            "fn": fn_fingerprint(job.fn),
-            "point": repr(job.point),
-            "replicate": job.replicate,
-            "seed": job.seed,
-            "result": self._encode_result(result),
-        }
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
-            handle.flush()
-        self._index[key] = record
+        self._append(
+            key,
+            {
+                "key": key,
+                "experiment": job.experiment,
+                "fn": fn_fingerprint(job.fn),
+                "point": repr(job.point),
+                "replicate": job.replicate,
+                "seed": job.seed,
+                "result": self._encode_result(result),
+            },
+        )
+
+    def get_summary(
+        self, job: BatchJob, replicate: int, seed: int, salt: str = ""
+    ) -> ReplicaSummary | None:
+        """Cached summary of one batch replica, or ``None`` on a miss."""
+        record = self._fetch(self.replica_key(job, replicate, seed, salt))
+        if record is None or "summary" not in record:
+            return None
+        return ReplicaSummary.from_row(record["summary"])  # type: ignore[arg-type]
+
+    def put_summary(
+        self, job: BatchJob, summary: ReplicaSummary, salt: str = ""
+    ) -> None:
+        """Persist one batch replica's summary (keyed per replicate)."""
+        key = self.replica_key(job, summary.replicate, summary.seed, salt)
+        self._append(
+            key,
+            {
+                "key": key,
+                "experiment": job.experiment,
+                "fn": fn_fingerprint(job.fn),
+                "point": repr(job.point),
+                "replicate": summary.replicate,
+                "seed": summary.seed,
+                "summary": summary.to_row(),
+            },
+        )
 
     @staticmethod
     def _encode_result(result: RunResult) -> dict[str, object]:

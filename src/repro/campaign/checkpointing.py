@@ -85,6 +85,21 @@ class JobCheckpoint:
     heartbeat: str
     interval: int
 
+    @property
+    def progress(self) -> str:
+        """The *batch* checkpoint: a replica-granular progress file.
+
+        Batch factories (:class:`~repro.campaign.factories.
+        BatchEngineRun` and friends) write the columnar summaries of
+        every completed replica here (atomic replace after each one)
+        plus an in-flight marker, while ``path`` holds the in-flight
+        replica's ordinary kernel checkpoint. A killed batch worker
+        therefore loses at most one checkpoint interval of one replica:
+        finished replicas reload from this file and the interrupted one
+        resumes from its kernel checkpoint.
+        """
+        return f"{self.path}.batch"
+
 
 class HeartbeatWriter:
     """Write ``{pid, tick, time}`` to a liveness file, rate-limited.

@@ -29,11 +29,19 @@ __all__ = ["CampaignConfig", "configured", "current_config"]
 
 @dataclass(frozen=True, slots=True)
 class CampaignConfig:
-    """The executor, cache and progress hook sweeps should default to."""
+    """The executor, cache and progress hook sweeps should default to.
+
+    ``replicas_per_batch`` — when set — routes every sweep through the
+    batched execution path: each point's replicates are chunked into
+    :class:`~repro.campaign.model.BatchJob` units of at most this many
+    seeds (the CLI's ``--replicas-per-batch``). ``None`` keeps the
+    job-per-run path.
+    """
 
     executor: "Executor | None" = None
     cache: "ResultCache | None" = None
     progress: "ProgressCallback | None" = None
+    replicas_per_batch: int | None = None
 
 
 _ACTIVE: ContextVar[CampaignConfig] = ContextVar(
@@ -51,6 +59,7 @@ def configured(
     executor: "Executor | None" = None,
     cache: "ResultCache | None" = None,
     progress: "ProgressCallback | None" = None,
+    replicas_per_batch: int | None = None,
 ):
     """Install an ambient executor/cache/progress hook for the block.
 
@@ -63,6 +72,11 @@ def configured(
             executor=executor if executor is not None else outer.executor,
             cache=cache if cache is not None else outer.cache,
             progress=progress if progress is not None else outer.progress,
+            replicas_per_batch=(
+                replicas_per_batch
+                if replicas_per_batch is not None
+                else outer.replicas_per_batch
+            ),
         )
     )
     try:

@@ -62,10 +62,95 @@ from ..core.errors import ConfigError
 from ..core.log import RunResult
 from .cache import ResultCache
 from .checkpointing import CheckpointSpec, JobCheckpoint, read_heartbeat
-from .model import Campaign, Job, TaskOutcome, as_campaign
+from .model import (
+    BatchJob,
+    BatchOutcome,
+    Campaign,
+    Job,
+    TaskOutcome,
+    as_campaign,
+)
+from .summaries import ReplicaSummary, SummaryBatch
 from .telemetry import CampaignStats, ProgressCallback
 
 __all__ = ["Executor", "ParallelExecutor", "SerialExecutor"]
+
+
+def _reduce_batch(
+    job: BatchJob, hits: dict[int, ReplicaSummary]
+) -> BatchJob:
+    """The sub-batch of ``job`` still to execute after cache hits.
+
+    The result cache keys batch results per replica, so a batch can be
+    *partially* warm — e.g. when replicates were raised, or the same
+    sweep re-chunked with a different ``replicas_per_batch``. The
+    reduced job keeps only the missing ``(replicate, seed)`` pairs.
+    """
+    if not hits:
+        return job
+    keep = [
+        (r, s) for r, s in zip(job.replicates, job.seeds) if r not in hits
+    ]
+    from dataclasses import replace
+
+    return replace(
+        job,
+        replicates=tuple(r for r, _ in keep),
+        seeds=tuple(s for _, s in keep),
+    )
+
+
+def _merge_batch(
+    job: BatchJob,
+    reduced: BatchJob,
+    batch: SummaryBatch,
+    hits: dict[int, ReplicaSummary],
+    attempts: int,
+) -> BatchOutcome:
+    """Combine a factory's fresh summaries with cache hits, in replicate
+    order, relabelling the factory's positional replicate indices to the
+    campaign-global ones the job carries."""
+    fresh_rows = batch.summaries()
+    if len(fresh_rows) != len(reduced.seeds):
+        return BatchOutcome(
+            job=job,
+            summaries=None,
+            error=(
+                f"batch factory returned {len(fresh_rows)} summaries "
+                f"for {len(reduced.seeds)} seeds"
+            ),
+            attempts=attempts,
+        )
+    by_replicate: dict[int, ReplicaSummary] = {}
+    for position, summary in enumerate(fresh_rows):
+        summary.replicate = reduced.replicates[position]
+        by_replicate[summary.replicate] = summary
+    merged = [
+        hits[r] if r in hits else by_replicate[r] for r in job.replicates
+    ]
+    resumed_tick = batch.meta.get("resumed_from_tick")
+    return BatchOutcome(
+        job=job,
+        summaries=merged,
+        source="mixed" if hits else "executed",
+        attempts=attempts,
+        fresh=tuple(reduced.replicates),
+        resumed_replicas=int(batch.meta.get("resumed_replicas") or 0),
+        resumed_from_tick=(
+            int(resumed_tick) if resumed_tick is not None else None  # type: ignore[arg-type]
+        ),
+    )
+
+
+def _failure_outcome(
+    job: Job | BatchJob, error: str, attempts: int
+) -> TaskOutcome | BatchOutcome:
+    """A failed outcome of the right shape for the job's kind."""
+    if isinstance(job, BatchJob):
+        return BatchOutcome(
+            job=job, summaries=None, error=error, attempts=attempts
+        )
+    return TaskOutcome(job=job, result=None, error=error, attempts=attempts)
 
 
 class Executor(ABC):
@@ -81,22 +166,27 @@ class Executor(ABC):
         self.checkpoint = checkpoint
 
     def _job_checkpoint(
-        self, campaign: Campaign, job: Job
+        self, campaign: Campaign, job: Job | BatchJob
     ) -> JobCheckpoint | None:
         """The job's checkpoint file assignment, or ``None`` when the
         executor has no spec or the factory doesn't speak the protocol.
-        Files are named by the job's cache key, so a resubmitted or
+        Files are named by the job's cache key — for a batch job, the
+        key of its first (replicate, seed) pair — so a resubmitted or
         re-invoked job finds exactly its own checkpoint."""
         spec = self.checkpoint
         if spec is None or not getattr(job.fn, "supports_checkpoint", False):
             return None
         from .cache import cache_key
 
+        if isinstance(job, BatchJob):
+            seed, replicate = job.seeds[0], job.replicates[0]
+        else:
+            seed, replicate = job.seed, job.replicate
         key = cache_key(
             job.experiment,
             job.point,
-            job.seed,
-            replicate=job.replicate,
+            seed,
+            replicate=replicate,
             salt=campaign.salt,
             fn=job.fn,
         )
@@ -108,15 +198,48 @@ class Executor(ABC):
         *,
         cache: ResultCache | None = None,
         progress: ProgressCallback | None = None,
-    ) -> list[TaskOutcome]:
-        """Execute every job, returning outcomes in job order."""
+    ) -> list[TaskOutcome | BatchOutcome]:
+        """Execute every job, returning outcomes in job order.
+
+        Batch jobs are cache-checked per *replica*: a fully warm batch
+        becomes a cached outcome without executing, a partially warm one
+        executes only its missing replicas and merges (see
+        ``_reduce_batch`` / ``_merge_batch``).
+        """
         campaign = as_campaign(campaign)
         jobs = campaign.jobs
         stats = CampaignStats(total=len(jobs))
         self.last_stats = stats
-        outcomes: list[TaskOutcome | None] = [None] * len(jobs)
+        outcomes: list[TaskOutcome | BatchOutcome | None] = [None] * len(jobs)
         pending: list[int] = []
+        partial: dict[int, dict[int, ReplicaSummary]] = {}
         for i, job in enumerate(jobs):
+            if isinstance(job, BatchJob):
+                stats.batches += 1
+                hits: dict[int, ReplicaSummary] = {}
+                if cache is not None:
+                    for replicate, seed in zip(job.replicates, job.seeds):
+                        summary = cache.get_summary(
+                            job, replicate, seed, campaign.salt
+                        )
+                        if summary is not None:
+                            hits[replicate] = summary
+                stats.replicas_cached += len(hits)
+                if len(hits) == len(job.replicates):
+                    outcome = BatchOutcome(
+                        job=job,
+                        summaries=[hits[r] for r in job.replicates],
+                        source="cache",
+                    )
+                    outcomes[i] = outcome
+                    stats.cached += 1
+                    if progress is not None:
+                        progress(stats, outcome)
+                else:
+                    if hits:
+                        partial[i] = hits
+                    pending.append(i)
+                continue
             cached = cache.get(job, campaign.salt) if cache is not None else None
             if cached is not None:
                 outcome = TaskOutcome(job=job, result=cached, source="cache")
@@ -126,7 +249,7 @@ class Executor(ABC):
                     progress(stats, outcome)
             else:
                 pending.append(i)
-        self._execute(campaign, pending, outcomes, stats, cache, progress)
+        self._execute(campaign, pending, outcomes, stats, cache, progress, partial)
         return [o for o in outcomes if o is not None]
 
     @abstractmethod
@@ -134,10 +257,11 @@ class Executor(ABC):
         self,
         campaign: Campaign,
         pending: list[int],
-        outcomes: list[TaskOutcome | None],
+        outcomes: list[TaskOutcome | BatchOutcome | None],
         stats: CampaignStats,
         cache: ResultCache | None,
         progress: ProgressCallback | None,
+        partial: dict[int, dict[int, ReplicaSummary]],
     ) -> None:
         """Fill ``outcomes[i]`` for every ``i`` in ``pending``."""
 
@@ -145,15 +269,34 @@ class Executor(ABC):
     def _complete(
         campaign: Campaign,
         index: int,
-        outcome: TaskOutcome,
-        outcomes: list[TaskOutcome | None],
+        outcome: TaskOutcome | BatchOutcome,
+        outcomes: list[TaskOutcome | BatchOutcome | None],
         stats: CampaignStats,
         cache: ResultCache | None,
         progress: ProgressCallback | None,
     ) -> None:
         outcomes[index] = outcome
-        if outcome.ok:
+        if isinstance(outcome, BatchOutcome):
+            if outcome.ok:
+                stats.executed += 1
+                stats.runs += len(outcome.fresh)
+                stats.resumed += outcome.resumed_replicas
+                if outcome.resumed_from_tick is not None:
+                    stats.resumed += 1
+                if cache is not None and outcome.summaries is not None:
+                    fresh = set(outcome.fresh)
+                    for summary in outcome.summaries:
+                        if summary.replicate in fresh:
+                            cache.put_summary(
+                                outcome.job, summary, campaign.salt
+                            )
+            else:
+                stats.failed += 1
+        elif outcome.ok:
             stats.executed += 1
+            stats.runs += 1
+            if outcome.resumed_from_tick is not None:
+                stats.resumed += 1
             if cache is not None:
                 cache.put(outcome.job, outcome.result, campaign.salt)
         else:
@@ -171,23 +314,35 @@ class SerialExecutor(Executor):
     failed campaign resumes past them.
     """
 
-    def _execute(self, campaign, pending, outcomes, stats, cache, progress):
+    def _execute(
+        self, campaign, pending, outcomes, stats, cache, progress, partial
+    ):
         for i in pending:
             job = campaign.jobs[i]
-            ckpt = self._job_checkpoint(campaign, job)
-            if ckpt is not None:
-                result = job.fn(job.point, job.seed, checkpoint=ckpt)
+            if isinstance(job, BatchJob):
+                hits = partial.get(i, {})
+                reduced = _reduce_batch(job, hits)
+                ckpt = self._job_checkpoint(campaign, reduced)
+                if ckpt is not None:
+                    payload = reduced.fn(
+                        reduced.point, reduced.seeds, checkpoint=ckpt
+                    )
+                else:
+                    payload = reduced.fn(reduced.point, reduced.seeds)
+                outcome = _merge_batch(job, reduced, payload, hits, attempts=1)
             else:
-                result = job.fn(job.point, job.seed)
-            self._complete(
-                campaign,
-                i,
-                TaskOutcome(
+                ckpt = self._job_checkpoint(campaign, job)
+                if ckpt is not None:
+                    result = job.fn(job.point, job.seed, checkpoint=ckpt)
+                else:
+                    result = job.fn(job.point, job.seed)
+                outcome = TaskOutcome(
                     job=job,
                     result=result,
                     resumed_from_tick=_resumed_tick(result),
-                ),
-                outcomes, stats, cache, progress,
+                )
+            self._complete(
+                campaign, i, outcome, outcomes, stats, cache, progress
             )
 
 
@@ -209,11 +364,19 @@ _NO_RESULT = object()
 def _execute_task(
     fn,
     point: object,
-    seed: int,
+    seed: object,
     timeout: float | None,
     checkpoint: JobCheckpoint | None = None,
-) -> tuple[str, RunResult | str]:
+) -> tuple[str, RunResult | SummaryBatch | str]:
     """Worker entry point: run one task, never let an exception escape.
+
+    ``seed`` is a single int for scalar jobs and the seeds tuple for
+    batch jobs — the call shape ``fn(point, seed_or_seeds,
+    [checkpoint=])`` is identical either way, and the payload returned
+    is whatever the factory produced (a :class:`RunResult`, or a
+    columnar :class:`~repro.campaign.summaries.SummaryBatch`). The
+    wall-clock ``timeout`` covers the whole call — i.e. the *entire
+    batch* on the batched path; budget it accordingly.
 
     Returning ``("error", message)`` instead of raising keeps the process
     pool healthy; only a hard crash (signal, ``os._exit``) breaks it.
@@ -272,7 +435,9 @@ class ParallelExecutor(Executor):
         Worker process count (default: ``os.cpu_count()``).
     timeout:
         Optional per-task wall-clock limit in seconds, enforced inside
-        the worker; an expired task becomes a failed outcome.
+        the worker; an expired task becomes a failed outcome. A batch
+        job is one task — the limit covers all its replicas, so scale
+        it with ``replicas_per_batch``.
     retries:
         Extra attempts granted to a task whose worker *crashed* (broken
         pool). Ordinary task exceptions are deterministic and are not
@@ -336,9 +501,21 @@ class ParallelExecutor(Executor):
         )
         return _PoolExecutor(max_workers=width, mp_context=context)
 
-    def _execute(self, campaign, pending, outcomes, stats, cache, progress):
+    def _execute(
+        self, campaign, pending, outcomes, stats, cache, progress, partial
+    ):
         jobs = campaign.jobs
         attempts = dict.fromkeys(pending, 0)
+        # Batch jobs ship their *reduced* form (cache misses only); the
+        # reduction is computed once so retries resubmit the same work —
+        # and find the same checkpoint files, which are keyed off the
+        # reduced job's first replica.
+        batch_state: dict[int, tuple[dict[int, ReplicaSummary], BatchJob]] = {}
+        for i in pending:
+            job = jobs[i]
+            if isinstance(job, BatchJob):
+                hits = partial.get(i, {})
+                batch_state[i] = (hits, _reduce_batch(job, hits))
         remaining = list(pending)
         while remaining:
             crashed = False
@@ -356,15 +533,20 @@ class ParallelExecutor(Executor):
                 futures = {}
                 try:
                     for i in remaining:
-                        job = jobs[i]
+                        if i in batch_state:
+                            _, submitted = batch_state[i]
+                            seed_arg: object = submitted.seeds
+                        else:
+                            submitted = jobs[i]
+                            seed_arg = submitted.seed
                         futures[
                             pool.submit(
                                 _execute_task,
-                                job.fn,
-                                job.point,
-                                job.seed,
+                                submitted.fn,
+                                submitted.point,
+                                seed_arg,
                                 self.timeout,
-                                self._job_checkpoint(campaign, job),
+                                self._job_checkpoint(campaign, submitted),
                             )
                         ] = i
                     for future in as_completed(futures):
@@ -379,7 +561,20 @@ class ParallelExecutor(Executor):
                             continue
                         attempts[i] += 1
                         job = jobs[i]
-                        if status == "ok":
+                        if i in batch_state:
+                            hits, reduced = batch_state[i]
+                            if status == "ok":
+                                outcome = _merge_batch(
+                                    job, reduced, payload, hits, attempts[i]
+                                )
+                            else:
+                                outcome = BatchOutcome(
+                                    job=job,
+                                    summaries=None,
+                                    error=str(payload),
+                                    attempts=attempts[i],
+                                )
+                        elif status == "ok":
                             outcome = TaskOutcome(
                                 job=job,
                                 result=payload,
@@ -416,18 +611,16 @@ class ParallelExecutor(Executor):
                 attempts[i] += 1
             for i in list(remaining):
                 if attempts[i] > self.retries:
-                    job = jobs[i]
                     self._complete(
                         campaign,
                         i,
-                        TaskOutcome(
-                            job=job,
-                            result=None,
-                            error=(
+                        _failure_outcome(
+                            jobs[i],
+                            (
                                 "worker process crashed "
                                 f"(attempt {attempts[i]}/{self.retries + 1})"
                             ),
-                            attempts=attempts[i],
+                            attempts[i],
                         ),
                         outcomes, stats, cache, progress,
                     )

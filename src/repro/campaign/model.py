@@ -26,6 +26,8 @@ from ..core.errors import ConfigError, ReproError
 from ..core.log import RunResult
 
 __all__ = [
+    "BatchJob",
+    "BatchOutcome",
     "Campaign",
     "CampaignError",
     "Job",
@@ -65,6 +67,84 @@ class Job:
     replicate: int
     seed: int
     fn: Callable[[object, int], RunResult]
+
+
+@dataclass(frozen=True, slots=True)
+class BatchJob:
+    """One replica *batch* of a campaign: several seeds of one point.
+
+    The batched unit of work: ``fn(point, seeds) -> SummaryBatch`` runs
+    every seed inside a single worker and returns compact columnar
+    summaries (:mod:`repro.campaign.summaries`) instead of full
+    :class:`~repro.core.log.RunResult` objects. ``replicates[j]`` is the
+    campaign-global replicate index that ``seeds[j]`` belongs to — the
+    executor uses it to key the result cache per replica and to relabel
+    the factory's positional summaries.
+
+    Like :class:`Job`, ``fn`` must be picklable; batch factories that
+    expose ``supports_checkpoint = True`` additionally accept
+    ``fn(point, seeds, checkpoint=JobCheckpoint)`` and then write a
+    replica-granular batch checkpoint (see
+    :class:`~repro.campaign.factories.BatchEngineRun`).
+    """
+
+    experiment: str
+    point: object
+    replicates: tuple[int, ...]
+    seeds: tuple[int, ...]
+    fn: Callable[[object, Sequence[int]], object]
+
+    def __post_init__(self) -> None:
+        if len(self.replicates) != len(self.seeds):
+            raise ConfigError(
+                f"batch job has {len(self.replicates)} replicates but "
+                f"{len(self.seeds)} seeds"
+            )
+        if not self.seeds:
+            raise ConfigError("batch job needs at least one replica")
+
+
+@dataclass(slots=True)
+class BatchOutcome:
+    """Result of one :class:`BatchJob`: merged per-replica summaries.
+
+    ``summaries`` holds one
+    :class:`~repro.campaign.summaries.ReplicaSummary` per requested
+    replicate, in replicate order, with campaign-global replicate
+    indices — merged from cache hits and freshly executed replicas.
+    ``fresh`` names the replicate indices that actually executed this
+    run (the ones the executor persists to the cache); ``source`` is
+    ``"cache"`` when every replica was served from cache, ``"mixed"``
+    when some were, else ``"executed"``. ``resumed_replicas`` counts
+    replicas recovered whole from a batch checkpoint instead of
+    re-executing, and ``resumed_from_tick`` is the kernel tick the
+    batch's in-flight replica resumed from (``None`` when none did).
+
+    Streaming aggregation calls :meth:`release` after folding a batch so
+    a 10^4-run sweep never holds every summary at once.
+    """
+
+    job: BatchJob
+    summaries: list | None
+    error: str | None = None
+    source: str = "executed"
+    attempts: int = 1
+    fresh: tuple[int, ...] = ()
+    resumed_replicas: int = 0
+    resumed_from_tick: int | None = None
+    _released: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True when every replica of the batch produced a summary."""
+        return self.error is None and (
+            self._released or self.summaries is not None
+        )
+
+    def release(self) -> None:
+        """Drop the summaries (they have been folded downstream)."""
+        self._released = True
+        self.summaries = None
 
 
 @dataclass(slots=True)
@@ -135,6 +215,50 @@ class Campaign:
             for point in points
             for i in range(replicates)
         ]
+        return cls(name=experiment, jobs=jobs, salt=salt)
+
+    @classmethod
+    def from_batched_sweep(
+        cls,
+        experiment: str,
+        points: Sequence[object],
+        batch_factory: Callable[[object, Sequence[int]], object],
+        replicates: int,
+        base_seed: int,
+        replicas_per_batch: int,
+        salt: str = "",
+    ) -> "Campaign":
+        """Expand a sweep into :class:`BatchJob` chunks, point-major.
+
+        Every point's ``replicates`` runs are chunked into consecutive
+        batches of at most ``replicas_per_batch`` seeds. Seeds are the
+        *same* :func:`derive_seed` values :meth:`from_sweep` assigns, so
+        batching never changes what any replicate computes — only how
+        the work is shipped.
+        """
+        if replicates < 1:
+            raise ConfigError(f"need at least one replicate, got {replicates}")
+        if replicas_per_batch < 1:
+            raise ConfigError(
+                f"need at least one replica per batch, got {replicas_per_batch}"
+            )
+        jobs: list[BatchJob] = []
+        for point in points:
+            for start in range(0, replicates, replicas_per_batch):
+                reps = tuple(
+                    range(start, min(start + replicas_per_batch, replicates))
+                )
+                jobs.append(
+                    BatchJob(
+                        experiment=experiment,
+                        point=point,
+                        replicates=reps,
+                        seeds=tuple(
+                            derive_seed(base_seed, point, i) for i in reps
+                        ),
+                        fn=batch_factory,
+                    )
+                )
         return cls(name=experiment, jobs=jobs, salt=salt)
 
 

@@ -26,7 +26,15 @@ class CampaignStats:
 
     ``executed`` counts tasks that actually ran, ``cached`` tasks served
     from the result cache, ``failed`` tasks that exhausted their retries
-    (or raised), and ``retried`` resubmissions after worker crashes.
+    (or raised), and ``retried`` resubmissions after worker crashes. A
+    *task* is one schedulable job — which, on the batched path, is a
+    whole replica batch; the replica-level accounting lives in the
+    second group: ``batches`` counts batch jobs seen, ``runs``
+    simulation runs actually executed (one per scalar task, one per
+    fresh batch replica), ``replicas_cached`` batch replicas served from
+    the cache, and ``resumed`` runs recovered from a checkpoint instead
+    of starting over — whole replicas reloaded from a batch checkpoint
+    plus runs that resumed mid-flight from a kernel checkpoint tick.
     """
 
     total: int = 0
@@ -34,6 +42,10 @@ class CampaignStats:
     cached: int = 0
     failed: int = 0
     retried: int = 0
+    batches: int = 0
+    runs: int = 0
+    replicas_cached: int = 0
+    resumed: int = 0
     started_at: float = field(default_factory=time.monotonic)
 
     @property
@@ -53,6 +65,15 @@ class CampaignStats:
         return self.executed / elapsed if elapsed > 0 else 0.0
 
     @property
+    def runs_per_sec(self) -> float:
+        """Executed simulation-run throughput — the end-to-end number
+        the campaign benchmark gates. On the scalar path this equals
+        :attr:`tasks_per_sec`; on the batched path it counts every fresh
+        replica inside every batch."""
+        elapsed = self.elapsed
+        return self.runs / elapsed if elapsed > 0 else 0.0
+
+    @property
     def eta_seconds(self) -> float | None:
         """Projected seconds to finish the remaining tasks, if estimable."""
         remaining = self.total - self.done
@@ -63,10 +84,19 @@ class CampaignStats:
 
     def summary(self) -> str:
         """One-line accounting, e.g. ``8 executed, 4 cached, 0 failed``."""
-        return (
+        base = (
             f"{self.executed} executed, {self.cached} cached, "
             f"{self.failed} failed"
         )
+        if self.batches:
+            base += (
+                f" ({self.runs} runs in {self.batches} batches, "
+                f"{self.replicas_cached} replicas cached"
+            )
+            if self.resumed:
+                base += f", {self.resumed} resumed"
+            base += ")"
+        return base
 
 
 ProgressCallback = Callable[[CampaignStats, "TaskOutcome"], None]
@@ -87,6 +117,14 @@ class ConsoleProgress:
             f" ({stats.cached} cached, {stats.failed} failed)"
             f" {stats.tasks_per_sec:.1f} tasks/s eta {eta_text}"
         )
+        if stats.batches:
+            # Batched path: the per-replica numbers are the ones that
+            # mean anything — a "task" is a whole batch here.
+            line += f" | {stats.runs} runs {stats.runs_per_sec:.1f} runs/s"
+            if stats.replicas_cached:
+                line += f" {stats.replicas_cached} cached"
+            if stats.resumed:
+                line += f" {stats.resumed} resumed"
         self.stream.write("\r" + line.ljust(72))
         self.stream.flush()
         self._dirty = True

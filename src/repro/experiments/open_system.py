@@ -183,9 +183,20 @@ def _mean_series(results) -> list[tuple[float, float]]:
 
 
 def open_system(
-    scale: str | Scale | None = None, base_seed: int = 59
+    scale: str | Scale | None = None,
+    base_seed: int = 59,
+    replicas_per_batch: int | None = None,
 ) -> FigureResult:
-    """Sojourn times and swarm dynamics under open-system workloads."""
+    """Sojourn times and swarm dynamics under open-system workloads.
+
+    ``replicas_per_batch`` routes the replicate sweep through the
+    batched execution path (whole replica batches per worker, columnar
+    summaries back); sojourn/swarm statistics are identical because the
+    summaries preserve ``client_completions`` and the run meta the
+    open-system readers consume. ``None`` defers to the ambient
+    :class:`~repro.campaign.context.CampaignConfig` (the CLI's
+    ``--replicas-per-batch``).
+    """
     s = resolve_scale(scale)
     factory = _factory(s)
     points = [
@@ -201,6 +212,7 @@ def open_system(
         base_seed=base_seed,
         keep_results=True,
         experiment="open-system",
+        replicas_per_batch=replicas_per_batch,
     )
     by_point = {p.label: p for p in swept}
 

@@ -117,9 +117,18 @@ class _ResilienceRun:
 
 
 def resilience(
-    scale: str | Scale | None = None, base_seed: int = 53
+    scale: str | Scale | None = None,
+    base_seed: int = 53,
+    replicas_per_batch: int | None = None,
 ) -> FigureResult:
-    """Completion probability and overhead under loss x crash faults."""
+    """Completion probability and overhead under loss x crash faults.
+
+    ``replicas_per_batch`` routes the replicate sweep through the
+    batched execution path; the resilience readers work off per-run
+    meta (``failed_transfers``, ``uploads_per_tick``, abort reasons),
+    all preserved by the columnar summaries, so the figure is identical.
+    ``None`` defers to the ambient campaign configuration.
+    """
     s = resolve_scale(scale)
     factory = _ResilienceRun(
         n=s.res_n,
@@ -143,6 +152,7 @@ def resilience(
         base_seed=base_seed,
         keep_results=True,
         experiment="resilience",
+        replicas_per_batch=replicas_per_batch,
     )
 
     by_point = {p.label: p for p in swept}

@@ -18,6 +18,12 @@ so a repeated or interrupted invocation skips completed tasks;
 default location. Results are identical at any ``--jobs`` because every
 task's seed is derived up front (see :mod:`repro.campaign`).
 
+``--replicas-per-batch S`` routes every sweep through the batched
+execution path: each point's replicates are chunked into batches of at
+most ``S`` runs, executed whole inside one worker, and shipped back as
+compact columnar summaries (see :mod:`repro.campaign.summaries`) — the
+same results, far less pickling and scheduling overhead.
+
 ``--backend array`` switches array-capable engines to the vectorized
 :mod:`repro.sim.array` backend — byte-identical results, faster ticks at
 large n; exported as ``REPRO_BACKEND`` so parallel workers inherit it.
@@ -294,6 +300,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--replicas-per-batch",
+        type=int,
+        default=None,
+        metavar="S",
+        help=(
+            "batch S seed-replicas per point into one schedulable task "
+            "(the batched execution path: workers run whole batches and "
+            "return compact columnar summaries instead of pickled "
+            "transfer logs); results are bit-identical to the default "
+            "job-per-run path"
+        ),
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="render live campaign progress (tasks/sec, ETA) on stderr",
@@ -330,6 +349,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             "argument --checkpoint-interval: must be >= 1, "
             f"got {args.checkpoint_interval}"
         )
+    if args.replicas_per_batch is not None and args.replicas_per_batch < 1:
+        parser.error(
+            "argument --replicas-per-batch: must be >= 1, "
+            f"got {args.replicas_per_batch}"
+        )
     checkpoint = None
     if args.checkpoint_interval is not None or args.resume_run is not None:
         checkpoint = CheckpointSpec(
@@ -350,7 +374,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     names = list(EXPERIMENTS) if run_all else [args.experiment]
     outputs: list[dict[str, object]] = []
     summary: list[tuple[str, bool, float, str | None]] = []
-    with configured(executor=executor, cache=cache, progress=tally):
+    with configured(
+        executor=executor,
+        cache=cache,
+        progress=tally,
+        replicas_per_batch=args.replicas_per_batch,
+    ):
         for name in names:
             fn = EXPERIMENTS[name]
             tally.reset()

@@ -158,6 +158,10 @@ class ExchangeTickPolicy(TickPolicy):
             "policy": self.block_policy.name,
             "mechanism": "strict-barter",
             "max_ticks": self.kernel.max_ticks,
+            # Per-tick delivered counts survive log-less results (cache
+            # hits, replica summaries) — the resilience readers' fallback
+            # for delivered-transfer totals, like every other engine.
+            "uploads_per_tick": self.kernel.uploads_per_tick,
         }
 
 

@@ -27,6 +27,7 @@ run individually executes on the vectorized array backend.
 
 from __future__ import annotations
 
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 from typing import Callable
 
@@ -37,6 +38,12 @@ from ...core.log import RunResult
 from .state import ArrayState
 
 __all__ = ["BatchResult", "BatchRunner"]
+
+#: Hook applied to each replica's engine between construction and run —
+#: ``engine_hook(replica_index, build) -> engine`` where ``build()``
+#: constructs the engine fresh. The campaign layer uses it to resume an
+#: in-flight replica from a kernel checkpoint and to arm checkpointing.
+EngineHook = Callable[[int, Callable[[], object]], object]
 
 
 @dataclass(slots=True)
@@ -74,6 +81,32 @@ class BatchResult:
         """Per-replica, per-node block counts, ``(S, n)`` int64."""
         return self.ownership.sum(axis=2, dtype=np.int64)
 
+    def summaries(self):
+        """Compact per-replica summaries (campaign transport format).
+
+        Each :class:`~repro.campaign.summaries.ReplicaSummary` carries
+        the replica's completion statistics, metadata and a holdings
+        digest computed from the stacked ownership tensor — everything
+        the campaign layer ships back from a worker, with no transfer
+        logs attached.
+        """
+        from ...campaign.summaries import summarize_result
+
+        out = []
+        for i, result in enumerate(self.results):
+            packed = np.packbits(
+                self.ownership[i].astype(np.uint8), axis=1, bitorder="little"
+            )
+            masks = [
+                int.from_bytes(row.tobytes(), "little") for row in packed
+            ]
+            out.append(
+                summarize_result(
+                    result, replicate=i, seed=self.seeds[i], masks=masks
+                )
+            )
+        return out
+
     def completion_summary(self):
         """Completion-time distribution as an analysis
         :class:`~repro.analysis.stats.Summary` (mean, spread, 95% CI)
@@ -106,6 +139,11 @@ class BatchRunner:
         Replica ``i`` runs with
         ``derive_seed(base_seed, label, i)``; ``label`` defaults to
         ``"{engine}:{n}x{k}"``.
+    seeds:
+        Explicit per-replica seeds (length ``replicas``), overriding the
+        ``derive_seed`` derivation — the campaign layer passes the seeds
+        its jobs already carry so batch replica ``i`` is bit-identical
+        to the scalar job with the same seed.
     keep_log:
         Keep full transfer logs on every replica (defaults off — batch
         results are distribution-shaped; per-tick counts survive anyway).
@@ -122,6 +160,7 @@ class BatchRunner:
         replicas: int,
         base_seed: int = 0,
         label: str | None = None,
+        seeds: Sequence[int] | None = None,
         keep_log: bool = False,
         progress: Callable[[int, RunResult], None] | None = None,
         **options: object,
@@ -141,6 +180,10 @@ class BatchRunner:
             )
         if replicas < 1:
             raise ConfigError(f"need at least one replica, got {replicas}")
+        if seeds is not None and len(seeds) != replicas:
+            raise ConfigError(
+                f"got {len(seeds)} explicit seeds for {replicas} replicas"
+            )
         self.engine = engine
         self.n = n
         self.k = k
@@ -150,47 +193,94 @@ class BatchRunner:
         self.keep_log = keep_log
         self.progress = progress
         self.options = dict(options)
+        self._seeds = (
+            tuple(int(s) for s in seeds)
+            if seeds is not None
+            else None
+        )
+        # One shared packed tensor; replica i's ArrayState wraps tensor[i].
+        self._tensor = np.zeros((replicas, n, (k + 63) >> 6), dtype=np.uint64)
 
-    def run(self) -> BatchResult:
-        """Execute all replicas; returns the stacked :class:`BatchResult`."""
+    def seed_for(self, i: int) -> int:
+        """The seed replica ``i`` runs with (explicit or derived)."""
+        if self._seeds is not None:
+            return self._seeds[i]
         from ...campaign.model import derive_seed
+
+        return derive_seed(self.base_seed, self.label, i)
+
+    def words(self, i: int) -> np.ndarray:
+        """Replica ``i``'s packed ``(n, w)`` ownership words (a view)."""
+        return self._tensor[i]
+
+    def run_one(
+        self, i: int, engine_hook: EngineHook | None = None
+    ) -> RunResult:
+        """Execute replica ``i`` on its tensor slice.
+
+        ``engine_hook(i, build)`` — when given — replaces plain engine
+        construction; the campaign layer uses it to resume an in-flight
+        replica from a kernel checkpoint and arm periodic checkpoints.
+        The hook's engine must be built through ``build()`` (possibly
+        via :func:`repro.checkpoint.resume_engine`) so its state stays a
+        view into the shared tensor.
+        """
         from ..registry import create_engine
 
-        n, k, S = self.n, self.k, self.replicas
-        w = (k + 63) >> 6
-        tensor = np.zeros((S, n, w), dtype=np.uint64)
-        seeds: list[int] = []
-        results: list[RunResult] = []
-        times = np.full(S, np.nan, dtype=np.float64)
-        for i in range(S):
-            seed = derive_seed(self.base_seed, self.label, i)
-            seeds.append(seed)
-            state = ArrayState(n, k, words=tensor[i])
-            runner = create_engine(
+        seed = self.seed_for(i)
+        state = ArrayState(self.n, self.k, words=self._tensor[i])
+
+        def build():
+            return create_engine(
                 self.engine,
-                n,
-                k,
+                self.n,
+                self.k,
                 backend=state,
                 rng=seed,
                 keep_log=self.keep_log,
                 **self.options,
             )
-            result = runner.run()
+
+        engine = engine_hook(i, build) if engine_hook is not None else build()
+        result = engine.run()
+        if self.progress is not None:
+            self.progress(i, result)
+        return result
+
+    def run_replicas(
+        self,
+        start_at: int = 0,
+        engine_hook: EngineHook | None = None,
+    ) -> Iterator[tuple[int, int, RunResult]]:
+        """Yield ``(i, seed, result)`` per replica, from ``start_at``.
+
+        The incremental form of :meth:`run`: the campaign's batch
+        factory consumes it so a resumed batch skips already-summarised
+        replicas and a batch checkpoint can be written between yields.
+        """
+        for i in range(start_at, self.replicas):
+            yield i, self.seed_for(i), self.run_one(i, engine_hook)
+
+    def run(self) -> BatchResult:
+        """Execute all replicas; returns the stacked :class:`BatchResult`."""
+        seeds: list[int] = []
+        results: list[RunResult] = []
+        times = np.full(self.replicas, np.nan, dtype=np.float64)
+        for i, seed, result in self.run_replicas():
+            seeds.append(seed)
             results.append(result)
             if result.completion_time is not None:
                 times[i] = result.completion_time
-            if self.progress is not None:
-                self.progress(i, result)
         return BatchResult(
             engine=self.engine,
-            n=n,
-            k=k,
-            replicas=S,
+            n=self.n,
+            k=self.k,
+            replicas=self.replicas,
             base_seed=self.base_seed,
             label=self.label,
             seeds=tuple(seeds),
             results=tuple(results),
-            ownership=_unpack(tensor, k),
+            ownership=_unpack(self._tensor, self.k),
             completion_times=times,
         )
 
