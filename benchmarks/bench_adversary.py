@@ -1,0 +1,89 @@
+"""Benchmarks for the adversary layer (:mod:`repro.adversary`).
+
+The contract worth tracking mirrors the fault layer's: an *armed* driver
+that never acts — the plan is non-null so the kernel consults it on
+every tick and attempt, but the activation window sits beyond any
+reachable tick — must cost less than 10% per tick on top of a plain run,
+and a genuinely null plan must cost exactly nothing (engines never build
+the driver, and the log is bit-identical — pinned by the golden suite).
+
+The armed-inert plan names an explicit free-rider, so it draws zero RNG:
+the armed run follows the *same trajectory* as the plain one, which
+makes the per-tick comparison exact rather than luck-adjusted.
+
+Run with ``pytest benchmarks/bench_adversary.py --benchmark-only``. The
+overhead guard persists per-tick numbers and round timings to
+``BENCH_adversary.json`` at the repo root (see :mod:`_harness`). Size
+defaults to n = k = 1000; override with ``REPRO_BENCH_ADV_NK`` (CI uses
+a smaller smoke size).
+"""
+
+from __future__ import annotations
+
+import os
+
+from _harness import interleaved_best_of, update_bench_json
+from repro.adversary import AdversaryPlan
+from repro.randomized.engine import RandomizedEngine
+
+_NK = int(os.environ.get("REPRO_BENCH_ADV_NK", "1000"))
+N = K = _NK
+
+# Non-null (there is a declared free-rider) but inert: the activation
+# window opens far beyond any reachable tick. The driver is consulted
+# for every tick's rider set and every attempt's verdict and never acts;
+# being explicit-ids-only it also draws no RNG, so the armed trajectory
+# is identical to the plain one.
+_ARMED_INERT = AdversaryPlan(free_riders=(1,), active_from=10**9)
+
+
+def _plain_run():
+    return RandomizedEngine(N, K, rng=1, keep_log=False).run()
+
+
+def _armed_inert_run():
+    return RandomizedEngine(
+        N, K, rng=1, keep_log=False, adversary=_ARMED_INERT
+    ).run()
+
+
+def test_randomized_plain(benchmark):
+    result = benchmark.pedantic(_plain_run, rounds=3, iterations=1)
+    assert result.completed
+
+
+def test_randomized_armed_inert_driver(benchmark):
+    result = benchmark.pedantic(_armed_inert_run, rounds=3, iterations=1)
+    assert result.completed
+    assert result.meta["polluted_transfers"] == 0
+    assert result.meta["phantom_transfers"] == 0
+
+
+def test_armed_inert_overhead_under_10_percent():
+    """Direct guard on the headline number: an armed driver that never
+    acts slows a run by less than 10% per tick at n = k = 1000."""
+    plain_result = _plain_run()
+    armed_result = _armed_inert_run()
+    # Zero-draw plans keep the trajectory: same ticks, same log shape.
+    assert armed_result.completion_time == plain_result.completion_time
+    ticks = plain_result.completion_time
+    best = interleaved_best_of(
+        {"plain": _plain_run, "armed": _armed_inert_run}, rounds=5
+    )
+    plain = best["plain"]["best"] / ticks
+    armed = best["armed"]["best"] / ticks
+    update_bench_json(
+        "BENCH_adversary.json",
+        f"randomized_n{N}_k{K}",
+        {
+            "plain_us_per_tick": round(plain * 1e6, 2),
+            "armed_us_per_tick": round(armed * 1e6, 2),
+            "overhead_ratio": round(armed / plain, 4),
+            "plain_rounds_s": best["plain"]["rounds"],
+            "armed_rounds_s": best["armed"]["rounds"],
+        },
+    )
+    assert armed < plain * 1.10, (
+        f"armed-but-inert adversary per-tick overhead {armed / plain - 1:.1%}"
+        f" (plain {plain * 1e6:.0f}us/tick, armed {armed * 1e6:.0f}us/tick)"
+    )

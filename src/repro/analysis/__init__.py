@@ -25,6 +25,12 @@ from .resilience import (
     overhead_ratio,
     wasted_upload_fraction,
 )
+from .robustness import (
+    completion_gap,
+    goodput_fraction,
+    pollution_overhead,
+    time_to_isolate,
+)
 from .stats import Summary, mean, sample_std, summarize
 from .sweeps import SweepPoint, derive_seed, sweep
 
@@ -36,10 +42,12 @@ __all__ = [
     "abort_breakdown",
     "arrival_throughput",
     "completion_cdf",
+    "completion_gap",
     "completion_probability",
     "derive_seed",
     "efficiency_trace",
     "fit_completion_model",
+    "goodput_fraction",
     "mean",
     "mean_swarm_size",
     "median_completion",
@@ -47,6 +55,7 @@ __all__ = [
     "peak_swarm_size",
     "per_node_progress",
     "percentile",
+    "pollution_overhead",
     "sample_std",
     "seed_capacity_share",
     "service_throughput",
@@ -56,6 +65,7 @@ __all__ = [
     "swarm_progress",
     "swarm_size_series",
     "sweep",
+    "time_to_isolate",
     "wasted_upload_fraction",
     "window_means",
 ]

@@ -1,0 +1,137 @@
+"""Robustness metrics over replicated adversarial runs.
+
+Under an :class:`~repro.adversary.AdversaryPlan` a swarm's raw transfer
+count stops meaning progress: polluted and phantom deliveries consume
+capacity (and barter credit) without moving anyone closer to the file.
+These metrics quantify what the adversaries cost and how fast the
+defenses bite:
+
+* :func:`goodput_fraction` — real deliveries over *all* charged
+  attempts (delivered + failed + polluted + phantom);
+* :func:`pollution_overhead` — slowdown against a clean baseline, the
+  adversarial sibling of
+  :func:`~repro.analysis.resilience.overhead_ratio`;
+* :func:`completion_gap` — mean completion-tick gap between the
+  realized free-riders and the contributing clients (the paper's
+  incentive question, measured);
+* :func:`time_to_isolate` — mean tick of the first strike-based ban,
+  the defense's reaction time.
+
+Like :mod:`repro.analysis.resilience`, everything reads only the uniform
+:class:`~repro.core.log.RunResult` surface — the adversary telemetry in
+``meta`` (``polluted_transfers``, ``phantom_transfers``, ``bans``,
+``ban_events``, ``adversary_realized``) and the log's streams — never
+engine internals.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from ..core.errors import ConfigError
+from ..core.log import RunResult
+
+__all__ = [
+    "completion_gap",
+    "goodput_fraction",
+    "pollution_overhead",
+    "time_to_isolate",
+]
+
+
+def goodput_fraction(results: Iterable[RunResult]) -> float:
+    """Real deliveries over all charged attempts, pooled across runs.
+
+    Every attempt in the denominator consumed upload capacity (and
+    credit, under barter): fault-failed, polluted and phantom attempts
+    alike. A clean, fault-free swarm scores 1.0; a heavily polluted one
+    shows exactly how much of the paid-for bandwidth arrived intact.
+    Reads the telemetry keys when present and falls back to the log's
+    streams, so it also works on results loaded from disk.
+    """
+    delivered = 0
+    spoiled = 0
+    for r in results:
+        spoiled += int(r.meta.get("failed_transfers", r.log.failed_count))
+        spoiled += int(r.meta.get("polluted_transfers", r.log.polluted_count))
+        spoiled += int(r.meta.get("phantom_transfers", r.log.phantom_count))
+        delivered += len(r.log) if len(r.log) else _delivered_from_meta(r)
+    attempts = delivered + spoiled
+    return delivered / attempts if attempts else 1.0
+
+
+def pollution_overhead(
+    results: Iterable[RunResult], baseline: float | Sequence[RunResult]
+) -> float | None:
+    """Mean completion time of completed adversarial runs over a clean
+    baseline (a mean time or a list of clean runs). ``None`` when no
+    adversarial run completed — completion probability is then the
+    statistic that captures the damage.
+    """
+    if not isinstance(baseline, (int, float)):
+        base_times = [r.completion_time for r in baseline if r.completed]
+        if not base_times:
+            raise ConfigError("baseline contains no completed runs")
+        baseline = sum(base_times) / len(base_times)
+    if baseline <= 0:
+        raise ConfigError(f"baseline completion time must be > 0, got {baseline}")
+    times = [r.completion_time for r in results if r.completed]
+    if not times:
+        return None
+    return (sum(times) / len(times)) / baseline
+
+
+def completion_gap(results: Iterable[RunResult]) -> float | None:
+    """Mean free-rider minus mean contributor completion tick, pooled.
+
+    Positive means free-riders finish *later* than the clients who
+    actually upload — the barter mechanisms' intended punishment. Runs
+    without realized free-riders, without per-client completions, or
+    where either side never finished contribute nothing; returns
+    ``None`` when no run contributes (then nothing can be said).
+    Clients that never completed are excluded from both means — pair
+    with completion probability to see outright starvation.
+    """
+    rider_ticks: list[int] = []
+    worker_ticks: list[int] = []
+    for r in results:
+        realized = r.meta.get("adversary_realized")
+        riders = (
+            set(realized.get("free_riders", ()))
+            if isinstance(realized, dict)
+            else set()
+        )
+        if not riders or not r.client_completions:
+            continue
+        for client, tick in r.client_completions.items():
+            (rider_ticks if client in riders else worker_ticks).append(tick)
+    if not rider_ticks or not worker_ticks:
+        return None
+    return sum(rider_ticks) / len(rider_ticks) - sum(worker_ticks) / len(
+        worker_ticks
+    )
+
+
+def time_to_isolate(results: Iterable[RunResult]) -> float | None:
+    """Mean tick of the first strike-based ban across runs that banned.
+
+    The defense's reaction time: how long the swarm kept paying an
+    adversary before the strike threshold cut it off. Runs that never
+    banned anyone contribute nothing; returns ``None`` when no run did
+    (threshold never reached, or the defense was off).
+    """
+    firsts: list[int] = []
+    for r in results:
+        events = r.meta.get("ban_events")
+        if isinstance(events, list) and events:
+            firsts.append(min(int(e[0]) for e in events))
+    if not firsts:
+        return None
+    return sum(firsts) / len(firsts)
+
+
+def _delivered_from_meta(r: RunResult) -> int:
+    """Delivered-transfer count for log-less results (``keep_log=False``
+    engines, cache hits): per-tick upload counts are kept either way."""
+    upt = r.meta.get("uploads_per_tick")
+    return sum(upt) if isinstance(upt, list) else 0

@@ -105,6 +105,7 @@ def _build_kernel(
     faults: FaultPlan | None,
     recovery: RecoveryPolicy | None,
     workload=None,
+    adversary=None,
 ) -> tuple[AsyncTickPolicy, TickKernel]:
     if n < 2:
         raise ConfigError(f"need a server and at least one client, got n={n}")
@@ -126,6 +127,7 @@ def _build_kernel(
         faults=faults,
         recovery=recovery,
         workload=workload,
+        adversary=adversary,
     )
     return policy, kernel
 
@@ -260,6 +262,7 @@ class AsyncKernelRun:
         download_rates: Sequence[float] | None = None,
         parallel_downloads: int = 1,
         workload=None,
+        adversary=None,
     ) -> None:
         from .strategies import AsyncRandom
 
@@ -277,6 +280,7 @@ class AsyncKernelRun:
             faults=faults,
             recovery=recovery,
             workload=workload,
+            adversary=adversary,
         )
 
     def run(self, progress: Callable[[int, int], None] | None = None) -> RunResult:

@@ -85,6 +85,7 @@ class AsyncTickPolicy(TickPolicy):
     # Arrivals become idle-eligible like rejoiners; departures abort
     # in-flight transfers like crashes. Events land on window starts.
     membership_support = True
+    adversary_support = "full"
 
     def __init__(
         self,
@@ -172,6 +173,14 @@ class AsyncTickPolicy(TickPolicy):
             return False
         faults = self.kernel.faults
         if src == SERVER and faults is not None and faults.server_down(self.now):
+            return False
+        adversary = self.kernel.adversary
+        if adversary is not None and src in adversary.free_riders_at(
+            self.kernel.tick
+        ):
+            # A free-riding source declines to start uploads; it stays
+            # idle-eligible, so it resumes serving if the plan's
+            # activation window closes.
             return False
         choice = self.strategy.next_transfer(self, src)
         if choice is None:

@@ -81,6 +81,12 @@ class EngineRun:
     #: served for the same engine under Poisson arrivals, and the spec's
     #: frozen-dataclass repr pins every arrival/availability parameter.
     workload: object | None = None
+    #: Adversary plan (an :class:`~repro.adversary.AdversaryPlan` or
+    #: ``None`` for a clean swarm). A dedicated field for the same
+    #: reason as ``workload``: a cached clean-swarm result must never be
+    #: served for a polluted one, and the plan's frozen-dataclass repr
+    #: pins every adversarial parameter into the cache fingerprint.
+    adversary: object | None = None
 
     @classmethod
     def configure(
@@ -90,10 +96,19 @@ class EngineRun:
         k: int,
         backend: str | None = None,
         workload: object | None = None,
+        adversary: object | None = None,
         **options: object,
     ) -> "EngineRun":
         """Build a factory with ``options`` baked in (keyword-friendly form)."""
-        return cls(engine, n, k, tuple(sorted(options.items())), backend, workload)
+        return cls(
+            engine,
+            n,
+            k,
+            tuple(sorted(options.items())),
+            backend,
+            workload,
+            adversary,
+        )
 
     #: Checkpoint protocol marker (see :mod:`repro.campaign.checkpointing`):
     #: executors with an armed :class:`CheckpointSpec` pass
@@ -110,6 +125,8 @@ class EngineRun:
             kwargs["backend"] = self.backend
         if self.workload is not None:
             kwargs["workload"] = self.workload
+        if self.adversary is not None:
+            kwargs["adversary"] = self.adversary
         return kwargs
 
     def __call__(

@@ -64,6 +64,11 @@ class CodingTickPolicy(TickPolicy):
     name = "network-coding"
     fault_support = "full"
     membership_support = True
+    # Free-riders only: a polluted coded vector would desynchronise the
+    # coding_vectors streams from the kernel log (verify_coding_log
+    # replays spans row-for-row), so pollution/lie plans are refused
+    # rather than half-honored.
+    adversary_support = "free-riders"
 
     def __init__(self, k: int, n: int, graph: Graph, field: str) -> None:
         self.field = field
@@ -98,10 +103,17 @@ class CodingTickPolicy(TickPolicy):
         snapshots = [list(b.basis_rows()) for b in bases]
 
         server_ok = kernel.server_available()
+        riders = (
+            kernel.adversary.free_riders_at(kernel.tick)
+            if kernel.adversary is not None
+            else frozenset()
+        )
         uploaders = [
             v
             for v in range(kernel.n)
-            if snapshots[v] and (v != SERVER or server_ok)
+            if snapshots[v]
+            and (v != SERVER or server_ok)
+            and v not in riders
         ]
         rng.shuffle(uploaders)
         server_rounds = kernel.model.server_upload
@@ -297,6 +309,7 @@ class NetworkCodingEngine:
         faults: FaultPlan | None = None,
         recovery: RecoveryPolicy | None = None,
         workload=None,
+        adversary=None,
     ) -> None:
         if n < 2:
             raise ConfigError(f"need a server and at least one client, got n={n}")
@@ -324,6 +337,7 @@ class NetworkCodingEngine:
             faults=faults,
             recovery=recovery,
             workload=workload,
+            adversary=adversary,
         )
 
     @property

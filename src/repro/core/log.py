@@ -16,6 +16,13 @@ separate stream (``failures``) so every historical accessor
 (``by_tick``, ``uploads_per_tick``, ``completion_ticks`` ...) still
 describes *delivered* blocks only and fault-free logs are bit-identical
 to what they always were.
+
+Adversarial deliveries (:mod:`repro.adversary`) follow the same design
+with two more streams: ``polluted`` records corrupted blocks the
+receiver's integrity check rejected, ``phantoms`` records advertised
+blocks a liar never actually sent. Both consumed the attempt's bandwidth
+(and credit) like a failure, both deliver nothing, and neither ever
+counts toward completion — which the independent verifier re-checks.
 """
 
 from __future__ import annotations
@@ -47,26 +54,46 @@ class TransferLog:
 
     Transfers must be appended in non-decreasing tick order; engines are
     tick-synchronous so this is natural, and it lets per-tick grouping be a
-    single pass. Successful deliveries and failed attempts form two
-    streams with independent tick-order invariants, so a log can be
-    rebuilt stream by stream (serde) as well as interleaved (engines).
+    single pass. Successful deliveries, failed attempts, polluted
+    deliveries and phantom deliveries form four streams with independent
+    tick-order invariants, so a log can be rebuilt stream by stream
+    (serde) as well as interleaved (engines).
     """
 
-    __slots__ = ("_transfers", "_last_tick", "_failures", "_last_fail_tick")
+    __slots__ = (
+        "_transfers",
+        "_last_tick",
+        "_failures",
+        "_last_fail_tick",
+        "_polluted",
+        "_last_polluted_tick",
+        "_phantoms",
+        "_last_phantom_tick",
+    )
 
     def __init__(
         self,
         transfers: Iterable[Transfer] = (),
         failures: Iterable[Transfer] = (),
+        polluted: Iterable[Transfer] = (),
+        phantoms: Iterable[Transfer] = (),
     ) -> None:
         self._transfers: list[Transfer] = []
         self._last_tick = 0
         self._failures: list[Transfer] = []
         self._last_fail_tick = 0
+        self._polluted: list[Transfer] = []
+        self._last_polluted_tick = 0
+        self._phantoms: list[Transfer] = []
+        self._last_phantom_tick = 0
         for t in transfers:
             self.append(t)
         for t in failures:
             self.append_failure(t)
+        for t in polluted:
+            self.append_polluted(t)
+        for t in phantoms:
+            self.append_phantom(t)
 
     def append(self, transfer: Transfer) -> None:
         """Record one transfer; ticks must be non-decreasing and >= 1."""
@@ -105,10 +132,55 @@ class TransferLog:
         """Convenience wrapper around :meth:`append_failure`."""
         self.append_failure(Transfer(tick, src, dst, block))
 
+    def append_polluted(self, transfer: Transfer) -> None:
+        """Record one *polluted* delivery; ticks must be non-decreasing.
+
+        A polluted delivery consumed upload/download bandwidth (and,
+        under barter, credit) but the receiver's integrity check rejected
+        the block; it never appears in delivery-side accessors and never
+        counts toward completion.
+        """
+        if transfer.tick < 1:
+            raise ConfigError(f"ticks are 1-based, got {transfer.tick}")
+        if transfer.tick < self._last_polluted_tick:
+            raise ConfigError(
+                f"polluted rows must be appended in tick order "
+                f"({transfer.tick} after {self._last_polluted_tick})"
+            )
+        self._last_polluted_tick = transfer.tick
+        self._polluted.append(transfer)
+
+    def record_polluted(self, tick: int, src: int, dst: int, block: int) -> None:
+        """Convenience wrapper around :meth:`append_polluted`."""
+        self.append_polluted(Transfer(tick, src, dst, block))
+
+    def append_phantom(self, transfer: Transfer) -> None:
+        """Record one *phantom* delivery; ticks must be non-decreasing.
+
+        A phantom is a block the sender advertised but never sent (the
+        liar behavior of :mod:`repro.adversary`): the requester's slot
+        was wasted, nothing arrived.
+        """
+        if transfer.tick < 1:
+            raise ConfigError(f"ticks are 1-based, got {transfer.tick}")
+        if transfer.tick < self._last_phantom_tick:
+            raise ConfigError(
+                f"phantom rows must be appended in tick order "
+                f"({transfer.tick} after {self._last_phantom_tick})"
+            )
+        self._last_phantom_tick = transfer.tick
+        self._phantoms.append(transfer)
+
+    def record_phantom(self, tick: int, src: int, dst: int, block: int) -> None:
+        """Convenience wrapper around :meth:`append_phantom`."""
+        self.append_phantom(Transfer(tick, src, dst, block))
+
     def extend_batch(
         self,
         transfers: list[tuple[int, int, int, int]] = (),
         failures: list[tuple[int, int, int, int]] = (),
+        polluted: list[tuple[int, int, int, int]] = (),
+        phantoms: list[tuple[int, int, int, int]] = (),
     ) -> None:
         """Bulk-append ``(tick, src, dst, block)`` rows to both streams.
 
@@ -121,6 +193,8 @@ class TransferLog:
         for rows, target, last_attr in (
             (transfers, self._transfers, "_last_tick"),
             (failures, self._failures, "_last_fail_tick"),
+            (polluted, self._polluted, "_last_polluted_tick"),
+            (phantoms, self._phantoms, "_last_phantom_tick"),
         ):
             if not rows:
                 continue
@@ -163,14 +237,44 @@ class TransferLog:
         return len(self._failures)
 
     @property
+    def polluted(self) -> tuple[Transfer, ...]:
+        """All polluted deliveries, in tick order."""
+        return tuple(self._polluted)
+
+    @property
+    def polluted_count(self) -> int:
+        """Number of polluted deliveries recorded."""
+        return len(self._polluted)
+
+    @property
+    def phantoms(self) -> tuple[Transfer, ...]:
+        """All phantom deliveries, in tick order."""
+        return tuple(self._phantoms)
+
+    @property
+    def phantom_count(self) -> int:
+        """Number of phantom deliveries recorded."""
+        return len(self._phantoms)
+
+    @property
     def attempted(self) -> int:
-        """Total attempts: deliveries plus failures."""
-        return len(self._transfers) + len(self._failures)
+        """Total attempts: deliveries, failures, polluted and phantoms."""
+        return (
+            len(self._transfers)
+            + len(self._failures)
+            + len(self._polluted)
+            + len(self._phantoms)
+        )
 
     @property
     def last_attempt_tick(self) -> int:
-        """Tick of the final attempt, successful or failed (0 if empty)."""
-        return max(self._last_tick, self._last_fail_tick)
+        """Tick of the final attempt of any stream (0 if empty)."""
+        return max(
+            self._last_tick,
+            self._last_fail_tick,
+            self._last_polluted_tick,
+            self._last_phantom_tick,
+        )
 
     def by_tick(self) -> dict[int, list[Transfer]]:
         """Group transfers per tick. Only ticks with activity appear."""
@@ -183,6 +287,20 @@ class TransferLog:
         """Group failed attempts per tick. Only ticks with failures appear."""
         grouped: dict[int, list[Transfer]] = defaultdict(list)
         for t in self._failures:
+            grouped[t.tick].append(t)
+        return dict(grouped)
+
+    def polluted_by_tick(self) -> dict[int, list[Transfer]]:
+        """Group polluted deliveries per tick (active ticks only)."""
+        grouped: dict[int, list[Transfer]] = defaultdict(list)
+        for t in self._polluted:
+            grouped[t.tick].append(t)
+        return dict(grouped)
+
+    def phantoms_by_tick(self) -> dict[int, list[Transfer]]:
+        """Group phantom deliveries per tick (active ticks only)."""
+        grouped: dict[int, list[Transfer]] = defaultdict(list)
+        for t in self._phantoms:
             grouped[t.tick].append(t)
         return dict(grouped)
 

@@ -36,6 +36,10 @@ _LOG_FORMAT = "repro/log/v1"
 # log actually carries failures, so fault-free documents stay v1
 # byte-identical and old readers keep working on them.
 _LOG_FORMAT_V2 = "repro/log/v2"
+# v3 adds the polluted/phantom streams (repro.adversary); emitted only
+# when a log actually carries adversarial rows, so v1 *and* v2 documents
+# stay byte-identical to what they always were.
+_LOG_FORMAT_V3 = "repro/log/v3"
 
 
 def schedule_to_dict(schedule: Schedule) -> dict:
@@ -75,9 +79,16 @@ def log_to_dict(log: TransferLog, n: int, k: int) -> dict:
     Failed attempts, when present, are stored under ``"failures"`` as the
     same flat ``[tick, src, dst, block]`` rows and the envelope is
     stamped v2; logs without failures keep the historical v1 document.
+    Adversarial rows, when present, are stored under ``"polluted"`` /
+    ``"phantom"`` and bump the envelope to v3.
     """
+    adversarial = log.polluted_count or log.phantom_count
     doc = {
-        "format": _LOG_FORMAT_V2 if log.failed_count else _LOG_FORMAT,
+        "format": (
+            _LOG_FORMAT_V3
+            if adversarial
+            else _LOG_FORMAT_V2 if log.failed_count else _LOG_FORMAT
+        ),
         "n": n,
         "k": k,
         "transfers": [[t.tick, t.src, t.dst, t.block] for t in log],
@@ -86,18 +97,34 @@ def log_to_dict(log: TransferLog, n: int, k: int) -> dict:
         doc["failures"] = [
             [t.tick, t.src, t.dst, t.block] for t in log.failures
         ]
+    if log.polluted_count:
+        doc["polluted"] = [
+            [t.tick, t.src, t.dst, t.block] for t in log.polluted
+        ]
+    if log.phantom_count:
+        doc["phantom"] = [
+            [t.tick, t.src, t.dst, t.block] for t in log.phantoms
+        ]
     return doc
 
 
 def log_from_dict(data: dict) -> tuple[TransferLog, int, int]:
-    """Rebuild ``(log, n, k)``; validates the envelope (v1 or v2)."""
-    if data.get("format") not in (_LOG_FORMAT, _LOG_FORMAT_V2):
+    """Rebuild ``(log, n, k)``; validates the envelope (v1, v2 or v3)."""
+    if data.get("format") not in (_LOG_FORMAT, _LOG_FORMAT_V2, _LOG_FORMAT_V3):
         raise ConfigError(f"not a log document (format={data.get('format')!r})")
     log = TransferLog(
         (Transfer(int(t), int(s), int(d), int(b)) for t, s, d, b in data["transfers"]),
         failures=(
             Transfer(int(t), int(s), int(d), int(b))
             for t, s, d, b in data.get("failures", ())
+        ),
+        polluted=(
+            Transfer(int(t), int(s), int(d), int(b))
+            for t, s, d, b in data.get("polluted", ())
+        ),
+        phantoms=(
+            Transfer(int(t), int(s), int(d), int(b))
+            for t, s, d, b in data.get("phantom", ())
         ),
     )
     return log, int(data["n"]), int(data["k"])

@@ -28,6 +28,20 @@ held the block at tick start, the receiver lacked it, the link is an
 overlay edge — and it consumes upload capacity, download capacity and
 barter credit exactly like a delivery. Only the delivery itself is
 skipped: a failed transfer never updates the receiver's holdings.
+
+Adversarial rows (:mod:`repro.adversary`) replay the same way: a
+``polluted`` row (a corrupted block, caught by integrity verification)
+obeys every static rule and consumes capacity and credit but never sets
+a mask bit — so a log tampered to count pollution as progress surfaces
+as a usefulness or completion violation; a ``phantom`` row (a liar
+serving a block it never held) is additionally exempt from the
+causality and usefulness checks, since the advertisement itself was the
+lie. With ``strike_threshold=`` the verifier independently replays the
+strike-based blacklist: each polluted/phantom row is a strike against
+its ``(src, dst)`` pair, the threshold-th strike bans the pair from that
+tick on, and *any* row on a banned pair at a strictly later tick is a
+``blacklist`` violation (same-tick rows are tolerated — within a tick
+the log carries no ordering).
 """
 
 from __future__ import annotations
@@ -60,18 +74,26 @@ class VerificationReport:
     busy_ticks: int = 0
     upload_efficiency: float = 0.0
     failed_transfers: int = 0
+    polluted_transfers: int = 0
+    phantom_transfers: int = 0
     extras: dict[str, object] = field(default_factory=dict)
 
     @property
     def attempted_transfers(self) -> int:
-        """Deliveries plus failed attempts."""
-        return self.transfers + self.failed_transfers
+        """Deliveries plus failed, polluted and phantom attempts."""
+        return (
+            self.transfers
+            + self.failed_transfers
+            + self.polluted_transfers
+            + self.phantom_transfers
+        )
 
     @property
     def wasted_upload_fraction(self) -> float:
         """Fraction of attempted uploads that delivered nothing."""
         attempts = self.attempted_transfers
-        return self.failed_transfers / attempts if attempts else 0.0
+        wasted = attempts - self.transfers
+        return wasted / attempts if attempts else 0.0
 
 
 def verify_log(
@@ -86,6 +108,7 @@ def verify_log(
     allow_redundant: bool = False,
     crash_events=None,
     rejoin_events=None,
+    strike_threshold: int | None = None,
 ) -> VerificationReport:
     """Replay ``log`` and check every model rule; see module docstring.
 
@@ -111,6 +134,12 @@ def verify_log(
         would
         read as usefulness violations (the verifier would believe the
         receiver still held the lost blocks).
+    strike_threshold:
+        When set (a positive int, the plan's ``strike_threshold``), the
+        strike-based blacklist is replayed independently: polluted and
+        phantom rows accrue strikes per ``(src, dst)`` pair, the
+        threshold-th strike bans the pair, and any later-tick row on a
+        banned pair raises a ``blacklist`` violation.
 
     Raises
     ------
@@ -140,17 +169,33 @@ def verify_log(
 
     by_tick = log.by_tick()
     fails_by_tick = log.failures_by_tick()
-    for tick in sorted(by_tick.keys() | fails_by_tick.keys()):
+    polluted_by_tick = log.polluted_by_tick()
+    phantoms_by_tick = log.phantoms_by_tick()
+    # Independent blacklist replay (strike_threshold): strikes accrued
+    # from adversarial rows in tick order; a banned pair must never
+    # appear again at a strictly later tick, in any stream.
+    strikes: Counter[tuple[int, int]] = Counter()
+    banned: dict[tuple[int, int], int] = {}
+    for tick in sorted(
+        by_tick.keys()
+        | fails_by_tick.keys()
+        | polluted_by_tick.keys()
+        | phantoms_by_tick.keys()
+    ):
         while next_event < len(events) and events[next_event][0] <= tick:
             _, kind, node, mask = events[next_event]
             masks[node] = mask if kind == 0 else 0
             next_event += 1
         transfers = by_tick.get(tick, [])
         failures = fails_by_tick.get(tick, [])
+        polluted = polluted_by_tick.get(tick, [])
+        phantoms = phantoms_by_tick.get(tick, [])
         _check_tick(
             tick,
             transfers,
             failures,
+            polluted,
+            phantoms,
             masks,
             n=n,
             k=k,
@@ -158,19 +203,36 @@ def verify_log(
             overlay=overlay,
             allow_redundant=allow_redundant,
         )
-        # A failed send consumed barter credit like any other: mechanisms
-        # judge the tick's *attempts* (the exchange engine's paired swaps
-        # stay symmetric even when one direction is lost in transit).
+        if strike_threshold:
+            for t in (*transfers, *failures, *polluted, *phantoms):
+                ban_tick = banned.get((t.src, t.dst))
+                if ban_tick is not None and tick > ban_tick:
+                    raise ScheduleViolation(
+                        f"node {t.src} serves {t.dst} at tick {tick} "
+                        f"despite being blacklisted at tick {ban_tick}",
+                        tick=tick,
+                        rule="blacklist",
+                    )
+            for t in (*polluted, *phantoms):
+                pair = (t.src, t.dst)
+                strikes[pair] += 1
+                if strikes[pair] == strike_threshold and pair not in banned:
+                    banned[pair] = tick
+        # A failed send consumed barter credit like any other — and so do
+        # polluted and phantom ones: mechanisms judge the tick's
+        # *attempts* (the exchange engine's paired swaps stay symmetric
+        # even when one direction is lost or spoiled in transit).
         mechanism.check_tick(
             tick,
             [
                 t
-                for t in (*transfers, *failures)
+                for t in (*transfers, *failures, *polluted, *phantoms)
                 if t.src != SERVER and t.dst != SERVER
             ],
         )
         # Apply receipts only after the whole tick is validated (synchrony);
-        # failed attempts deliver nothing.
+        # failed, polluted and phantom attempts deliver nothing — polluted
+        # blocks never count toward completion.
         for t in transfers:
             if masks[t.dst] >> t.block & 1:
                 redundant += 1
@@ -178,7 +240,7 @@ def verify_log(
             if t.src == SERVER:
                 server_uploads += 1
         downloads = Counter(t.dst for t in transfers)
-        downloads.update(t.dst for t in failures)
+        downloads.update(t.dst for t in (*failures, *polluted, *phantoms))
         if downloads:
             peak_downloads = max(peak_downloads, max(downloads.values()))
         busy_ticks += 1
@@ -226,6 +288,9 @@ def verify_log(
         busy_ticks=busy_ticks,
         upload_efficiency=efficiency,
         failed_transfers=log.failed_count,
+        polluted_transfers=log.polluted_count,
+        phantom_transfers=log.phantom_count,
+        extras={"bans_replayed": len(banned)} if strike_threshold else {},
     )
 
 
@@ -255,6 +320,8 @@ def _check_tick(
     tick: int,
     transfers: list[Transfer],
     failures: list[Transfer],
+    polluted: list[Transfer],
+    phantoms: list[Transfer],
     masks: list[int],
     *,
     n: int,
@@ -271,9 +338,16 @@ def _check_tick(
     # exempt from the duplicate-delivery check: a failed send followed by a
     # successful (or another failed) send of the same block to the same
     # receiver within one tick is legal — nothing arrived the first time.
-    for attempt_failed, t in [(False, t) for t in transfers] + [
-        (True, t) for t in failures
-    ]:
+    # Polluted rows replay like failures (the polluter genuinely held the
+    # block and the receiver genuinely lacked it; the *content* was bad);
+    # phantom rows are additionally exempt from causality and usefulness —
+    # the advertisement itself was the lie, so no holding is implied.
+    for attempt_failed, phantom, t in (
+        [(False, False, t) for t in transfers]
+        + [(True, False, t) for t in failures]
+        + [(True, False, t) for t in polluted]
+        + [(True, True, t) for t in phantoms]
+    ):
         if not (0 <= t.src < n and 0 <= t.dst < n):
             raise ScheduleViolation(
                 f"transfer {t} references a node outside 0..{n - 1}",
@@ -294,14 +368,18 @@ def _check_tick(
                 tick=tick,
                 rule="overlay",
             )
-        if not masks[t.src] >> t.block & 1:
+        if not phantom and not masks[t.src] >> t.block & 1:
             raise ScheduleViolation(
                 f"node {t.src} sends block {t.block} it does not hold at "
                 f"tick start",
                 tick=tick,
                 rule="causality",
             )
-        if masks[t.dst] >> t.block & 1 and not allow_redundant:
+        if (
+            not phantom
+            and masks[t.dst] >> t.block & 1
+            and not allow_redundant
+        ):
             raise ScheduleViolation(
                 f"node {t.dst} already holds block {t.block} sent by {t.src}",
                 tick=tick,

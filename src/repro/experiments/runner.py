@@ -73,6 +73,7 @@ from .extensions import (
     extension_freerider,
     extension_multiserver,
 )
+from .adversary import adversary
 from .figures import FigureResult, completion_fit, figure3, figure4, figure5, figure6, figure7
 from .open_system import open_system
 from .resilience import resilience
@@ -112,6 +113,7 @@ EXPERIMENTS: dict[str, Callable[..., FigureResult]] = {
     "ext-incentives": extension_incentives,
     "resilience": resilience,
     "open-system": open_system,
+    "adversary": adversary,
 }
 
 DEFAULT_CACHE_DIR = ".repro-campaign-cache"
@@ -196,16 +198,22 @@ def _engine_table() -> str:
     """Render the :mod:`repro.sim` engine registry as an aligned table."""
     from ..sim.registry import ENGINES
 
-    rows = [("engine", "faults", "mechanism", "summary")]
+    rows = [("engine", "faults", "adversary", "mechanism", "summary")]
     rows.extend(
-        (spec.name, spec.fault_support, spec.mechanism, spec.summary)
+        (
+            spec.name,
+            spec.fault_support,
+            spec.adversary_support,
+            spec.mechanism,
+            spec.summary,
+        )
         for spec in ENGINES.values()
     )
-    widths = [max(len(row[i]) for row in rows) for i in range(3)]
+    widths = [max(len(row[i]) for row in rows) for i in range(4)]
     lines = [
-        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row[:3]))
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row[:4]))
         + "  "
-        + row[3]
+        + row[4]
         for row in rows
     ]
     lines.insert(1, "-" * max(map(len, lines)))

@@ -91,6 +91,21 @@ class Scale:
     os_period: int = 12
     os_uptime: float = 0.75
     os_max_ticks: int = 400
+    # Adversary sweep (repro.adversary): mechanism x adversary-fraction
+    # grid. Each sampled adversarial client either free-rides or
+    # pollutes (the fraction splits evenly between the two roles;
+    # engines carrying only free-riders put the whole fraction there),
+    # polluters corrupt each attempt with ``adv_pollution_rate`` and the
+    # strike-based blacklist bans a pair after ``adv_strikes`` bad
+    # deliveries. Fraction 0 is the clean baseline (a null plan,
+    # bit-identical to no adversary at all).
+    adv_n: int = 24
+    adv_k: int = 12
+    adv_credit: int = 2
+    adv_fractions: tuple[float, ...] = (0.0, 0.15, 0.3)
+    adv_pollution_rate: float = 0.3
+    adv_strikes: int = 3
+    adv_max_ticks: int = 600
 
 
 SCALES: dict[str, Scale] = {
@@ -135,6 +150,13 @@ SCALES: dict[str, Scale] = {
         os_period=40,
         os_uptime=0.7,
         os_max_ticks=6000,
+        adv_n=192,
+        adv_k=96,
+        adv_credit=2,
+        adv_fractions=(0.0, 0.1, 0.2, 0.3),
+        adv_pollution_rate=0.3,
+        adv_strikes=3,
+        adv_max_ticks=6000,
     ),
     "xl": Scale(
         name="xl",
@@ -177,6 +199,13 @@ SCALES: dict[str, Scale] = {
         os_period=30,
         os_uptime=0.7,
         os_max_ticks=3000,
+        adv_n=96,
+        adv_k=48,
+        adv_credit=2,
+        adv_fractions=(0.0, 0.1, 0.2, 0.3),
+        adv_pollution_rate=0.3,
+        adv_strikes=3,
+        adv_max_ticks=3000,
     ),
     "lite": Scale(
         name="lite",
@@ -219,6 +248,13 @@ SCALES: dict[str, Scale] = {
         os_period=20,
         os_uptime=0.7,
         os_max_ticks=1500,
+        adv_n=48,
+        adv_k=24,
+        adv_credit=2,
+        adv_fractions=(0.0, 0.15, 0.3),
+        adv_pollution_rate=0.3,
+        adv_strikes=3,
+        adv_max_ticks=1500,
     ),
     "ci": Scale(
         name="ci",
@@ -261,6 +297,13 @@ SCALES: dict[str, Scale] = {
         os_period=12,
         os_uptime=0.75,
         os_max_ticks=400,
+        adv_n=16,
+        adv_k=8,
+        adv_credit=2,
+        adv_fractions=(0.0, 0.25),
+        adv_pollution_rate=0.3,
+        adv_strikes=3,
+        adv_max_ticks=400,
     ),
 }
 
@@ -288,6 +331,8 @@ def sweep_task_counts(scale: str | Scale | None = None) -> dict[str, int]:
         # Open system: six mechanisms x arrival rates x three scenarios
         # (flash / steady / diurnal).
         "open-system": 6 * len(s.os_rates) * 3 * r,
+        # Adversary: six mechanisms over the adversary-fraction grid.
+        "adversary": 6 * len(s.adv_fractions) * r,
     }
 
 

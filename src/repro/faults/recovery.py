@@ -66,3 +66,18 @@ class RecoveryPolicy:
         return 16 + 2 * max(
             plan.outage_duration, plan.rejoin_delay, longest_server_window, 24
         )
+
+    def stall_window_for_adversary(self, plan) -> int:
+        """Effective stall window against an adversary plan.
+
+        Pollution and lies spoil attempts without stopping them, so a
+        poisoned swarm keeps *attempting* while delivering nothing — the
+        zero-delivery stall detector is the right abort for that regime.
+        An explicit ``stall_window`` wins; the derived default is sized
+        so that even a heavily polluted swarm (delivery probability per
+        attempt scaled down by the pollution/lie rates) gets a fair
+        number of chances before the run is called stalled.
+        """
+        if self.stall_window:
+            return self.stall_window
+        return 64

@@ -16,7 +16,11 @@ BitTorrent within the same tick model so both claims can be measured:
 * the seed (server) has no reciprocation to rank, so it unchokes random
   interested neighbors each window;
 * ``selfish`` clients never upload; they ride optimistic unchokes only —
-  the loophole the paper calls out.
+  the loophole the paper calls out. Since :mod:`repro.adversary` landed,
+  ``selfish=`` is a compatibility shim lowered onto
+  ``AdversaryPlan(free_riders=...)`` (bit-identically); new code should
+  pass ``adversary=`` directly, which also generalises free-riding to
+  the other five engines.
 
 Running on the :mod:`repro.sim` kernel gives this engine the full fault
 model (``fault_support = "full"``): transfer loss, link/server outages,
@@ -29,6 +33,7 @@ reciprocation slots again.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from collections import defaultdict
 from typing import Callable
@@ -54,6 +59,7 @@ class BitTorrentTickPolicy(TickPolicy):
     # Arrivals ride the rejoin bootstrap (server-side optimistic
     # unchoke); departures ride the crash eviction.
     membership_support = True
+    adversary_support = "full"
 
     def __init__(
         self,
@@ -138,6 +144,10 @@ class BitTorrentTickPolicy(TickPolicy):
         rng = kernel.rng
         dl_left = kernel.download_ledger
         selfish = self.selfish
+        if kernel.adversary is not None:
+            riders = kernel.adversary.free_riders_at(kernel.tick)
+            if riders:
+                selfish = selfish | riders
         attempt = kernel.attempt
         choose = self.block_policy.choose
         server_ok = kernel.server_available()
@@ -165,7 +175,11 @@ class BitTorrentTickPolicy(TickPolicy):
                 block = choose(useful, kernel, src, dst)
                 if attempt(src, dst, block):
                     # Only *delivered* blocks count toward reciprocation —
-                    # a transfer lost to fault injection earns no credit.
+                    # a transfer lost to fault injection earns no credit,
+                    # and neither does a polluted or phantom one. This is
+                    # the receipt-weighted partner-selection defense: an
+                    # adversary that never delivers real blocks never
+                    # ranks for a reciprocation slot at the next rechoke.
                     self._received_window[dst][src] += 1
 
     def post_tick(self, delivered: int, failed: int) -> str | None:
@@ -285,6 +299,7 @@ class BitTorrentEngine:
         faults: FaultPlan | None = None,
         recovery: RecoveryPolicy | None = None,
         workload=None,
+        adversary=None,
     ) -> None:
         if unchoke_slots < 1:
             raise ConfigError(f"need at least one unchoke slot, got {unchoke_slots}")
@@ -300,6 +315,27 @@ class BitTorrentEngine:
         self.selfish = frozenset(selfish)
         if SERVER in self.selfish:
             raise ConfigError("the seed cannot be selfish")
+        # Deprecation shim: ``selfish=`` predates :mod:`repro.adversary`
+        # and is kept working by lowering it onto the free-rider axis of
+        # an :class:`~repro.adversary.plan.AdversaryPlan` (merged into
+        # any plan passed explicitly). An explicit rider tuple costs the
+        # adversary stream zero RNG draws, so lowered runs stay
+        # bit-identical to the historical policy-level exclusion
+        # (golden-tested in ``tests/adversary``).
+        if self.selfish:
+            from ..adversary.plan import AdversaryPlan
+
+            if adversary is None or adversary.is_null:
+                adversary = AdversaryPlan(
+                    free_riders=tuple(sorted(self.selfish))
+                )
+            else:
+                adversary = dataclasses.replace(
+                    adversary,
+                    free_riders=tuple(
+                        sorted(set(adversary.free_riders) | self.selfish)
+                    ),
+                )
         # A strategic client may run fewer (or more) reciprocation slots
         # than the protocol default; everyone else keeps `unchoke_slots`.
         per_node_unchoke = dict(per_node_unchoke or {})
@@ -328,6 +364,7 @@ class BitTorrentEngine:
             faults=faults,
             recovery=recovery,
             workload=workload,
+            adversary=adversary,
         )
 
     @property

@@ -203,6 +203,7 @@ class ChurnEngine(RandomizedEngine):
         recovery=None,
         backend: object | None = None,
         workload=None,
+        adversary=None,
     ) -> None:
         super().__init__(
             n,
@@ -218,6 +219,7 @@ class ChurnEngine(RandomizedEngine):
             recovery=recovery,
             backend=backend,
             workload=workload,
+            adversary=adversary,
         )
         arrivals = dict(arrivals or {})
         departures = dict(departures or {})

@@ -69,6 +69,7 @@ class RandomizedTickPolicy(TickPolicy):
     fault_support = "full"
     supports_array = True
     membership_support = True
+    adversary_support = "full"
 
     def __init__(
         self,
@@ -100,7 +101,16 @@ class RandomizedTickPolicy(TickPolicy):
     def run_tick(self, snapshot: list[int]) -> None:
         kernel = self.kernel
         backend = kernel.array
-        if backend is not None and isinstance(kernel.graph, CompleteGraph):
+        # An armed adversary routes every attempt through the kernel's
+        # judged path (pollution/lie verdicts, strike bookkeeping), which
+        # the vectorized tick inlines away — fall through to the scalar
+        # path, which stays correct (and array-mirrored) under the
+        # backend's per-attempt machinery.
+        if (
+            backend is not None
+            and kernel.adversary is None
+            and isinstance(kernel.graph, CompleteGraph)
+        ):
             # Complete-graph ticks vectorize on the array backend; sparse
             # overlays fall through to the scalar path below (which still
             # benefits from the backend's deferred logging via
@@ -120,6 +130,10 @@ class RandomizedTickPolicy(TickPolicy):
             kernel.activate_receiver_pool()
 
         selfish = self.selfish
+        if kernel.adversary is not None:
+            riders = kernel.adversary.free_riders_at(kernel.tick)
+            if riders:
+                selfish = selfish | riders
         throttle = self.throttle
         uploaders = [
             v
@@ -682,6 +696,12 @@ class RandomizedEngine:
         :class:`~repro.sim.kernel.TickKernel`; the array backend runs
         complete-graph ticks vectorized over packed ownership words with
         byte-identical results (see :mod:`repro.sim.array`).
+    adversary:
+        Optional :class:`~repro.adversary.plan.AdversaryPlan`. A null
+        plan is normalised to "no adversaries" and the run stays
+        bit-identical to one without the argument; otherwise the kernel
+        realises free-riders (excluded from uploading like ``selfish``),
+        polluters and liars per the plan from a dedicated RNG stream.
     """
 
     _tick_policy_cls = RandomizedTickPolicy
@@ -703,6 +723,7 @@ class RandomizedEngine:
         recovery: RecoveryPolicy | None = None,
         backend: object | None = None,
         workload=None,
+        adversary=None,
     ) -> None:
         self.n, self.k = n, k
         self.policy = policy or RandomPolicy()
@@ -750,6 +771,7 @@ class RandomizedEngine:
             credit=credit,
             backend=backend,
             workload=workload,
+            adversary=adversary,
         )
 
     def _build_tick_policy(

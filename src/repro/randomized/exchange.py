@@ -63,6 +63,7 @@ class ExchangeTickPolicy(TickPolicy):
     # ownership words and deferred bulk logging.
     supports_array = True
     membership_support = True
+    adversary_support = "full"
 
     def __init__(self, block_policy: BlockPolicy, graph: Graph) -> None:
         self.block_policy = block_policy
@@ -108,7 +109,21 @@ class ExchangeTickPolicy(TickPolicy):
         # download capacity.
         model = kernel.model
         seed_can_barter = model.unbounded_download or model.download >= 2
-        order = [v for v in range(1, kernel.n) if snapshot[v] and v not in absent]
+        # Free-riders refuse to upload, and a barter swap *is* an upload
+        # in each direction — so they can neither initiate nor accept a
+        # match. They stay eligible for the free server seed above (the
+        # paper's one exception to barter), which is exactly the strict
+        # regime's point: that seed is all a free-rider ever gets.
+        riders = (
+            kernel.adversary.free_riders_at(tick)
+            if kernel.adversary is not None
+            else frozenset()
+        )
+        order = [
+            v
+            for v in range(1, kernel.n)
+            if snapshot[v] and v not in absent and v not in riders
+        ]
         rng.shuffle(order)
         for a in order:
             if a in matched or (a == seeded and not seed_can_barter):
@@ -119,6 +134,7 @@ class ExchangeTickPolicy(TickPolicy):
                 if b != SERVER
                 and b not in matched
                 and b not in absent
+                and b not in riders
                 and (b != seeded or seed_can_barter)
                 and snapshot[a] & ~masks[b]
                 and snapshot[b] & ~masks[a]
@@ -190,6 +206,7 @@ class ExchangeEngine:
         recovery: RecoveryPolicy | None = None,
         backend: object | None = None,
         workload=None,
+        adversary=None,
     ) -> None:
         self.n, self.k = n, k
         self.policy = policy or RandomPolicy()
@@ -211,6 +228,7 @@ class ExchangeEngine:
             recovery=recovery,
             backend=backend,
             workload=workload,
+            adversary=adversary,
         )
 
     @property
@@ -246,6 +264,7 @@ def randomized_exchange_run(
     faults: FaultPlan | None = None,
     recovery: RecoveryPolicy | None = None,
     backend: object | None = None,
+    adversary=None,
 ) -> RunResult:
     """Run randomized strict-barter exchange until completion or timeout;
     see :class:`ExchangeEngine`."""
@@ -261,4 +280,5 @@ def randomized_exchange_run(
         faults=faults,
         recovery=recovery,
         backend=backend,
+        adversary=adversary,
     ).run()

@@ -37,6 +37,8 @@ from __future__ import annotations
 import random
 from typing import Callable
 
+from ..adversary.driver import PHANTOM, AdversaryDriver
+from ..adversary.plan import AdversaryPlan
 from ..checkpoint import rng_state_from_json, rng_state_to_json
 from ..core.errors import CheckpointError, ConfigError
 from ..core.log import RunResult, TransferLog
@@ -50,7 +52,7 @@ from ..overlays.graph import Graph
 from ..workloads.compiler import compile_workload
 from ..workloads.spec import WorkloadSpec
 from .membership import MembershipRuntime
-from .policy import FAULT_SUPPORT_LEVELS, TickPolicy
+from .policy import ADVERSARY_SUPPORT_LEVELS, FAULT_SUPPORT_LEVELS, TickPolicy
 
 __all__ = ["TickKernel", "default_max_ticks"]
 
@@ -114,6 +116,17 @@ class TickKernel:
         decision stream (after the fault injector's, so fault telemetry
         is unchanged by attaching a workload) and executed by
         :class:`~repro.sim.membership.MembershipRuntime`.
+    adversary:
+        Optional :class:`~repro.adversary.plan.AdversaryPlan`. A null
+        plan is normalised to "no adversaries" (bit-identical runs); a
+        non-null plan must fit ``policy.adversary_support`` — the
+        ``fault_support`` honesty contract, applied to misbehavior — or
+        construction raises :class:`~repro.core.errors.ConfigError`.
+        The driver's RNG stream is seeded *last* (after the injector's
+        and the workload compile seed) and only for plans that actually
+        need randomness, so attaching a purely deterministic plan
+        (explicit free-riders only) costs zero draws — which is what
+        makes the ``selfish`` deprecation shim bit-identical.
     """
 
     # Slotted: ``attempt`` / ``_deliver_mask`` run once per transfer
@@ -128,7 +141,7 @@ class TickKernel:
         "fault_plan", "faults", "_stall_window", "_judge", "_deliver",
         "array", "_log_delivery", "_log_failure", "workload", "_membership",
         "_mid_tick", "_stall_idle", "_ckpt_interval", "_ckpt_hook",
-        "_heartbeat",
+        "_heartbeat", "adversary_plan", "adversary",
     )
 
     def __init__(
@@ -146,6 +159,7 @@ class TickKernel:
         credit: CreditLimitedBarter | None = None,
         backend: object | None = None,
         workload: WorkloadSpec | None = None,
+        adversary: AdversaryPlan | None = None,
     ) -> None:
         self.state = SwarmState(n, k)
         self.n, self.k = n, k
@@ -304,6 +318,56 @@ class TickKernel:
         else:
             self._membership = None
 
+        # Adversarial behavior. Same normalisation contract as faults and
+        # workloads: a null plan is normalised away (no driver, no extra
+        # RNG draw — bit-identical to a clean run), and a non-null plan
+        # an engine cannot honor is refused loudly. The driver's seed is
+        # drawn after the injector's and the workload's, so attaching an
+        # adversary never shifts fault or arrival randomness; plans that
+        # need no randomness (explicit free-riders only) draw nothing at
+        # all.
+        adv_support = policy.adversary_support
+        if adv_support not in ADVERSARY_SUPPORT_LEVELS:  # pragma: no cover - dev error
+            raise ConfigError(
+                f"policy {policy.name!r} declares unknown adversary_support "
+                f"{adv_support!r}"
+            )
+        aplan = adversary if adversary is not None and not adversary.is_null else None
+        if aplan is not None:
+            if adv_support == "none":
+                raise ConfigError(
+                    f"the {policy.name} engine does not support adversarial "
+                    f"behavior (adversary_support='none'); remove the "
+                    f"AdversaryPlan or pick an engine from the adversary "
+                    f"parity table in docs/API.md"
+                )
+            if (aplan.pollutes or aplan.lies) and adv_support != "full":
+                raise ConfigError(
+                    f"the {policy.name} engine "
+                    f"(adversary_support={adv_support!r}) carries "
+                    f"free-riders, but not polluters or liars; drop the "
+                    f"pollution/lie axes or pick an adversary_support="
+                    f"'full' engine from the parity table in docs/API.md"
+                )
+        self.adversary_plan = aplan
+        if aplan is not None:
+            self.adversary: AdversaryDriver | None = AdversaryDriver(
+                aplan,
+                n,
+                random.Random(self.rng.getrandbits(63))
+                if aplan.needs_rng
+                else None,
+            )
+            if (aplan.pollutes or aplan.lies) and self._stall_window == 0:
+                # Pollution and lies burn attempts without progress, so
+                # an adversarial run needs the stall verdict even when no
+                # fault injector armed one.
+                self._stall_window = self.recovery.stall_window_for_adversary(
+                    aplan
+                )
+        else:
+            self.adversary = None
+
     # -- pools -------------------------------------------------------------
 
     @property
@@ -360,9 +424,16 @@ class TickKernel:
         The single hot path shared by every engine: judges the attempt
         against the fault injector (a failed attempt consumes the
         receiver's download slot and any barter credit but delivers
-        nothing), applies the delivery, charges the capacity ledger, and
-        records the appropriate log stream.
+        nothing), then against the adversary driver (a polluted or
+        phantom delivery is charged the same way and logged in its own
+        stream), applies the delivery, charges the capacity ledger, and
+        records the appropriate log stream. An attempt toward a receiver
+        that has blacklisted the sender is refused outright: no capacity
+        is charged and nothing is logged — the pair no longer talks.
         """
+        adv = self.adversary
+        if adv is not None and adv.refuses(src, dst):
+            return False
         judge = self._judge
         if judge is not None and judge(self.tick, src, dst):
             dl = self._dl_left
@@ -377,6 +448,30 @@ class TickKernel:
                 rec(self.tick, src, dst, block)
             self._tick_failed += 1
             return False
+        if adv is not None:
+            verdict = adv.judge(self.tick, src, dst)
+            if verdict is not None:
+                # Polluted/phantom deliveries are charged exactly like
+                # failures — the bandwidth and credit are spent before
+                # the receiver's integrity check rejects the block — but
+                # land in their own log streams (recorded eagerly even
+                # under the array backend: the streams carry independent
+                # tick-order invariants, so eager and deferred rows never
+                # interleave).
+                dl = self._dl_left
+                if dl is not None:
+                    left = dl[dst] = dl[dst] - 1
+                    if left <= 0 and self._avail_active:
+                        self._avail_remove(dst)
+                if self.credit is not None:
+                    self._credit_sends.append((src, dst))
+                if self.keep_log:
+                    if verdict is PHANTOM:
+                        self.log.record_phantom(self.tick, src, dst, block)
+                    else:
+                        self.log.record_polluted(self.tick, src, dst, block)
+                self._tick_failed += 1
+                return False
         self._deliver(src, dst, block)
         dl = self._dl_left
         if dl is not None:
@@ -512,6 +607,12 @@ class TickKernel:
             # A future arrival, return from downtime, or departure can
             # revive the swarm or change the goal — not a deadlock yet.
             return False
+        if self.adversary is not None and not self.adversary.zero_attempt_conclusive(
+            self.tick
+        ):
+            # Free-riders with a finite activation window can revive the
+            # swarm when the window ends — not a deadlock yet.
+            return False
         return self.faults is None or self.faults.zero_attempt_conclusive(self.tick)
 
     def membership_events_pending(self) -> bool:
@@ -537,6 +638,7 @@ class TickKernel:
             "credit": self.credit is not None,
             "faults": self.faults is not None,
             "workload": self._membership is not None,
+            "adversary": self.adversary is not None,
         }
 
     def checkpoint(self) -> dict[str, object]:
@@ -579,10 +681,19 @@ class TickKernel:
                 "transfers": [list(t) for t in self.log],
                 "failures": [list(t) for t in self.log.failures],
             }
+            if self.adversary is not None:
+                payload["log"]["polluted"] = [  # type: ignore[index]
+                    list(t) for t in self.log.polluted
+                ]
+                payload["log"]["phantoms"] = [  # type: ignore[index]
+                    list(t) for t in self.log.phantoms
+                ]
         if self.faults is not None:
             payload["faults"] = self.faults.capture_state()
         if self._membership is not None:
             payload["membership"] = self._membership.capture_state()
+        if self.adversary is not None:
+            payload["adversary"] = self.adversary.capture_state()
         return payload
 
     def restore_checkpoint(self, document: dict[str, object]) -> None:
@@ -631,6 +742,8 @@ class TickKernel:
             log.extend_batch(
                 [tuple(row) for row in log_doc["transfers"]],
                 [tuple(row) for row in log_doc["failures"]],
+                [tuple(row) for row in log_doc.get("polluted", ())],
+                [tuple(row) for row in log_doc.get("phantoms", ())],
             )
             self.log = log
             if self.array is not None:
@@ -650,6 +763,8 @@ class TickKernel:
             self.faults.restore_state(document["faults"])
         if self._membership is not None:
             self._membership.restore_state(document["membership"])
+        if self.adversary is not None:
+            self.adversary.restore_state(document["adversary"])
         self.policy.restore_state(document["policy"])
 
     def arm_checkpoints(
@@ -702,6 +817,10 @@ class TickKernel:
         inj = self.faults
         deadlocked = False
         abort: str | None = None
+        # Stall detection runs whenever a window is armed: every fault
+        # plan arms one, and so does an adversary plan with polluters or
+        # liars (their spoiled attempts burn ticks without progress).
+        watch_stall = self._stall_window > 0
         while self.tick < self.max_ticks and not self._goal_reached():
             made = self.step()
             if progress is not None:
@@ -718,7 +837,7 @@ class TickKernel:
             if made + self.failures_per_tick[-1] == 0 and self._zero_tick_conclusive():
                 deadlocked = True
                 break
-            if inj is not None:
+            if watch_stall:
                 # A quiet gap while the workload still has arrivals or
                 # returns scheduled is a lull, not a stall. The counter
                 # is a kernel attribute (not a loop local) so a
@@ -768,6 +887,16 @@ class TickKernel:
             meta["stall_window"] = self._stall_window
             meta.update(inj.telemetry())
             meta.update(inj.events())
+        adv = self.adversary
+        if adv is not None:
+            meta["adversary"] = self.adversary_plan.describe()
+            realized = adv.realized()
+            if realized:
+                meta["adversary_realized"] = realized
+            if (self.adversary_plan.pollutes or self.adversary_plan.lies):
+                meta["stall_window"] = self._stall_window
+            meta.update(adv.telemetry())
+            meta.update(adv.events())
         return RunResult(
             n=self.n,
             k=self.k,

@@ -29,13 +29,21 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .kernel import TickKernel
 
-__all__ = ["TickPolicy", "FAULT_SUPPORT_LEVELS"]
+__all__ = ["TickPolicy", "FAULT_SUPPORT_LEVELS", "ADVERSARY_SUPPORT_LEVELS"]
 
 #: Valid ``TickPolicy.fault_support`` values, weakest to strongest:
 #: ``"none"`` rejects every non-null plan; ``"links"`` carries transfer
 #: loss, link outages and server outage windows but rejects node
 #: crashes; ``"full"`` carries every axis including crash/rejoin.
 FAULT_SUPPORT_LEVELS = ("none", "links", "full")
+
+#: Valid ``TickPolicy.adversary_support`` values, weakest to strongest:
+#: ``"none"`` rejects every non-null
+#: :class:`~repro.adversary.plan.AdversaryPlan`; ``"free-riders"``
+#: carries free-riders (clients that never upload) but rejects polluters
+#: and liars; ``"full"`` carries every axis including pollution, lies
+#: and the strike-based blacklist defense.
+ADVERSARY_SUPPORT_LEVELS = ("none", "free-riders", "full")
 
 
 class TickPolicy:
@@ -74,6 +82,14 @@ class TickPolicy:
     #: policy without it — the same honesty contract as
     #: ``fault_support``, so workloads are never silently ignored.
     membership_support = False
+
+    #: Adversary axes this policy can honor; see
+    #: :data:`ADVERSARY_SUPPORT_LEVELS`. The kernel refuses
+    #: (``ConfigError``) any :class:`~repro.adversary.plan.AdversaryPlan`
+    #: axis the policy cannot carry — the same honesty contract as
+    #: ``fault_support``, so adversaries are never silently ignored.
+    #: Defaults to ``"none"``: a policy must opt in explicitly.
+    adversary_support = "none"
 
     kernel: "TickKernel"
 

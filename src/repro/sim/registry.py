@@ -73,6 +73,11 @@ class EngineSpec:
     #: Whether the engine accepts ``backend="array"``
     #: (:mod:`repro.sim.array`); others reject it with ``ConfigError``.
     array_backend: bool = False
+    #: Adversary axes the engine honors — ``"none"`` / ``"free-riders"``
+    #: / ``"full"``; :class:`~repro.adversary.plan.AdversaryPlan` axes
+    #: beyond this raise ``ConfigError`` (see
+    #: :data:`~repro.sim.policy.ADVERSARY_SUPPORT_LEVELS`).
+    adversary_support: str = "none"
 
 
 def _randomized(n: int, k: int, **kwargs: Any) -> Any:
@@ -120,6 +125,7 @@ ENGINES: dict[str, EngineSpec] = {
             "(cooperative or credit-limited barter)",
             mechanism="cooperative / credit-limited barter",
             fault_support="full",
+            adversary_support="full",
             factory=_randomized,
             array_backend=True,
         ),
@@ -128,6 +134,7 @@ ENGINES: dict[str, EngineSpec] = {
             summary="randomized sampling with scheduled arrivals/departures",
             mechanism="cooperative / credit-limited barter",
             fault_support="full",
+            adversary_support="full",
             factory=_churn,
             array_backend=True,
         ),
@@ -136,6 +143,7 @@ ENGINES: dict[str, EngineSpec] = {
             summary="randomized strict-barter pairwise exchange matching",
             mechanism="strict barter",
             fault_support="full",
+            adversary_support="full",
             factory=_exchange,
             array_backend=True,
         ),
@@ -144,6 +152,7 @@ ENGINES: dict[str, EngineSpec] = {
             summary="BitTorrent-style tit-for-tat choking",
             mechanism="tit-for-tat (approximate barter)",
             fault_support="full",
+            adversary_support="full",
             factory=_bittorrent,
         ),
         EngineSpec(
@@ -151,6 +160,7 @@ ENGINES: dict[str, EngineSpec] = {
             summary="GF(2) network coding (random linear combinations)",
             mechanism="cooperative",
             fault_support="full",
+            adversary_support="free-riders",
             factory=_coding,
         ),
         EngineSpec(
@@ -159,6 +169,7 @@ ENGINES: dict[str, EngineSpec] = {
             "(kernel-hosted event windows, one tick per unit time)",
             mechanism="cooperative",
             fault_support="full",
+            adversary_support="full",
             factory=_async,
         ),
     )

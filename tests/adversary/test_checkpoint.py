@@ -1,0 +1,103 @@
+"""Checkpoint/resume exactness under an active adversary plan.
+
+PR 7's guarantee — a killed-and-resumed run is indistinguishable from
+one that never died — must survive the adversary layer: the driver's RNG
+stream, strike counts, blacklist and telemetry all ride in the kernel
+checkpoint. The sweep arms a checkpoint at every tick of an adversarial
+reference run and restores each boundary into a freshly-built twin.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.adversary import AdversaryPlan
+from repro.core.errors import CheckpointError
+from repro.randomized.bittorrent import BitTorrentEngine
+from repro.randomized.engine import RandomizedEngine
+from repro.sim.registry import create_engine
+
+from ..sim.capture_golden import result_fingerprint
+
+FULL_PLAN = AdversaryPlan(
+    free_riders=(2,),
+    polluters=(3,),
+    pollution_rate=0.5,
+    liars=(4,),
+    lie_rate=0.5,
+    strike_threshold=2,
+)
+
+FACTORIES = {
+    "randomized-full-plan": lambda **kw: RandomizedEngine(
+        12, 6, rng=7, adversary=FULL_PLAN, **kw
+    ),
+    "randomized-sampled-riders": lambda **kw: RandomizedEngine(
+        14, 7, rng=11,
+        adversary=AdversaryPlan(free_rider_fraction=0.25), **kw
+    ),
+    "bittorrent-polluters": lambda **kw: BitTorrentEngine(
+        12, 6, rng=3,
+        adversary=AdversaryPlan(
+            polluters=(2, 5), pollution_rate=0.6, strike_threshold=2
+        ),
+        max_ticks=2000, **kw
+    ),
+    "async-full-plan": lambda **kw: create_engine(
+        "async", 12, 6, rng=9, adversary=FULL_PLAN, max_ticks=2000, **kw
+    ),
+}
+
+
+def _kernel(engine):
+    return getattr(engine, "kernel", engine)
+
+
+def _reference_run(factory):
+    payloads: dict[int, dict] = {}
+    engine = factory()
+    _kernel(engine).arm_checkpoints(
+        1, sink=lambda p: payloads.setdefault(p["tick"], p)
+    )
+    return result_fingerprint(engine.run()), payloads
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_adversarial_resume_is_bit_identical(name: str) -> None:
+    factory = FACTORIES[name]
+    baseline, payloads = _reference_run(factory)
+    assert payloads, "run ended before the first checkpoint boundary"
+    for tick, payload in sorted(payloads.items()):
+        document = json.loads(json.dumps(payload))
+        resumed = factory()
+        _kernel(resumed).restore_checkpoint(document)
+        fingerprint = result_fingerprint(resumed.run())
+        assert fingerprint == baseline, (
+            f"{name}: resume from tick {tick} diverged"
+        )
+
+
+def test_adversarial_resume_preserves_ban_history() -> None:
+    factory = FACTORIES["bittorrent-polluters"]
+    reference = factory().run()
+    assert reference.meta["bans"] >= 1, "fixture must exercise the defense"
+    _, payloads = _reference_run(factory)
+    tick = sorted(payloads)[len(payloads) // 2]
+    resumed = factory()
+    _kernel(resumed).restore_checkpoint(json.loads(json.dumps(payloads[tick])))
+    result = resumed.run()
+    assert result.meta["ban_events"] == reference.meta["ban_events"]
+    assert result.meta["polluted_transfers"] == reference.meta["polluted_transfers"]
+
+
+def test_restore_refuses_mismatched_adversary_config() -> None:
+    # The config fingerprint covers the adversary axis: a checkpoint from
+    # an adversarial run must not restore into a clean twin.
+    factory = FACTORIES["randomized-full-plan"]
+    _, payloads = _reference_run(factory)
+    document = json.loads(json.dumps(payloads[min(payloads)]))
+    clean = RandomizedEngine(12, 6, rng=7)
+    with pytest.raises(CheckpointError, match="differently-configured"):
+        _kernel(clean).restore_checkpoint(document)

@@ -1,0 +1,167 @@
+"""AdversaryDriver: deterministic realisation, strikes, checkpointing."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.adversary import PHANTOM, POLLUTED, AdversaryDriver, AdversaryPlan
+from repro.core.errors import ConfigError
+
+
+class TestRealisation:
+    def test_null_plan_refused(self):
+        with pytest.raises(ConfigError, match="null"):
+            AdversaryDriver(AdversaryPlan(), 16, rng=1)
+
+    def test_rng_required_when_plan_needs_it(self):
+        with pytest.raises(ConfigError, match="needs randomness"):
+            AdversaryDriver(AdversaryPlan(free_rider_fraction=0.5), 16, None)
+
+    def test_explicit_plan_realises_without_rng(self):
+        driver = AdversaryDriver(AdversaryPlan(free_riders=(3, 5)), 16, None)
+        assert driver.free_riders == frozenset({3, 5})
+        assert driver.rng is None
+
+    def test_out_of_range_id_rejected(self):
+        with pytest.raises(ConfigError, match="out of range"):
+            AdversaryDriver(AdversaryPlan(free_riders=(16,)), 16, rng=1)
+
+    def test_fraction_sampling_is_seed_deterministic(self):
+        plan = AdversaryPlan(
+            free_rider_fraction=0.25,
+            polluter_fraction=0.25,
+            pollution_rate=0.5,
+        )
+        a = AdversaryDriver(plan, 20, rng=7)
+        b = AdversaryDriver(plan, 20, rng=7)
+        assert a.free_riders == b.free_riders
+        assert a.polluters == b.polluters
+        assert a.free_riders, "fraction 0.25 of 19 clients must sample someone"
+
+    def test_explicit_ids_join_the_sample(self):
+        plan = AdversaryPlan(free_riders=(3,), free_rider_fraction=0.2)
+        driver = AdversaryDriver(plan, 20, rng=1)
+        assert 3 in driver.free_riders
+        assert len(driver.free_riders) > 1
+
+
+class TestActivationWindow:
+    def test_riders_empty_outside_window(self):
+        plan = AdversaryPlan(free_riders=(2,), active_from=5, active_until=9)
+        driver = AdversaryDriver(plan, 8, None)
+        assert driver.free_riders_at(4) == frozenset()
+        assert driver.free_riders_at(5) == {2}
+        assert driver.free_riders_at(9) == {2}
+        assert driver.free_riders_at(10) == frozenset()
+
+    def test_judge_clean_outside_window(self):
+        plan = AdversaryPlan(
+            polluters=(2,), pollution_rate=1.0, active_from=5
+        )
+        driver = AdversaryDriver(plan, 8, rng=1)
+        assert driver.judge(4, 2, 3) is None
+        assert driver.judge(5, 2, 3) == POLLUTED
+
+    def test_window_end_makes_zero_attempts_inconclusive(self):
+        # Hoarding free-riders may revive a stuck swarm when the window
+        # closes; pollution alone never can.
+        windowed = AdversaryDriver(
+            AdversaryPlan(free_riders=(2,), active_until=9), 8, None
+        )
+        assert not windowed.zero_attempt_conclusive(5)
+        assert windowed.zero_attempt_conclusive(10)
+        forever = AdversaryDriver(AdversaryPlan(free_riders=(2,)), 8, None)
+        assert forever.zero_attempt_conclusive(5)
+
+
+class TestJudging:
+    def _driver(self, threshold=0):
+        plan = AdversaryPlan(
+            polluters=(2,), pollution_rate=1.0,
+            liars=(3,), lie_rate=1.0,
+            strike_threshold=threshold,
+        )
+        return AdversaryDriver(plan, 8, rng=1)
+
+    def test_verdicts_by_role(self):
+        driver = self._driver()
+        assert driver.judge(1, 2, 4) == POLLUTED
+        assert driver.judge(1, 3, 4) == PHANTOM
+        assert driver.judge(1, 5, 4) is None
+        assert driver.polluted == 1
+        assert driver.phantoms == 1
+        assert driver.attempts == 3
+
+    def test_strikes_ban_the_pair_only(self):
+        driver = self._driver(threshold=2)
+        driver.judge(1, 2, 4)
+        assert not driver.refuses(2, 4)
+        driver.judge(2, 2, 4)
+        assert driver.refuses(2, 4)
+        # Another receiver still talks to the polluter, and the banned
+        # receiver still talks to everyone else.
+        assert not driver.refuses(2, 5)
+        assert not driver.refuses(5, 4)
+        assert driver.bans == 1
+        assert driver.ban_log == [(2, 4, 2)]
+        assert driver.blocked == 1
+
+    def test_honest_traffic_draws_nothing(self):
+        # Judging honest senders must not consume RNG: the draw sequence
+        # depends only on declared adversaries' attempts.
+        plan = AdversaryPlan(polluters=(2,), pollution_rate=0.5)
+        a = AdversaryDriver(plan, 8, rng=9)
+        b = AdversaryDriver(plan, 8, rng=9)
+        for honest in (3, 4, 5, 6, 7):
+            a.judge(1, honest, 1)
+        verdicts_a = [a.judge(t, 2, 3) for t in range(2, 12)]
+        verdicts_b = [b.judge(t, 2, 3) for t in range(2, 12)]
+        assert verdicts_a == verdicts_b
+
+
+class TestCheckpoint:
+    def test_capture_restore_resumes_the_stream(self):
+        plan = AdversaryPlan(
+            polluters=(2, 3), pollution_rate=0.5, strike_threshold=2
+        )
+        a = AdversaryDriver(plan, 10, rng=5)
+        for tick in range(1, 6):
+            a.judge(tick, 2, 4)
+            a.judge(tick, 3, 5)
+        state = json.loads(json.dumps(a.capture_state()))
+        b = AdversaryDriver(plan, 10, rng=5)
+        b.restore_state(state)
+        assert b.polluted == a.polluted
+        assert b.ban_log == a.ban_log
+        # The verdict streams stay aligned after restore.
+        for tick in range(6, 16):
+            assert a.judge(tick, 2, 4) == b.judge(tick, 2, 4)
+        assert a.capture_state() == b.capture_state()
+
+    def test_deterministic_plan_state_has_no_rng(self):
+        driver = AdversaryDriver(AdversaryPlan(free_riders=(2,)), 8, None)
+        assert "rng" not in driver.capture_state()
+
+
+class TestTelemetry:
+    def test_telemetry_and_events_shapes(self):
+        driver = AdversaryDriver(
+            AdversaryPlan(
+                polluters=(2,), pollution_rate=1.0, strike_threshold=1
+            ),
+            8,
+            rng=1,
+        )
+        driver.judge(3, 2, 4)
+        assert driver.telemetry() == {
+            "adversary_attempts": 1,
+            "polluted_transfers": 1,
+            "phantom_transfers": 0,
+            "blocked_attempts": 0,
+            "bans": 1,
+        }
+        assert driver.events() == {"ban_events": [[3, 4, 2]]}
+        assert driver.realized() == {"polluters": [2]}

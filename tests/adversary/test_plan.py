@@ -1,0 +1,98 @@
+"""AdversaryPlan: validation, purity, null/needs_rng semantics."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.adversary import AdversaryPlan
+from repro.core.errors import ConfigError
+
+
+class TestValidation:
+    def test_null_plan_declares_nothing(self):
+        plan = AdversaryPlan()
+        assert plan.is_null
+        assert not plan.needs_rng
+        assert plan.describe() == {}
+
+    @pytest.mark.parametrize(
+        "field", ["free_rider_fraction", "polluter_fraction", "liar_fraction"]
+    )
+    def test_fractions_bounded(self, field):
+        with pytest.raises(ConfigError):
+            AdversaryPlan(**{field: 1.5})
+        with pytest.raises(ConfigError):
+            AdversaryPlan(**{field: -0.1})
+
+    def test_polluters_require_rate(self):
+        with pytest.raises(ConfigError, match="pollution_rate"):
+            AdversaryPlan(polluters=(3,))
+        with pytest.raises(ConfigError, match="pollution_rate"):
+            AdversaryPlan(pollution_rate=0.5)
+
+    def test_liars_require_rate(self):
+        with pytest.raises(ConfigError, match="lie_rate"):
+            AdversaryPlan(liars=(2,))
+        with pytest.raises(ConfigError, match="lie_rate"):
+            AdversaryPlan(lie_rate=0.5)
+
+    def test_server_cannot_be_adversary(self):
+        with pytest.raises(ConfigError, match="server"):
+            AdversaryPlan(free_riders=(0,))
+
+    def test_activation_window_ordered(self):
+        with pytest.raises(ConfigError):
+            AdversaryPlan(free_riders=(1,), active_from=10, active_until=5)
+        with pytest.raises(ConfigError):
+            AdversaryPlan(free_riders=(1,), active_from=0)
+
+    def test_negative_strike_threshold_rejected(self):
+        with pytest.raises(ConfigError):
+            AdversaryPlan(free_riders=(1,), strike_threshold=-1)
+
+    def test_ids_normalised_to_sorted_tuples(self):
+        plan = AdversaryPlan(free_riders={5, 3, 9})
+        assert plan.free_riders == (3, 5, 9)
+
+
+class TestPurity:
+    def test_hashable_and_picklable(self):
+        plan = AdversaryPlan(
+            free_riders=(3,), polluters=(5,), pollution_rate=0.4,
+            strike_threshold=2,
+        )
+        assert hash(plan) == hash(pickle.loads(pickle.dumps(plan)))
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+    def test_equal_plans_share_repr(self):
+        # The repr rides inside campaign cache fingerprints: plans built
+        # from different (but equal) id containers must not differ.
+        a = AdversaryPlan(free_riders={4, 2})
+        b = AdversaryPlan(free_riders=(2, 4))
+        assert repr(a) == repr(b)
+
+    def test_explicit_riders_need_no_rng(self):
+        assert not AdversaryPlan(free_riders=(1, 2)).needs_rng
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"free_rider_fraction": 0.2},
+            {"polluters": (3,), "pollution_rate": 0.5},
+            {"liars": (3,), "lie_rate": 0.5},
+        ],
+    )
+    def test_sampling_and_judging_need_rng(self, kw):
+        plan = AdversaryPlan(**kw)
+        assert plan.needs_rng
+        assert not plan.is_null
+
+    def test_describe_round_trips_non_defaults(self):
+        plan = AdversaryPlan(
+            free_riders=(3,), active_from=5, active_until=20,
+        )
+        assert plan.describe() == {
+            "free_riders": [3], "active_from": 5, "active_until": 20,
+        }

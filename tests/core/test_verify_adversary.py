@@ -16,6 +16,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.adversary import AdversaryPlan
 from repro.coding import network_coding_run, verify_coding_log
 from repro.core.engine import execute_schedule
 from repro.core.errors import ScheduleViolation
@@ -360,3 +361,160 @@ class TestGraduatedEngineMutations:
         with pytest.raises(ScheduleViolation) as err:
             verify_coding_log(mutant, 16, 6, require_completion=False)
         assert err.value.rule == "rejoin-rows"
+
+
+@lru_cache(maxsize=None)
+def _adversarial_run():
+    plan = AdversaryPlan(
+        polluters=(2,), pollution_rate=0.7,
+        liars=(3,), lie_rate=0.7,
+        strike_threshold=10,  # high: no bans, pure stream tampering
+    )
+    r = run_engine("randomized", 12, 6, rng=1, adversary=plan, max_ticks=2000)
+    assert r.log.polluted_count > 0 and r.log.phantom_count > 0
+    return r
+
+
+def _streams(r):
+    return (
+        list(r.log),
+        list(r.log.failures),
+        list(r.log.polluted),
+        list(r.log.phantoms),
+    )
+
+
+class TestAdversarialRowMutations:
+    """Tampering with the adversarial streams must be rejected.
+
+    The verifier's claim is that polluted and phantom rows *never* count
+    toward completion and banned pairs are never served again — so a log
+    doctored to break either claim has to raise, with a rule that names
+    the broken invariant.
+    """
+
+    def test_adversarial_log_round_trips(self):
+        r = _adversarial_run()
+        report = verify_log(r.log, 12, 6, require_completion=r.completed)
+        assert report.polluted_transfers == r.log.polluted_count
+        assert report.phantom_transfers == r.log.phantom_count
+
+    def test_polluted_row_promoted_to_progress_rejected(self):
+        # The pollution-counted-as-progress corruption: moving a polluted
+        # row into the delivered stream claims the receiver kept a block
+        # its integrity check rejected. The genuine re-fetch that follows
+        # becomes redundant (usefulness) — or the forged hold breaks the
+        # final accounting (completion/causality).
+        r = _adversarial_run()
+        transfers, failures, polluted, phantoms = _streams(r)
+        promoted = polluted.pop(0)
+        mutated = TransferLog(
+            sorted(transfers + [promoted], key=lambda t: t.tick),
+            failures, polluted, phantoms,
+        )
+        with pytest.raises(ScheduleViolation) as err:
+            verify_log(mutated, 12, 6, require_completion=r.completed)
+        assert err.value.rule in ("usefulness", "completion", "causality")
+
+    def test_phantom_row_promoted_to_progress_rejected(self):
+        r = _adversarial_run()
+        transfers, failures, polluted, phantoms = _streams(r)
+        promoted = phantoms.pop(0)
+        mutated = TransferLog(
+            sorted(transfers + [promoted], key=lambda t: t.tick),
+            failures, polluted, phantoms,
+        )
+        with pytest.raises(ScheduleViolation) as err:
+            verify_log(mutated, 12, 6, require_completion=r.completed)
+        # As a delivered row the former phantom loses its exemptions: the
+        # liar may not even hold the block (causality), and the genuine
+        # later delivery turns redundant (usefulness).
+        assert err.value.rule in ("usefulness", "completion", "causality")
+
+    def test_forged_polluted_row_still_obeys_causality(self):
+        # Polluted rows are fully checked: one claiming a block the
+        # sender cannot hold is rejected even though it delivers nothing.
+        r = _adversarial_run()
+        transfers, failures, polluted, phantoms = _streams(r)
+        first = polluted[0]
+        never_held = next(
+            b for b in range(6)
+            if not any(
+                t.dst == first.src and t.block == b and t.tick < first.tick
+                for t in transfers
+            )
+        )
+        polluted[0] = Transfer(first.tick, first.src, first.dst, never_held)
+        mutated = TransferLog(transfers, failures, polluted, phantoms)
+        with pytest.raises(ScheduleViolation) as err:
+            verify_log(mutated, 12, 6, require_completion=r.completed)
+        assert err.value.rule == "causality"
+
+
+class TestBlacklistReplay:
+    """The verifier re-derives bans from the strike threshold and rejects
+    service on a banned pair — it never trusts the run's own ban list."""
+
+    N, K = 4, 2
+
+    def _base(self):
+        # tick 1-2: the server seeds clients 1 and 2; tick 3: client 2's
+        # upload to 1 is polluted — with strike_threshold=1 that bans the
+        # (2, 1) pair on the spot.
+        transfers = [
+            Transfer(1, 0, 1, 0),
+            Transfer(2, 0, 2, 1),
+        ]
+        polluted = [Transfer(3, 2, 1, 1)]
+        return transfers, polluted
+
+    def test_clean_history_replays_the_ban(self):
+        transfers, polluted = self._base()
+        report = verify_log(
+            TransferLog(transfers, (), polluted), self.N, self.K,
+            require_completion=False, strike_threshold=1,
+        )
+        assert report.extras["bans_replayed"] == 1
+
+    def test_delivery_on_a_banned_pair_rejected(self):
+        transfers, polluted = self._base()
+        transfers.append(Transfer(5, 2, 1, 1))  # post-ban service
+        with pytest.raises(ScheduleViolation) as err:
+            verify_log(
+                TransferLog(transfers, (), polluted), self.N, self.K,
+                require_completion=False, strike_threshold=1,
+            )
+        assert err.value.rule == "blacklist"
+
+    def test_polluted_row_on_a_banned_pair_rejected(self):
+        # Even a *spoiled* attempt is service: the pair no longer talks.
+        transfers, polluted = self._base()
+        polluted.append(Transfer(5, 2, 1, 1))
+        with pytest.raises(ScheduleViolation) as err:
+            verify_log(
+                TransferLog(transfers, (), polluted), self.N, self.K,
+                require_completion=False, strike_threshold=1,
+            )
+        assert err.value.rule == "blacklist"
+
+    def test_without_threshold_the_same_log_passes(self):
+        # The replay is opt-in: a defense-free run legitimately keeps
+        # serving a polluting peer.
+        transfers, polluted = self._base()
+        transfers.append(Transfer(5, 2, 1, 1))
+        verify_log(
+            TransferLog(transfers, (), polluted), self.N, self.K,
+            require_completion=False,
+        )
+
+    def test_polluted_rows_consume_download_capacity(self):
+        # A polluted row is charged bandwidth: pairing it with a real
+        # delivery to the same receiver in one tick overbooks the link.
+        transfers, polluted = self._base()
+        transfers.append(Transfer(3, 0, 1, 1))
+        with pytest.raises(ScheduleViolation) as err:
+            verify_log(
+                TransferLog(transfers, (), polluted), self.N, self.K,
+                require_completion=False,
+            )
+        assert err.value.rule == "download-capacity"

@@ -42,6 +42,7 @@ class TestTaskCounts:
             "fig7": 28,
             "resilience": 36,
             "open-system": 72,
+            "adversary": 24,
         }
 
     def test_xl_task_counts(self):
@@ -54,6 +55,7 @@ class TestTaskCounts:
             "fig7": 72,
             "resilience": 144,
             "open-system": 288,
+            "adversary": 96,
         }
 
     def test_xl_offers_enough_parallel_width(self):
