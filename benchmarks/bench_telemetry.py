@@ -1,0 +1,89 @@
+"""Benchmarks for the telemetry layer (:mod:`repro.telemetry`).
+
+The contract worth tracking mirrors the fault and adversary layers':
+arming telemetry must cost less than 10% per tick on top of a plain
+(log-keeping) run. The design makes this cheap by construction — the
+digest is a single post-run pass over the completed transfer log, with
+zero hot-path hooks and zero RNG — but the guard pins it: at
+n = k = 1000 the whole digest amortizes to under 10% of the tick loop.
+
+A null :class:`~repro.core.bandwidth.BandwidthClasses` spec must cost
+exactly nothing (the kernel normalizes it away before the loop; the log
+is bit-identical — pinned by the golden suite), so the armed variant
+here also attaches one to cover both new axes at once.
+
+Run with ``pytest benchmarks/bench_telemetry.py --benchmark-only``. The
+overhead guard persists per-tick numbers and round timings to
+``BENCH_telemetry.json`` at the repo root (see :mod:`_harness`). Size
+defaults to n = k = 1000; override with ``REPRO_BENCH_TEL_NK`` (CI uses
+a smaller smoke size).
+"""
+
+from __future__ import annotations
+
+import os
+
+from _harness import interleaved_best_of, update_bench_json
+from repro.core.bandwidth import BandwidthClasses
+from repro.randomized.engine import RandomizedEngine
+from repro.telemetry import TelemetrySpec
+
+_NK = int(os.environ.get("REPRO_BENCH_TEL_NK", "1000"))
+N = K = _NK
+
+# Telemetry digests the completed log, so the fair baseline keeps the
+# log too (keep_log=True is also every engine's default).
+_ARMED = {
+    "bandwidth": BandwidthClasses(),
+    "telemetry": TelemetrySpec(window=32),
+}
+
+
+def _plain_run():
+    return RandomizedEngine(N, K, rng=1, keep_log=True).run()
+
+
+def _armed_run():
+    return RandomizedEngine(N, K, rng=1, keep_log=True, **_ARMED).run()
+
+
+def test_randomized_plain(benchmark):
+    result = benchmark.pedantic(_plain_run, rounds=3, iterations=1)
+    assert result.completed
+
+
+def test_randomized_armed_telemetry(benchmark):
+    result = benchmark.pedantic(_armed_run, rounds=3, iterations=1)
+    assert result.completed
+    assert result.meta["telemetry"]["wait_hist"]["default"]["count"] > 0
+
+
+def test_armed_telemetry_overhead_under_10_percent():
+    """Direct guard on the headline number: armed telemetry (digest plus
+    null bandwidth spec) slows a log-keeping run by less than 10% per
+    tick at n = k = 1000."""
+    plain_result = _plain_run()
+    armed_result = _armed_run()
+    # Null-spec normalization keeps the trajectory: same ticks, same log.
+    assert armed_result.completion_time == plain_result.completion_time
+    ticks = plain_result.completion_time
+    best = interleaved_best_of(
+        {"plain": _plain_run, "armed": _armed_run}, rounds=5
+    )
+    plain = best["plain"]["best"] / ticks
+    armed = best["armed"]["best"] / ticks
+    update_bench_json(
+        "BENCH_telemetry.json",
+        f"randomized_n{N}_k{K}",
+        {
+            "plain_us_per_tick": round(plain * 1e6, 2),
+            "armed_us_per_tick": round(armed * 1e6, 2),
+            "overhead_ratio": round(armed / plain, 4),
+            "plain_rounds_s": best["plain"]["rounds"],
+            "armed_rounds_s": best["armed"]["rounds"],
+        },
+    )
+    assert armed < plain * 1.10, (
+        f"armed telemetry per-tick overhead {armed / plain - 1:.1%}"
+        f" (plain {plain * 1e6:.0f}us/tick, armed {armed * 1e6:.0f}us/tick)"
+    )

@@ -1,6 +1,13 @@
 """Analysis utilities: replicated sweeps, statistics, regression, traces."""
 
 from .efficiency import EfficiencyTrace, efficiency_trace, window_means
+from .heterogeneity import (
+    fold_results,
+    server_utilization,
+    telemetry_digest,
+    tier_completion_stats,
+    tier_wait_percentiles,
+)
 from .opensys import (
     arrival_throughput,
     mean_swarm_size,
@@ -47,6 +54,7 @@ __all__ = [
     "derive_seed",
     "efficiency_trace",
     "fit_completion_model",
+    "fold_results",
     "goodput_fraction",
     "mean",
     "mean_swarm_size",
@@ -58,6 +66,7 @@ __all__ = [
     "pollution_overhead",
     "sample_std",
     "seed_capacity_share",
+    "server_utilization",
     "service_throughput",
     "sojourn_percentiles",
     "sojourn_times",
@@ -65,6 +74,9 @@ __all__ = [
     "swarm_progress",
     "swarm_size_series",
     "sweep",
+    "telemetry_digest",
+    "tier_completion_stats",
+    "tier_wait_percentiles",
     "time_to_isolate",
     "wasted_upload_fraction",
     "window_means",

@@ -1,0 +1,70 @@
+"""Readers for telemetry digests folded across campaign replicas.
+
+A run with a :class:`~repro.telemetry.TelemetrySpec` attached exports a
+compact digest in ``meta["telemetry"]`` (see
+:func:`repro.telemetry.digest_run`); summaries and cached results carry
+it verbatim. These helpers pool those digests replica-wise — exact
+histogram merges, per-replica percentile samples with t-based 95% CIs —
+into the per-tier queueing numbers the heterogeneity experiment reports.
+"""
+
+from __future__ import annotations
+
+from ..telemetry import Histogram, fold_digests
+from .stats import Summary, summarize
+
+__all__ = [
+    "fold_results",
+    "server_utilization",
+    "telemetry_digest",
+    "tier_completion_stats",
+    "tier_wait_percentiles",
+]
+
+
+def telemetry_digest(result) -> dict | None:
+    """The run's telemetry digest, or ``None`` when none was armed.
+
+    Works on :class:`~repro.core.log.RunResult` and
+    :class:`~repro.campaign.summaries.ReplicaSummary` alike — both carry
+    the run meta.
+    """
+    return result.meta.get("telemetry")
+
+
+def fold_results(results) -> dict:
+    """Fold the telemetry digests of a replicate set; see
+    :func:`repro.telemetry.fold_digests` for the folded shape."""
+    return fold_digests(telemetry_digest(r) for r in results)
+
+
+def tier_completion_stats(folded: dict, key: str = "p50") -> dict[str, Summary]:
+    """Across-replica summary of one per-tier completion statistic.
+
+    ``key`` names a digest completion entry (``"p50"``, ``"p90"``,
+    ``"mean"``, ``"max"``, ...); tiers with no completed client in any
+    replica are omitted.
+    """
+    out: dict[str, Summary] = {}
+    for tier, buckets in folded.get("completion_samples", {}).items():
+        values = buckets.get(key)
+        if values:
+            out[tier] = summarize(values)
+    return out
+
+
+def tier_wait_percentiles(folded: dict, p: float = 90.0) -> dict[str, float]:
+    """Per-tier block wait-time percentile from the exactly-merged
+    cross-replica histograms (nearest-rank, lower bucket edge)."""
+    out: dict[str, float] = {}
+    for tier, hist_json in folded.get("wait_hist", {}).items():
+        value = Histogram.from_json(hist_json).percentile(p)
+        if value is not None:
+            out[tier] = float(value)
+    return out
+
+
+def server_utilization(folded: dict) -> Summary | None:
+    """Across-replica summary of the run-mean server upload utilization."""
+    means = folded.get("server_util_means") or []
+    return summarize(means) if means else None

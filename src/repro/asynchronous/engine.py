@@ -106,11 +106,22 @@ def _build_kernel(
     recovery: RecoveryPolicy | None,
     workload=None,
     adversary=None,
+    bandwidth=None,
+    telemetry=None,
 ) -> tuple[AsyncTickPolicy, TickKernel]:
     if n < 2:
         raise ConfigError(f"need a server and at least one client, got n={n}")
     if k < 1:
         raise ConfigError(f"file must have at least one block, got k={k}")
+    if (
+        bandwidth is not None
+        and not bandwidth.is_null
+        and (upload_rates is not None or download_rates is not None)
+    ):
+        raise ConfigError(
+            "bandwidth classes and explicit upload_rates/download_rates are "
+            "two spellings of per-node capacity; pass one or the other"
+        )
     policy = AsyncTickPolicy(
         strategy,
         validate_rates(upload_rates, n, "upload"),
@@ -128,7 +139,20 @@ def _build_kernel(
         recovery=recovery,
         workload=workload,
         adversary=adversary,
+        bandwidth=bandwidth,
+        telemetry=telemetry,
     )
+    if kernel.bandwidth is not None:
+        # Map the realized tier model onto the continuous-time rates: a
+        # tier upload of u is u blocks per unit time, and an unbounded
+        # download tier never bottlenecks a transfer.
+        model = kernel.model
+        policy.up = [float(model.upload_capacity(v)) for v in range(n)]
+        policy.down = [
+            float("inf") if model.download_capacity(v) is None
+            else float(model.download_capacity(v))
+            for v in range(n)
+        ]
     return policy, kernel
 
 
@@ -263,6 +287,8 @@ class AsyncKernelRun:
         parallel_downloads: int = 1,
         workload=None,
         adversary=None,
+        bandwidth=None,
+        telemetry=None,
     ) -> None:
         from .strategies import AsyncRandom
 
@@ -281,6 +307,8 @@ class AsyncKernelRun:
             recovery=recovery,
             workload=workload,
             adversary=adversary,
+            bandwidth=bandwidth,
+            telemetry=telemetry,
         )
 
     def run(self, progress: Callable[[int, int], None] | None = None) -> RunResult:

@@ -86,6 +86,11 @@ class AsyncTickPolicy(TickPolicy):
     # in-flight transfers like crashes. Events land on window starts.
     membership_support = True
     adversary_support = "full"
+    # Continuous time honors both axes natively: per-node float rates
+    # already exist, and the engine builder maps a realized tier model
+    # onto them (upload -> ``up``, download -> ``down``, unbounded ->
+    # ``inf``) after kernel construction.
+    bandwidth_support = "full"
 
     def __init__(
         self,

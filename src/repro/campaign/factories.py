@@ -87,6 +87,17 @@ class EngineRun:
     #: served for a polluted one, and the plan's frozen-dataclass repr
     #: pins every adversarial parameter into the cache fingerprint.
     adversary: object | None = None
+    #: Bandwidth classes (a :class:`~repro.core.bandwidth.BandwidthClasses`
+    #: or ``None`` for the uniform paper model). Dedicated field for the
+    #: same reason as ``workload``: a cached uniform-swarm result must
+    #: never be served for a tiered one, and the spec's frozen-dataclass
+    #: repr pins every tier parameter into the cache fingerprint.
+    bandwidth: object | None = None
+    #: Telemetry spec (a :class:`~repro.telemetry.TelemetrySpec` or
+    #: ``None``). The digest changes run *metadata* (never dynamics), but
+    #: a cached digest-less result must not be served when the sweep
+    #: needs digests — so the spec joins the fingerprint too.
+    telemetry: object | None = None
 
     @classmethod
     def configure(
@@ -97,6 +108,8 @@ class EngineRun:
         backend: str | None = None,
         workload: object | None = None,
         adversary: object | None = None,
+        bandwidth: object | None = None,
+        telemetry: object | None = None,
         **options: object,
     ) -> "EngineRun":
         """Build a factory with ``options`` baked in (keyword-friendly form)."""
@@ -108,6 +121,8 @@ class EngineRun:
             backend,
             workload,
             adversary,
+            bandwidth,
+            telemetry,
         )
 
     #: Checkpoint protocol marker (see :mod:`repro.campaign.checkpointing`):
@@ -127,6 +142,10 @@ class EngineRun:
             kwargs["workload"] = self.workload
         if self.adversary is not None:
             kwargs["adversary"] = self.adversary
+        if self.bandwidth is not None:
+            kwargs["bandwidth"] = self.bandwidth
+        if self.telemetry is not None:
+            kwargs["telemetry"] = self.telemetry
         return kwargs
 
     def __call__(

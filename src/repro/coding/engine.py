@@ -69,6 +69,10 @@ class CodingTickPolicy(TickPolicy):
     # replays spans row-for-row), so pollution/lie plans are refused
     # rather than half-honored.
     adversary_support = "free-riders"
+    # Coded uploads are one combination per node per tick structurally
+    # (the span snapshot is rebuilt per round and re-broadcast rules are
+    # causal); only per-node download capacities are honored.
+    bandwidth_support = "download"
 
     def __init__(self, k: int, n: int, graph: Graph, field: str) -> None:
         self.field = field
@@ -310,6 +314,8 @@ class NetworkCodingEngine:
         recovery: RecoveryPolicy | None = None,
         workload=None,
         adversary=None,
+        bandwidth=None,
+        telemetry=None,
     ) -> None:
         if n < 2:
             raise ConfigError(f"need a server and at least one client, got n={n}")
@@ -338,6 +344,8 @@ class NetworkCodingEngine:
             recovery=recovery,
             workload=workload,
             adversary=adversary,
+            bandwidth=bandwidth,
+            telemetry=telemetry,
         )
 
     @property

@@ -1,0 +1,274 @@
+"""Heterogeneous per-node bandwidth classes.
+
+The paper fixes every client at upload ``u = 1`` and a uniform download
+``d >= u`` (:mod:`repro.core.model`). This module generalises that to
+*named capacity tiers* — e.g. ``seed``/``fast``/``cable``/``dsl`` — each
+with its own per-tick upload and download capacity and a population
+share, in the spirit of the differentiated-service swarm models of
+Zhang et al. (see PAPERS.md).
+
+Two layers, mirroring :mod:`repro.workloads`:
+
+* :class:`BandwidthClasses` is the *spec*: a pure, hashable, frozen
+  value whose ``repr`` is stable, so it can sit inside a campaign cache
+  fingerprint. A null spec (no tiers) is exactly the uniform paper
+  model and draws **zero** RNG — runs with a null spec are byte-for-byte
+  identical to runs without one (pinned by the golden suite).
+* :meth:`BandwidthClasses.realize` is the *compiler*: it samples one
+  tier per client from a namespaced child RNG stream (one ``random()``
+  per client, in node order, exactly like workload profile assignment)
+  and returns a :class:`HeterogeneousModel` — a drop-in for
+  :class:`~repro.core.model.BandwidthModel` whose ``upload_capacity`` /
+  ``download_capacity`` answer per node, so the kernel, the array
+  backend and the verifier all charge the same per-node capacities.
+
+Determinism contract: the child stream is keyed on
+``("bandwidth", seed, "tiers")``, so tier assignment is reproducible
+across platforms and independent of every other stream in a run (the
+fault injector's, the workload compiler's, the adversary driver's).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .errors import ConfigError
+from .model import SERVER, BandwidthModel
+
+__all__ = ["BandwidthTier", "BandwidthClasses", "HeterogeneousModel"]
+
+#: Reserved tier name for the remainder population (uniform paper model).
+DEFAULT_TIER = "default"
+
+
+def _child_seed(seed: int, *namespace: object) -> int:
+    """A 63-bit child seed under the ``bandwidth`` namespace.
+
+    Same construction as :func:`repro.workloads.rng.child_seed`, with a
+    distinct root label so bandwidth sampling can never collide with a
+    workload stream even under the same integer seed.
+    """
+    key = "|".join(["bandwidth", str(seed), *map(str, namespace)])
+    return random.Random(key).getrandbits(63)
+
+
+@dataclass(frozen=True, slots=True)
+class BandwidthTier:
+    """One named capacity class.
+
+    Parameters
+    ----------
+    name:
+        Human-readable tier label (``"fast"``, ``"dsl"``, ...); must be
+        unique within a spec and may not shadow the reserved
+        ``"default"`` remainder tier.
+    share:
+        Fraction of the client population in this tier, in ``(0, 1]``.
+    upload:
+        Upload capacity in blocks/tick (>= 1). The paper's tick is
+        defined by the *slowest* client upload, so a tier with
+        ``upload = 4`` models a node four times faster than baseline.
+    download:
+        Download capacity in blocks/tick, or ``None`` for unbounded.
+        The paper requires ``d >= u`` per node.
+    """
+
+    name: str
+    share: float
+    upload: int = 1
+    download: int | None = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("bandwidth tier needs a non-empty name")
+        if not 0.0 < self.share <= 1.0:
+            raise ConfigError(
+                f"tier {self.name!r} share must be in (0, 1], got {self.share}"
+            )
+        if self.upload < 1:
+            raise ConfigError(
+                f"tier {self.name!r} upload must be >= 1, got {self.upload}"
+            )
+        if self.download is not None and self.download < self.upload:
+            raise ConfigError(
+                f"tier {self.name!r} violates d >= u: "
+                f"download {self.download} < upload {self.upload}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class BandwidthClasses:
+    """A population mix of :class:`BandwidthTier` values.
+
+    Shares must sum to at most 1 (within float tolerance); any remainder
+    of the population lands in an implicit ``default`` tier with the
+    base model's uniform capacities. The null spec — no tiers — *is*
+    the uniform model: engines treat it exactly like ``bandwidth=None``.
+    """
+
+    tiers: tuple[BandwidthTier, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tiers", tuple(self.tiers))
+        names = [t.name for t in self.tiers]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate tier names in {names}")
+        total = sum(t.share for t in self.tiers)
+        if total > 1.0 + 1e-9:
+            raise ConfigError(f"tier shares sum to {total:.6f} > 1")
+        if total < 1.0 - 1e-9 and DEFAULT_TIER in names:
+            raise ConfigError(
+                f"tier name {DEFAULT_TIER!r} is reserved for the remainder "
+                "population when shares sum below 1"
+            )
+
+    @property
+    def is_null(self) -> bool:
+        """True when the spec is the uniform model (zero tiers)."""
+        return not self.tiers
+
+    def describe(self) -> str:
+        """Compact human-readable mix summary."""
+        if self.is_null:
+            return "uniform"
+        parts = []
+        for t in self.tiers:
+            d = "inf" if t.download is None else str(t.download)
+            parts.append(f"{t.name}:{t.share:g}(u={t.upload},d={d})")
+        return " ".join(parts)
+
+    def realize(
+        self, n: int, seed: int, base: BandwidthModel | None = None
+    ) -> "HeterogeneousModel":
+        """Sample per-node capacities for an ``n``-node swarm.
+
+        One ``random()`` draw per client, in node order ``1 .. n-1``,
+        from the namespaced child stream of ``seed`` — the same
+        cumulative-share assignment the workload compiler uses for
+        profiles. The server keeps the base model's ``server_upload``
+        and download capacity.
+        """
+        if self.is_null:
+            raise ConfigError("cannot realize a null bandwidth spec")
+        base = base or BandwidthModel.symmetric()
+        tiers = list(self.tiers)
+        total = sum(t.share for t in tiers)
+        if total < 1.0 - 1e-9:
+            tiers.append(
+                BandwidthTier(
+                    DEFAULT_TIER, 1.0 - total, upload=1, download=base.download
+                )
+            )
+        bounds: list[float] = []
+        acc = 0.0
+        for t in tiers:
+            acc += t.share
+            bounds.append(acc)
+        bounds[-1] = 1.0  # float-sum slack cannot orphan a draw
+        rng = random.Random(_child_seed(seed, "tiers"))
+        uploads = [1] * n
+        downloads: list[int | None] = [base.download] * n
+        tier_of = [-1] * n  # -1 = server (keeps base capacities)
+        for node in range(1, n):
+            r = rng.random()
+            for idx, hi in enumerate(bounds):
+                if r < hi:
+                    break
+            tier_of[node] = idx
+            uploads[node] = tiers[idx].upload
+            downloads[node] = tiers[idx].download
+        return HeterogeneousModel(
+            uploads=tuple(uploads),
+            downloads=tuple(downloads),
+            server_upload=base.server_upload,
+            tier_names=tuple(t.name for t in tiers),
+            tier_of=tuple(tier_of),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class HeterogeneousModel:
+    """A realized per-node bandwidth model.
+
+    Drop-in replacement for :class:`~repro.core.model.BandwidthModel`
+    wherever capacities are read per node (``upload_capacity`` /
+    ``download_capacity`` / ``allows_download``); the scalar ``download``
+    view collapses to the common client value when the realization is
+    uniform and to the most restrictive finite value otherwise, so
+    legacy scalar readers stay conservative.
+    """
+
+    uploads: tuple[int, ...]
+    downloads: tuple[int | None, ...]
+    server_upload: int = 1
+    tier_names: tuple[str, ...] = ()
+    tier_of: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.uploads) != len(self.downloads):
+            raise ConfigError("uploads and downloads must cover the same nodes")
+        if self.server_upload < 1:
+            raise ConfigError(f"server upload must be >= 1, got {self.server_upload}")
+        for node, (u, d) in enumerate(zip(self.uploads, self.downloads)):
+            if u < 1:
+                raise ConfigError(f"node {node} upload must be >= 1, got {u}")
+            if d is not None and node != SERVER and d < u:
+                raise ConfigError(
+                    f"node {node} violates d >= u: download {d} < upload {u}"
+                )
+
+    @property
+    def n(self) -> int:
+        return len(self.uploads)
+
+    @property
+    def download(self) -> int | None:
+        """Scalar view for legacy readers: the clients' common download
+        capacity when uniform, else the tightest finite one (``None``
+        only when every client is unbounded)."""
+        client = set(self.downloads[1:])
+        if len(client) == 1:
+            return next(iter(client))
+        finite = [d for d in client if d is not None]
+        return min(finite) if finite else None
+
+    @property
+    def unbounded_download(self) -> bool:
+        """True only when *every* client download is unbounded."""
+        return all(d is None for d in self.downloads[1:])
+
+    @property
+    def is_uniform(self) -> bool:
+        """Whether the realization collapses to the uniform paper model
+        (all client uploads 1, all client downloads equal)."""
+        return all(u == 1 for u in self.uploads[1:]) and (
+            len(set(self.downloads[1:])) <= 1
+        )
+
+    def upload_capacity(self, node: int) -> int:
+        """Upload capacity of ``node`` in blocks/tick."""
+        return self.server_upload if node == SERVER else self.uploads[node]
+
+    def download_capacity(self, node: int) -> int | None:
+        """Download capacity of ``node`` (``None`` = unbounded)."""
+        return self.downloads[node]
+
+    def allows_download(self, received_this_tick: int) -> bool:
+        """Conservative scalar gate (per-node callers should compare
+        against :meth:`download_capacity` instead)."""
+        d = self.download
+        return d is None or received_this_tick < d
+
+    def tier_name(self, node: int) -> str:
+        """Tier label of ``node`` (``"server"`` for the server)."""
+        if not self.tier_of or self.tier_of[node] < 0:
+            return "server"
+        return self.tier_names[self.tier_of[node]]
+
+    def tier_counts(self) -> dict[str, int]:
+        """Population per tier (clients only)."""
+        counts: dict[str, int] = {name: 0 for name in self.tier_names}
+        for node in range(1, self.n):
+            counts[self.tier_name(node)] += 1
+        return counts

@@ -134,7 +134,8 @@ def execute_schedule(
                     rule="upload-capacity",
                 )
             downloads[t.dst] += 1
-            if not model.unbounded_download and downloads[t.dst] > model.download:
+            dl_cap = model.download_capacity(t.dst)
+            if dl_cap is not None and downloads[t.dst] > dl_cap:
                 raise ScheduleViolation(
                     f"node {t.dst} planned to download "
                     f"{downloads[t.dst]} blocks in one tick",

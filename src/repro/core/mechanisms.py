@@ -121,11 +121,27 @@ class CreditLimitedBarter(Mechanism):
 
     The randomized engine's online gate always uses the strict semantics
     (an uploader cannot know what it will receive later in the tick).
+
+    ``tier_multipliers`` is the paid-tier differentiated-service policy
+    for heterogeneous swarms (:mod:`repro.core.bandwidth`): a mapping of
+    tier name to an integer multiplier >= 1 applied to the credit limit
+    *extended to receivers of that tier* — paying for a tier buys a node
+    more unreciprocated credit from its peers, relaxing the barter
+    constraint toward it. The mapping is resolved into per-node limits
+    via :meth:`bind_tiers` once the run's tier assignment is realized
+    (the kernel does this when both a credit mechanism and a
+    ``BandwidthClasses`` spec are attached); the online gate and the
+    offline checker judge against the same per-node limits.
     """
 
     name = "credit-limited"
 
-    def __init__(self, credit_limit: int, intra_tick_netting: bool = False) -> None:
+    def __init__(
+        self,
+        credit_limit: int,
+        intra_tick_netting: bool = False,
+        tier_multipliers: dict[str, int] | None = None,
+    ) -> None:
         if credit_limit < 1:
             raise ConfigError(
                 f"credit limit must be >= 1 (0 would forbid all first blocks); "
@@ -133,15 +149,54 @@ class CreditLimitedBarter(Mechanism):
             )
         self.credit_limit = credit_limit
         self.intra_tick_netting = intra_tick_netting
+        self.tier_multipliers = dict(tier_multipliers or {})
+        for tier, mult in self.tier_multipliers.items():
+            if int(mult) != mult or mult < 1:
+                raise ConfigError(
+                    f"tier {tier!r} credit multiplier must be an integer "
+                    f">= 1, got {mult!r}"
+                )
+        self._node_limits: dict[int, int] = {}
         self.ledger = CreditLedger()
 
     def reset(self) -> None:
         self.ledger = CreditLedger()
 
+    def bind_tiers(self, model) -> None:
+        """Resolve ``tier_multipliers`` into per-node limits against a
+        realized :class:`~repro.core.bandwidth.HeterogeneousModel`.
+
+        No-op without multipliers. With multipliers, the model must carry
+        a tier assignment covering every multiplied tier name.
+        """
+        self._node_limits = {}
+        if not self.tier_multipliers:
+            return
+        tier_name = getattr(model, "tier_name", None)
+        if tier_name is None or not getattr(model, "tier_of", ()):
+            raise ConfigError(
+                "credit tier multipliers need a realized tier assignment; "
+                "attach a BandwidthClasses spec to the run"
+            )
+        unknown = set(self.tier_multipliers) - set(model.tier_names)
+        if unknown:
+            raise ConfigError(
+                f"credit multipliers name unknown tiers {sorted(unknown)}; "
+                f"spec tiers are {list(model.tier_names)}"
+            )
+        for node in range(1, model.n):
+            mult = self.tier_multipliers.get(tier_name(node))
+            if mult is not None:
+                self._node_limits[node] = self.credit_limit * int(mult)
+
+    def limit_for(self, dst: int) -> int:
+        """Credit limit peers extend to ``dst`` (tier-multiplied)."""
+        return self._node_limits.get(dst, self.credit_limit)
+
     def allows(self, src: int, dst: int) -> bool:
         if src == SERVER:
             return True
-        return self.ledger.within_limit(src, dst, self.credit_limit)
+        return self.ledger.within_limit(src, dst, self.limit_for(dst))
 
     def note_send(self, src: int, dst: int) -> None:
         """Engines call this when they commit an upload."""
@@ -155,12 +210,13 @@ class CreditLimitedBarter(Mechanism):
         for (a, b), count in sends.items():
             balance = self.ledger.balance(a, b)
             offset = sends.get((b, a), 0) if self.intra_tick_netting else 0
-            if balance + count - offset > self.credit_limit:
+            limit = self.limit_for(b)
+            if balance + count - offset > limit:
                 raise ScheduleViolation(
                     f"credit limit exceeded: {a} -> {b} balance {balance} "
                     f"plus {count} new send(s)"
                     f"{f' minus {offset} returned' if offset else ''} "
-                    f"breaches limit {self.credit_limit}",
+                    f"breaches limit {limit}",
                     tick=tick,
                     rule="credit-limit",
                 )
@@ -168,6 +224,11 @@ class CreditLimitedBarter(Mechanism):
             self.ledger.record_send(a, b, count)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.tier_multipliers:
+            mults = ", ".join(
+                f"{t}x{m}" for t, m in sorted(self.tier_multipliers.items())
+            )
+            return f"CreditLimitedBarter(s={self.credit_limit}, tiers=[{mults}])"
         return f"CreditLimitedBarter(s={self.credit_limit})"
 
 

@@ -62,6 +62,14 @@ class BandwidthModel:
         """True when nodes can receive any number of blocks per tick."""
         return self.download is None
 
+    @property
+    def is_uniform(self) -> bool:
+        """Whether every client shares the same capacities (always true
+        for this scalar model; :class:`~repro.core.bandwidth.HeterogeneousModel`
+        answers per realization). Fast paths specialised to the uniform
+        paper model key off this flag."""
+        return True
+
     def upload_capacity(self, node: int) -> int:
         """Upload capacity of ``node`` in blocks/tick."""
         return self.server_upload if node == SERVER else 1

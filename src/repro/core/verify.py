@@ -269,10 +269,13 @@ def verify_log(
 
     total = len(log)
     ticks = log.last_attempt_tick
-    # Upload efficiency: achieved transfers relative to the ceiling of one
-    # upload per node per tick over the run (the paper's "fraction of nodes
-    # that upload data in each step").
-    capacity = ticks * (n - 1 + model.server_upload)
+    # Upload efficiency: achieved transfers relative to the ceiling of each
+    # node's upload capacity per tick over the run (the paper's "fraction of
+    # nodes that upload data in each step"; per-node capacities generalise
+    # the uniform n - 1 + server_upload ceiling).
+    capacity = ticks * (
+        sum(model.upload_capacity(v) for v in range(1, n)) + model.server_upload
+    )
     efficiency = total / capacity if capacity else 0.0
 
     return VerificationReport(
@@ -406,10 +409,11 @@ def _check_tick(
             )
     if not model.unbounded_download:
         for node, count in downloads.items():
-            if count > model.download:
+            cap = model.download_capacity(node)
+            if cap is not None and count > cap:
                 raise ScheduleViolation(
                     f"node {node} downloads {count} blocks in one tick "
-                    f"(capacity {model.download})",
+                    f"(capacity {cap})",
                     tick=tick,
                     rule="download-capacity",
                 )

@@ -75,6 +75,7 @@ from .extensions import (
 )
 from .adversary import adversary
 from .figures import FigureResult, completion_fit, figure3, figure4, figure5, figure6, figure7
+from .heterogeneity import heterogeneity
 from .open_system import open_system
 from .resilience import resilience
 from .scale import SCALES
@@ -114,6 +115,7 @@ EXPERIMENTS: dict[str, Callable[..., FigureResult]] = {
     "resilience": resilience,
     "open-system": open_system,
     "adversary": adversary,
+    "heterogeneity": heterogeneity,
 }
 
 DEFAULT_CACHE_DIR = ".repro-campaign-cache"
@@ -198,22 +200,23 @@ def _engine_table() -> str:
     """Render the :mod:`repro.sim` engine registry as an aligned table."""
     from ..sim.registry import ENGINES
 
-    rows = [("engine", "faults", "adversary", "mechanism", "summary")]
+    rows = [("engine", "faults", "adversary", "bandwidth", "mechanism", "summary")]
     rows.extend(
         (
             spec.name,
             spec.fault_support,
             spec.adversary_support,
+            spec.bandwidth_support,
             spec.mechanism,
             spec.summary,
         )
         for spec in ENGINES.values()
     )
-    widths = [max(len(row[i]) for row in rows) for i in range(4)]
+    widths = [max(len(row[i]) for row in rows) for i in range(5)]
     lines = [
-        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row[:4]))
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row[:5]))
         + "  "
-        + row[4]
+        + row[5]
         for row in rows
     ]
     lines.insert(1, "-" * max(map(len, lines)))

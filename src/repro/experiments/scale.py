@@ -106,6 +106,21 @@ class Scale:
     adv_pollution_rate: float = 0.3
     adv_strikes: int = 3
     adv_max_ticks: int = 600
+    # Heterogeneity sweep (repro.telemetry + bandwidth classes):
+    # mechanism x tier-mix x service-policy grid. ``het_mixes`` names
+    # the tier mixes defined in :mod:`repro.experiments.heterogeneity`
+    # ("uniform" is the null-spec baseline); the priority and paid
+    # differentiated-service policies run on their honoring mechanisms
+    # over every non-uniform mix. ``het_window`` is the telemetry
+    # window width (ticks); ``het_paid_multiplier`` is the credit
+    # multiplier the paid fast tier buys on the barter ledger.
+    het_n: int = 24
+    het_k: int = 12
+    het_credit: int = 2
+    het_paid_multiplier: int = 3
+    het_mixes: tuple[str, ...] = ("uniform", "broadband", "dsl-heavy")
+    het_window: int = 8
+    het_max_ticks: int = 600
 
 
 SCALES: dict[str, Scale] = {
@@ -157,6 +172,13 @@ SCALES: dict[str, Scale] = {
         adv_pollution_rate=0.3,
         adv_strikes=3,
         adv_max_ticks=6000,
+        het_n=192,
+        het_k=96,
+        het_credit=2,
+        het_paid_multiplier=3,
+        het_mixes=("uniform", "broadband", "dsl-heavy"),
+        het_window=32,
+        het_max_ticks=6000,
     ),
     "xl": Scale(
         name="xl",
@@ -206,6 +228,13 @@ SCALES: dict[str, Scale] = {
         adv_pollution_rate=0.3,
         adv_strikes=3,
         adv_max_ticks=3000,
+        het_n=128,
+        het_k=64,
+        het_credit=2,
+        het_paid_multiplier=3,
+        het_mixes=("uniform", "broadband", "dsl-heavy"),
+        het_window=24,
+        het_max_ticks=3000,
     ),
     "lite": Scale(
         name="lite",
@@ -255,6 +284,13 @@ SCALES: dict[str, Scale] = {
         adv_pollution_rate=0.3,
         adv_strikes=3,
         adv_max_ticks=1500,
+        het_n=64,
+        het_k=32,
+        het_credit=2,
+        het_paid_multiplier=3,
+        het_mixes=("uniform", "broadband", "dsl-heavy"),
+        het_window=16,
+        het_max_ticks=1500,
     ),
     "ci": Scale(
         name="ci",
@@ -304,6 +340,13 @@ SCALES: dict[str, Scale] = {
         adv_pollution_rate=0.3,
         adv_strikes=3,
         adv_max_ticks=400,
+        het_n=20,
+        het_k=10,
+        het_credit=2,
+        het_paid_multiplier=3,
+        het_mixes=("uniform", "broadband"),
+        het_window=6,
+        het_max_ticks=400,
     ),
 }
 
@@ -333,6 +376,11 @@ def sweep_task_counts(scale: str | Scale | None = None) -> dict[str, int]:
         "open-system": 6 * len(s.os_rates) * 3 * r,
         # Adversary: six mechanisms over the adversary-fraction grid.
         "adversary": 6 * len(s.adv_fractions) * r,
+        # Heterogeneity: six mechanisms x tier mixes under equal
+        # service, plus the priority (bittorrent) and paid (credit)
+        # differentiated-service policies over the non-uniform mixes.
+        "heterogeneity": (6 * len(s.het_mixes) + 2 * (len(s.het_mixes) - 1))
+        * r,
     }
 
 

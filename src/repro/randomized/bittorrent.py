@@ -60,6 +60,7 @@ class BitTorrentTickPolicy(TickPolicy):
     # unchoke); departures ride the crash eviction.
     membership_support = True
     adversary_support = "full"
+    bandwidth_support = "full"
 
     def __init__(
         self,
@@ -71,6 +72,7 @@ class BitTorrentTickPolicy(TickPolicy):
         rechoke_period: int,
         selfish: frozenset[int],
         per_node_unchoke: dict[int, int],
+        tier_weighted_unchoke: bool = False,
     ) -> None:
         self.block_policy = block_policy
         self._graph = graph
@@ -79,6 +81,7 @@ class BitTorrentTickPolicy(TickPolicy):
         self.rechoke_period = rechoke_period
         self.selfish = selfish
         self.per_node_unchoke = per_node_unchoke
+        self.tier_weighted_unchoke = tier_weighted_unchoke
         # received_window[v][u]: blocks v got from u in the current window.
         self._received_window: dict[int, dict[int, int]] = defaultdict(
             lambda: defaultdict(int)
@@ -115,10 +118,24 @@ class BitTorrentTickPolicy(TickPolicy):
                 chosen = self._sample(neighbors, slots + self.optimistic_slots)
             else:
                 window = self._received_window[node]
-                ranked = sorted(
-                    (v for v in neighbors if window.get(v, 0) > 0),
-                    key=lambda v: (-window[v], rng.random()),
-                )
+                if self.tier_weighted_unchoke:
+                    # Differentiated service: receipts are weighted by
+                    # the sender's upload capacity, so a fast-tier peer
+                    # outranks a slow one with equal receipts — its
+                    # future reciprocation is worth more blocks/tick.
+                    # (Same rng.random() tiebreak draw per candidate, so
+                    # the uniform-model ranking — all weights 1 — makes
+                    # identical draws to the default path.)
+                    up = kernel.model.upload_capacity
+                    ranked = sorted(
+                        (v for v in neighbors if window.get(v, 0) > 0),
+                        key=lambda v: (-window[v] * up(v), rng.random()),
+                    )
+                else:
+                    ranked = sorted(
+                        (v for v in neighbors if window.get(v, 0) > 0),
+                        key=lambda v: (-window[v], rng.random()),
+                    )
                 chosen = list(ranked[:slots])
                 others = [v for v in neighbors if v not in chosen]
                 chosen.extend(self._sample(others, self.optimistic_slots))
@@ -158,9 +175,18 @@ class BitTorrentTickPolicy(TickPolicy):
             if snapshot[v] and v not in selfish and (v != SERVER or server_ok)
         ]
         rng.shuffle(uploaders)
-        server_rounds = kernel.model.server_upload
+        model = kernel.model
+        server_rounds = model.server_upload
+        up_rounds = (
+            None
+            if getattr(model, "is_uniform", True)
+            else [model.upload_capacity(v) for v in range(kernel.n)]
+        )
         for src in uploaders:
-            rounds = server_rounds if src == SERVER else 1
+            if src == SERVER:
+                rounds = server_rounds
+            else:
+                rounds = 1 if up_rounds is None else up_rounds[src]
             have = snapshot[src]
             for _ in range(rounds):
                 candidates = [
@@ -275,6 +301,11 @@ class BitTorrentTickPolicy(TickPolicy):
             "uploads_per_tick": kernel.uploads_per_tick,
             "final_holdings": [m.bit_count() for m in kernel.state.masks],
             "selfish": sorted(self.selfish),
+            **(
+                {"tier_weighted_unchoke": True}
+                if self.tier_weighted_unchoke
+                else {}
+            ),
         }
 
 
@@ -300,6 +331,9 @@ class BitTorrentEngine:
         recovery: RecoveryPolicy | None = None,
         workload=None,
         adversary=None,
+        bandwidth=None,
+        telemetry=None,
+        tier_weighted_unchoke: bool = False,
     ) -> None:
         if unchoke_slots < 1:
             raise ConfigError(f"need at least one unchoke slot, got {unchoke_slots}")
@@ -352,6 +386,7 @@ class BitTorrentEngine:
             rechoke_period=rechoke_period,
             selfish=self.selfish,
             per_node_unchoke=per_node_unchoke,
+            tier_weighted_unchoke=tier_weighted_unchoke,
         )
         self.kernel = TickKernel(
             n,
@@ -365,6 +400,8 @@ class BitTorrentEngine:
             recovery=recovery,
             workload=workload,
             adversary=adversary,
+            bandwidth=bandwidth,
+            telemetry=telemetry,
         )
 
     @property

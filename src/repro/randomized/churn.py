@@ -204,6 +204,8 @@ class ChurnEngine(RandomizedEngine):
         backend: object | None = None,
         workload=None,
         adversary=None,
+        bandwidth=None,
+        telemetry=None,
     ) -> None:
         super().__init__(
             n,
@@ -220,6 +222,8 @@ class ChurnEngine(RandomizedEngine):
             backend=backend,
             workload=workload,
             adversary=adversary,
+            bandwidth=bandwidth,
+            telemetry=telemetry,
         )
         arrivals = dict(arrivals or {})
         departures = dict(departures or {})

@@ -70,6 +70,7 @@ class RandomizedTickPolicy(TickPolicy):
     supports_array = True
     membership_support = True
     adversary_support = "full"
+    bandwidth_support = "full"
 
     def __init__(
         self,
@@ -167,7 +168,16 @@ class RandomizedTickPolicy(TickPolicy):
         attempt = kernel.attempt
         choose = self.block_policy.choose
         pick = self._pick_destination
-        server_rounds = kernel.model.server_upload
+        model = kernel.model
+        server_rounds = model.server_upload
+        # Per-node upload rounds under heterogeneous tiers; None keeps
+        # the historical single-round client path (and its exact
+        # branch shape) for uniform models.
+        up_rounds = (
+            None
+            if getattr(model, "is_uniform", True)
+            else [model.upload_capacity(v) for v in range(kernel.n)]
+        )
         # Hot-loop hoists: the receiver pool is one live list per tick
         # (mutated in place as capacity drains), so its reference — like
         # the rng and absent set — is loop-invariant and passed down
@@ -175,7 +185,10 @@ class RandomizedTickPolicy(TickPolicy):
         pool = kernel.receiver_pool if complete_graph else None
         absent = kernel.absent
         for src in uploaders:
-            rounds = server_rounds if src == SERVER else 1
+            if src == SERVER:
+                rounds = server_rounds
+            else:
+                rounds = 1 if up_rounds is None else up_rounds[src]
             for _ in range(rounds):
                 dst = pick(src, snapshot, masks, dl_left, pool, rng, absent)
                 if dst is None:
@@ -266,7 +279,13 @@ class RandomizedTickPolicy(TickPolicy):
         credit_sends = kernel._credit_sends if kernel.credit is not None else None
         rec_d = kernel._log_delivery
         rec_f = kernel._log_failure
-        server_rounds = kernel.model.server_upload
+        model = kernel.model
+        server_rounds = model.server_upload
+        up_rounds = (
+            None
+            if getattr(model, "is_uniform", True)
+            else [model.upload_capacity(v) for v in range(kernel.n)]
+        )
         full = kernel._full
         tick = kernel.tick
         pool_item = pool_arr.item
@@ -291,6 +310,7 @@ class RandomizedTickPolicy(TickPolicy):
             and not gated
             and not reseed_rare
             and dl_left is not None
+            and getattr(kernel.model, "is_uniform", True)
             and kernel.model.download == 1
         )
         if fast and can is not None:
@@ -459,7 +479,10 @@ class RandomizedTickPolicy(TickPolicy):
             have = snapshot[src]
             have_row = snap_words[src]
             is_server = src == SERVER
-            rounds = server_rounds if is_server else 1
+            if is_server:
+                rounds = server_rounds
+            else:
+                rounds = 1 if up_rounds is None else up_rounds[src]
             for _ in range(rounds):
                 size = backend.size
                 if size == 0:
@@ -702,6 +725,16 @@ class RandomizedEngine:
         bit-identical to one without the argument; otherwise the kernel
         realises free-riders (excluded from uploading like ``selfish``),
         polluters and liars per the plan from a dedicated RNG stream.
+    bandwidth:
+        Optional :class:`~repro.core.bandwidth.BandwidthClasses`. A null
+        spec is the uniform model (bit-identical runs); otherwise tiers
+        are realized per node and this engine honors both axes
+        (``bandwidth_support='full'``): fast tiers upload several blocks
+        per tick and are charged per-node download capacities.
+    telemetry:
+        Optional :class:`~repro.telemetry.TelemetrySpec`; digests the
+        completed log into ``meta["telemetry"]`` (requires
+        ``keep_log=True``, never perturbs the run).
     """
 
     _tick_policy_cls = RandomizedTickPolicy
@@ -724,6 +757,8 @@ class RandomizedEngine:
         backend: object | None = None,
         workload=None,
         adversary=None,
+        bandwidth=None,
+        telemetry=None,
     ) -> None:
         self.n, self.k = n, k
         self.policy = policy or RandomPolicy()
@@ -772,6 +807,8 @@ class RandomizedEngine:
             backend=backend,
             workload=workload,
             adversary=adversary,
+            bandwidth=bandwidth,
+            telemetry=telemetry,
         )
 
     def _build_tick_policy(

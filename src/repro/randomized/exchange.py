@@ -64,6 +64,11 @@ class ExchangeTickPolicy(TickPolicy):
     supports_array = True
     membership_support = True
     adversary_support = "full"
+    # One swap per client per tick is structural here — a fast tier's
+    # extra upload capacity cannot be spent — so only the download axis
+    # is honored (which is exactly the strict regime's asymmetry the
+    # heterogeneity experiment measures).
+    bandwidth_support = "download"
 
     def __init__(self, block_policy: BlockPolicy, graph: Graph) -> None:
         self.block_policy = block_policy
@@ -108,7 +113,8 @@ class ExchangeTickPolicy(TickPolicy):
         # the slot is spent) may only also barter with a second unit of
         # download capacity.
         model = kernel.model
-        seed_can_barter = model.unbounded_download or model.download >= 2
+        seed_cap = None if seeded is None else model.download_capacity(seeded)
+        seed_can_barter = seeded is None or seed_cap is None or seed_cap >= 2
         # Free-riders refuse to upload, and a barter swap *is* an upload
         # in each direction — so they can neither initiate nor accept a
         # match. They stay eligible for the free server seed above (the
@@ -207,6 +213,8 @@ class ExchangeEngine:
         backend: object | None = None,
         workload=None,
         adversary=None,
+        bandwidth=None,
+        telemetry=None,
     ) -> None:
         self.n, self.k = n, k
         self.policy = policy or RandomPolicy()
@@ -229,6 +237,8 @@ class ExchangeEngine:
             backend=backend,
             workload=workload,
             adversary=adversary,
+            bandwidth=bandwidth,
+            telemetry=telemetry,
         )
 
     @property
@@ -265,6 +275,8 @@ def randomized_exchange_run(
     recovery: RecoveryPolicy | None = None,
     backend: object | None = None,
     adversary=None,
+    bandwidth=None,
+    telemetry=None,
 ) -> RunResult:
     """Run randomized strict-barter exchange until completion or timeout;
     see :class:`ExchangeEngine`."""
@@ -281,4 +293,6 @@ def randomized_exchange_run(
         recovery=recovery,
         backend=backend,
         adversary=adversary,
+        bandwidth=bandwidth,
+        telemetry=telemetry,
     ).run()

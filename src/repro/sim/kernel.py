@@ -40,6 +40,7 @@ from typing import Callable
 from ..adversary.driver import PHANTOM, AdversaryDriver
 from ..adversary.plan import AdversaryPlan
 from ..checkpoint import rng_state_from_json, rng_state_to_json
+from ..core.bandwidth import BandwidthClasses
 from ..core.errors import CheckpointError, ConfigError
 from ..core.log import RunResult, TransferLog
 from ..core.mechanisms import CreditLimitedBarter
@@ -49,10 +50,17 @@ from ..faults.injector import FaultInjector
 from ..faults.plan import FaultPlan
 from ..faults.recovery import RecoveryPolicy
 from ..overlays.graph import Graph
+from ..telemetry.digest import digest_run
+from ..telemetry.spec import TelemetrySpec
 from ..workloads.compiler import compile_workload
 from ..workloads.spec import WorkloadSpec
 from .membership import MembershipRuntime
-from .policy import ADVERSARY_SUPPORT_LEVELS, FAULT_SUPPORT_LEVELS, TickPolicy
+from .policy import (
+    ADVERSARY_SUPPORT_LEVELS,
+    BANDWIDTH_SUPPORT_LEVELS,
+    FAULT_SUPPORT_LEVELS,
+    TickPolicy,
+)
 
 __all__ = ["TickKernel", "default_max_ticks"]
 
@@ -127,6 +135,24 @@ class TickKernel:
         need randomness, so attaching a purely deterministic plan
         (explicit free-riders only) costs zero draws — which is what
         makes the ``selfish`` deprecation shim bit-identical.
+    bandwidth:
+        Optional :class:`~repro.core.bandwidth.BandwidthClasses`. A null
+        spec is normalised to "uniform model" (bit-identical runs); a
+        non-null spec must fit ``policy.bandwidth_support`` — the
+        ``fault_support`` honesty contract, applied to capacities — or
+        construction raises :class:`~repro.core.errors.ConfigError`.
+        Realization draws one seed from the decision stream, *after*
+        every other derived stream (injector, workload, adversary), so
+        attaching tiers never shifts fault, arrival or adversary
+        randomness; the realized per-node model replaces ``model`` for
+        the whole run (capacity charging, verification, metadata).
+    telemetry:
+        Optional :class:`~repro.telemetry.TelemetrySpec`. The digest is
+        computed *after* the tick loop from the completed transfer log
+        (zero hot-path cost, zero RNG — armed runs are byte-identical)
+        and exported as ``meta["telemetry"]``. Requires
+        ``keep_log=True``; the combination with ``keep_log=False``
+        raises :class:`~repro.core.errors.ConfigError`.
     """
 
     # Slotted: ``attempt`` / ``_deliver_mask`` run once per transfer
@@ -141,7 +167,8 @@ class TickKernel:
         "fault_plan", "faults", "_stall_window", "_judge", "_deliver",
         "array", "_log_delivery", "_log_failure", "workload", "_membership",
         "_mid_tick", "_stall_idle", "_ckpt_interval", "_ckpt_hook",
-        "_heartbeat", "adversary_plan", "adversary",
+        "_heartbeat", "adversary_plan", "adversary", "bandwidth",
+        "telemetry", "_dl_caps",
     )
 
     def __init__(
@@ -160,6 +187,8 @@ class TickKernel:
         backend: object | None = None,
         workload: WorkloadSpec | None = None,
         adversary: AdversaryPlan | None = None,
+        bandwidth: BandwidthClasses | None = None,
+        telemetry: TelemetrySpec | None = None,
     ) -> None:
         self.state = SwarmState(n, k)
         self.n, self.k = n, k
@@ -368,6 +397,80 @@ class TickKernel:
         else:
             self.adversary = None
 
+        # Heterogeneous bandwidth classes. Same normalisation contract:
+        # a null spec is the uniform model (no realization, no extra RNG
+        # draw — bit-identical to a plain run); a non-null spec a policy
+        # cannot honor is refused loudly. The realization seed is drawn
+        # *last* — after the injector's, the workload compile seed and
+        # the adversary driver's — so attaching tiers never shifts any
+        # other stream's randomness.
+        bw_support = policy.bandwidth_support
+        if bw_support not in BANDWIDTH_SUPPORT_LEVELS:  # pragma: no cover - dev error
+            raise ConfigError(
+                f"policy {policy.name!r} declares unknown bandwidth_support "
+                f"{bw_support!r}"
+            )
+        bspec = bandwidth if bandwidth is not None and not bandwidth.is_null else None
+        if bspec is not None:
+            if bw_support == "none":
+                raise ConfigError(
+                    f"the {policy.name} engine does not support "
+                    f"heterogeneous bandwidth classes "
+                    f"(bandwidth_support='none'); remove the "
+                    f"BandwidthClasses spec or pick an engine from the "
+                    f"bandwidth parity table in docs/API.md"
+                )
+            if bw_support == "download" and any(
+                t.upload != 1 for t in bspec.tiers
+            ):
+                raise ConfigError(
+                    f"the {policy.name} engine "
+                    f"(bandwidth_support='download') charges per-node "
+                    f"download capacities but keeps client uploads "
+                    f"structurally at 1 block/tick; set every tier's "
+                    f"upload to 1 or pick a bandwidth_support='full' "
+                    f"engine from the parity table in docs/API.md"
+                )
+            self.model = bspec.realize(
+                n, self.rng.getrandbits(63), base=self.model
+            )
+        self.bandwidth = bspec
+        if self.credit is not None and getattr(
+            self.credit, "tier_multipliers", None
+        ):
+            # Paid-tier credit multipliers resolve against the realized
+            # tier assignment (ConfigError without one): the online gate
+            # and the offline verifier then judge the same per-node
+            # limits.
+            self.credit.bind_tiers(self.model)
+
+        # Telemetry is post-run log digestion, so it changes nothing
+        # about the run itself — but it needs the log.
+        if telemetry is not None and not keep_log:
+            raise ConfigError(
+                "telemetry digests the completed transfer log, which "
+                "keep_log=False discards; arm telemetry with "
+                "keep_log=True or drop the TelemetrySpec"
+            )
+        self.telemetry = telemetry
+
+        # Per-tick download capacities, precomputed once. Uniform models
+        # keep the historical [cap] * n shape; heterogeneous realizations
+        # get per-node entries, with a large sentinel standing in for
+        # unbounded nodes in an otherwise bounded swarm (it can never
+        # reach the <= 0 receiver-pool eviction).
+        if not self._use_dl_ledger:
+            self._dl_caps: list[int] | None = None
+        elif getattr(self.model, "is_uniform", True):
+            cap = self.model.download
+            self._dl_caps = None if cap is None else [cap] * n
+        else:
+            caps = [self.model.download_capacity(v) for v in range(n)]
+            if all(c is None for c in caps):
+                self._dl_caps = None
+            else:
+                self._dl_caps = [(1 << 30) if c is None else c for c in caps]
+
     # -- pools -------------------------------------------------------------
 
     @property
@@ -567,10 +670,8 @@ class TickKernel:
         snapshot = self.state.begin_tick()
         if self.array is not None:
             self.array.begin_tick()
-        cap = self.model.download
-        self._dl_left = (
-            [cap] * self.n if (self._use_dl_ledger and cap is not None) else None
-        )
+        caps = self._dl_caps
+        self._dl_left = list(caps) if caps is not None else None
         self._avail_active = False
         self._tick_delivered = 0
         self._tick_failed = 0
@@ -639,6 +740,8 @@ class TickKernel:
             "faults": self.faults is not None,
             "workload": self._membership is not None,
             "adversary": self.adversary is not None,
+            "bandwidth": None if self.bandwidth is None else repr(self.bandwidth),
+            "telemetry": None if self.telemetry is None else repr(self.telemetry),
         }
 
     def checkpoint(self) -> dict[str, object]:
@@ -897,6 +1000,19 @@ class TickKernel:
                 meta["stall_window"] = self._stall_window
             meta.update(adv.telemetry())
             meta.update(adv.events())
+        if self.bandwidth is not None:
+            meta["bandwidth"] = self.bandwidth.describe()
+            meta["tier_counts"] = self.model.tier_counts()
+        if self.telemetry is not None:
+            meta["telemetry"] = digest_run(
+                self.telemetry,
+                n=self.n,
+                k=self.k,
+                model=self.model,
+                log=self.log,
+                completions=completions,
+                ticks=self.tick,
+            )
         return RunResult(
             n=self.n,
             k=self.k,

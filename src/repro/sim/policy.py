@@ -29,7 +29,12 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .kernel import TickKernel
 
-__all__ = ["TickPolicy", "FAULT_SUPPORT_LEVELS", "ADVERSARY_SUPPORT_LEVELS"]
+__all__ = [
+    "TickPolicy",
+    "FAULT_SUPPORT_LEVELS",
+    "ADVERSARY_SUPPORT_LEVELS",
+    "BANDWIDTH_SUPPORT_LEVELS",
+]
 
 #: Valid ``TickPolicy.fault_support`` values, weakest to strongest:
 #: ``"none"`` rejects every non-null plan; ``"links"`` carries transfer
@@ -44,6 +49,15 @@ FAULT_SUPPORT_LEVELS = ("none", "links", "full")
 #: and liars; ``"full"`` carries every axis including pollution, lies
 #: and the strike-based blacklist defense.
 ADVERSARY_SUPPORT_LEVELS = ("none", "free-riders", "full")
+
+#: Valid ``TickPolicy.bandwidth_support`` values, weakest to strongest:
+#: ``"none"`` rejects every non-null
+#: :class:`~repro.core.bandwidth.BandwidthClasses` spec; ``"download"``
+#: honors per-node *download* capacities (the kernel's ledger and the
+#: verifier charge them per node) but keeps client uploads structurally
+#: at 1 block/tick, so a spec with any tier ``upload != 1`` is refused;
+#: ``"full"`` honors both axes.
+BANDWIDTH_SUPPORT_LEVELS = ("none", "download", "full")
 
 
 class TickPolicy:
@@ -90,6 +104,14 @@ class TickPolicy:
     #: ``fault_support``, so adversaries are never silently ignored.
     #: Defaults to ``"none"``: a policy must opt in explicitly.
     adversary_support = "none"
+
+    #: Bandwidth-class axes this policy can honor; see
+    #: :data:`BANDWIDTH_SUPPORT_LEVELS`. The kernel refuses
+    #: (``ConfigError``) any :class:`~repro.core.bandwidth.BandwidthClasses`
+    #: axis the policy cannot carry — the same honesty contract as
+    #: ``fault_support``, so heterogeneous capacities are never silently
+    #: flattened back to uniform. Defaults to ``"none"``.
+    bandwidth_support = "none"
 
     kernel: "TickKernel"
 

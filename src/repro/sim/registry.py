@@ -78,6 +78,13 @@ class EngineSpec:
     #: beyond this raise ``ConfigError`` (see
     #: :data:`~repro.sim.policy.ADVERSARY_SUPPORT_LEVELS`).
     adversary_support: str = "none"
+    #: Bandwidth-class axes the engine honors — ``"none"`` /
+    #: ``"download"`` (per-node download capacities only; tier uploads
+    #: must stay 1) / ``"full"``; a
+    #: :class:`~repro.core.bandwidth.BandwidthClasses` spec beyond this
+    #: raises ``ConfigError`` (see
+    #: :data:`~repro.sim.policy.BANDWIDTH_SUPPORT_LEVELS`).
+    bandwidth_support: str = "none"
 
 
 def _randomized(n: int, k: int, **kwargs: Any) -> Any:
@@ -126,6 +133,7 @@ ENGINES: dict[str, EngineSpec] = {
             mechanism="cooperative / credit-limited barter",
             fault_support="full",
             adversary_support="full",
+            bandwidth_support="full",
             factory=_randomized,
             array_backend=True,
         ),
@@ -135,6 +143,7 @@ ENGINES: dict[str, EngineSpec] = {
             mechanism="cooperative / credit-limited barter",
             fault_support="full",
             adversary_support="full",
+            bandwidth_support="full",
             factory=_churn,
             array_backend=True,
         ),
@@ -144,6 +153,7 @@ ENGINES: dict[str, EngineSpec] = {
             mechanism="strict barter",
             fault_support="full",
             adversary_support="full",
+            bandwidth_support="download",
             factory=_exchange,
             array_backend=True,
         ),
@@ -153,6 +163,7 @@ ENGINES: dict[str, EngineSpec] = {
             mechanism="tit-for-tat (approximate barter)",
             fault_support="full",
             adversary_support="full",
+            bandwidth_support="full",
             factory=_bittorrent,
         ),
         EngineSpec(
@@ -161,6 +172,7 @@ ENGINES: dict[str, EngineSpec] = {
             mechanism="cooperative",
             fault_support="full",
             adversary_support="free-riders",
+            bandwidth_support="download",
             factory=_coding,
         ),
         EngineSpec(
@@ -170,6 +182,7 @@ ENGINES: dict[str, EngineSpec] = {
             mechanism="cooperative",
             fault_support="full",
             adversary_support="full",
+            bandwidth_support="full",
             factory=_async,
         ),
     )

@@ -1,0 +1,34 @@
+"""repro.telemetry — queueing-grade observability for kernel runs.
+
+Three layers (see the module docstrings for detail):
+
+* :mod:`repro.telemetry.accumulators` — :class:`Stats` (Welford running
+  moments), :class:`StatsWindow` (fixed tick windows, zero-filled) and
+  :class:`Histogram` (fixed-width or base-2 log buckets with percentile
+  queries), all mergeable and JSON round-trippable;
+* :mod:`repro.telemetry.spec` — :class:`TelemetrySpec`, the frozen,
+  hashable, fingerprintable configuration accepted by every engine and
+  by :class:`~repro.sim.kernel.TickKernel` (``telemetry=``);
+* :mod:`repro.telemetry.digest` — :func:`digest_run`, the pure post-run
+  function producing ``meta["telemetry"]`` (per-tier wait-time
+  histograms, windowed throughput, server utilization, completion-time
+  percentiles), and :func:`fold_digests` for folding campaign replicas.
+
+Arming telemetry requires ``keep_log=True`` and changes nothing else:
+the digest runs after the tick loop over the completed log, so armed
+runs stay byte-identical to unarmed ones (pinned by the golden suite).
+"""
+
+from .accumulators import Histogram, Stats, StatsWindow
+from .digest import digest_run, exact_percentile, fold_digests
+from .spec import TelemetrySpec
+
+__all__ = [
+    "Histogram",
+    "Stats",
+    "StatsWindow",
+    "TelemetrySpec",
+    "digest_run",
+    "exact_percentile",
+    "fold_digests",
+]

@@ -1,0 +1,269 @@
+"""Streaming statistics accumulators: ``Stats``, ``StatsWindow``, ``Histogram``.
+
+The queueing-grade observability primitives behind :mod:`repro.telemetry`
+(ROADMAP open item 2): small, dependency-free accumulators in the style
+of production queueing/metrics libraries, designed so that
+
+* adding a sample is O(1) and allocation-free on the hot path,
+* two accumulators with the same configuration can be *merged*
+  (campaign replicas fold into one view),
+* every accumulator round-trips through a compact JSON-shaped dict
+  (``to_json`` / ``from_json``) suitable for ``RunResult.meta``.
+
+``Stats`` is a Welford running-moments accumulator (count / mean /
+variance / min / max, numerically stable, mergeable via the parallel
+variance formula). ``StatsWindow`` buckets a tick-ordered sample stream
+into fixed-width consecutive windows, zero-filling skipped windows, so
+windowed series (per-tier throughput, server utilization) line up across
+runs regardless of activity gaps. ``Histogram`` counts samples in
+fixed-width or base-2 logarithmic buckets and answers percentile queries
+by bucket lower edge — exact for integer data in width-1 buckets, within
+one bucket otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil, sqrt
+
+from ..core.errors import ConfigError
+
+__all__ = ["Stats", "StatsWindow", "Histogram"]
+
+
+@dataclass(slots=True)
+class Stats:
+    """Welford running moments: count, mean, variance, min, max.
+
+    Mergeable (parallel-variance formula) and JSON round-trippable; the
+    second moment is tracked as the sum of squared deviations ``m2`` so
+    merging two disjoint sample sets is exact.
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+    min: float | None = None
+    max: float | None = None
+
+    def add(self, x: float) -> None:
+        """Accumulate one sample."""
+        self.count += 1
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (x - self.mean)
+        if self.min is None or x < self.min:
+            self.min = x
+        if self.max is None or x > self.max:
+            self.max = x
+
+    def merge(self, other: "Stats") -> None:
+        """Fold ``other``'s samples into this accumulator (exact)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self.m2 = other.m2
+            self.min = other.min
+            self.max = other.max
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self.m2 += other.m2 + delta * delta * self.count * other.count / total
+        self.mean += delta * other.count / total
+        self.count = total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0.0 with fewer than two samples)."""
+        return self.m2 / self.count if self.count > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation."""
+        return sqrt(self.variance)
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "m2": self.m2,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Stats":
+        return cls(
+            count=int(data["count"]),
+            mean=float(data["mean"]),
+            m2=float(data["m2"]),
+            min=data["min"],
+            max=data["max"],
+        )
+
+
+class StatsWindow:
+    """Fixed-width consecutive tick windows of :class:`Stats`.
+
+    Window ``w`` covers ticks ``w * width + 1 .. (w + 1) * width``
+    (1-based ticks, so the first window is ticks ``1 .. width``).
+    Samples must arrive in non-decreasing tick order; advancing past a
+    window closes it, and windows skipped entirely are zero-filled with
+    empty :class:`Stats`, so two series over the same tick range always
+    align index by index.
+    """
+
+    __slots__ = ("width", "_windows", "_current", "_last_tick")
+
+    def __init__(self, width: int) -> None:
+        if width < 1:
+            raise ConfigError(f"window width must be >= 1, got {width}")
+        self.width = width
+        self._windows: list[Stats] = []
+        self._current = Stats()
+        self._last_tick = 0
+
+    def add(self, tick: int, x: float) -> None:
+        """Accumulate one sample stamped with its (1-based) tick."""
+        if tick < 1:
+            raise ConfigError(f"ticks are 1-based, got {tick}")
+        if tick < self._last_tick:
+            raise ConfigError(
+                f"samples must arrive in tick order ({tick} after {self._last_tick})"
+            )
+        w = (tick - 1) // self.width
+        while len(self._windows) < w:
+            # Close the running window (possibly empty) and zero-fill.
+            self._windows.append(self._current)
+            self._current = Stats()
+        self._last_tick = tick
+        self._current.add(x)
+
+    def windows(self, through_tick: int | None = None) -> list[Stats]:
+        """All windows, closed and current, optionally zero-filled out to
+        the window containing ``through_tick`` (for runs whose tail ticks
+        saw no samples)."""
+        out = list(self._windows)
+        out.append(self._current)
+        if through_tick is not None and through_tick >= 1:
+            want = (through_tick - 1) // self.width + 1
+            while len(out) < want:
+                out.append(Stats())
+        return out
+
+    def to_json(self, through_tick: int | None = None) -> dict[str, object]:
+        return {
+            "width": self.width,
+            "windows": [w.to_json() for w in self.windows(through_tick)],
+        }
+
+
+class Histogram:
+    """Bucketed sample counts with percentile queries.
+
+    Two bucket layouts:
+
+    * fixed width ``w`` — bucket ``i`` covers ``[i * w, (i + 1) * w)``;
+      with ``w = 1`` and integer samples, percentiles are exact;
+    * base-2 logarithmic (``log2=True``) — bucket 0 holds samples
+      ``< 1``, bucket ``i >= 1`` covers ``[2**(i-1), 2**i)``; percentiles
+      are then correct to within a factor of 2 (the bucket lower edge).
+
+    ``percentile(p)`` returns the lower edge of the bucket containing
+    the sample of rank ``max(1, ceil(p / 100 * count))`` — the standard
+    nearest-rank definition evaluated on the bucketed distribution.
+    """
+
+    __slots__ = ("width", "log2", "counts", "count", "total")
+
+    def __init__(self, width: float = 1.0, log2: bool = False) -> None:
+        if not log2 and width <= 0:
+            raise ConfigError(f"bucket width must be > 0, got {width}")
+        self.width = 1.0 if log2 else float(width)
+        self.log2 = log2
+        self.counts: dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+
+    def _bucket(self, x: float) -> int:
+        if x < 0:
+            raise ConfigError(f"histogram samples must be >= 0, got {x}")
+        if self.log2:
+            if x < 1:
+                return 0
+            return int(x).bit_length()  # [2**(i-1), 2**i) -> bucket i
+        return int(x // self.width)
+
+    def bucket_edge(self, bucket: int) -> float:
+        """Lower edge of ``bucket`` in sample units."""
+        if self.log2:
+            return 0.0 if bucket == 0 else float(1 << (bucket - 1))
+        return bucket * self.width
+
+    def add(self, x: float, count: int = 1) -> None:
+        """Accumulate ``count`` samples of value ``x``."""
+        b = self._bucket(x)
+        self.counts[b] = self.counts.get(b, 0) + count
+        self.count += count
+        self.total += x * count
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold a same-configuration histogram into this one."""
+        if other.log2 != self.log2 or other.width != self.width:
+            raise ConfigError(
+                "cannot merge histograms with different bucket layouts"
+            )
+        for b, c in other.counts.items():
+            self.counts[b] = self.counts.get(b, 0) + c
+        self.count += other.count
+        self.total += other.total
+
+    @property
+    def mean(self) -> float:
+        """Exact sample mean (tracked alongside the buckets)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float | None:
+        """Nearest-rank percentile by bucket lower edge; ``None`` when
+        empty."""
+        if self.count == 0:
+            return None
+        if not 0 < p <= 100:
+            raise ConfigError(f"percentile must be in (0, 100], got {p}")
+        rank = max(1, ceil(p / 100.0 * self.count))
+        seen = 0
+        for b in sorted(self.counts):
+            seen += self.counts[b]
+            if seen >= rank:
+                return self.bucket_edge(b)
+        return self.bucket_edge(max(self.counts))  # pragma: no cover
+
+    def to_json(self, percentiles: tuple[float, ...] = ()) -> dict[str, object]:
+        data: dict[str, object] = {
+            "width": self.width,
+            "log2": self.log2,
+            "count": self.count,
+            "total": self.total,
+            "buckets": {str(b): c for b, c in sorted(self.counts.items())},
+        }
+        if percentiles:
+            data["percentiles"] = {
+                f"p{g:g}": self.percentile(g) for g in percentiles
+            }
+        if self.count:
+            data["mean"] = self.mean
+        return data
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Histogram":
+        hist = cls(width=float(data["width"]), log2=bool(data["log2"]))
+        hist.counts = {int(b): int(c) for b, c in data["buckets"].items()}
+        hist.count = int(data["count"])
+        hist.total = float(data["total"])
+        return hist

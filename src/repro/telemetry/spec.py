@@ -1,0 +1,65 @@
+"""The telemetry configuration spec.
+
+:class:`TelemetrySpec` mirrors the other optional kernel axes
+(:class:`~repro.faults.plan.FaultPlan`,
+:class:`~repro.workloads.spec.WorkloadSpec`,
+:class:`~repro.core.bandwidth.BandwidthClasses`): a pure, frozen,
+hashable value with a stable ``repr``, so it can sit inside a campaign
+cache fingerprint unchanged.
+
+Arming telemetry never changes a run: the digest is computed *after*
+the tick loop, from the completed transfer log, and draws zero RNG —
+runs with and without a spec are byte-for-byte identical (pinned by the
+golden suite). The only requirement is ``keep_log=True``, since the log
+is the digest's input; the kernel refuses (``ConfigError``) the
+combination of telemetry and ``keep_log=False`` rather than silently
+reporting nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ConfigError
+
+__all__ = ["TelemetrySpec"]
+
+
+@dataclass(frozen=True, slots=True)
+class TelemetrySpec:
+    """What to measure and at what granularity.
+
+    Parameters
+    ----------
+    window:
+        Tick-window width for the windowed series (per-tier throughput,
+        server utilization).
+    wait_width:
+        Bucket width of the per-tier block wait-time histograms
+        (inter-arrival gaps of delivered blocks, in ticks). With the
+        default width 1 and integer ticks the histogram percentiles are
+        exact.
+    wait_log2:
+        Use base-2 logarithmic wait-time buckets instead (compact for
+        heavy-tailed waits; percentiles then within a factor of 2).
+    percentiles:
+        Percentile levels exported for wait-time and completion-time
+        distributions.
+    """
+
+    window: int = 32
+    wait_width: float = 1.0
+    wait_log2: bool = False
+    percentiles: tuple[float, ...] = (10.0, 50.0, 90.0, 99.0)
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ConfigError(f"telemetry window must be >= 1, got {self.window}")
+        if not self.wait_log2 and self.wait_width <= 0:
+            raise ConfigError(
+                f"wait-time bucket width must be > 0, got {self.wait_width}"
+            )
+        object.__setattr__(self, "percentiles", tuple(float(p) for p in self.percentiles))
+        for p in self.percentiles:
+            if not 0 < p <= 100:
+                raise ConfigError(f"percentile must be in (0, 100], got {p}")

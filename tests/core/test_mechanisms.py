@@ -135,6 +135,91 @@ class TestCreditLimitedBarter:
             m.check_tick(4, tick([(1, 2, 9)]))
 
 
+class TestTierCreditMultipliers:
+    """Paid-tier differentiated service: per-receiver credit limits."""
+
+    def _model(self):
+        from repro.core.bandwidth import BandwidthClasses, BandwidthTier
+
+        spec = BandwidthClasses(
+            tiers=(
+                BandwidthTier("fast", 0.5, upload=1, download=2),
+                BandwidthTier("dsl", 0.5, upload=1, download=1),
+            )
+        )
+        return spec.realize(10, seed=3)
+
+    def test_rejects_bad_multipliers(self):
+        with pytest.raises(ConfigError):
+            CreditLimitedBarter(1, tier_multipliers={"fast": 0})
+        with pytest.raises(ConfigError):
+            CreditLimitedBarter(1, tier_multipliers={"fast": 1.5})
+
+    def test_bind_requires_realized_tiers(self):
+        from repro.core.model import BandwidthModel
+
+        m = CreditLimitedBarter(1, tier_multipliers={"fast": 3})
+        with pytest.raises(ConfigError):
+            m.bind_tiers(BandwidthModel.symmetric())
+
+    def test_bind_rejects_unknown_tier_names(self):
+        m = CreditLimitedBarter(1, tier_multipliers={"fiber": 2})
+        with pytest.raises(ConfigError, match="fiber"):
+            m.bind_tiers(self._model())
+
+    def test_limits_follow_tier_assignment(self):
+        model = self._model()
+        m = CreditLimitedBarter(2, tier_multipliers={"fast": 3})
+        m.bind_tiers(model)
+        for node in range(1, model.n):
+            expected = 6 if model.tier_name(node) == "fast" else 2
+            assert m.limit_for(node) == expected
+
+    def test_bind_without_multipliers_is_noop(self):
+        m = CreditLimitedBarter(2)
+        from repro.core.model import BandwidthModel
+
+        m.bind_tiers(BandwidthModel.symmetric())  # no error
+        assert m.limit_for(5) == 2
+
+    def test_paid_receiver_gets_more_unreciprocated_credit(self):
+        model = self._model()
+        paid = next(
+            v for v in range(1, model.n) if model.tier_name(v) == "fast"
+        )
+        unpaid = next(
+            v for v in range(1, model.n) if model.tier_name(v) == "dsl"
+        )
+        m = CreditLimitedBarter(1, tier_multipliers={"fast": 2})
+        m.bind_tiers(model)
+        src = next(v for v in range(1, model.n) if v not in (paid, unpaid))
+        # Two one-way sends toward the paid tier pass...
+        m.check_tick(1, tick([(src, paid, 0)]))
+        m.check_tick(2, tick([(src, paid, 1)]))
+        # ...but the unpaid tier still caps at the base limit.
+        m.check_tick(3, tick([(src, unpaid, 0)]))
+        with pytest.raises(ScheduleViolation):
+            m.check_tick(4, tick([(src, unpaid, 1)]))
+
+    def test_online_gate_matches_offline_checker(self):
+        model = self._model()
+        paid = next(
+            v for v in range(1, model.n) if model.tier_name(v) == "fast"
+        )
+        m = CreditLimitedBarter(1, tier_multipliers={"fast": 2})
+        m.bind_tiers(model)
+        src = next(v for v in range(1, model.n) if v != paid)
+        assert m.allows(src, paid)
+        m.note_send(src, paid)
+        assert m.allows(src, paid)  # limit 2, one outstanding
+        m.note_send(src, paid)
+        assert not m.allows(src, paid)
+
+    def test_repr_names_multipliers(self):
+        m = CreditLimitedBarter(2, tier_multipliers={"fast": 3})
+        assert "fastx3" in repr(m)
+
+
 class TestTriangularBarter:
     def test_rejects_bad_params(self):
         with pytest.raises(ConfigError):

@@ -121,6 +121,71 @@ class TestVerifyRuleChecks:
         verify_log(ok, 3, 1, overlay=chain(3))
 
 
+class TestVerifyHeterogeneous:
+    """Per-node capacity charging against a realized tier model."""
+
+    def _model(self):
+        from repro.core.bandwidth import HeterogeneousModel
+
+        # Client 1: u=2, d=4; client 2: u=1, d=1; client 3: u=1, d=2.
+        return HeterogeneousModel(
+            uploads=(1, 2, 1, 1),
+            downloads=(1, 4, 1, 2),
+            server_upload=2,
+            tier_names=("fast", "dsl", "cable"),
+            tier_of=(-1, 0, 1, 2),
+        )
+
+    def test_per_node_upload_capacity_honored(self):
+        # Client 1 (u=2) uploads twice in tick 2: legal under its tier.
+        log = log_from(
+            [(1, 0, 1, 0), (1, 0, 1, 1), (2, 1, 2, 0), (2, 1, 3, 1)]
+        )
+        report = verify_log(
+            log, 4, 2, self._model(), require_completion=False
+        )
+        assert report.transfers == 4
+
+    def test_per_node_upload_violation_caught(self):
+        # Client 2 (u=1) uploading twice in one tick must be rejected.
+        log = log_from(
+            [(1, 0, 2, 0), (2, 0, 2, 1), (3, 2, 1, 0), (3, 2, 3, 1)]
+        )
+        with pytest.raises(ScheduleViolation) as e:
+            verify_log(log, 4, 2, self._model(), require_completion=False)
+        assert e.value.rule == "upload-capacity"
+        assert "node 2" in str(e.value)
+
+    def test_per_node_download_capacity_is_receiver_specific(self):
+        # Two blocks land on client 1 (d=4) in one tick: fine.
+        ok = log_from([(1, 0, 1, 0), (1, 0, 1, 1)])
+        verify_log(ok, 4, 2, self._model(), require_completion=False)
+        # The same burst on client 2 (d=1) breaches its own cap.
+        bad = log_from([(1, 0, 2, 0), (1, 0, 2, 1)])
+        with pytest.raises(ScheduleViolation) as e:
+            verify_log(bad, 4, 2, self._model(), require_completion=False)
+        assert e.value.rule == "download-capacity"
+        assert "node 2" in str(e.value)
+
+    def test_engine_run_verifies_under_tiers(self):
+        from repro.core.bandwidth import BandwidthClasses, BandwidthTier
+        from repro.randomized.engine import RandomizedEngine
+
+        spec = BandwidthClasses(
+            tiers=(
+                BandwidthTier("fast", 0.3, upload=2, download=4),
+                BandwidthTier("dsl", 0.7, upload=1, download=1),
+            )
+        )
+        eng = RandomizedEngine(20, 8, rng=5, bandwidth=spec)
+        result = eng.run()
+        report = verify_log(
+            eng.kernel.log, 20, 8, model=eng.kernel.model
+        )
+        assert report.all_complete
+        assert result.completed
+
+
 class TestVerifyMechanisms:
     def test_strict_barter_pass_and_fail(self):
         # Seed both clients, then have them exchange.

@@ -37,7 +37,7 @@ class TestCli:
             "ablation-estimated-rarest", "ablation-rotation",
             "ext-multiserver", "ext-asynchrony", "ext-bittorrent",
             "ext-freerider", "ext-embedding", "ext-churn", "ext-triangular", "ext-coding", "ext-incentives",
-            "resilience", "open-system", "adversary",
+            "resilience", "open-system", "adversary", "heterogeneity",
         }
         assert set(EXPERIMENTS) == expected
 

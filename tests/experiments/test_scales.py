@@ -43,6 +43,7 @@ class TestTaskCounts:
             "resilience": 36,
             "open-system": 72,
             "adversary": 24,
+            "heterogeneity": 28,
         }
 
     def test_xl_task_counts(self):
@@ -56,6 +57,7 @@ class TestTaskCounts:
             "resilience": 144,
             "open-system": 288,
             "adversary": 96,
+            "heterogeneity": 88,
         }
 
     def test_xl_offers_enough_parallel_width(self):

@@ -1,0 +1,74 @@
+"""Null-spec and armed-telemetry bit-identity over the golden fixtures.
+
+The heterogeneity tentpole added two optional kernel axes —
+``bandwidth=`` (:class:`~repro.core.bandwidth.BandwidthClasses`) and
+``telemetry=`` (:class:`~repro.telemetry.TelemetrySpec`). Both promise
+the null-normalization contract the fault/workload/adversary axes
+already honor: a null bandwidth spec draws zero RNG and realizes the
+uniform model, and an armed telemetry spec only *reads* the completed
+log after the tick loop. This suite holds both promises to the same
+standard as the kernel refactor itself: every golden fixture, replayed
+with a null spec and armed telemetry, must match its pinned JSON byte
+for byte — on the loop backend and (for the array-capable families) the
+array backend too.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.bandwidth import BandwidthClasses
+from repro.telemetry import TelemetrySpec
+
+from .capture_golden import result_fingerprint
+from .golden_specs import ARRAY_CAPABLE_SPECS, GOLDEN_SPECS
+
+_GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+_ARMED = {"bandwidth": BandwidthClasses(), "telemetry": TelemetrySpec(window=4)}
+
+
+def _load(name: str) -> dict:
+    with open(os.path.join(_GOLDEN_DIR, f"{name}.json"), encoding="utf-8") as f:
+        return json.load(f)
+
+
+def _assert_matches(actual: dict, expected: dict) -> None:
+    assert actual["completion_time"] == expected["completion_time"]
+    assert actual["abort"] == expected["abort"]
+    assert actual["deadlocked"] == expected["deadlocked"]
+    assert actual["client_completions"] == expected["client_completions"]
+    assert actual["transfers"] == expected["transfers"]
+    assert actual["failures"] == expected["failures"]
+    for key in ("crash_events", "rejoin_events"):
+        if key in expected:
+            assert actual[key] == expected[key]
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_SPECS))
+def test_null_bandwidth_and_armed_telemetry_are_invisible(name: str) -> None:
+    result = GOLDEN_SPECS[name](**_ARMED)
+    _assert_matches(result_fingerprint(result), _load(name))
+    # The run is unchanged, but the digest is there.
+    digest = result.meta["telemetry"]
+    assert digest["window"] == 4
+    assert digest["tiers"] == {"default": result.n - 1}
+    assert digest["wait_hist"]["default"]["count"] > 0
+
+
+@pytest.mark.parametrize("name", sorted(ARRAY_CAPABLE_SPECS))
+def test_array_backend_null_bandwidth_identity(name: str) -> None:
+    result = GOLDEN_SPECS[name](backend="array", **_ARMED)
+    _assert_matches(result_fingerprint(result), _load(name))
+    assert "telemetry" in result.meta
+
+
+@pytest.mark.parametrize("name", sorted(ARRAY_CAPABLE_SPECS))
+def test_loop_and_array_digests_agree(name: str) -> None:
+    # Byte-identical logs must digest to byte-identical telemetry.
+    loop = GOLDEN_SPECS[name](**_ARMED).meta["telemetry"]
+    array = GOLDEN_SPECS[name](backend="array", **_ARMED).meta["telemetry"]
+    assert loop == array

@@ -1,0 +1,237 @@
+"""Statistical correctness of the telemetry accumulators.
+
+Every accumulator is checked against a brute-force oracle on the raw
+sample lists: Welford moments against naive mean/variance, histogram
+percentiles against nearest-rank on the sorted data, window series
+against direct bucketing. Merge operations must equal the accumulator
+built from the concatenated streams.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.telemetry import Histogram, Stats, StatsWindow, exact_percentile
+
+
+def _naive_stats(values):
+    mean = sum(values) / len(values)
+    var = sum((x - mean) ** 2 for x in values) / len(values)
+    return mean, var
+
+
+class TestStats:
+    def test_moments_match_naive_oracle(self):
+        rng = random.Random(7)
+        values = [rng.gauss(10.0, 3.0) for _ in range(500)]
+        s = Stats()
+        for x in values:
+            s.add(x)
+        mean, var = _naive_stats(values)
+        assert s.count == 500
+        assert s.mean == pytest.approx(mean)
+        assert s.variance == pytest.approx(var)
+        assert s.min == min(values)
+        assert s.max == max(values)
+
+    def test_merge_equals_concatenation(self):
+        rng = random.Random(11)
+        a = [rng.uniform(0, 50) for _ in range(137)]
+        b = [rng.uniform(25, 100) for _ in range(263)]
+        left, right, both = Stats(), Stats(), Stats()
+        for x in a:
+            left.add(x)
+            both.add(x)
+        for x in b:
+            right.add(x)
+            both.add(x)
+        left.merge(right)
+        assert left.count == both.count
+        assert left.mean == pytest.approx(both.mean)
+        assert left.variance == pytest.approx(both.variance)
+        assert left.min == both.min and left.max == both.max
+
+    def test_merge_into_empty_and_with_empty(self):
+        s = Stats()
+        other = Stats()
+        other.add(3.0)
+        other.add(5.0)
+        s.merge(other)
+        assert (s.count, s.mean) == (2, 4.0)
+        s.merge(Stats())  # no-op
+        assert (s.count, s.mean) == (2, 4.0)
+
+    def test_degenerate_variance(self):
+        s = Stats()
+        assert s.variance == 0.0 and s.std == 0.0
+        s.add(42.0)
+        assert s.variance == 0.0
+
+    def test_json_round_trip(self):
+        s = Stats()
+        for x in (1.0, 2.0, 6.0):
+            s.add(x)
+        back = Stats.from_json(s.to_json())
+        assert back.to_json() == s.to_json()
+        assert back.variance == pytest.approx(s.variance)
+
+
+class TestHistogram:
+    @pytest.mark.parametrize("log2", [False, True])
+    def test_percentiles_match_sorted_oracle(self, log2):
+        # Width-1 integer histograms are exact; log2 histograms must
+        # return the lower edge of the bucket holding the oracle rank.
+        rng = random.Random(3)
+        values = [rng.randrange(0, 200) for _ in range(1000)]
+        hist = Histogram(width=1.0, log2=log2)
+        for x in values:
+            hist.add(x)
+        ordered = sorted(values)
+        for p in (1, 10, 25, 50, 75, 90, 99, 100):
+            oracle = exact_percentile(ordered, p)
+            got = hist.percentile(p)
+            if log2:
+                edge = hist.bucket_edge(hist._bucket(oracle))
+                assert got == edge
+            else:
+                assert got == oracle
+
+    def test_exact_percentile_is_nearest_rank(self):
+        data = [10, 20, 30, 40]
+        assert exact_percentile(data, 25) == 10
+        assert exact_percentile(data, 50) == 20
+        assert exact_percentile(data, 50.1) == 30
+        assert exact_percentile(data, 100) == 40
+        assert exact_percentile([], 50) is None
+
+    def test_mean_is_exact_not_bucketed(self):
+        hist = Histogram(width=10.0)
+        for x in (1.0, 2.0, 33.0):
+            hist.add(x)
+        assert hist.mean == pytest.approx(12.0)
+
+    def test_weighted_add(self):
+        hist = Histogram(width=1.0)
+        hist.add(4.0, count=9)
+        hist.add(7.0)
+        assert hist.count == 10
+        assert hist.percentile(90) == 4.0
+        assert hist.percentile(91) == 7.0
+
+    def test_merge_equals_concatenation(self):
+        rng = random.Random(19)
+        a = [rng.randrange(0, 64) for _ in range(300)]
+        b = [rng.randrange(32, 128) for _ in range(200)]
+        left, both = Histogram(), Histogram()
+        right = Histogram()
+        for x in a:
+            left.add(x)
+            both.add(x)
+        for x in b:
+            right.add(x)
+            both.add(x)
+        left.merge(right)
+        assert left.counts == both.counts
+        assert left.count == both.count
+        assert left.total == both.total
+
+    def test_merge_rejects_layout_mismatch(self):
+        with pytest.raises(ConfigError):
+            Histogram(width=1.0).merge(Histogram(width=2.0))
+        with pytest.raises(ConfigError):
+            Histogram(log2=True).merge(Histogram(width=1.0))
+
+    def test_rejects_negative_samples_and_bad_config(self):
+        hist = Histogram()
+        with pytest.raises(ConfigError):
+            hist.add(-0.5)
+        with pytest.raises(ConfigError):
+            Histogram(width=0)
+        hist.add(1.0)
+        with pytest.raises(ConfigError):
+            hist.percentile(0)
+        with pytest.raises(ConfigError):
+            hist.percentile(101)
+        assert Histogram().percentile(50) is None
+
+    def test_log2_bucket_edges(self):
+        hist = Histogram(log2=True)
+        for x, bucket in ((0, 0), (0.5, 0), (1, 1), (2, 2), (3, 2), (4, 3)):
+            assert hist._bucket(x) == bucket
+        assert hist.bucket_edge(0) == 0.0
+        assert hist.bucket_edge(1) == 1.0
+        assert hist.bucket_edge(3) == 4.0
+
+    def test_json_round_trip_with_percentiles(self):
+        hist = Histogram(width=2.0)
+        for x in (1, 3, 3, 9):
+            hist.add(x)
+        data = hist.to_json((50.0, 99.0))
+        assert data["percentiles"]["p50"] == hist.percentile(50)
+        back = Histogram.from_json(data)
+        assert back.counts == hist.counts
+        assert back.percentile(99) == hist.percentile(99)
+
+
+class TestStatsWindow:
+    def test_windows_match_direct_bucketing(self):
+        rng = random.Random(23)
+        samples = sorted(
+            (rng.randrange(1, 97), rng.uniform(0, 5)) for _ in range(400)
+        )
+        win = StatsWindow(8)
+        buckets: dict[int, list[float]] = {}
+        for tick, x in samples:
+            win.add(tick, x)
+            buckets.setdefault((tick - 1) // 8, []).append(x)
+        out = win.windows()
+        assert len(out) == max(buckets) + 1
+        for w, stats in enumerate(out):
+            values = buckets.get(w, [])
+            assert stats.count == len(values)
+            if values:
+                assert stats.mean == pytest.approx(sum(values) / len(values))
+
+    def test_skipped_windows_zero_filled(self):
+        win = StatsWindow(4)
+        win.add(2, 1.0)  # window 0
+        win.add(15, 9.0)  # window 3 -- windows 1 and 2 skipped
+        out = win.windows()
+        assert [s.count for s in out] == [1, 0, 0, 1]
+
+    def test_tail_padding_through_tick(self):
+        win = StatsWindow(5)
+        win.add(3, 1.0)
+        out = win.windows(through_tick=22)  # tick 22 is in window 4
+        assert [s.count for s in out] == [1, 0, 0, 0, 0]
+        # through_tick inside an existing window adds nothing.
+        assert len(win.windows(through_tick=2)) == 1
+
+    def test_boundary_ticks(self):
+        # Window w covers ticks w*width+1 .. (w+1)*width (1-based).
+        win = StatsWindow(4)
+        for tick in (1, 4, 5, 8, 9):
+            win.add(tick, float(tick))
+        assert [s.count for s in win.windows()] == [2, 2, 1]
+
+    def test_rejects_out_of_order_and_bad_ticks(self):
+        win = StatsWindow(4)
+        win.add(7, 1.0)
+        win.add(7, 2.0)  # equal ticks fine
+        with pytest.raises(ConfigError):
+            win.add(6, 3.0)
+        with pytest.raises(ConfigError):
+            win.add(0, 1.0)
+        with pytest.raises(ConfigError):
+            StatsWindow(0)
+
+    def test_to_json_shape(self):
+        win = StatsWindow(2)
+        win.add(1, 3.0)
+        data = win.to_json(through_tick=6)
+        assert data["width"] == 2
+        assert len(data["windows"]) == 3
+        assert data["windows"][0]["count"] == 1

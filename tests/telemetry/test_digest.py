@@ -1,0 +1,179 @@
+"""The post-run digest and the replica fold, on hand-built toy runs.
+
+``digest_run`` is a pure function of (spec, log, completions, model), so
+every number it reports can be checked against hand-computed values on a
+small synthetic transfer log — both for the uniform model (one
+``default`` tier) and for a realized heterogeneous tier model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bandwidth import BandwidthClasses, BandwidthTier
+from repro.core.errors import ConfigError
+from repro.core.log import TransferLog
+from repro.core.model import SERVER, BandwidthModel
+from repro.telemetry import TelemetrySpec, digest_run, fold_digests
+
+
+def _toy_log(entries):
+    log = TransferLog()
+    for tick, src, dst, block in entries:
+        log.record(tick, src, dst, block)
+    return log
+
+
+class TestSpec:
+    def test_defaults_are_valid_and_hashable(self):
+        spec = TelemetrySpec()
+        assert hash(spec) == hash(TelemetrySpec())
+        assert spec == eval(repr(spec), {"TelemetrySpec": TelemetrySpec})
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TelemetrySpec(window=0)
+        with pytest.raises(ConfigError):
+            TelemetrySpec(wait_width=0.0)
+        with pytest.raises(ConfigError):
+            TelemetrySpec(percentiles=(0.0,))
+        with pytest.raises(ConfigError):
+            TelemetrySpec(percentiles=(101.0,))
+        # log2 buckets ignore the width knob entirely.
+        TelemetrySpec(wait_width=0.0, wait_log2=True)
+
+
+class TestDigestRun:
+    def _digest(self, spec=None):
+        # 4-node swarm (server + clients 1..3), k=2. Client 1 gets
+        # blocks at ticks 1 and 3, client 2 at ticks 2 and 6; client 3
+        # never finishes (one block at tick 2).
+        log = _toy_log(
+            [
+                (1, SERVER, 1, 0),
+                (2, SERVER, 2, 0),
+                (2, 1, 3, 0),
+                (3, 2, 1, 1),
+                (6, 1, 2, 1),
+            ]
+        )
+        return digest_run(
+            spec or TelemetrySpec(window=4),
+            n=4,
+            k=2,
+            model=BandwidthModel.symmetric(),
+            log=log,
+            completions={1: 3, 2: 6},
+            ticks=8,
+        )
+
+    def test_tiers_and_window_shape(self):
+        d = self._digest()
+        assert d["window"] == 4
+        assert d["ticks"] == 8
+        assert d["tiers"] == {"default": 3}
+
+    def test_wait_histogram_counts_interarrival_gaps(self):
+        d = self._digest()
+        hist = d["wait_hist"]["default"]
+        # Gaps: client 1 -> 1, 2; client 2 -> 2, 4; client 3 -> 2.
+        assert hist["count"] == 5
+        assert hist["buckets"] == {"1": 1, "2": 3, "4": 1}
+        assert hist["percentiles"]["p50"] == 2.0
+        assert hist["percentiles"]["p99"] == 4.0
+
+    def test_throughput_per_window_normalized_per_node(self):
+        d = self._digest()
+        thru = d["throughput"]["default"]
+        # Window 0 (ticks 1-4): 4 deliveries; window 1 (ticks 5-8): 1.
+        # Normalized by width * tier population = 4 * 3 = 12.
+        assert thru["per_window"] == pytest.approx([4 / 12, 1 / 12])
+        assert thru["stats"]["count"] == 2
+
+    def test_server_utilization_against_capacity(self):
+        d = self._digest()
+        util = d["server_util"]
+        # Server uploads: ticks 1 and 2 -> 2 in window 0, 0 in window 1;
+        # capacity 1 upload/tick * width 4.
+        assert util["per_window"] == pytest.approx([0.5, 0.0])
+        assert util["mean"] == pytest.approx(0.25)
+
+    def test_completion_percentiles_exact(self):
+        d = self._digest()
+        comp = d["completion"]["default"]
+        assert comp["population"] == 3
+        assert comp["completed"] == 2
+        assert comp["p50"] == 3
+        assert comp["p90"] == 6
+        assert comp["mean"] == pytest.approx(4.5)
+        assert comp["max"] == 6
+
+    def test_empty_log_digests_cleanly(self):
+        d = digest_run(
+            TelemetrySpec(window=2),
+            n=3,
+            k=1,
+            model=BandwidthModel.symmetric(),
+            log=TransferLog(),
+            completions={},
+            ticks=0,
+        )
+        assert d["wait_hist"]["default"]["count"] == 0
+        assert d["completion"]["default"]["completed"] == 0
+        assert "p50" not in d["completion"]["default"]
+
+    def test_heterogeneous_model_splits_tiers(self):
+        spec = BandwidthClasses(
+            tiers=(
+                BandwidthTier("fast", 0.5, upload=2, download=4),
+                BandwidthTier("slow", 0.5, upload=1, download=1),
+            )
+        )
+        model = spec.realize(12, seed=5)
+        d = digest_run(
+            TelemetrySpec(window=4),
+            n=12,
+            k=2,
+            model=model,
+            log=_toy_log([(1, SERVER, v, 0) for v in range(1, 12)]),
+            completions={},
+            ticks=4,
+        )
+        assert set(d["tiers"]) == set(model.tier_counts())
+        assert d["tiers"] == model.tier_counts()
+        # Every client contributed exactly one wait sample to its tier.
+        for tier, pop in d["tiers"].items():
+            assert d["wait_hist"][tier]["count"] == pop
+
+
+class TestFoldDigests:
+    def _replica(self, offset):
+        log = _toy_log(
+            [(1 + offset, SERVER, 1, 0), (3 + offset, SERVER, 2, 0)]
+        )
+        return digest_run(
+            TelemetrySpec(window=4),
+            n=3,
+            k=1,
+            model=BandwidthModel.symmetric(),
+            log=log,
+            completions={1: 1 + offset, 2: 3 + offset},
+            ticks=4 + offset,
+        )
+
+    def test_fold_merges_waits_and_collects_samples(self):
+        folded = fold_digests([self._replica(0), self._replica(1)])
+        assert folded["replicas"] == 2
+        # Wait histograms merge exactly: 2 samples per replica.
+        assert folded["wait_hist"]["default"]["count"] == 4
+        p50s = folded["completion_samples"]["default"]["p50"]
+        assert p50s == [1.0, 2.0]
+        assert len(folded["server_util_means"]) == 2
+
+    def test_fold_skips_missing_digests(self):
+        folded = fold_digests([None, self._replica(0), {}])
+        assert folded["replicas"] == 1
+
+    def test_fold_of_nothing_is_empty(self):
+        assert fold_digests([]) == {}
+        assert fold_digests([None, None]) == {}
